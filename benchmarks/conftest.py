@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artefacts (Figures
+6-9, the worked example, the cut-weight sweep and the textual claims of
+section 4), prints the reproduced rows/series next to the paper's qualitative
+statement, and asserts that the *shape* of the result matches.
+
+The corpus and the two string encodings (with / without byte information)
+are built once per session and shared across benchmarks so that the timed
+portions measure kernel and analysis cost, not corpus construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.pipeline.experiments import DEFAULT_SEED, paper_corpus, paper_strings
+from repro.strings.tokens import WeightedString
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The 110-example corpus of section 4.1."""
+    return list(paper_corpus(DEFAULT_SEED))
+
+
+@pytest.fixture(scope="session")
+def strings_with_bytes() -> List[WeightedString]:
+    """Weighted strings keeping byte information (the paper's main variant)."""
+    return list(paper_strings(DEFAULT_SEED, True))
+
+
+@pytest.fixture(scope="session")
+def strings_without_bytes() -> List[WeightedString]:
+    """Weighted strings with byte information discarded."""
+    return list(paper_strings(DEFAULT_SEED, False))
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper_figure(name): benchmark reproducing a specific paper artefact")

@@ -1,0 +1,49 @@
+"""E7 — cut-weight sweep for the Kast kernel on byte-carrying strings.
+
+Section 4.1/4.2: the cut weight is swept over ``{2, 4, ..., 1024}``.  The
+paper's findings for the byte-carrying representation:
+
+* the best (three-group, no-misplacement) clustering is already achieved at
+  the *smallest* cut weights, which is what makes the kernel easy to
+  parametrise;
+* clustering quality degrades as the cut weight grows (high cut weights only
+  find "general categories");
+* "the smaller the cut weight the more expensive the computation became".
+
+The benchmark times the whole sweep and prints one row per cut weight — the
+series behind the paper's discussion — then asserts those three trends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.report import summarise_sweep
+from repro.pipeline.sweep import PAPER_CUT_WEIGHTS, cut_weight_sweep
+
+
+def test_bench_cutweight_sweep_with_bytes(benchmark, strings_with_bytes):
+    config = ExperimentConfig(kernel="kast", n_clusters=3, linkage="single")
+
+    sweep = benchmark.pedantic(
+        lambda: cut_weight_sweep(config, cut_weights=PAPER_CUT_WEIGHTS, strings=strings_with_bytes),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(summarise_sweep(sweep, title="E7: Kast kernel cut-weight sweep (byte information kept)"))
+
+    ari = sweep.series("adjusted_rand_index")
+    misplacements = sweep.series("misplacements_vs_expected")
+    seconds = [point.kernel_seconds for point in sweep.points]
+
+    # Small cut weights achieve the perfect three-group clustering.
+    assert misplacements[0] == 0.0
+    assert ari[0] == max(ari)
+    # Large cut weights are no better (and eventually much worse).
+    assert ari[-1] < ari[0]
+    # Cost shrinks as the cut weight grows (compare the small-cut third to the
+    # large-cut third to be robust to per-run noise).
+    assert np.mean(seconds[:3]) > np.mean(seconds[-3:])

@@ -1,0 +1,41 @@
+"""E1 — the worked example of section 3.2 (Equations 1-13).
+
+Paper values (cut weight 4):
+
+* ``weight_{w>=4}(A) = 64``, ``weight_{w>=4}(B) = 52``;
+* three shared substrings with feature vectors ``{19, 13, 15}`` / ``{35, 11, 14}``;
+* raw kernel value 1018;
+* normalised kernel value ``1018 / 3328 = 0.3059``.
+
+The benchmark times one full kernel evaluation (embedding construction
+included) on the example pair and asserts every published number.
+"""
+
+from __future__ import annotations
+
+from repro.core.kast import KastSpectrumKernel
+from repro.pipeline.experiments import experiment_worked_example, worked_example_strings
+
+
+def test_bench_worked_example(benchmark):
+    string_a, string_b = worked_example_strings()
+    kernel = KastSpectrumKernel(cut_weight=4, normalization="weight")
+
+    embedding = benchmark(lambda: kernel.embed(string_a, string_b))
+
+    results = experiment_worked_example()
+    print()
+    print("E1 worked example (cut weight 4)      paper    reproduced")
+    print(f"  weight(A)                            64       {results['weight_a']:.0f}")
+    print(f"  weight(B)                            52       {results['weight_b']:.0f}")
+    print(f"  shared substrings                    3        {results['n_features']:.0f}")
+    print(f"  kernel value                         1018     {results['kernel_value']:.0f}")
+    print(f"  normalised kernel value              0.3059   {results['normalized_value']:.4f}")
+
+    assert results["weight_a"] == 64.0
+    assert results["weight_b"] == 52.0
+    assert len(embedding) == 3
+    assert embedding.kernel_value == 1018.0
+    assert sorted(embedding.vector_a) == [13, 15, 19]
+    assert sorted(embedding.vector_b) == [11, 14, 35]
+    assert round(results["normalized_value"], 4) == 0.3059

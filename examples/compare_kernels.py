@@ -1,0 +1,74 @@
+"""Compare the Kast Spectrum Kernel against the baseline string kernels.
+
+Reproduces the kernel comparison of section 4 (Kast vs blended spectrum vs
+k-spectrum vs the bag kernels) as a single table: for each kernel, the corpus
+is clustered into three groups with single linkage and scored against the
+paper's expected partition {A}, {B}, {C u D}.
+
+Run with::
+
+    python examples/compare_kernels.py             # full corpus (a few seconds)
+    python examples/compare_kernels.py --small     # reduced corpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.learn.metrics import adjusted_rand_index
+from repro.pipeline.config import KERNEL_CHOICES, ExperimentConfig
+from repro.pipeline.pipeline import AnalysisPipeline
+from repro.pipeline.report import format_table
+from repro.workloads.corpus import CorpusConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true", help="use the reduced corpus")
+    parser.add_argument("--cut-weight", type=int, default=2, help="cut weight / minimum substring weight")
+    parser.add_argument("--seed", type=int, default=2017, help="corpus seed")
+    arguments = parser.parse_args()
+
+    corpus_config = CorpusConfig.small(seed=arguments.seed) if arguments.small else CorpusConfig.paper(seed=arguments.seed)
+
+    # Build the corpus and its strings once; only the kernel changes.
+    base_pipeline = AnalysisPipeline(ExperimentConfig(corpus=corpus_config))
+    traces = base_pipeline.build_traces()
+    strings = base_pipeline.encode(traces)
+
+    rows = []
+    for kernel_name in KERNEL_CHOICES:
+        config = ExperimentConfig(
+            kernel=kernel_name,
+            cut_weight=arguments.cut_weight,
+            n_clusters=3,
+            linkage="single",
+            corpus=corpus_config,
+        )
+        start = time.perf_counter()
+        result = AnalysisPipeline(config).run_on_strings(strings)
+        elapsed = time.perf_counter() - start
+        labels = [label or "?" for label in result.labels]
+        merged = ["CD" if label in ("C", "D") else label for label in labels]
+        rows.append(
+            {
+                "kernel": kernel_name,
+                "ARI (3-group target)": adjusted_rand_index(list(result.assignments), merged),
+                "purity (4 labels)": result.metrics["purity"],
+                "misplacements": int(result.metrics["misplacements_vs_expected"]),
+                "exact partition": "yes" if result.matches_expected_partition() else "no",
+                "seconds": elapsed,
+            }
+        )
+
+    print(f"Kernel comparison on {len(strings)} examples (cut weight {arguments.cut_weight}, single linkage, 3 clusters)")
+    print(format_table(rows))
+    print()
+    print("Expected shape (paper, section 4): the Kast kernel recovers the exact")
+    print("{A}, {B}, {C+D} partition; the blended spectrum kernel only isolates A;")
+    print("the k-spectrum and bag kernels do not produce an acceptable clustering.")
+
+
+if __name__ == "__main__":
+    main()

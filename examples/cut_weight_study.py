@@ -1,0 +1,68 @@
+"""Study how the cut weight affects clustering quality and cost.
+
+Section 4.2 of the paper discusses the trade-off behind the kernel's only
+parameter: small cut weights find fine-grained shared structure (better
+discrimination, higher cost), large cut weights only keep heavyweight shared
+substrings (cheaper, only coarse categories).  This example runs the sweep on
+both string variants (with and without byte information) and prints the two
+tables side by side, which is the data behind experiments E6 and E7.
+
+Run with::
+
+    python examples/cut_weight_study.py --small     # reduced corpus (fast)
+    python examples/cut_weight_study.py             # full corpus (~1 minute)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.pipeline import AnalysisPipeline
+from repro.pipeline.report import summarise_sweep
+from repro.pipeline.sweep import cut_weight_sweep
+from repro.workloads.corpus import CorpusConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true", help="use the reduced corpus")
+    parser.add_argument("--seed", type=int, default=2017, help="corpus seed")
+    parser.add_argument(
+        "--cut-weights",
+        type=int,
+        nargs="+",
+        default=[2, 4, 8, 16, 32, 64, 128, 256],
+        help="cut weights to sweep",
+    )
+    arguments = parser.parse_args()
+
+    corpus_config = CorpusConfig.small(seed=arguments.seed) if arguments.small else CorpusConfig.paper(seed=arguments.seed)
+    traces = AnalysisPipeline(ExperimentConfig(corpus=corpus_config)).build_traces()
+
+    for use_bytes, title in ((True, "byte information kept"), (False, "byte information ignored")):
+        config = ExperimentConfig(
+            kernel="kast",
+            use_byte_information=use_bytes,
+            n_clusters=3,
+            linkage="single",
+            corpus=corpus_config,
+        )
+        strings = AnalysisPipeline(config).encode(traces)
+        sweep = cut_weight_sweep(config, cut_weights=arguments.cut_weights, strings=strings)
+        print(summarise_sweep(sweep, title=f"Kast kernel cut-weight sweep ({title})"))
+        best = sweep.best_point()
+        print(
+            f"best cut weight by ARI: {best.cut_weight} "
+            f"(ARI {best.metrics['adjusted_rand_index']:.3f}, "
+            f"{best.metrics['misplacements_vs_expected']:.0f} misplacements)"
+        )
+        print()
+
+    print("Reading the tables: with byte information the smallest cut weights already")
+    print("recover the {A}, {B}, {C+D} grouping (and cost the most); without byte")
+    print("information only category B separates cleanly, matching section 4.2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Quickstart: compare two I/O access patterns with the Kast Spectrum Kernel.
+
+This walks the library's core path end to end on two tiny hand-written
+traces:
+
+1. parse plain-text access patterns;
+2. convert them to the weighted-string representation (trace -> tree ->
+   compacted tree -> weighted string);
+3. evaluate the Kast Spectrum Kernel between them and inspect the shared
+   substrings backing the similarity value.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import KastSpectrumKernel, parse_trace, trace_to_string
+from repro.tree.builder import build_tree
+from repro.tree.compaction import compact_tree
+from repro.tree.serialize import render_tree
+
+# A program that appends fixed-size records to a log file...
+TRACE_A = """
+# trace: writer_a
+open  log1
+write log1 4096
+write log1 4096
+write log1 4096
+write log1 4096
+fsync log1
+close log1
+"""
+
+# ...and a second run of the same program that wrote a few more records and
+# also read a small configuration file first.
+TRACE_B = """
+# trace: writer_b
+open  cfg
+read  cfg 512
+read  cfg 512
+close cfg
+open  log1
+write log1 4096
+write log1 4096
+write log1 4096
+write log1 4096
+write log1 4096
+write log1 4096
+fsync log1
+close log1
+"""
+
+# A completely different program: random-offset read-modify-write cycles.
+TRACE_C = """
+# trace: random_updater
+open  db
+lseek db 0
+read  db 1024
+lseek db 0
+write db 1024
+lseek db 0
+read  db 1024
+lseek db 0
+write db 1024
+close db
+"""
+
+
+def main() -> None:
+    trace_a = parse_trace(TRACE_A, name="writer_a")
+    trace_b = parse_trace(TRACE_B, name="writer_b")
+    trace_c = parse_trace(TRACE_C, name="random_updater")
+
+    # Step 1: look at the intermediate tree of one trace.
+    tree_a = compact_tree(build_tree(trace_a))
+    print("Compacted access-pattern tree of writer_a:")
+    print(render_tree(tree_a))
+    print()
+
+    # Step 2: the weighted-string representation.
+    string_a = trace_to_string(trace_a)
+    string_b = trace_to_string(trace_b)
+    string_c = trace_to_string(trace_c)
+    for string in (string_a, string_b, string_c):
+        print(f"{string.name:16s} -> {string.to_text()}")
+    print()
+
+    # Step 3: pairwise similarities under the Kast Spectrum Kernel.
+    kernel = KastSpectrumKernel(cut_weight=2)
+    print("Normalised Kast Spectrum Kernel similarities (cut weight 2):")
+    print(f"  writer_a  vs writer_b       : {kernel.normalized_value(string_a, string_b):.4f}")
+    print(f"  writer_a  vs random_updater : {kernel.normalized_value(string_a, string_c):.4f}")
+    print(f"  writer_b  vs random_updater : {kernel.normalized_value(string_b, string_c):.4f}")
+    print()
+
+    # Step 4: why are writer_a and writer_b similar?  Inspect the embedding.
+    embedding = kernel.embed(string_a, string_b)
+    print("Shared substrings between writer_a and writer_b:")
+    for feature in embedding.features:
+        print(f"  weight {feature.weight_in_a:3d} / {feature.weight_in_b:3d}  <- {' '.join(feature.literals)}")
+
+
+if __name__ == "__main__":
+    main()

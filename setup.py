@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) work in offline environments where the ``wheel``
+package is unavailable and PEP 517 editable builds cannot produce a wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Allow ``python -m repro`` to invoke the command-line interface."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""Command-line interface.
+
+``repro-iokast`` (or ``python -m repro``) exposes the main library workflows:
+
+* ``generate`` — write a synthetic trace corpus to a directory;
+* ``convert`` — convert one trace file to its weighted-string representation;
+* ``compare`` — evaluate the Kast kernel between two trace files;
+* ``experiment`` — run one of the canned paper experiments and print the
+  report;
+* ``sweep`` — run the cut-weight sweep and print the table.
+
+The CLI is intentionally thin: every command is a few lines of glue around
+the library API, so scripting users can lift the same calls into their own
+code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.kast import KastSpectrumKernel
+from repro.pipeline.config import KERNEL_CHOICES, ExperimentConfig
+from repro.pipeline.experiments import (
+    experiment_cut_weight_sweep,
+    experiment_fig6_kpca_kast,
+    experiment_fig7_hclust_kast,
+    experiment_fig8_kpca_blended,
+    experiment_fig9_hclust_blended,
+    experiment_nobytes_variant,
+    experiment_worked_example,
+)
+from repro.pipeline.report import summarise_result, summarise_sweep
+from repro.strings.encoder import trace_to_string
+from repro.traces.parser import parse_trace_file
+from repro.traces.writer import write_trace
+from repro.viz.dendro import cluster_tree_summary
+from repro.viz.scatter import scatter_from_kpca
+from repro.workloads.corpus import CorpusConfig, build_corpus
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "fig6": experiment_fig6_kpca_kast,
+    "fig7": experiment_fig7_hclust_kast,
+    "fig8": experiment_fig8_kpca_blended,
+    "fig9": experiment_fig9_hclust_blended,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro-iokast`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-iokast",
+        description="Weighted-string representation and Kast Spectrum Kernel for I/O access patterns",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="write a synthetic trace corpus to a directory")
+    generate.add_argument("output", help="directory to write the trace files into")
+    generate.add_argument("--seed", type=int, default=2017, help="corpus seed")
+    generate.add_argument("--small", action="store_true", help="generate the reduced test corpus")
+
+    convert = subparsers.add_parser("convert", help="convert a trace file to its weighted string")
+    convert.add_argument("trace", help="path to a plain-text trace file")
+    convert.add_argument("--no-bytes", action="store_true", help="ignore byte information")
+
+    compare = subparsers.add_parser("compare", help="evaluate the Kast kernel between two trace files")
+    compare.add_argument("trace_a", help="first trace file")
+    compare.add_argument("trace_b", help="second trace file")
+    compare.add_argument("--cut-weight", type=int, default=2, help="Kast kernel cut weight")
+    compare.add_argument("--no-bytes", action="store_true", help="ignore byte information")
+
+    experiment = subparsers.add_parser("experiment", help="run one of the canned paper experiments")
+    experiment.add_argument(
+        "name",
+        choices=sorted(_EXPERIMENTS) + ["worked-example"],
+        help="which experiment to run",
+    )
+    experiment.add_argument("--seed", type=int, default=2017, help="corpus seed")
+    experiment.add_argument("--cut-weight", type=int, default=2, help="cut weight")
+
+    sweep = subparsers.add_parser("sweep", help="run the cut-weight sweep")
+    sweep.add_argument("--seed", type=int, default=2017, help="corpus seed")
+    sweep.add_argument("--no-bytes", action="store_true", help="use the byte-free string variant")
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    config = CorpusConfig.small(seed=args.seed) if args.small else CorpusConfig.paper(seed=args.seed)
+    traces = build_corpus(config)
+    os.makedirs(args.output, exist_ok=True)
+    for trace in traces:
+        write_trace(trace, os.path.join(args.output, f"{trace.name}.trace"))
+    print(f"wrote {len(traces)} traces to {args.output}")
+    return 0
+
+
+def _command_convert(args: argparse.Namespace) -> int:
+    trace = parse_trace_file(args.trace)
+    string = trace_to_string(trace, use_byte_information=not args.no_bytes)
+    print(string.to_text())
+    print(f"# tokens={len(string)} total_weight={string.total_weight()}", file=sys.stderr)
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    trace_a = parse_trace_file(args.trace_a)
+    trace_b = parse_trace_file(args.trace_b)
+    use_bytes = not args.no_bytes
+    string_a = trace_to_string(trace_a, use_byte_information=use_bytes)
+    string_b = trace_to_string(trace_b, use_byte_information=use_bytes)
+    kernel = KastSpectrumKernel(cut_weight=args.cut_weight)
+    embedding = kernel.embed(string_a, string_b)
+    print(embedding.describe())
+    print(f"raw kernel value        : {embedding.kernel_value}")
+    print(f"normalised kernel value : {kernel.normalized_value(string_a, string_b):.6f}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    if args.name == "worked-example":
+        for key, value in experiment_worked_example().items():
+            print(f"{key}: {value}")
+        return 0
+    result = _EXPERIMENTS[args.name](seed=args.seed, cut_weight=args.cut_weight)
+    print(summarise_result(result, title=f"experiment {args.name}"))
+    print()
+    print(scatter_from_kpca(result.kpca, title="Kernel PCA (first two components)"))
+    print()
+    print(cluster_tree_summary(result.clustering.dendrogram))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.no_bytes:
+        sweep = experiment_nobytes_variant(seed=args.seed)
+        title = "cut-weight sweep (byte information ignored)"
+    else:
+        sweep = experiment_cut_weight_sweep(seed=args.seed)
+        title = "cut-weight sweep (byte information kept)"
+    print(summarise_sweep(sweep, title=title))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-iokast`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "generate": _command_generate,
+        "convert": _command_convert,
+        "compare": _command_compare,
+        "experiment": _command_experiment,
+        "sweep": _command_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

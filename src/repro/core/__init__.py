@@ -1,0 +1,34 @@
+"""Core contribution: the Kast Spectrum Kernel and kernel-matrix machinery.
+
+* :mod:`repro.core.kast` — the kernel itself;
+* :mod:`repro.core.features` — inspectable pairwise embeddings;
+* :mod:`repro.core.matrix` — labelled kernel matrices over corpora;
+* :mod:`repro.core.normalization` — cosine normalisation, centring and the
+  negative-eigenvalue repair used in section 4.1 of the paper.
+"""
+
+from repro.core.features import KastEmbedding, KastFeature, Occurrence
+from repro.core.kast import KastSpectrumKernel, kast_kernel_value
+from repro.core.matrix import KernelMatrix, compute_kernel_matrix
+from repro.core.normalization import (
+    center_kernel_matrix,
+    clip_negative_eigenvalues,
+    cosine_normalize,
+    is_positive_semidefinite,
+    nearest_psd_projection,
+)
+
+__all__ = [
+    "KastEmbedding",
+    "KastFeature",
+    "Occurrence",
+    "KastSpectrumKernel",
+    "kast_kernel_value",
+    "KernelMatrix",
+    "compute_kernel_matrix",
+    "center_kernel_matrix",
+    "clip_negative_eigenvalues",
+    "cosine_normalize",
+    "is_positive_semidefinite",
+    "nearest_psd_projection",
+]

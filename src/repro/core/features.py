@@ -1,0 +1,124 @@
+"""Feature objects produced by the Kast Spectrum Kernel.
+
+The kernel embeds a *pair* of weighted strings into a finite feature space
+whose dimensions are the shared maximal substrings (section 3.2).  These
+dataclasses make that embedding inspectable: the pipeline, the examples and
+several tests look at which substrings were selected and with what weights,
+not only at the final scalar kernel value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["Occurrence", "KastFeature", "KastEmbedding"]
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One appearance of a shared substring inside a particular string.
+
+    Attributes
+    ----------
+    start:
+        Index of the first token of the occurrence.
+    length:
+        Number of tokens.
+    weight:
+        Weight of the occurrence: the sum of its token weights, subject to
+        the kernel's token filtering rule (tokens below the cut weight may be
+        excluded from the sum; see :class:`~repro.core.kast.KastSpectrumKernel`).
+    """
+
+    start: int
+    length: int
+    weight: int
+
+    @property
+    def end(self) -> int:
+        """Index one past the last token of the occurrence."""
+        return self.start + self.length
+
+    def contains(self, other: "Occurrence") -> bool:
+        """Whether *other* lies entirely within this occurrence."""
+        return self.start <= other.start and other.end <= self.end
+
+
+@dataclass(frozen=True)
+class KastFeature:
+    """One embedding dimension: a shared substring and its weights.
+
+    Attributes
+    ----------
+    literals:
+        The token literals of the shared substring (weights are not part of
+        the feature identity — the paper allows the weight of a target
+        substring to differ between the two strings).
+    weight_in_a / weight_in_b:
+        The feature values: sum of the qualifying occurrence weights in each
+        string.
+    occurrences_a / occurrences_b:
+        The qualifying occurrences backing those sums.
+    """
+
+    literals: Tuple[str, ...]
+    weight_in_a: int
+    weight_in_b: int
+    occurrences_a: Tuple[Occurrence, ...]
+    occurrences_b: Tuple[Occurrence, ...]
+
+    @property
+    def length(self) -> int:
+        """Number of tokens in the shared substring."""
+        return len(self.literals)
+
+    @property
+    def product(self) -> int:
+        """Contribution of this feature to the kernel value."""
+        return self.weight_in_a * self.weight_in_b
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        text = " ".join(self.literals)
+        return f"<{text}> A={self.weight_in_a} B={self.weight_in_b}"
+
+
+@dataclass(frozen=True)
+class KastEmbedding:
+    """The full pairwise embedding produced for two strings.
+
+    Attributes
+    ----------
+    features:
+        Selected features, in the order the greedy search accepted them
+        (highest weight first).
+    cut_weight:
+        The cut weight the kernel used.
+    kernel_value:
+        The raw (unnormalised) kernel value: the inner product of the two
+        feature vectors.
+    """
+
+    features: Tuple[KastFeature, ...]
+    cut_weight: int
+    kernel_value: float = field(default=0.0)
+
+    @property
+    def vector_a(self) -> List[int]:
+        """Feature vector of the first string."""
+        return [feature.weight_in_a for feature in self.features]
+
+    @property
+    def vector_b(self) -> List[int]:
+        """Feature vector of the second string."""
+        return [feature.weight_in_b for feature in self.features]
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def describe(self) -> str:
+        """Multi-line human readable description of the embedding."""
+        lines = [f"cut_weight={self.cut_weight} features={len(self.features)} kernel={self.kernel_value}"]
+        lines.extend(f"  {feature.describe()}" for feature in self.features)
+        return "\n".join(lines)

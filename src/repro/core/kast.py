@@ -1,0 +1,332 @@
+"""The Kast Spectrum Kernel (the paper's primary contribution).
+
+Given two weighted strings ``A`` and ``B`` and a *cut weight* ``n``, the
+kernel (section 3.2):
+
+1. searches for substrings (contiguous runs of tokens, matched by literal —
+   weights may differ between the two strings) that are **shared** by ``A``
+   and ``B`` and whose weight is **at least the cut weight**;
+2. requires each shared substring to be *independent*: "a target substring
+   must not be a substring of another matching substring in at least one of
+   the original strings" — i.e. at least one of its occurrences must lie
+   outside the occurrences of a larger already-selected shared substring;
+3. turns every surviving shared substring into one embedding feature whose
+   value, per string, is the sum of the weights of **all** its qualifying
+   appearances in that string;
+4. returns the inner product of the two feature vectors.
+
+Normalisation (Eq. 12 of the paper) divides by
+``sqrt(k(A, A) * k(B, B))``.  For a self comparison the single maximal shared
+substring is the whole string, so ``k(A, A) = weight_{w>=n}(A)^2`` and the
+normalised kernel coincides with the worked example's
+``k(A, B) / (weight_{w>=n}(A) * weight_{w>=n}(B))`` form.  Both forms are
+available through ``normalization``.
+
+Interpretation choices (documented because the paper under-specifies them;
+each is controlled by a constructor flag and exercised by the ablation
+benchmark):
+
+* **Occurrence weight** — ``filter_tokens_below_cut=True`` (default) sums
+  only the tokens whose individual weight is ``>= cut_weight`` inside an
+  occurrence, matching the paper's :math:`weight_{w \\ge n}` notation in the
+  worked example.  With ``False`` every token of the occurrence counts.
+* **Occurrence qualification** — an occurrence contributes to a feature only
+  if its (possibly filtered) weight is ``>= cut_weight``.
+* **Search order** — candidates are ranked by their largest per-string
+  weight, ties broken by token length then lexicographically; this matches
+  the paper's remark that "the algorithm always starts searching from the
+  substrings with the highest weight".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.features import KastEmbedding, KastFeature, Occurrence
+from repro.kernels.base import StringKernel
+from repro.strings.tokens import WeightedString
+
+__all__ = ["KastSpectrumKernel", "kast_kernel_value"]
+
+_Literals = Tuple[str, ...]
+
+
+class _PreparedString:
+    """Cached per-string data reused across kernel evaluations."""
+
+    __slots__ = (
+        "string",
+        "literals",
+        "weights",
+        "occurrence_prefix",
+        "raw_prefix",
+        "occurrence_total",
+        "cut_filtered_total",
+    )
+
+    def __init__(self, string: WeightedString, cut_weight: int, filter_tokens: bool) -> None:
+        self.string = string
+        self.literals: _Literals = tuple(token.literal for token in string)
+        self.weights: Tuple[int, ...] = tuple(token.weight for token in string)
+        # Prefix sums allow O(1) occurrence-weight queries.
+        filtered = [weight if weight >= cut_weight else 0 for weight in self.weights]
+        raw = list(self.weights)
+        self.occurrence_prefix = self._prefix(filtered if filter_tokens else raw)
+        self.raw_prefix = self._prefix(raw)
+        #: Total weight under the occurrence-weight rule (used for self-similarity).
+        self.occurrence_total = self.occurrence_prefix[-1]
+        #: The paper's ``weight_{w>=cut}``: sum of token weights >= cut weight.
+        self.cut_filtered_total = sum(filtered)
+
+    @staticmethod
+    def _prefix(values: Sequence[int]) -> List[int]:
+        prefix = [0]
+        for value in values:
+            prefix.append(prefix[-1] + value)
+        return prefix
+
+    def occurrence_weight(self, start: int, length: int) -> int:
+        """Weight of the occurrence ``[start, start+length)`` under the occurrence-weight rule."""
+        return self.occurrence_prefix[start + length] - self.occurrence_prefix[start]
+
+    def find_occurrences(self, pattern: _Literals) -> List[int]:
+        """Start indices of the non-overlapping appearances of *pattern*.
+
+        Occurrences are counted greedily left to right without overlaps, so a
+        self-repetitive pattern (e.g. ``a a a`` against the pattern ``a a``)
+        contributes each token to at most one appearance.  This keeps the
+        self-similarity equal to the squared string weight, which the
+        normalisation relies on.
+        """
+        length = len(pattern)
+        if length == 0 or length > len(self.literals):
+            return []
+        first = pattern[0]
+        starts: List[int] = []
+        limit = len(self.literals) - length
+        start = 0
+        while start <= limit:
+            if self.literals[start] == first and self.literals[start : start + length] == pattern:
+                starts.append(start)
+                start += length
+            else:
+                start += 1
+        return starts
+
+
+class KastSpectrumKernel(StringKernel):
+    """Kernel over weighted strings based on shared maximal weighted substrings.
+
+    Parameters
+    ----------
+    cut_weight:
+        Minimum weight a shared substring (and each counted occurrence) must
+        reach.  The paper sweeps ``{2, 4, ..., 1024}`` and recommends small
+        values.
+    normalization:
+        ``"gram"`` (default) — Eq. 12, divide by ``sqrt(k(A,A) k(B,B))``;
+        ``"weight"`` — the worked example's
+        ``weight_{w>=cut}(A) * weight_{w>=cut}(B)`` form; ``None`` — raw
+        values.  This only affects :meth:`normalized_value`;
+        :meth:`value` is always raw.
+    filter_tokens_below_cut:
+        When true, occurrence weights count only tokens with weight >= cut
+        weight.  The default (false) follows the paper's definition "the
+        weight of a string is the summation of the weights of its tokens":
+        an occurrence's weight is the plain sum over its span, and the cut
+        weight only decides which substrings/occurrences qualify.  With the
+        default the worked example of section 3.2 is reproduced exactly
+        (see ``experiment_worked_example``).
+    require_independent_occurrence:
+        Enforce the maximality condition (default).  Disabling it turns the
+        kernel into an "all shared substrings" variant used by the ablation
+        benchmark.
+    """
+
+    def __init__(
+        self,
+        cut_weight: int = 2,
+        normalization: Optional[str] = "gram",
+        filter_tokens_below_cut: bool = False,
+        require_independent_occurrence: bool = True,
+    ) -> None:
+        if cut_weight < 1:
+            raise ValueError(f"cut_weight must be >= 1, got {cut_weight}")
+        if normalization not in (None, "gram", "weight"):
+            raise ValueError(f"normalization must be None, 'gram' or 'weight', got {normalization!r}")
+        self.cut_weight = cut_weight
+        self.normalization = normalization
+        self.filter_tokens_below_cut = filter_tokens_below_cut
+        self.require_independent_occurrence = require_independent_occurrence
+        self.name = f"kast(cut={cut_weight})"
+        self._cache: Dict[int, _PreparedString] = {}
+
+    # ------------------------------------------------------------------
+    # StringKernel interface
+    # ------------------------------------------------------------------
+    def value(self, a: WeightedString, b: WeightedString) -> float:
+        """Raw kernel value: inner product of the pairwise feature vectors."""
+        return float(self.embed(a, b).kernel_value)
+
+    def self_value(self, a: WeightedString) -> float:
+        """``k(a, a)``.
+
+        For a self comparison the maximal shared substring is the whole
+        string and it covers every other candidate, so the value reduces to
+        the squared string weight (under the occurrence-weight rule).  When
+        every token weight reaches the cut weight this coincides with
+        ``weight_{w>=cut}(a) ** 2``, which is what makes Eq. 12 and the
+        worked example's weight-product normalisation agree in the paper.
+        """
+        prepared = self._prepare(a)
+        return float(prepared.occurrence_total**2)
+
+    def normalized_value(self, a: WeightedString, b: WeightedString) -> float:
+        """Normalised kernel value according to ``self.normalization``."""
+        raw = self.value(a, b)
+        if self.normalization is None:
+            return raw
+        if self.normalization == "weight":
+            denominator = float(self.string_weight(a) * self.string_weight(b))
+        else:
+            denominator = math.sqrt(self.self_value(a) * self.self_value(b))
+        if denominator <= 0.0:
+            return 0.0
+        return raw / denominator
+
+    # ------------------------------------------------------------------
+    # Embedding construction
+    # ------------------------------------------------------------------
+    def embed(self, a: WeightedString, b: WeightedString) -> KastEmbedding:
+        """Build the full pairwise embedding (features, vectors, kernel value)."""
+        prepared_a = self._prepare(a)
+        prepared_b = self._prepare(b)
+        candidates = self._candidate_substrings(prepared_a, prepared_b)
+        features = self._select_features(prepared_a, prepared_b, candidates)
+        kernel_value = float(sum(feature.product for feature in features))
+        return KastEmbedding(features=tuple(features), cut_weight=self.cut_weight, kernel_value=kernel_value)
+
+    def string_weight(self, string: WeightedString) -> int:
+        """The paper's ``weight_{w>=cut}(string)``: sum of token weights >= the cut weight."""
+        return self._prepare(string).cut_filtered_total
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _prepare(self, string: WeightedString) -> _PreparedString:
+        key = id(string)
+        prepared = self._cache.get(key)
+        if prepared is None or prepared.string is not string:
+            prepared = _PreparedString(string, self.cut_weight, self.filter_tokens_below_cut)
+            self._cache[key] = prepared
+            # Bound the cache so long-running sweeps do not grow without limit.
+            if len(self._cache) > 4096:
+                self._cache.clear()
+                self._cache[key] = prepared
+        return prepared
+
+    def _candidate_substrings(self, a: _PreparedString, b: _PreparedString) -> List[_Literals]:
+        """Distinct literal sequences appearing as maximal matches between *a* and *b*.
+
+        A maximal match is a pair of positions ``(i, j)`` with
+        ``a.literals[i:i+L] == b.literals[j:j+L]`` that cannot be extended to
+        the left or to the right.  Every feature the kernel can select occurs
+        somewhere as (a prefix of) such a match; shorter shared substrings
+        that only ever appear inside longer ones are excluded by the
+        independence rule anyway.
+        """
+        la, lb = a.literals, b.literals
+        m, n = len(la), len(lb)
+        if m == 0 or n == 0:
+            return []
+        # extension[j] = length of the common extension starting at (i, j),
+        # computed row by row from the bottom to keep memory at O(n).
+        next_row = [0] * (n + 1)
+        candidates: Dict[_Literals, None] = {}
+        rows: List[List[int]] = [[0] * (n + 1) for _ in range(m + 1)]
+        for i in range(m - 1, -1, -1):
+            row = rows[i]
+            next_row = rows[i + 1]
+            for j in range(n - 1, -1, -1):
+                if la[i] == lb[j]:
+                    row[j] = next_row[j + 1] + 1
+        for i in range(m):
+            row = rows[i]
+            for j in range(n):
+                length = row[j]
+                if length == 0:
+                    continue
+                # Left-maximality: no identical predecessor pair.
+                if i > 0 and j > 0 and la[i - 1] == lb[j - 1]:
+                    continue
+                candidates[la[i : i + length]] = None
+        return list(candidates)
+
+    def _qualifying_occurrences(self, prepared: _PreparedString, pattern: _Literals) -> List[Occurrence]:
+        occurrences: List[Occurrence] = []
+        for start in prepared.find_occurrences(pattern):
+            weight = prepared.occurrence_weight(start, len(pattern))
+            if weight >= self.cut_weight:
+                occurrences.append(Occurrence(start=start, length=len(pattern), weight=weight))
+        return occurrences
+
+    def _select_features(
+        self,
+        a: _PreparedString,
+        b: _PreparedString,
+        candidates: List[_Literals],
+    ) -> List[KastFeature]:
+        scored: List[Tuple[int, int, _Literals, List[Occurrence], List[Occurrence]]] = []
+        for pattern in candidates:
+            occurrences_a = self._qualifying_occurrences(a, pattern)
+            if not occurrences_a:
+                continue
+            occurrences_b = self._qualifying_occurrences(b, pattern)
+            if not occurrences_b:
+                continue
+            weight_a = sum(occurrence.weight for occurrence in occurrences_a)
+            weight_b = sum(occurrence.weight for occurrence in occurrences_b)
+            scored.append((max(weight_a, weight_b), len(pattern), pattern, occurrences_a, occurrences_b))
+        # Highest weight first, longer first on ties, then lexicographic for determinism.
+        scored.sort(key=lambda item: (-item[0], -item[1], item[2]))
+
+        features: List[KastFeature] = []
+        covered_a: List[Occurrence] = []
+        covered_b: List[Occurrence] = []
+        for _, _, pattern, occurrences_a, occurrences_b in scored:
+            if self.require_independent_occurrence and features:
+                independent = any(
+                    not self._is_covered(occurrence, covered_a) for occurrence in occurrences_a
+                ) or any(not self._is_covered(occurrence, covered_b) for occurrence in occurrences_b)
+                if not independent:
+                    continue
+            features.append(
+                KastFeature(
+                    literals=pattern,
+                    weight_in_a=sum(occurrence.weight for occurrence in occurrences_a),
+                    weight_in_b=sum(occurrence.weight for occurrence in occurrences_b),
+                    occurrences_a=tuple(occurrences_a),
+                    occurrences_b=tuple(occurrences_b),
+                )
+            )
+            covered_a.extend(occurrences_a)
+            covered_b.extend(occurrences_b)
+        return features
+
+    @staticmethod
+    def _is_covered(occurrence: Occurrence, covered: List[Occurrence]) -> bool:
+        return any(region.contains(occurrence) for region in covered)
+
+
+def kast_kernel_value(
+    a: WeightedString,
+    b: WeightedString,
+    cut_weight: int = 2,
+    normalized: bool = True,
+) -> float:
+    """One-call evaluation of the Kast Spectrum Kernel on two strings."""
+    kernel = KastSpectrumKernel(cut_weight=cut_weight)
+    if normalized:
+        return kernel.normalized_value(a, b)
+    return kernel.value(a, b)

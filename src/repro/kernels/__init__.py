@@ -1,0 +1,43 @@
+"""String and vector kernels: the baselines the paper compares against.
+
+* :mod:`repro.kernels.base` — the :class:`StringKernel` interface;
+* :mod:`repro.kernels.spectrum` — k-spectrum kernel (Leslie et al., 2002);
+* :mod:`repro.kernels.blended` — blended k-spectrum kernel (Shawe-Taylor &
+  Cristianini, 2004), the paper's main baseline;
+* :mod:`repro.kernels.bag` — bag-of-characters / bag-of-words kernels;
+* :mod:`repro.kernels.vector` — linear / polynomial / RBF kernels on vectors;
+* :mod:`repro.kernels.composite` — sum / product / scaling combinators.
+
+The Kast Spectrum Kernel itself lives in :mod:`repro.core.kast`.
+"""
+
+from repro.kernels.bag import BagOfCharactersKernel, BagOfWordsKernel
+from repro.kernels.base import KernelEvaluationError, StringKernel
+from repro.kernels.blended import BlendedSpectrumKernel
+from repro.kernels.composite import NormalizedKernel, ProductKernel, ScaledKernel, SumKernel
+from repro.kernels.spectrum import SpectrumKernel
+from repro.kernels.vector import (
+    VectorKernel,
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+    vector_gram_matrix,
+)
+
+__all__ = [
+    "BagOfCharactersKernel",
+    "BagOfWordsKernel",
+    "KernelEvaluationError",
+    "StringKernel",
+    "BlendedSpectrumKernel",
+    "NormalizedKernel",
+    "ProductKernel",
+    "ScaledKernel",
+    "SumKernel",
+    "SpectrumKernel",
+    "VectorKernel",
+    "linear_kernel",
+    "polynomial_kernel",
+    "rbf_kernel",
+    "vector_gram_matrix",
+]

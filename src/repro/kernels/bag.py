@@ -1,0 +1,95 @@
+"""Bag-of-characters and bag-of-words kernels.
+
+Section 2.2 of the paper: "The bag-of-characters kernel only takes into
+account single-character matching.  The bag-of-words kernel searches for
+shared words among strings."  Both are discarded by the authors for the
+weighted-token representation (a single token carries too little context),
+but they are implemented here as the weakest baselines and to complete the
+kernel family the paper surveys.
+
+For the token representation we interpret:
+
+* **character** = a single token literal;
+* **word** = a maximal run of tokens between structural delimiters
+  (``[BLOCK]``, ``[HANDLE]``, ``[ROOT]``, ``[LEVEL_UP]``), i.e. the body of
+  one block.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.kernels.base import StringKernel
+from repro.strings.tokens import STRUCTURAL_LITERALS, WeightedString
+
+__all__ = ["BagOfCharactersKernel", "BagOfWordsKernel"]
+
+
+class BagOfCharactersKernel(StringKernel):
+    """Inner product of per-token-literal weight (or count) histograms."""
+
+    def __init__(self, weighted: bool = True, include_structural: bool = True) -> None:
+        self.weighted = weighted
+        self.include_structural = include_structural
+        self.name = "bag-of-characters" + ("" if weighted else " (unweighted)")
+
+    def feature_map(self, string: WeightedString) -> Dict[str, float]:
+        """Histogram of token literals (weight-summed or counted)."""
+        histogram: Dict[str, float] = defaultdict(float)
+        for token in string:
+            if not self.include_structural and token.literal in STRUCTURAL_LITERALS:
+                continue
+            histogram[token.literal] += token.weight if self.weighted else 1.0
+        return dict(histogram)
+
+    def value(self, a: WeightedString, b: WeightedString) -> float:
+        features_a = self.feature_map(a)
+        features_b = self.feature_map(b)
+        if len(features_b) < len(features_a):
+            features_a, features_b = features_b, features_a
+        return float(sum(value * features_b.get(literal, 0.0) for literal, value in features_a.items()))
+
+
+class BagOfWordsKernel(StringKernel):
+    """Inner product of histograms of block bodies ("words").
+
+    A word is the tuple of operation-token literals appearing between two
+    structural tokens; empty words are skipped.
+    """
+
+    def __init__(self, weighted: bool = True) -> None:
+        self.weighted = weighted
+        self.name = "bag-of-words" + ("" if weighted else " (unweighted)")
+
+    @staticmethod
+    def split_words(string: WeightedString) -> List[Tuple[Tuple[str, ...], int]]:
+        """Split *string* into (word, weight) pairs at structural tokens."""
+        words: List[Tuple[Tuple[str, ...], int]] = []
+        current: List[str] = []
+        weight = 0
+        for token in string:
+            if token.literal in STRUCTURAL_LITERALS:
+                if current:
+                    words.append((tuple(current), weight))
+                    current, weight = [], 0
+            else:
+                current.append(token.literal)
+                weight += token.weight
+        if current:
+            words.append((tuple(current), weight))
+        return words
+
+    def feature_map(self, string: WeightedString) -> Dict[Tuple[str, ...], float]:
+        """Histogram of words (weight-summed or counted)."""
+        histogram: Dict[Tuple[str, ...], float] = defaultdict(float)
+        for word, weight in self.split_words(string):
+            histogram[word] += weight if self.weighted else 1.0
+        return dict(histogram)
+
+    def value(self, a: WeightedString, b: WeightedString) -> float:
+        features_a = self.feature_map(a)
+        features_b = self.feature_map(b)
+        if len(features_b) < len(features_a):
+            features_a, features_b = features_b, features_a
+        return float(sum(value * features_b.get(word, 0.0) for word, value in features_a.items()))

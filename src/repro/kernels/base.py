@@ -1,0 +1,118 @@
+"""Common interface shared by every string kernel in the library.
+
+A kernel maps a pair of :class:`~repro.strings.tokens.WeightedString` objects
+to a non-negative similarity value.  All kernels — the paper's Kast Spectrum
+Kernel and the baselines (k-spectrum, blended spectrum, bag kernels) — derive
+from :class:`StringKernel`, so the pipeline, the learning algorithms and the
+benchmarks can treat them interchangeably.
+
+Normalisation conventions
+-------------------------
+``normalized_value`` implements the cosine normalisation of Shawe-Taylor &
+Cristianini (and the paper's Eq. 12):
+
+.. math:: \\bar k(A, B) = \\frac{k(A, B)}{\\sqrt{k(A, A)\\, k(B, B)}}
+
+Individual kernels may override it when a cheaper closed form exists (the
+Kast kernel does: its self-similarity is the squared filtered string weight).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.strings.tokens import WeightedString
+
+__all__ = ["StringKernel", "KernelEvaluationError"]
+
+
+class KernelEvaluationError(RuntimeError):
+    """Raised when a kernel cannot be evaluated on the given inputs."""
+
+
+class StringKernel(abc.ABC):
+    """Abstract base class for kernels over weighted strings."""
+
+    #: Human readable name used in reports and benchmark output.
+    name: str = "kernel"
+
+    @abc.abstractmethod
+    def value(self, a: WeightedString, b: WeightedString) -> float:
+        """Raw (unnormalised) kernel value ``k(a, b)``."""
+
+    def self_value(self, a: WeightedString) -> float:
+        """``k(a, a)``; kernels override this when a cheaper form exists."""
+        return self.value(a, a)
+
+    def normalized_value(self, a: WeightedString, b: WeightedString) -> float:
+        """Cosine-normalised kernel value in ``[0, 1]`` (0 when either self-value is 0)."""
+        denominator = math.sqrt(self.self_value(a) * self.self_value(b))
+        if denominator <= 0.0:
+            return 0.0
+        return self.value(a, b) / denominator
+
+    # ------------------------------------------------------------------
+    # Gram matrix helpers
+    # ------------------------------------------------------------------
+    def matrix(
+        self,
+        strings: Sequence[WeightedString],
+        normalized: bool = True,
+        others: Optional[Sequence[WeightedString]] = None,
+    ) -> np.ndarray:
+        """Compute the Gram matrix over *strings* (or a cross matrix vs *others*).
+
+        Parameters
+        ----------
+        strings:
+            Rows of the matrix.
+        normalized:
+            Apply cosine normalisation entry-wise.
+        others:
+            When given, compute the (rectangular) cross-kernel matrix between
+            *strings* and *others* instead of the square symmetric Gram
+            matrix.
+        """
+        if others is None:
+            return self._symmetric_matrix(strings, normalized)
+        return self._cross_matrix(strings, others, normalized)
+
+    def _symmetric_matrix(self, strings: Sequence[WeightedString], normalized: bool) -> np.ndarray:
+        count = len(strings)
+        gram = np.zeros((count, count), dtype=float)
+        self_values: List[float] = [self.self_value(string) for string in strings]
+        for i in range(count):
+            gram[i, i] = 1.0 if normalized and self_values[i] > 0 else self_values[i]
+            for j in range(i + 1, count):
+                raw = self.value(strings[i], strings[j])
+                if normalized:
+                    denominator = math.sqrt(self_values[i] * self_values[j])
+                    raw = raw / denominator if denominator > 0 else 0.0
+                gram[i, j] = raw
+                gram[j, i] = raw
+        return gram
+
+    def _cross_matrix(
+        self,
+        rows: Sequence[WeightedString],
+        cols: Sequence[WeightedString],
+        normalized: bool,
+    ) -> np.ndarray:
+        matrix = np.zeros((len(rows), len(cols)), dtype=float)
+        row_self = [self.self_value(string) for string in rows]
+        col_self = [self.self_value(string) for string in cols]
+        for i, row in enumerate(rows):
+            for j, col in enumerate(cols):
+                raw = self.value(row, col)
+                if normalized:
+                    denominator = math.sqrt(row_self[i] * col_self[j])
+                    raw = raw / denominator if denominator > 0 else 0.0
+                matrix[i, j] = raw
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"{self.__class__.__name__}(name={self.name!r})"

@@ -1,0 +1,70 @@
+"""Learning algorithms consuming kernel matrices.
+
+* :mod:`repro.learn.kpca` — Kernel PCA (Figures 6 and 8 of the paper);
+* :mod:`repro.learn.hierarchical` — agglomerative clustering with single /
+  complete / average / Ward linkage (Figures 7 and 9 use single linkage);
+* :mod:`repro.learn.dendrogram` — merge trees and cuts;
+* :mod:`repro.learn.kkmeans` — kernel k-means (extra reader of the matrices);
+* :mod:`repro.learn.metrics` — purity, (A)RI, NMI, silhouette,
+  misplacement counts;
+* :mod:`repro.learn.classify` — kernel nearest-centroid / k-NN classifiers;
+* :mod:`repro.learn.distance` — similarity/distance conversions.
+"""
+
+from repro.learn.classify import (
+    ClassificationResult,
+    KernelKNNClassifier,
+    KernelNearestCentroid,
+    leave_one_out_accuracy,
+)
+from repro.learn.dendrogram import Dendrogram, Merge
+from repro.learn.distance import (
+    check_distance_matrix,
+    distance_to_kernel,
+    kernel_to_distance,
+    similarity_to_dissimilarity,
+)
+from repro.learn.hierarchical import ClusteringResult, HierarchicalClustering, cluster_kernel_matrix
+from repro.learn.kkmeans import KernelKMeans, KernelKMeansResult
+from repro.learn.kpca import KernelPCA, KernelPCAResult, kernel_pca_embedding
+from repro.learn.metrics import (
+    adjusted_rand_index,
+    cluster_label_composition,
+    clusters_exactly_match_partition,
+    contingency_table,
+    misplacement_count,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+    silhouette_from_distances,
+)
+
+__all__ = [
+    "ClassificationResult",
+    "KernelKNNClassifier",
+    "KernelNearestCentroid",
+    "leave_one_out_accuracy",
+    "Dendrogram",
+    "Merge",
+    "check_distance_matrix",
+    "distance_to_kernel",
+    "kernel_to_distance",
+    "similarity_to_dissimilarity",
+    "ClusteringResult",
+    "HierarchicalClustering",
+    "cluster_kernel_matrix",
+    "KernelKMeans",
+    "KernelKMeansResult",
+    "KernelPCA",
+    "KernelPCAResult",
+    "kernel_pca_embedding",
+    "adjusted_rand_index",
+    "cluster_label_composition",
+    "clusters_exactly_match_partition",
+    "contingency_table",
+    "misplacement_count",
+    "normalized_mutual_information",
+    "purity",
+    "rand_index",
+    "silhouette_from_distances",
+]

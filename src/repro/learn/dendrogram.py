@@ -1,0 +1,154 @@
+"""Dendrogram data structure produced by agglomerative clustering.
+
+A dendrogram records the sequence of merges performed by hierarchical
+clustering: merge ``t`` joins two clusters at a given height (distance).  It
+can be cut either at a height threshold or into a requested number of
+clusters, and rendered as ASCII art by :mod:`repro.viz.dendro`.
+
+The merge table uses the same convention as ``scipy.cluster.hierarchy``'s
+linkage matrix: leaves are numbered ``0 .. n-1`` and the cluster created by
+merge ``t`` gets id ``n + t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Merge", "Dendrogram"]
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step."""
+
+    #: Ids of the two clusters merged (leaf ids are < n).
+    left: int
+    right: int
+    #: Linkage distance at which the merge happened.
+    height: float
+    #: Number of leaves in the newly formed cluster.
+    size: int
+
+
+@dataclass
+class Dendrogram:
+    """The full merge history over ``n`` leaves."""
+
+    merges: Tuple[Merge, ...]
+    n_leaves: int
+    names: Tuple[str, ...] = ()
+    labels: Tuple[Optional[str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.merges) != max(0, self.n_leaves - 1):
+            raise ValueError(
+                f"a dendrogram over {self.n_leaves} leaves needs {self.n_leaves - 1} merges, "
+                f"got {len(self.merges)}"
+            )
+        if self.names and len(self.names) != self.n_leaves:
+            raise ValueError("names length must equal n_leaves")
+        if self.labels and len(self.labels) != self.n_leaves:
+            raise ValueError("labels length must equal n_leaves")
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def heights(self) -> List[float]:
+        """Merge heights in merge order."""
+        return [merge.height for merge in self.merges]
+
+    def linkage_matrix(self) -> np.ndarray:
+        """Return the scipy-compatible ``(n-1, 4)`` linkage matrix."""
+        matrix = np.zeros((len(self.merges), 4), dtype=float)
+        for index, merge in enumerate(self.merges):
+            matrix[index] = (merge.left, merge.right, merge.height, merge.size)
+        return matrix
+
+    def leaves_of(self, cluster_id: int) -> List[int]:
+        """Leaf indices contained in the cluster with the given id."""
+        if cluster_id < self.n_leaves:
+            return [cluster_id]
+        merge = self.merges[cluster_id - self.n_leaves]
+        return self.leaves_of(merge.left) + self.leaves_of(merge.right)
+
+    def leaf_order(self) -> List[int]:
+        """Left-to-right leaf ordering induced by the merge tree."""
+        if self.n_leaves == 0:
+            return []
+        root_id = self.n_leaves + len(self.merges) - 1 if self.merges else 0
+        return self.leaves_of(root_id)
+
+    # ------------------------------------------------------------------
+    # Cutting
+    # ------------------------------------------------------------------
+    def cut_at_height(self, height: float) -> List[int]:
+        """Assign a cluster id to every leaf, merging all links with height <= *height*.
+
+        Returns a list of ``n_leaves`` cluster ids numbered ``0 .. k-1`` in
+        order of first appearance.
+        """
+        parent = list(range(self.n_leaves + len(self.merges)))
+
+        def find(node: int) -> int:
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        for index, merge in enumerate(self.merges):
+            if merge.height <= height:
+                new_id = self.n_leaves + index
+                parent[find(merge.left)] = new_id
+                parent[find(merge.right)] = new_id
+        return self._roots_to_assignments(find)
+
+    def cut_into(self, n_clusters: int) -> List[int]:
+        """Cut the dendrogram into exactly *n_clusters* clusters.
+
+        Performs the first ``n_leaves - n_clusters`` merges (the lowest ones,
+        since merges are recorded in non-decreasing height order for the
+        linkage methods implemented here).
+        """
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        n_clusters = min(n_clusters, self.n_leaves)
+        merges_to_apply = self.n_leaves - n_clusters
+
+        parent = list(range(self.n_leaves + len(self.merges)))
+
+        def find(node: int) -> int:
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        for index in range(merges_to_apply):
+            merge = self.merges[index]
+            new_id = self.n_leaves + index
+            parent[find(merge.left)] = new_id
+            parent[find(merge.right)] = new_id
+        return self._roots_to_assignments(find)
+
+    def _roots_to_assignments(self, find) -> List[int]:
+        root_to_cluster: Dict[int, int] = {}
+        assignments: List[int] = []
+        for leaf in range(self.n_leaves):
+            root = find(leaf)
+            if root not in root_to_cluster:
+                root_to_cluster[root] = len(root_to_cluster)
+            assignments.append(root_to_cluster[root])
+        return assignments
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def describe_clusters(self, assignments: Sequence[int]) -> Dict[int, List[str]]:
+        """Map each cluster id to the names (or indices) of its members."""
+        result: Dict[int, List[str]] = {}
+        for index, cluster in enumerate(assignments):
+            name = self.names[index] if self.names else str(index)
+            result.setdefault(cluster, []).append(name)
+        return result

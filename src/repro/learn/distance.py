@@ -1,0 +1,63 @@
+"""Conversions between similarity (kernel) and distance matrices.
+
+Different downstream algorithms want different representations: hierarchical
+clustering consumes distances, kernel PCA and kernel k-means consume
+similarities.  These helpers keep the conversions in one place and make the
+conventions explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "kernel_to_distance",
+    "similarity_to_dissimilarity",
+    "distance_to_kernel",
+    "check_distance_matrix",
+]
+
+
+def kernel_to_distance(kernel: np.ndarray) -> np.ndarray:
+    """Feature-space distances induced by a kernel matrix.
+
+    ``d(i, j) = sqrt(k(i, i) + k(j, j) - 2 k(i, j))``.  For a normalised
+    kernel this reduces to ``sqrt(2 - 2 k(i, j))``.
+    """
+    kernel = np.asarray(kernel, dtype=float)
+    diagonal = np.diag(kernel)
+    squared = diagonal[:, None] + diagonal[None, :] - 2.0 * kernel
+    np.fill_diagonal(squared, 0.0)
+    return np.sqrt(np.maximum(squared, 0.0))
+
+
+def similarity_to_dissimilarity(similarity: np.ndarray, maximum: float = 1.0) -> np.ndarray:
+    """Simple complement conversion ``d = maximum - s`` with a zero diagonal."""
+    similarity = np.asarray(similarity, dtype=float)
+    dissimilarity = maximum - similarity
+    np.fill_diagonal(dissimilarity, 0.0)
+    return np.maximum(dissimilarity, 0.0)
+
+
+def distance_to_kernel(distances: np.ndarray) -> np.ndarray:
+    """Classical MDS / Gower centring: turn squared distances into an inner-product matrix."""
+    distances = np.asarray(distances, dtype=float)
+    count = distances.shape[0]
+    if count == 0:
+        return distances.copy()
+    squared = distances**2
+    centering = np.eye(count) - np.full((count, count), 1.0 / count)
+    return -0.5 * centering @ squared @ centering
+
+
+def check_distance_matrix(distances: np.ndarray, tolerance: float = 1e-9) -> None:
+    """Raise ``ValueError`` unless *distances* is square, symmetric, non-negative with zero diagonal."""
+    distances = np.asarray(distances, dtype=float)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError(f"distance matrix must be square, got shape {distances.shape}")
+    if not np.allclose(distances, distances.T, atol=tolerance):
+        raise ValueError("distance matrix must be symmetric")
+    if np.any(distances < -tolerance):
+        raise ValueError("distance matrix must be non-negative")
+    if not np.allclose(np.diag(distances), 0.0, atol=tolerance):
+        raise ValueError("distance matrix must have a zero diagonal")

@@ -1,0 +1,193 @@
+"""Kernel Principal Component Analysis (Schölkopf, Smola & Müller, 1997).
+
+Given a positive semidefinite kernel matrix ``K`` over ``n`` examples, Kernel
+PCA double-centres the matrix, takes its leading eigenpairs and projects each
+example onto the eigenvectors scaled by the inverse square root of their
+eigenvalues.  The paper uses the 2-D Kernel PCA embedding of the Kast and
+Blended kernel matrices as its Figures 6 and 8.
+
+The implementation works directly from a kernel matrix (no access to feature
+vectors is needed, matching the kernel-methods setting of section 2.2) and
+supports out-of-sample projection for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.matrix import KernelMatrix
+from repro.core.normalization import center_kernel_matrix
+
+__all__ = ["KernelPCAResult", "KernelPCA", "kernel_pca_embedding"]
+
+
+@dataclass(frozen=True)
+class KernelPCAResult:
+    """Result of a Kernel PCA fit.
+
+    Attributes
+    ----------
+    embedding:
+        ``(n, d)`` array of projections of the training examples onto the
+        leading ``d`` kernel principal components.
+    eigenvalues:
+        The ``d`` leading eigenvalues of the centred kernel matrix, in
+        decreasing order.
+    eigenvectors:
+        ``(n, d)`` matrix of the corresponding (unit-norm) eigenvectors.
+    explained_variance_ratio:
+        Eigenvalues divided by the total positive spectrum mass.
+    names / labels:
+        Example names and labels carried over from the kernel matrix, if one
+        was supplied.
+    """
+
+    embedding: np.ndarray
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    explained_variance_ratio: np.ndarray
+    names: Tuple[str, ...] = ()
+    labels: Tuple[Optional[str], ...] = ()
+
+    @property
+    def n_components(self) -> int:
+        """Number of components retained."""
+        return int(self.embedding.shape[1])
+
+    def component(self, index: int) -> np.ndarray:
+        """The projections of all examples on component *index*."""
+        return self.embedding[:, index]
+
+
+class KernelPCA:
+    """Kernel PCA on a precomputed kernel matrix.
+
+    Parameters
+    ----------
+    n_components:
+        Number of principal components to keep.
+    center:
+        Whether to double-centre the kernel matrix first (standard; disable
+        only for experiments with already-centred kernels).
+    min_eigenvalue:
+        Components with eigenvalues below this threshold are dropped (they
+        carry no variance and their inverse square root is unstable).
+    """
+
+    def __init__(self, n_components: int = 2, center: bool = True, min_eigenvalue: float = 1e-10) -> None:
+        if n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.center = center
+        self.min_eigenvalue = min_eigenvalue
+        self._fit_matrix: Optional[np.ndarray] = None
+        self._column_means: Optional[np.ndarray] = None
+        self._total_mean: float = 0.0
+        self._result: Optional[KernelPCAResult] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, kernel_matrix) -> KernelPCAResult:
+        """Fit on a :class:`KernelMatrix` or a raw ``(n, n)`` array."""
+        names: Tuple[str, ...] = ()
+        labels: Tuple[Optional[str], ...] = ()
+        if isinstance(kernel_matrix, KernelMatrix):
+            values = kernel_matrix.values
+            names = kernel_matrix.names
+            labels = kernel_matrix.labels
+        else:
+            values = np.asarray(kernel_matrix, dtype=float)
+        if values.ndim != 2 or values.shape[0] != values.shape[1]:
+            raise ValueError(f"kernel matrix must be square, got shape {values.shape}")
+
+        self._fit_matrix = values
+        self._column_means = values.mean(axis=0)
+        self._total_mean = float(values.mean())
+
+        centred = center_kernel_matrix(values) if self.center else values
+        eigenvalues, eigenvectors = np.linalg.eigh(centred)
+        # eigh returns ascending order; we want descending.
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = eigenvalues[order]
+        eigenvectors = eigenvectors[:, order]
+
+        keep = min(self.n_components, values.shape[0])
+        kept_values = []
+        kept_vectors = []
+        for index in range(len(eigenvalues)):
+            if len(kept_values) >= keep:
+                break
+            value = eigenvalues[index]
+            if value < self.min_eigenvalue:
+                # Remaining eigenvalues are even smaller; pad with zeros below.
+                break
+            kept_values.append(value)
+            kept_vectors.append(eigenvectors[:, index])
+
+        count = values.shape[0]
+        if kept_values:
+            eigenvalue_array = np.asarray(kept_values, dtype=float)
+            eigenvector_array = np.column_stack(kept_vectors)
+            # Projection of training points: alpha_i scaled so that the
+            # embedding coordinates are <phi(x), v_k> = sqrt(lambda_k) * u_k.
+            embedding = eigenvector_array * np.sqrt(eigenvalue_array)[None, :]
+        else:
+            eigenvalue_array = np.zeros(0, dtype=float)
+            eigenvector_array = np.zeros((count, 0), dtype=float)
+            embedding = np.zeros((count, 0), dtype=float)
+
+        # Pad with zero columns when fewer informative components exist than requested.
+        if embedding.shape[1] < keep:
+            pad = keep - embedding.shape[1]
+            embedding = np.hstack([embedding, np.zeros((count, pad))])
+            eigenvalue_array = np.concatenate([eigenvalue_array, np.zeros(pad)])
+            eigenvector_array = np.hstack([eigenvector_array, np.zeros((count, pad))])
+
+        positive_mass = float(np.sum(eigenvalues[eigenvalues > 0])) or 1.0
+        explained = eigenvalue_array / positive_mass
+
+        self._result = KernelPCAResult(
+            embedding=embedding,
+            eigenvalues=eigenvalue_array,
+            eigenvectors=eigenvector_array,
+            explained_variance_ratio=explained,
+            names=names,
+            labels=labels,
+        )
+        return self._result
+
+    # ------------------------------------------------------------------
+    # Out-of-sample projection
+    # ------------------------------------------------------------------
+    def transform(self, cross_kernel: np.ndarray) -> np.ndarray:
+        """Project new examples given their kernel values against the training set.
+
+        Parameters
+        ----------
+        cross_kernel:
+            ``(m, n)`` matrix of kernel values ``k(new_i, train_j)``.
+        """
+        if self._result is None or self._fit_matrix is None:
+            raise RuntimeError("KernelPCA.transform called before fit")
+        cross = np.asarray(cross_kernel, dtype=float)
+        if cross.ndim != 2 or cross.shape[1] != self._fit_matrix.shape[0]:
+            raise ValueError(
+                f"cross kernel must have shape (m, {self._fit_matrix.shape[0]}), got {cross.shape}"
+            )
+        if self.center:
+            row_means = cross.mean(axis=1, keepdims=True)
+            cross = cross - row_means - self._column_means[None, :] + self._total_mean
+        eigenvalues = self._result.eigenvalues
+        eigenvectors = self._result.eigenvectors
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inverse_sqrt = np.where(eigenvalues > 0, 1.0 / np.sqrt(eigenvalues), 0.0)
+        return cross @ eigenvectors * inverse_sqrt[None, :]
+
+
+def kernel_pca_embedding(kernel_matrix, n_components: int = 2) -> KernelPCAResult:
+    """Convenience wrapper: fit Kernel PCA and return the result."""
+    return KernelPCA(n_components=n_components).fit(kernel_matrix)

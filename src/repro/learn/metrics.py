@@ -1,0 +1,248 @@
+"""Clustering quality metrics.
+
+The paper's evaluation is qualitative ("2 out of 4 groups completely
+identified", "no misplaced examples").  To turn those statements into
+assertable numbers, the benchmarks use the standard external metrics below
+(purity, Adjusted Rand Index, Normalised Mutual Information) plus a kernel
+silhouette for internal quality.  All metrics are implemented from first
+principles on numpy — no sklearn is available in the environment.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "contingency_table",
+    "purity",
+    "rand_index",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "cluster_label_composition",
+    "misplacement_count",
+    "silhouette_from_distances",
+    "clusters_exactly_match_partition",
+]
+
+
+def _as_lists(
+    predicted: Sequence[Hashable], truth: Sequence[Hashable]
+) -> Tuple[List[Hashable], List[Hashable]]:
+    predicted = list(predicted)
+    truth = list(truth)
+    if len(predicted) != len(truth):
+        raise ValueError(f"length mismatch: {len(predicted)} predictions vs {len(truth)} labels")
+    return predicted, truth
+
+
+def contingency_table(predicted: Sequence[Hashable], truth: Sequence[Hashable]) -> Dict[Hashable, Counter]:
+    """Return ``cluster -> Counter(true label -> count)``."""
+    predicted, truth = _as_lists(predicted, truth)
+    table: Dict[Hashable, Counter] = {}
+    for cluster, label in zip(predicted, truth):
+        table.setdefault(cluster, Counter())[label] += 1
+    return table
+
+
+def purity(predicted: Sequence[Hashable], truth: Sequence[Hashable]) -> float:
+    """Fraction of examples belonging to the majority true label of their cluster."""
+    predicted, truth = _as_lists(predicted, truth)
+    if not predicted:
+        return 0.0
+    table = contingency_table(predicted, truth)
+    majority_total = sum(counter.most_common(1)[0][1] for counter in table.values())
+    return majority_total / len(predicted)
+
+
+def _comb2(value: int) -> int:
+    return value * (value - 1) // 2
+
+
+def rand_index(predicted: Sequence[Hashable], truth: Sequence[Hashable]) -> float:
+    """Unadjusted Rand index: fraction of agreeing example pairs."""
+    predicted, truth = _as_lists(predicted, truth)
+    count = len(predicted)
+    if count < 2:
+        return 1.0
+    same_both = 0
+    same_pred_only = 0
+    same_true_only = 0
+    different_both = 0
+    for i in range(count):
+        for j in range(i + 1, count):
+            same_pred = predicted[i] == predicted[j]
+            same_true = truth[i] == truth[j]
+            if same_pred and same_true:
+                same_both += 1
+            elif same_pred:
+                same_pred_only += 1
+            elif same_true:
+                same_true_only += 1
+            else:
+                different_both += 1
+    total = same_both + same_pred_only + same_true_only + different_both
+    return (same_both + different_both) / total
+
+
+def adjusted_rand_index(predicted: Sequence[Hashable], truth: Sequence[Hashable]) -> float:
+    """Adjusted Rand Index (Hubert & Arabie, 1985); 1.0 for a perfect match, ~0 for random."""
+    predicted, truth = _as_lists(predicted, truth)
+    count = len(predicted)
+    if count < 2:
+        return 1.0
+    table = contingency_table(predicted, truth)
+    sum_cells = sum(_comb2(cell) for counter in table.values() for cell in counter.values())
+    cluster_sizes = [sum(counter.values()) for counter in table.values()]
+    label_sizes = Counter(truth)
+    sum_rows = sum(_comb2(size) for size in cluster_sizes)
+    sum_cols = sum(_comb2(size) for size in label_sizes.values())
+    total_pairs = _comb2(count)
+    expected = sum_rows * sum_cols / total_pairs if total_pairs else 0.0
+    maximum = 0.5 * (sum_rows + sum_cols)
+    if math.isclose(maximum, expected):
+        return 1.0 if math.isclose(sum_cells, expected) else 0.0
+    return (sum_cells - expected) / (maximum - expected)
+
+
+def normalized_mutual_information(predicted: Sequence[Hashable], truth: Sequence[Hashable]) -> float:
+    """NMI with arithmetic-mean normalisation; in [0, 1]."""
+    predicted, truth = _as_lists(predicted, truth)
+    count = len(predicted)
+    if count == 0:
+        return 0.0
+    table = contingency_table(predicted, truth)
+    cluster_sizes = {cluster: sum(counter.values()) for cluster, counter in table.items()}
+    label_sizes = Counter(truth)
+
+    mutual_information = 0.0
+    for cluster, counter in table.items():
+        for label, joint in counter.items():
+            p_joint = joint / count
+            p_cluster = cluster_sizes[cluster] / count
+            p_label = label_sizes[label] / count
+            mutual_information += p_joint * math.log(p_joint / (p_cluster * p_label))
+
+    def entropy(sizes: Dict[Hashable, int]) -> float:
+        total = 0.0
+        for size in sizes.values():
+            probability = size / count
+            if probability > 0:
+                total -= probability * math.log(probability)
+        return total
+
+    h_pred = entropy(cluster_sizes)
+    h_true = entropy(dict(label_sizes))
+    mean_entropy = 0.5 * (h_pred + h_true)
+    if mean_entropy <= 0.0:
+        return 1.0
+    return max(0.0, mutual_information / mean_entropy)
+
+
+def cluster_label_composition(
+    predicted: Sequence[Hashable], truth: Sequence[Hashable]
+) -> Dict[Hashable, Dict[Hashable, int]]:
+    """Readable composition of each cluster: ``cluster -> {label: count}``."""
+    return {cluster: dict(counter) for cluster, counter in contingency_table(predicted, truth).items()}
+
+
+def misplacement_count(
+    predicted: Sequence[Hashable],
+    truth: Sequence[Hashable],
+    expected_groups: Sequence[Sequence[Hashable]],
+) -> int:
+    """Number of examples placed outside their expected label group's cluster.
+
+    *expected_groups* describes the target partition at the level of true
+    labels — e.g. the paper expects ``[["A"], ["B"], ["C", "D"]]`` for the
+    Kast kernel.  Each expected group is mapped to the predicted cluster that
+    contains the majority of its examples; every member of the group assigned
+    to a different cluster counts as misplaced, as does any collision where
+    two expected groups map to the same cluster (the smaller group is counted
+    as fully misplaced).
+    """
+    predicted, truth = _as_lists(predicted, truth)
+    group_of_label: Dict[Hashable, int] = {}
+    for group_index, group in enumerate(expected_groups):
+        for label in group:
+            group_of_label[label] = group_index
+
+    group_indices: Dict[int, List[int]] = {}
+    for index, label in enumerate(truth):
+        group = group_of_label.get(label)
+        if group is None:
+            continue
+        group_indices.setdefault(group, []).append(index)
+
+    # Majority cluster per expected group.
+    majority_cluster: Dict[int, Hashable] = {}
+    for group, indices in group_indices.items():
+        votes = Counter(predicted[i] for i in indices)
+        majority_cluster[group] = votes.most_common(1)[0][0]
+
+    misplaced = 0
+    claimed: Dict[Hashable, int] = {}
+    for group, indices in sorted(group_indices.items(), key=lambda item: -len(item[1])):
+        cluster = majority_cluster[group]
+        if cluster in claimed:
+            # Two expected groups collapsed onto one predicted cluster.
+            misplaced += len(indices)
+            continue
+        claimed[cluster] = group
+        misplaced += sum(1 for i in indices if predicted[i] != cluster)
+    return misplaced
+
+
+def clusters_exactly_match_partition(
+    predicted: Sequence[Hashable],
+    truth: Sequence[Hashable],
+    expected_groups: Sequence[Sequence[Hashable]],
+) -> bool:
+    """Whether the predicted clustering equals the expected label partition.
+
+    The paper's headline claim for the Kast kernel is exactly this predicate
+    with ``expected_groups = [["A"], ["B"], ["C", "D"]]``: three clusters, one
+    per group, with no misplaced examples.
+    """
+    predicted, truth = _as_lists(predicted, truth)
+    group_of_label: Dict[Hashable, int] = {}
+    for group_index, group in enumerate(expected_groups):
+        for label in group:
+            group_of_label[label] = group_index
+    expected_assignment = [group_of_label.get(label) for label in truth]
+    if any(value is None for value in expected_assignment):
+        return False
+    return adjusted_rand_index(predicted, expected_assignment) == 1.0
+
+
+def silhouette_from_distances(distances: np.ndarray, assignments: Sequence[int]) -> float:
+    """Mean silhouette coefficient computed from a precomputed distance matrix."""
+    distances = np.asarray(distances, dtype=float)
+    assignments = list(assignments)
+    count = len(assignments)
+    if count == 0 or distances.shape != (count, count):
+        raise ValueError("distances must be an (n, n) matrix matching the assignments")
+    clusters: Dict[int, List[int]] = {}
+    for index, cluster in enumerate(assignments):
+        clusters.setdefault(cluster, []).append(index)
+    if len(clusters) < 2:
+        return 0.0
+
+    total = 0.0
+    for index in range(count):
+        own = clusters[assignments[index]]
+        if len(own) == 1:
+            continue  # silhouette of a singleton is defined as 0
+        within = np.mean([distances[index, j] for j in own if j != index])
+        nearest_other = min(
+            np.mean([distances[index, j] for j in members])
+            for cluster, members in clusters.items()
+            if cluster != assignments[index]
+        )
+        denominator = max(within, nearest_other)
+        if denominator > 0:
+            total += (nearest_other - within) / denominator
+    return total / count

@@ -1,0 +1,98 @@
+"""Textual reports over analysis results.
+
+The paper presents its evaluation as scatter plots (Kernel PCA) and
+dendrograms (hierarchical clustering).  The reproduction is numeric, so these
+helpers render the same information as plain-text tables and summaries: the
+benchmark harness prints them, EXPERIMENTS.md quotes them and the CLI exposes
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.pipeline.pipeline import AnalysisResult
+from repro.pipeline.sweep import SweepResult
+
+__all__ = ["format_table", "summarise_result", "summarise_sweep", "cluster_report"]
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append([_format_cell(row.get(column, "")) for column in columns])
+    widths = [
+        max(len(str(column)), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(rendered[i].ljust(widths[i]) for i in range(len(columns)))
+        for rendered in rendered_rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def cluster_report(result: AnalysisResult) -> str:
+    """Describe the flat clustering: composition and purity of each cluster."""
+    composition = result.cluster_composition()
+    lines: List[str] = []
+    for cluster in sorted(composition):
+        counts = composition[cluster]
+        total = sum(counts.values())
+        parts = ", ".join(f"{label}: {count}" for label, count in sorted(counts.items()))
+        majority = max(counts.values()) / total if total else 0.0
+        lines.append(f"cluster {cluster}: {total} examples ({parts}) majority={majority:.2f}")
+    return "\n".join(lines)
+
+
+def summarise_result(result: AnalysisResult, title: str = "") -> str:
+    """One readable block summarising an experiment run."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"configuration : {result.config.describe()}")
+    lines.append(f"examples      : {len(result.labels)}")
+    metric_rows = [{"metric": name, "value": value} for name, value in sorted(result.metrics.items())]
+    lines.append(format_table(metric_rows, columns=("metric", "value")))
+    lines.append("")
+    lines.append("cluster composition:")
+    lines.append(cluster_report(result))
+    if result.kpca.eigenvalues.size:
+        variance = ", ".join(f"{value:.3f}" for value in result.kpca.explained_variance_ratio)
+        lines.append(f"kernel PCA explained variance ratio: {variance}")
+    return "\n".join(lines)
+
+
+def summarise_sweep(sweep: SweepResult, title: str = "") -> str:
+    """Render a cut-weight sweep as a table (one row per cut weight)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"configuration : {sweep.config.describe()} (cut weight swept)")
+    columns = (
+        "cut_weight",
+        "adjusted_rand_index",
+        "purity",
+        "nmi",
+        "silhouette",
+        "misplacements_vs_expected",
+        "separation_ratio",
+        "kernel_seconds",
+    )
+    lines.append(format_table(sweep.as_rows(), columns=columns))
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Weighted-string representation of I/O access patterns.
+
+* :mod:`repro.strings.tokens` — :class:`Token` and :class:`WeightedString`;
+* :mod:`repro.strings.encoder` — tree/trace → weighted string conversion
+  (pre-order flattening with ``[LEVEL_UP]`` tokens);
+* :mod:`repro.strings.vocabulary` — token vocabularies and bag-of-token
+  vectors for the baseline kernels.
+"""
+
+from repro.strings.encoder import StringEncoder, encode_tree, trace_to_string
+from repro.strings.tokens import (
+    BLOCK_LITERAL,
+    HANDLE_LITERAL,
+    LEVEL_UP_LITERAL,
+    ROOT_LITERAL,
+    STRUCTURAL_LITERALS,
+    Token,
+    WeightedString,
+    operation_literal,
+)
+from repro.strings.vocabulary import Vocabulary, build_vocabulary
+
+__all__ = [
+    "StringEncoder",
+    "encode_tree",
+    "trace_to_string",
+    "BLOCK_LITERAL",
+    "HANDLE_LITERAL",
+    "LEVEL_UP_LITERAL",
+    "ROOT_LITERAL",
+    "STRUCTURAL_LITERALS",
+    "Token",
+    "WeightedString",
+    "operation_literal",
+    "Vocabulary",
+    "build_vocabulary",
+]

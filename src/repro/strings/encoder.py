@@ -1,0 +1,144 @@
+"""Flattening of compacted access-pattern trees into weighted strings.
+
+Section 3.1, "From Trees to Strings": the compacted tree is traversed in
+pre-order and each node becomes a token:
+
+* leaf nodes become ``name[bytes]`` tokens whose weight is the repetition
+  count;
+* ROOT, HANDLE and BLOCK nodes become ``[ROOT]``, ``[HANDLE]`` and
+  ``[BLOCK]`` tokens with weight 1;
+* whenever the pre-order walk ascends before visiting the next node, a
+  ``[LEVEL_UP]`` token is emitted whose weight is the number of levels
+  jumped.  No token is needed for descents because a parent-to-child step is
+  always exactly one level and is implicit between adjacent tokens.
+
+The encoder also offers the full trace → string convenience (build tree,
+compact, encode) because that is the combination every experiment uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.strings.tokens import (
+    BLOCK_LITERAL,
+    HANDLE_LITERAL,
+    LEVEL_UP_LITERAL,
+    ROOT_LITERAL,
+    Token,
+    WeightedString,
+    operation_literal,
+)
+from repro.traces.model import IOTrace
+from repro.traces.operations import DEFAULT_REGISTRY, OperationRegistry
+from repro.tree.builder import TreeBuilder
+from repro.tree.compaction import CompactionConfig, TreeCompactor
+from repro.tree.node import NodeKind, PatternNode
+from repro.tree.traversal import preorder_with_level_changes
+
+__all__ = ["StringEncoder", "encode_tree", "trace_to_string"]
+
+_STRUCTURAL_LITERALS = {
+    NodeKind.ROOT: ROOT_LITERAL,
+    NodeKind.HANDLE: HANDLE_LITERAL,
+    NodeKind.BLOCK: BLOCK_LITERAL,
+}
+
+
+@dataclass
+class StringEncoder:
+    """Encode access-pattern trees (or traces) as weighted strings.
+
+    Parameters
+    ----------
+    emit_level_up:
+        Emit ``[LEVEL_UP]`` tokens on ascents (paper behaviour).  Disabling
+        them is an ablation that discards tree-structure information.
+    include_bytes_in_literal:
+        Include the byte value in operation literals (``read[1024]``).  When
+        false, every operation literal uses ``[0]`` which — combined with
+        building the tree without byte information — yields the paper's
+        byte-free string variant.
+    registry:
+        Operation registry used when encoding directly from traces.
+    compaction:
+        Compaction configuration used when encoding directly from traces.
+    use_byte_information:
+        Whether the tree builder keeps byte counts when encoding directly
+        from traces.  Kept separate from ``include_bytes_in_literal`` so the
+        two halves of the byte-info switch can be ablated independently; the
+        pipeline sets them together.
+    """
+
+    emit_level_up: bool = True
+    include_bytes_in_literal: bool = True
+    registry: OperationRegistry = None  # type: ignore[assignment]
+    compaction: Optional[CompactionConfig] = None
+    use_byte_information: bool = True
+
+    def __post_init__(self) -> None:
+        if self.registry is None:
+            self.registry = DEFAULT_REGISTRY
+        if self.compaction is None:
+            self.compaction = CompactionConfig.paper()
+
+    # ------------------------------------------------------------------
+    # Tree -> string
+    # ------------------------------------------------------------------
+    def encode_tree(self, root: PatternNode, name: str = "string", label: Optional[str] = None) -> WeightedString:
+        """Encode an (already compacted) tree as a weighted string."""
+        tokens: List[Token] = []
+        for step in preorder_with_level_changes(root):
+            if self.emit_level_up and step.levels_up > 0:
+                tokens.append(Token(LEVEL_UP_LITERAL, step.levels_up))
+            node = step.node
+            if node.kind is NodeKind.OPERATION:
+                nbytes = node.nbytes if self.include_bytes_in_literal else 0
+                tokens.append(Token(operation_literal(node.name, nbytes), node.repetitions))
+            else:
+                tokens.append(Token(_STRUCTURAL_LITERALS[node.kind], 1))
+        return WeightedString(tokens, name=name, label=label)
+
+    # ------------------------------------------------------------------
+    # Trace -> string
+    # ------------------------------------------------------------------
+    def encode_trace(self, trace: IOTrace) -> WeightedString:
+        """Full conversion: trace → tree → compacted tree → weighted string."""
+        builder = TreeBuilder(
+            registry=self.registry,
+            use_byte_information=self.use_byte_information,
+        )
+        tree = builder.build(trace)
+        compacted = TreeCompactor(self.compaction).compact(tree, in_place=True)
+        return self.encode_tree(compacted, name=trace.name, label=trace.label)
+
+    def encode_corpus(self, traces: List[IOTrace]) -> List[WeightedString]:
+        """Encode a list of traces, preserving order, names and labels."""
+        return [self.encode_trace(trace) for trace in traces]
+
+
+def encode_tree(root: PatternNode, name: str = "string", label: Optional[str] = None, **kwargs) -> WeightedString:
+    """Encode *root* with a default-configured :class:`StringEncoder`."""
+    return StringEncoder(**kwargs).encode_tree(root, name=name, label=label)
+
+
+def trace_to_string(
+    trace: IOTrace,
+    use_byte_information: bool = True,
+    compaction: Optional[CompactionConfig] = None,
+    emit_level_up: bool = True,
+) -> WeightedString:
+    """One-call trace → weighted string conversion.
+
+    Parameters mirror the experimental switches of the paper: byte
+    information on/off and (for ablations) compaction config and the
+    ``[LEVEL_UP]`` token.
+    """
+    encoder = StringEncoder(
+        emit_level_up=emit_level_up,
+        include_bytes_in_literal=use_byte_information,
+        use_byte_information=use_byte_information,
+        compaction=compaction,
+    )
+    return encoder.encode_trace(trace)

@@ -1,0 +1,112 @@
+"""Token vocabularies.
+
+The kernels themselves never need an explicit vocabulary — they work on
+shared substrings — but a vocabulary is useful for:
+
+* building explicit (sparse) feature vectors for the baseline bag kernels;
+* diagnostics (how many distinct tokens does a corpus produce?  how does the
+  cut weight relate to token-weight distribution?);
+* stable integer encodings of strings for fast hashing in the spectrum
+  kernels.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.strings.tokens import Token, WeightedString
+
+__all__ = ["Vocabulary", "build_vocabulary"]
+
+
+class Vocabulary:
+    """A bidirectional mapping between token literals and integer ids."""
+
+    def __init__(self) -> None:
+        self._literal_to_id: Dict[str, int] = {}
+        self._id_to_literal: List[str] = []
+        self._frequencies: Counter = Counter()
+        self._weight_totals: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, literal: str, weight: int = 1) -> int:
+        """Add one occurrence of *literal* (with *weight*) and return its id."""
+        token_id = self._literal_to_id.get(literal)
+        if token_id is None:
+            token_id = len(self._id_to_literal)
+            self._literal_to_id[literal] = token_id
+            self._id_to_literal.append(literal)
+        self._frequencies[literal] += 1
+        self._weight_totals[literal] += weight
+        return token_id
+
+    def add_string(self, string: WeightedString) -> None:
+        """Add every token of *string*."""
+        for token in string:
+            self.add(token.literal, token.weight)
+
+    def add_corpus(self, strings: Iterable[WeightedString]) -> None:
+        """Add every token of every string in *strings*."""
+        for string in strings:
+            self.add_string(string)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def id_of(self, literal: str) -> int:
+        """Return the id of *literal*; raises ``KeyError`` if unknown."""
+        return self._literal_to_id[literal]
+
+    def literal_of(self, token_id: int) -> str:
+        """Return the literal with the given id."""
+        return self._id_to_literal[token_id]
+
+    def __contains__(self, literal: str) -> bool:
+        return literal in self._literal_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_literal)
+
+    def literals(self) -> List[str]:
+        """All known literals in id order."""
+        return list(self._id_to_literal)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def frequency(self, literal: str) -> int:
+        """Number of token occurrences observed for *literal*."""
+        return self._frequencies[literal]
+
+    def total_weight(self, literal: str) -> int:
+        """Sum of the weights observed for *literal*."""
+        return self._weight_totals[literal]
+
+    def most_common(self, n: int = 10) -> List[Tuple[str, int]]:
+        """The *n* most frequent literals with their occurrence counts."""
+        return self._frequencies.most_common(n)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, string: WeightedString) -> List[int]:
+        """Encode *string* as a list of token ids (unknown literals are added)."""
+        return [self.add(token.literal, 0) for token in string]
+
+    def bag_of_tokens(self, string: WeightedString, weighted: bool = True) -> Dict[int, float]:
+        """Sparse bag-of-tokens vector: token id → summed weight (or count)."""
+        vector: Dict[int, float] = {}
+        for token in string:
+            token_id = self.add(token.literal, 0)
+            vector[token_id] = vector.get(token_id, 0.0) + (token.weight if weighted else 1.0)
+        return vector
+
+
+def build_vocabulary(strings: Sequence[WeightedString]) -> Vocabulary:
+    """Build a vocabulary covering every token of *strings*."""
+    vocabulary = Vocabulary()
+    vocabulary.add_corpus(strings)
+    return vocabulary

@@ -1,0 +1,51 @@
+"""Trace substrate: I/O access-pattern data model, parsing and mutation.
+
+This subpackage contains everything concerned with the raw traces the paper
+starts from, before any tree or string representation is built:
+
+* :mod:`repro.traces.operations` — operation taxonomy (which names are
+  negligible, structural, data-bearing, ...);
+* :mod:`repro.traces.model` — :class:`IOOperation` / :class:`IOTrace` data
+  model;
+* :mod:`repro.traces.parser` / :mod:`repro.traces.writer` — plain-text trace
+  format;
+* :mod:`repro.traces.mutation` — synthetic mutated copies (section 4.1);
+* :mod:`repro.traces.stats` — descriptive statistics used for sanity checks.
+"""
+
+from repro.traces.model import IOOperation, IOTrace, TraceMetadata, validate_trace
+from repro.traces.mutation import MutationConfig, TraceMutator, make_mutated_copies, mutate_trace
+from repro.traces.operations import (
+    DEFAULT_REGISTRY,
+    OperationClass,
+    OperationRegistry,
+    OperationSpec,
+)
+from repro.traces.parser import TraceParseError, TraceParser, parse_trace, parse_trace_file
+from repro.traces.stats import TraceStatistics, compute_statistics, summarise_corpus
+from repro.traces.writer import TraceWriter, format_trace, write_trace
+
+__all__ = [
+    "IOOperation",
+    "IOTrace",
+    "TraceMetadata",
+    "validate_trace",
+    "MutationConfig",
+    "TraceMutator",
+    "make_mutated_copies",
+    "mutate_trace",
+    "DEFAULT_REGISTRY",
+    "OperationClass",
+    "OperationRegistry",
+    "OperationSpec",
+    "TraceParseError",
+    "TraceParser",
+    "parse_trace",
+    "parse_trace_file",
+    "TraceStatistics",
+    "compute_statistics",
+    "summarise_corpus",
+    "TraceWriter",
+    "format_trace",
+    "write_trace",
+]

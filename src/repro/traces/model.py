@@ -1,0 +1,289 @@
+"""Data model for I/O access-pattern traces.
+
+An :class:`IOOperation` is one line of the plain-text access pattern: an
+operation name, the file handle it acts on, and the number of bytes involved
+(zero when the operation does not move payload data).  An :class:`IOTrace` is
+the chronologically ordered sequence of operations recorded for one program
+run, together with a human-readable name and an optional class label (the
+paper's categories A/B/C/D).
+
+The model is intentionally plain: every downstream stage (tree building,
+compaction, string encoding, kernels) consumes these objects, so they stay
+immutable, hashable and cheap to copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.traces.operations import (
+    DEFAULT_REGISTRY,
+    OperationClass,
+    OperationRegistry,
+)
+
+__all__ = ["IOOperation", "IOTrace", "TraceMetadata"]
+
+
+@dataclass(frozen=True)
+class IOOperation:
+    """A single traced I/O operation.
+
+    Attributes
+    ----------
+    name:
+        Canonical operation name (``read``, ``write``, ``lseek``, ...).
+    handle:
+        Identifier of the file handle the operation acts on.  Handles are
+        opaque strings: file descriptors, ``FILE*`` addresses or file names
+        all work as long as they are consistent within one trace.
+    nbytes:
+        Number of payload bytes moved by the operation.  Zero for
+        positioning/metadata/structural operations.
+    offset:
+        Optional file offset at which the operation acted.  Only used by the
+        workload generators and statistics; it is *not* part of the string
+        representation (the paper ignores addresses/offsets entirely).
+    timestamp:
+        Optional logical timestamp (sequence number).  Present so traces can
+        be re-sorted chronologically after merging per-handle streams.
+    """
+
+    name: str
+    handle: str = "0"
+    nbytes: int = 0
+    offset: Optional[int] = None
+    timestamp: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("IOOperation.name must be a non-empty string")
+        if self.nbytes < 0:
+            raise ValueError(f"IOOperation.nbytes must be >= 0, got {self.nbytes}")
+
+    def with_bytes(self, nbytes: int) -> "IOOperation":
+        """Return a copy of this operation with a different byte count."""
+        return replace(self, nbytes=nbytes)
+
+    def with_handle(self, handle: str) -> "IOOperation":
+        """Return a copy of this operation bound to a different handle."""
+        return replace(self, handle=handle)
+
+    def without_bytes(self) -> "IOOperation":
+        """Return a copy with the byte count zeroed (the no-byte-info variant)."""
+        return replace(self, nbytes=0)
+
+    def operation_class(self, registry: OperationRegistry = DEFAULT_REGISTRY) -> OperationClass:
+        """Behavioural class of this operation according to *registry*."""
+        return registry.classify(self.name)
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Optional descriptive metadata attached to a trace."""
+
+    application: str = ""
+    benchmark: str = ""
+    ranks: int = 1
+    description: str = ""
+    extra: Tuple[Tuple[str, str], ...] = ()
+
+    def as_dict(self) -> Dict[str, str]:
+        """Return the metadata as a flat string dictionary."""
+        data = {
+            "application": self.application,
+            "benchmark": self.benchmark,
+            "ranks": str(self.ranks),
+            "description": self.description,
+        }
+        data.update(dict(self.extra))
+        return data
+
+
+@dataclass(frozen=True)
+class IOTrace:
+    """A chronologically ordered I/O access pattern for one program run."""
+
+    operations: Tuple[IOOperation, ...]
+    name: str = "trace"
+    label: Optional[str] = None
+    metadata: TraceMetadata = field(default_factory=TraceMetadata)
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of operations but store an immutable tuple.
+        if not isinstance(self.operations, tuple):
+            object.__setattr__(self, "operations", tuple(self.operations))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_operations(
+        cls,
+        operations: Iterable[IOOperation],
+        name: str = "trace",
+        label: Optional[str] = None,
+        metadata: Optional[TraceMetadata] = None,
+    ) -> "IOTrace":
+        """Build a trace from any iterable of operations."""
+        return cls(
+            operations=tuple(operations),
+            name=name,
+            label=label,
+            metadata=metadata or TraceMetadata(),
+        )
+
+    @classmethod
+    def from_tuples(
+        cls,
+        rows: Iterable[Tuple[str, str, int]],
+        name: str = "trace",
+        label: Optional[str] = None,
+    ) -> "IOTrace":
+        """Build a trace from ``(name, handle, nbytes)`` tuples.
+
+        Convenient in tests and examples where a full parse is overkill::
+
+            trace = IOTrace.from_tuples([("open", "f1", 0), ("write", "f1", 64)])
+        """
+        ops = [
+            IOOperation(name=row[0], handle=row[1], nbytes=int(row[2]), timestamp=index)
+            for index, row in enumerate(rows)
+        ]
+        return cls.from_operations(ops, name=name, label=label)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[IOOperation]:
+        return iter(self.operations)
+
+    def __getitem__(self, index: int) -> IOOperation:
+        return self.operations[index]
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def handles(self) -> List[str]:
+        """Distinct handles in order of first appearance."""
+        seen: Dict[str, None] = {}
+        for op in self.operations:
+            if op.handle not in seen:
+                seen[op.handle] = None
+        return list(seen)
+
+    def operations_for_handle(self, handle: str) -> List[IOOperation]:
+        """All operations acting on *handle*, preserving chronological order."""
+        return [op for op in self.operations if op.handle == handle]
+
+    def operation_names(self) -> List[str]:
+        """The sequence of operation names, in order."""
+        return [op.name for op in self.operations]
+
+    def total_bytes(self) -> int:
+        """Sum of byte counts across all operations."""
+        return sum(op.nbytes for op in self.operations)
+
+    def without_bytes(self) -> "IOTrace":
+        """Return a copy of the trace with every byte count set to zero.
+
+        This is the paper's second string variant: "ignoring is made by
+        assuming all byte values are zero" (section 3.1).
+        """
+        return replace(self, operations=tuple(op.without_bytes() for op in self.operations))
+
+    def with_label(self, label: Optional[str]) -> "IOTrace":
+        """Return a copy with a different class label."""
+        return replace(self, label=label)
+
+    def with_name(self, name: str) -> "IOTrace":
+        """Return a copy with a different name."""
+        return replace(self, name=name)
+
+    def filtered(
+        self,
+        registry: OperationRegistry = DEFAULT_REGISTRY,
+        drop_negligible: bool = True,
+    ) -> "IOTrace":
+        """Return a copy with negligible operations removed.
+
+        The tree builder applies this automatically; it is exposed so callers
+        can inspect the effective trace.
+        """
+        if not drop_negligible:
+            return self
+        kept = tuple(op for op in self.operations if not registry.is_negligible(op.name))
+        return replace(self, operations=kept)
+
+    def counts_by_name(self) -> Dict[str, int]:
+        """Histogram of operation names."""
+        counts: Dict[str, int] = {}
+        for op in self.operations:
+            counts[op.name] = counts.get(op.name, 0) + 1
+        return counts
+
+    def counts_by_class(self, registry: OperationRegistry = DEFAULT_REGISTRY) -> Dict[OperationClass, int]:
+        """Histogram of behavioural operation classes."""
+        counts: Dict[OperationClass, int] = {}
+        for op in self.operations:
+            klass = registry.classify(op.name)
+            counts[klass] = counts.get(klass, 0) + 1
+        return counts
+
+    def split_by_handle(self) -> Dict[str, "IOTrace"]:
+        """Split the trace into one sub-trace per handle."""
+        result: Dict[str, IOTrace] = {}
+        for handle in self.handles():
+            ops = self.operations_for_handle(handle)
+            result[handle] = IOTrace.from_operations(
+                ops, name=f"{self.name}[{handle}]", label=self.label, metadata=self.metadata
+            )
+        return result
+
+    def concatenated(self, other: "IOTrace", name: Optional[str] = None) -> "IOTrace":
+        """Return a new trace with *other*'s operations appended to this one."""
+        return IOTrace.from_operations(
+            tuple(self.operations) + tuple(other.operations),
+            name=name or f"{self.name}+{other.name}",
+            label=self.label,
+            metadata=self.metadata,
+        )
+
+
+def validate_trace(trace: IOTrace, registry: OperationRegistry = DEFAULT_REGISTRY) -> List[str]:
+    """Return a list of human-readable consistency warnings for *trace*.
+
+    Checks performed:
+
+    * every ``close`` has a preceding unmatched ``open`` on the same handle;
+    * every ``open`` is eventually closed (a warning, not an error -- traces
+      truncated mid-run are common);
+    * data operations with a zero byte count (suspicious but legal).
+    """
+    warnings: List[str] = []
+    open_depth: Dict[str, int] = {}
+    for index, op in enumerate(trace.operations):
+        klass = registry.classify(op.name)
+        if klass is OperationClass.OPEN:
+            open_depth[op.handle] = open_depth.get(op.handle, 0) + 1
+        elif klass is OperationClass.CLOSE:
+            depth = open_depth.get(op.handle, 0)
+            if depth <= 0:
+                warnings.append(
+                    f"operation {index}: close on handle {op.handle!r} without a matching open"
+                )
+            else:
+                open_depth[op.handle] = depth - 1
+        elif klass is OperationClass.DATA and op.nbytes == 0:
+            warnings.append(f"operation {index}: data operation {op.name!r} with zero bytes")
+    for handle, depth in sorted(open_depth.items()):
+        if depth > 0:
+            warnings.append(f"handle {handle!r}: {depth} open(s) never closed")
+    return warnings
+
+
+__all__.append("validate_trace")

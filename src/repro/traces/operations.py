@@ -1,0 +1,268 @@
+"""Taxonomy of I/O operations appearing in access-pattern traces.
+
+The paper (Torres et al., PaCT 2017, section 3.1) treats an I/O access
+pattern as a plain-text file where each line records one operation issued by
+the traced program.  Operations fall into a small number of behavioural
+classes which drive how the trace is turned into a tree:
+
+* *structural* operations (``open`` / ``close``) delimit blocks and become
+  BLOCK nodes rather than leaves;
+* *negligible* operations (``fileno``, ``nmap``/``mmap``, ``fscanf`` ...) are
+  dropped before any further processing;
+* *data* operations (``read``, ``write``, ``pread``, ...) carry a byte count;
+* *positioning* operations (``lseek``, ``seek``, ``rewind``) move the file
+  offset and usually carry a zero byte count.
+
+This module is the single source of truth for that classification.  Both the
+parser and the synthetic workload generators consult it, so adding a new
+operation name here makes it flow through the whole pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+__all__ = [
+    "OperationClass",
+    "OperationSpec",
+    "OperationRegistry",
+    "DEFAULT_REGISTRY",
+    "NEGLIGIBLE_OPERATIONS",
+    "STRUCTURAL_OPERATIONS",
+    "DATA_OPERATIONS",
+    "POSITIONING_OPERATIONS",
+    "METADATA_OPERATIONS",
+    "canonical_name",
+    "classify",
+    "is_negligible",
+    "is_open",
+    "is_close",
+    "carries_bytes",
+]
+
+
+class OperationClass(enum.Enum):
+    """Behavioural class of a traced I/O operation."""
+
+    #: Opens a file handle; starts a BLOCK in the tree representation.
+    OPEN = "open"
+    #: Closes a file handle; ends the current BLOCK.
+    CLOSE = "close"
+    #: Transfers payload bytes (read/write family).
+    DATA = "data"
+    #: Moves the file offset without transferring payload bytes.
+    POSITIONING = "positioning"
+    #: Touches metadata only (stat, fsync, truncate, ...).
+    METADATA = "metadata"
+    #: Ignored entirely when building the tree (fileno, mmap, fscanf, ...).
+    NEGLIGIBLE = "negligible"
+    #: Anything the registry has never seen; kept as a generic leaf.
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """Static description of one operation name.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case operation name.
+    klass:
+        Behavioural :class:`OperationClass`.
+    carries_bytes:
+        Whether the operation's trace line is expected to include a byte
+        count.  Operations that do not carry bytes are treated as having a
+        byte value of zero, which is exactly what compaction rule 4 of the
+        paper exploits (e.g. ``lseek`` + ``write`` fusion).
+    aliases:
+        Alternative spellings that should map onto this canonical name.
+    """
+
+    name: str
+    klass: OperationClass
+    carries_bytes: bool = False
+    aliases: Tuple[str, ...] = ()
+
+
+def _spec(
+    name: str,
+    klass: OperationClass,
+    carries_bytes: bool = False,
+    aliases: Iterable[str] = (),
+) -> OperationSpec:
+    return OperationSpec(name=name, klass=klass, carries_bytes=carries_bytes, aliases=tuple(aliases))
+
+
+_BUILTIN_SPECS: Tuple[OperationSpec, ...] = (
+    # Structural.
+    _spec("open", OperationClass.OPEN, aliases=("fopen", "open64", "openat", "creat", "mpi_file_open")),
+    _spec("close", OperationClass.CLOSE, aliases=("fclose", "mpi_file_close")),
+    # Data transfer.
+    _spec("read", OperationClass.DATA, carries_bytes=True, aliases=("fread", "read64")),
+    _spec("write", OperationClass.DATA, carries_bytes=True, aliases=("fwrite", "write64")),
+    _spec("pread", OperationClass.DATA, carries_bytes=True, aliases=("pread64",)),
+    _spec("pwrite", OperationClass.DATA, carries_bytes=True, aliases=("pwrite64",)),
+    _spec("readv", OperationClass.DATA, carries_bytes=True),
+    _spec("writev", OperationClass.DATA, carries_bytes=True),
+    _spec("mpi_read", OperationClass.DATA, carries_bytes=True, aliases=("mpi_file_read", "mpi_file_read_at")),
+    _spec("mpi_write", OperationClass.DATA, carries_bytes=True, aliases=("mpi_file_write", "mpi_file_write_at")),
+    _spec("append", OperationClass.DATA, carries_bytes=True),
+    # Positioning.
+    _spec("lseek", OperationClass.POSITIONING, aliases=("lseek64", "fseek", "seek")),
+    _spec("rewind", OperationClass.POSITIONING),
+    # Metadata.
+    _spec("stat", OperationClass.METADATA, aliases=("fstat", "lstat", "stat64", "fstat64")),
+    _spec("fsync", OperationClass.METADATA, aliases=("fdatasync", "sync")),
+    _spec("truncate", OperationClass.METADATA, carries_bytes=True, aliases=("ftruncate",)),
+    _spec("flush", OperationClass.METADATA, aliases=("fflush",)),
+    # Negligible -- explicitly named by the paper plus common companions.
+    _spec("fileno", OperationClass.NEGLIGIBLE),
+    _spec("nmap", OperationClass.NEGLIGIBLE, aliases=("mmap", "munmap", "mmap64")),
+    _spec("fscanf", OperationClass.NEGLIGIBLE, aliases=("fprintf", "scanf")),
+    _spec("ioctl", OperationClass.NEGLIGIBLE),
+    _spec("fcntl", OperationClass.NEGLIGIBLE),
+    _spec("dup", OperationClass.NEGLIGIBLE, aliases=("dup2",)),
+    _spec("feof", OperationClass.NEGLIGIBLE, aliases=("ferror", "clearerr")),
+)
+
+
+class OperationRegistry:
+    """Lookup table mapping operation names (and aliases) to their spec.
+
+    The registry is deliberately mutable so downstream users tracing exotic
+    I/O layers (HDF5, NetCDF, ADIOS, object stores) can register their own
+    operation names without patching the library::
+
+        registry = OperationRegistry.with_builtins()
+        registry.register(OperationSpec("h5dwrite", OperationClass.DATA, carries_bytes=True))
+    """
+
+    def __init__(self, specs: Iterable[OperationSpec] = ()) -> None:
+        self._by_name: Dict[str, OperationSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    @classmethod
+    def with_builtins(cls) -> "OperationRegistry":
+        """Return a registry pre-populated with the built-in POSIX/MPI names."""
+        return cls(_BUILTIN_SPECS)
+
+    def register(self, spec: OperationSpec) -> None:
+        """Register *spec* under its canonical name and all of its aliases."""
+        self._by_name[spec.name.lower()] = spec
+        for alias in spec.aliases:
+            self._by_name[alias.lower()] = spec
+
+    def spec_for(self, name: str) -> Optional[OperationSpec]:
+        """Return the spec registered for *name* (alias-aware), or ``None``."""
+        return self._by_name.get(name.strip().lower())
+
+    def canonical_name(self, name: str) -> str:
+        """Map *name* to its canonical spelling; unknown names are lower-cased."""
+        spec = self.spec_for(name)
+        if spec is None:
+            return name.strip().lower()
+        return spec.name
+
+    def classify(self, name: str) -> OperationClass:
+        """Return the :class:`OperationClass` of *name*."""
+        spec = self.spec_for(name)
+        if spec is None:
+            return OperationClass.UNKNOWN
+        return spec.klass
+
+    def carries_bytes(self, name: str) -> bool:
+        """Whether lines for *name* are expected to include a byte count."""
+        spec = self.spec_for(name)
+        if spec is None:
+            # Unknown operations keep whatever byte information the trace has.
+            return True
+        return spec.carries_bytes
+
+    def is_negligible(self, name: str) -> bool:
+        """Whether *name* should be dropped before building the tree."""
+        return self.classify(name) is OperationClass.NEGLIGIBLE
+
+    def is_open(self, name: str) -> bool:
+        """Whether *name* opens a file handle (starts a BLOCK)."""
+        return self.classify(name) is OperationClass.OPEN
+
+    def is_close(self, name: str) -> bool:
+        """Whether *name* closes a file handle (ends a BLOCK)."""
+        return self.classify(name) is OperationClass.CLOSE
+
+    def known_names(self) -> FrozenSet[str]:
+        """All canonical names currently registered (aliases excluded)."""
+        return frozenset(spec.name for spec in self._by_name.values())
+
+    def __contains__(self, name: str) -> bool:
+        return self.spec_for(name) is not None
+
+    def __len__(self) -> int:
+        return len({id(spec) for spec in self._by_name.values()})
+
+
+#: Registry used by the parser and workload generators unless overridden.
+DEFAULT_REGISTRY = OperationRegistry.with_builtins()
+
+#: Operation names the paper explicitly ignores, plus common companions.
+NEGLIGIBLE_OPERATIONS: FrozenSet[str] = frozenset(
+    name for name in DEFAULT_REGISTRY.known_names() if DEFAULT_REGISTRY.is_negligible(name)
+)
+
+#: Names that open or close file handles.
+STRUCTURAL_OPERATIONS: FrozenSet[str] = frozenset(
+    name
+    for name in DEFAULT_REGISTRY.known_names()
+    if DEFAULT_REGISTRY.classify(name) in (OperationClass.OPEN, OperationClass.CLOSE)
+)
+
+#: Names whose trace lines carry payload byte counts.
+DATA_OPERATIONS: FrozenSet[str] = frozenset(
+    name for name in DEFAULT_REGISTRY.known_names() if DEFAULT_REGISTRY.classify(name) is OperationClass.DATA
+)
+
+#: Offset-moving operations (zero byte count).
+POSITIONING_OPERATIONS: FrozenSet[str] = frozenset(
+    name
+    for name in DEFAULT_REGISTRY.known_names()
+    if DEFAULT_REGISTRY.classify(name) is OperationClass.POSITIONING
+)
+
+#: Metadata-only operations.
+METADATA_OPERATIONS: FrozenSet[str] = frozenset(
+    name for name in DEFAULT_REGISTRY.known_names() if DEFAULT_REGISTRY.classify(name) is OperationClass.METADATA
+)
+
+
+def canonical_name(name: str) -> str:
+    """Module-level shortcut for :meth:`OperationRegistry.canonical_name`."""
+    return DEFAULT_REGISTRY.canonical_name(name)
+
+
+def classify(name: str) -> OperationClass:
+    """Module-level shortcut for :meth:`OperationRegistry.classify`."""
+    return DEFAULT_REGISTRY.classify(name)
+
+
+def is_negligible(name: str) -> bool:
+    """Module-level shortcut for :meth:`OperationRegistry.is_negligible`."""
+    return DEFAULT_REGISTRY.is_negligible(name)
+
+
+def is_open(name: str) -> bool:
+    """Module-level shortcut for :meth:`OperationRegistry.is_open`."""
+    return DEFAULT_REGISTRY.is_open(name)
+
+
+def is_close(name: str) -> bool:
+    """Module-level shortcut for :meth:`OperationRegistry.is_close`."""
+    return DEFAULT_REGISTRY.is_close(name)
+
+
+def carries_bytes(name: str) -> bool:
+    """Module-level shortcut for :meth:`OperationRegistry.carries_bytes`."""
+    return DEFAULT_REGISTRY.carries_bytes(name)

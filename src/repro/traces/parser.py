@@ -1,0 +1,284 @@
+"""Parser for plain-text I/O access-pattern files.
+
+The paper describes the input as "plain text files where each line
+corresponds to an operation".  The published text does not fix a concrete
+syntax, so this parser accepts a small family of line dialects that cover the
+obvious ways such traces are written in practice:
+
+``whitespace`` dialect (default, also what :mod:`repro.traces.writer` emits)::
+
+    # comment lines and blank lines are ignored
+    open  fh1
+    write fh1 1024
+    write fh1 1024 offset=2048
+    close fh1
+
+``csv`` dialect::
+
+    open,fh1,0
+    write,fh1,1024
+
+``keyvalue`` dialect (one ``key=value`` pair per field)::
+
+    op=write handle=fh1 bytes=1024 offset=2048
+
+All dialects agree on the semantic fields: operation name (required), handle
+(optional, defaults to ``"0"``), byte count (optional, defaults to ``0``) and
+offset (optional).  The parser canonicalises operation names through the
+operation registry so e.g. ``fwrite`` becomes ``write``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, TextIO, Union
+
+from repro.traces.model import IOOperation, IOTrace, TraceMetadata
+from repro.traces.operations import DEFAULT_REGISTRY, OperationRegistry
+
+__all__ = ["TraceParseError", "TraceParser", "parse_trace", "parse_trace_file"]
+
+_COMMENT_PREFIXES = ("#", "//", ";")
+
+
+class TraceParseError(ValueError):
+    """Raised when a trace line cannot be interpreted."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None, line: Optional[str] = None) -> None:
+        details = message
+        if line_number is not None:
+            details = f"line {line_number}: {details}"
+        if line is not None:
+            details = f"{details} (content: {line!r})"
+        super().__init__(details)
+        self.line_number = line_number
+        self.line = line
+
+
+@dataclass
+class _ParsedFields:
+    name: str
+    handle: str = "0"
+    nbytes: int = 0
+    offset: Optional[int] = None
+
+
+class TraceParser:
+    """Parse plain-text I/O access patterns into :class:`IOTrace` objects.
+
+    Parameters
+    ----------
+    dialect:
+        One of ``"auto"``, ``"whitespace"``, ``"csv"`` or ``"keyvalue"``.
+        ``"auto"`` sniffs the dialect per line, which is convenient for
+        hand-written traces but slightly slower.
+    registry:
+        Operation registry used to canonicalise operation names.
+    canonicalise:
+        When true (default), map aliases such as ``fread`` onto their
+        canonical names.  Set to false to preserve the raw names.
+    strict:
+        When true, malformed lines raise :class:`TraceParseError`; when false
+        they are skipped silently.
+    """
+
+    def __init__(
+        self,
+        dialect: str = "auto",
+        registry: OperationRegistry = DEFAULT_REGISTRY,
+        canonicalise: bool = True,
+        strict: bool = True,
+    ) -> None:
+        if dialect not in ("auto", "whitespace", "csv", "keyvalue"):
+            raise ValueError(f"unknown trace dialect: {dialect!r}")
+        self.dialect = dialect
+        self.registry = registry
+        self.canonicalise = canonicalise
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def parse_text(self, text: str, name: str = "trace", label: Optional[str] = None) -> IOTrace:
+        """Parse a whole trace given as a string."""
+        return self.parse_lines(text.splitlines(), name=name, label=label)
+
+    def parse_stream(self, stream: TextIO, name: str = "trace", label: Optional[str] = None) -> IOTrace:
+        """Parse a whole trace from an open text stream."""
+        return self.parse_lines(stream, name=name, label=label)
+
+    def parse_file(
+        self,
+        path: Union[str, os.PathLike],
+        name: Optional[str] = None,
+        label: Optional[str] = None,
+    ) -> IOTrace:
+        """Parse a trace file from disk; the file stem becomes the trace name."""
+        path = os.fspath(path)
+        trace_name = name if name is not None else os.path.splitext(os.path.basename(path))[0]
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.parse_stream(handle, name=trace_name, label=label)
+
+    def parse_lines(
+        self,
+        lines: Iterable[str],
+        name: str = "trace",
+        label: Optional[str] = None,
+    ) -> IOTrace:
+        """Parse an iterable of raw lines into an :class:`IOTrace`."""
+        operations: List[IOOperation] = []
+        metadata_pairs: List[tuple] = []
+        for line_number, raw_line in enumerate(lines, start=1):
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith(_COMMENT_PREFIXES):
+                pair = self._parse_metadata_comment(line)
+                if pair is not None:
+                    metadata_pairs.append(pair)
+                continue
+            try:
+                fields = self._parse_line(line)
+            except TraceParseError:
+                if self.strict:
+                    raise
+                continue
+            except ValueError as exc:
+                if self.strict:
+                    raise TraceParseError(str(exc), line_number, line) from exc
+                continue
+            op_name = self.registry.canonical_name(fields.name) if self.canonicalise else fields.name.lower()
+            operations.append(
+                IOOperation(
+                    name=op_name,
+                    handle=fields.handle,
+                    nbytes=fields.nbytes,
+                    offset=fields.offset,
+                    timestamp=len(operations),
+                )
+            )
+        metadata = TraceMetadata(extra=tuple(metadata_pairs)) if metadata_pairs else TraceMetadata()
+        return IOTrace.from_operations(operations, name=name, label=label, metadata=metadata)
+
+    # ------------------------------------------------------------------
+    # Line-level parsing
+    # ------------------------------------------------------------------
+    def _parse_metadata_comment(self, line: str) -> Optional[tuple]:
+        # "# key: value" comments become trace metadata entries.
+        body = line.lstrip("#/; ").strip()
+        if ":" in body:
+            key, _, value = body.partition(":")
+            key = key.strip().lower()
+            value = value.strip()
+            if key and value and " " not in key:
+                return (key, value)
+        return None
+
+    def _parse_line(self, line: str) -> _ParsedFields:
+        dialect = self.dialect
+        if dialect == "auto":
+            dialect = self._sniff_dialect(line)
+        if dialect == "csv":
+            return self._parse_csv(line)
+        if dialect == "keyvalue":
+            return self._parse_keyvalue(line)
+        return self._parse_whitespace(line)
+
+    @staticmethod
+    def _sniff_dialect(line: str) -> str:
+        # A line is key=value only when its first field already is one; the
+        # whitespace dialect accepts trailing key=value fields (e.g. offsets)
+        # on otherwise positional lines.
+        first_field = line.split(None, 1)[0] if line.split() else ""
+        if "=" in first_field:
+            return "keyvalue"
+        if "," in line:
+            return "csv"
+        return "whitespace"
+
+    def _parse_whitespace(self, line: str) -> _ParsedFields:
+        tokens = line.split()
+        if not tokens:
+            raise TraceParseError("empty line")
+        fields = _ParsedFields(name=tokens[0])
+        positional: List[str] = []
+        for token in tokens[1:]:
+            if "=" in token:
+                key, _, value = token.partition("=")
+                self._assign_keyvalue(fields, key, value)
+            else:
+                positional.append(token)
+        if positional:
+            fields.handle = positional[0]
+        if len(positional) > 1:
+            fields.nbytes = self._parse_int(positional[1], "byte count")
+        if len(positional) > 2:
+            fields.offset = self._parse_int(positional[2], "offset")
+        if len(positional) > 3:
+            raise TraceParseError(f"too many fields on line: {line!r}")
+        return fields
+
+    def _parse_csv(self, line: str) -> _ParsedFields:
+        parts = [part.strip() for part in line.split(",")]
+        if not parts or not parts[0]:
+            raise TraceParseError(f"missing operation name: {line!r}")
+        fields = _ParsedFields(name=parts[0])
+        if len(parts) > 1 and parts[1]:
+            fields.handle = parts[1]
+        if len(parts) > 2 and parts[2]:
+            fields.nbytes = self._parse_int(parts[2], "byte count")
+        if len(parts) > 3 and parts[3]:
+            fields.offset = self._parse_int(parts[3], "offset")
+        if len(parts) > 4:
+            raise TraceParseError(f"too many fields on line: {line!r}")
+        return fields
+
+    def _parse_keyvalue(self, line: str) -> _ParsedFields:
+        fields = _ParsedFields(name="")
+        for token in line.split():
+            if "=" not in token:
+                # Allow a bare leading operation name in key=value lines.
+                if not fields.name:
+                    fields.name = token
+                    continue
+                raise TraceParseError(f"expected key=value field, got {token!r}")
+            key, _, value = token.partition("=")
+            self._assign_keyvalue(fields, key, value)
+        if not fields.name:
+            raise TraceParseError(f"missing operation name: {line!r}")
+        return fields
+
+    def _assign_keyvalue(self, fields: _ParsedFields, key: str, value: str) -> None:
+        key = key.strip().lower()
+        value = value.strip()
+        if key in ("op", "operation", "name", "call"):
+            fields.name = value
+        elif key in ("handle", "fh", "fd", "file"):
+            fields.handle = value
+        elif key in ("bytes", "nbytes", "size", "count", "len"):
+            fields.nbytes = self._parse_int(value, "byte count")
+        elif key in ("offset", "pos", "position"):
+            fields.offset = self._parse_int(value, "offset")
+        # Unknown keys are ignored: traces often carry timing fields we do not use.
+
+    @staticmethod
+    def _parse_int(value: str, what: str) -> int:
+        try:
+            parsed = int(value, 0)
+        except ValueError as exc:
+            raise TraceParseError(f"invalid {what}: {value!r}") from exc
+        if parsed < 0:
+            raise TraceParseError(f"negative {what}: {value!r}")
+        return parsed
+
+
+def parse_trace(text: str, name: str = "trace", label: Optional[str] = None, **kwargs) -> IOTrace:
+    """Parse trace *text* with a default-configured :class:`TraceParser`."""
+    return TraceParser(**kwargs).parse_text(text, name=name, label=label)
+
+
+def parse_trace_file(path: Union[str, os.PathLike], label: Optional[str] = None, **kwargs) -> IOTrace:
+    """Parse the trace file at *path* with a default-configured parser."""
+    return TraceParser(**kwargs).parse_file(path, label=label)

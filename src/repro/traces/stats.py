@@ -1,0 +1,163 @@
+"""Descriptive statistics over I/O traces.
+
+Section 2.1 of the paper lists the properties by which access patterns are
+usually characterised: access granularity, randomness, concurrency, load
+balance, access type and predictability (plus burstiness, periodicity and
+repeatability from Liu et al.).  The statistics here quantify the subset of
+those properties that can be computed from the operation stream alone; they
+are used by the workload generators' self-checks and by the examples to show
+that the four synthetic categories really do differ in the ways the paper
+attributes to them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.traces.model import IOTrace
+from repro.traces.operations import DEFAULT_REGISTRY, OperationClass, OperationRegistry
+
+__all__ = ["TraceStatistics", "compute_statistics", "summarise_corpus"]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of one trace."""
+
+    #: Total number of operations (after dropping nothing).
+    operation_count: int
+    #: Number of distinct file handles.
+    handle_count: int
+    #: Number of open..close blocks.
+    block_count: int
+    #: Total payload bytes moved.
+    total_bytes: int
+    #: Mean payload size of data operations (0.0 when there are none).
+    mean_request_size: float
+    #: Ratio of read-class bytes to total data bytes (0.0 when no data ops).
+    read_fraction: float
+    #: Ratio of positioning operations (lseek etc.) to all operations.
+    seek_fraction: float
+    #: Fraction of data operations whose offset is non-monotonic relative to
+    #: the previous data operation on the same handle (randomness proxy).
+    random_access_fraction: float
+    #: Shannon entropy (bits) of the distribution of request sizes; low for
+    #: fixed-size access, high for mixed-size access.
+    request_size_entropy: float
+    #: Histogram of operation names.
+    name_counts: Dict[str, int]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return the statistics as a plain dictionary (for reports/JSON)."""
+        return {
+            "operation_count": self.operation_count,
+            "handle_count": self.handle_count,
+            "block_count": self.block_count,
+            "total_bytes": self.total_bytes,
+            "mean_request_size": self.mean_request_size,
+            "read_fraction": self.read_fraction,
+            "seek_fraction": self.seek_fraction,
+            "random_access_fraction": self.random_access_fraction,
+            "request_size_entropy": self.request_size_entropy,
+            "name_counts": dict(self.name_counts),
+        }
+
+
+def _entropy(counts: Sequence[int]) -> float:
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts:
+        if count <= 0:
+            continue
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def compute_statistics(trace: IOTrace, registry: OperationRegistry = DEFAULT_REGISTRY) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for *trace*."""
+    data_sizes: List[int] = []
+    read_bytes = 0
+    write_bytes = 0
+    seek_count = 0
+    block_count = 0
+    random_moves = 0
+    data_ops = 0
+    last_end_by_handle: Dict[str, int] = {}
+
+    for op in trace.operations:
+        klass = registry.classify(op.name)
+        if klass is OperationClass.OPEN:
+            block_count += 1
+        elif klass is OperationClass.POSITIONING:
+            seek_count += 1
+        elif klass is OperationClass.DATA:
+            data_ops += 1
+            data_sizes.append(op.nbytes)
+            lowered = op.name.lower()
+            if "read" in lowered:
+                read_bytes += op.nbytes
+            else:
+                write_bytes += op.nbytes
+            if op.offset is not None:
+                expected = last_end_by_handle.get(op.handle)
+                if expected is not None and op.offset != expected:
+                    random_moves += 1
+                last_end_by_handle[op.handle] = op.offset + op.nbytes
+
+    total_data_bytes = read_bytes + write_bytes
+    size_histogram: Dict[int, int] = {}
+    for size in data_sizes:
+        size_histogram[size] = size_histogram.get(size, 0) + 1
+
+    return TraceStatistics(
+        operation_count=len(trace),
+        handle_count=len(trace.handles()),
+        block_count=block_count,
+        total_bytes=trace.total_bytes(),
+        mean_request_size=(sum(data_sizes) / len(data_sizes)) if data_sizes else 0.0,
+        read_fraction=(read_bytes / total_data_bytes) if total_data_bytes else 0.0,
+        seek_fraction=(seek_count / len(trace)) if len(trace) else 0.0,
+        random_access_fraction=(random_moves / data_ops) if data_ops else 0.0,
+        request_size_entropy=_entropy(list(size_histogram.values())),
+        name_counts=trace.counts_by_name(),
+    )
+
+
+def summarise_corpus(
+    traces: Sequence[IOTrace],
+    registry: OperationRegistry = DEFAULT_REGISTRY,
+) -> Dict[str, Dict[str, float]]:
+    """Per-label mean statistics over a corpus of labelled traces.
+
+    Returns a mapping ``label -> {statistic: mean value}`` restricted to the
+    scalar statistics.  Traces without a label are grouped under ``"?"``.
+    """
+    grouped: Dict[str, List[TraceStatistics]] = {}
+    for trace in traces:
+        label = trace.label if trace.label is not None else "?"
+        grouped.setdefault(label, []).append(compute_statistics(trace, registry))
+
+    scalar_fields = (
+        "operation_count",
+        "handle_count",
+        "block_count",
+        "total_bytes",
+        "mean_request_size",
+        "read_fraction",
+        "seek_fraction",
+        "random_access_fraction",
+        "request_size_entropy",
+    )
+    summary: Dict[str, Dict[str, float]] = {}
+    for label, stats_list in sorted(grouped.items()):
+        summary[label] = {
+            name: sum(getattr(stats, name) for stats in stats_list) / len(stats_list)
+            for name in scalar_fields
+        }
+        summary[label]["count"] = float(len(stats_list))
+    return summary

@@ -1,0 +1,42 @@
+"""Tree substrate: containment trees built from I/O traces.
+
+* :mod:`repro.tree.node` — :class:`PatternNode` / :class:`NodeKind`;
+* :mod:`repro.tree.builder` — trace → tree conversion (ROOT/HANDLE/BLOCK
+  levels, negligible-operation filtering);
+* :mod:`repro.tree.compaction` — the paper's four merge rules;
+* :mod:`repro.tree.traversal` — pre-order walks annotated with level changes;
+* :mod:`repro.tree.serialize` — dict/dot/ASCII serialisation.
+"""
+
+from repro.tree.builder import TreeBuilder, build_tree
+from repro.tree.compaction import CompactionConfig, TreeCompactor, compact_tree
+from repro.tree.node import NodeKind, PatternNode
+from repro.tree.serialize import render_tree, tree_from_dict, tree_to_dict, tree_to_dot
+from repro.tree.traversal import (
+    PreorderStep,
+    breadth_first,
+    operation_sequence,
+    postorder,
+    preorder,
+    preorder_with_level_changes,
+)
+
+__all__ = [
+    "TreeBuilder",
+    "build_tree",
+    "CompactionConfig",
+    "TreeCompactor",
+    "compact_tree",
+    "NodeKind",
+    "PatternNode",
+    "render_tree",
+    "tree_from_dict",
+    "tree_to_dict",
+    "tree_to_dot",
+    "PreorderStep",
+    "breadth_first",
+    "operation_sequence",
+    "postorder",
+    "preorder",
+    "preorder_with_level_changes",
+]

@@ -1,0 +1,148 @@
+"""Conversion of I/O traces into containment trees.
+
+Section 3.1, "From I/O Access Patterns to Trees": operations are registered
+chronologically and several file handles may interleave, so the trace is
+first regrouped into a tree whose levels express containment:
+
+* the ROOT groups all operations of one access-pattern file;
+* each HANDLE node groups the operations of one file handle;
+* each BLOCK node groups the operations found between an ``open`` and its
+  matching ``close``;
+* remaining operations become leaves — except ``open``/``close`` themselves,
+  because the BLOCK node already plays the role of a delimiter.
+
+Negligible operations (``fileno``, ``nmap``, ``fscanf``...) are dropped.
+Operations that appear on a handle outside any open..close block (truncated
+traces, pre-opened descriptors such as stdout) are placed in an implicit
+block so no information is silently lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.traces.model import IOOperation, IOTrace
+from repro.traces.operations import DEFAULT_REGISTRY, OperationClass, OperationRegistry
+from repro.tree.node import NodeKind, PatternNode
+
+__all__ = ["TreeBuilder", "build_tree"]
+
+
+@dataclass
+class _HandleState:
+    """Mutable per-handle build state."""
+
+    handle_node: PatternNode
+    open_blocks: List[PatternNode]
+    implicit_block: Optional[PatternNode] = None
+
+    def current_block(self) -> Optional[PatternNode]:
+        if self.open_blocks:
+            return self.open_blocks[-1]
+        return None
+
+
+class TreeBuilder:
+    """Build :class:`PatternNode` trees from :class:`IOTrace` objects.
+
+    Parameters
+    ----------
+    registry:
+        Operation registry used to classify operations.
+    drop_negligible:
+        Drop negligible operations (paper behaviour).  Disable only for
+        debugging.
+    use_byte_information:
+        When false, all byte values are treated as zero — this produces the
+        paper's second string variant without having to rewrite the trace.
+    allow_implicit_blocks:
+        When true (default), operations outside any open..close pair are
+        attached to an implicit BLOCK under their handle.  When false they
+        raise ``ValueError``.
+    """
+
+    def __init__(
+        self,
+        registry: OperationRegistry = DEFAULT_REGISTRY,
+        drop_negligible: bool = True,
+        use_byte_information: bool = True,
+        allow_implicit_blocks: bool = True,
+    ) -> None:
+        self.registry = registry
+        self.drop_negligible = drop_negligible
+        self.use_byte_information = use_byte_information
+        self.allow_implicit_blocks = allow_implicit_blocks
+
+    def build(self, trace: IOTrace) -> PatternNode:
+        """Convert *trace* into its containment tree and return the ROOT."""
+        root = PatternNode.root()
+        states: Dict[str, _HandleState] = {}
+
+        for index, op in enumerate(trace.operations):
+            klass = self.registry.classify(op.name)
+            if self.drop_negligible and klass is OperationClass.NEGLIGIBLE:
+                continue
+            state = self._state_for(root, states, op.handle)
+            if klass is OperationClass.OPEN:
+                block = PatternNode.block()
+                state.handle_node.add_child(block)
+                state.open_blocks.append(block)
+            elif klass is OperationClass.CLOSE:
+                if state.open_blocks:
+                    state.open_blocks.pop()
+                elif not self.allow_implicit_blocks:
+                    raise ValueError(
+                        f"operation {index}: close on handle {op.handle!r} without a matching open"
+                    )
+                # A close without an open is otherwise ignored: the implicit
+                # block (if any) simply continues.
+            else:
+                self._append_operation(state, op, index)
+        return root
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _state_for(
+        self,
+        root: PatternNode,
+        states: Dict[str, _HandleState],
+        handle: str,
+    ) -> _HandleState:
+        state = states.get(handle)
+        if state is None:
+            handle_node = PatternNode.handle()
+            root.add_child(handle_node)
+            state = _HandleState(handle_node=handle_node, open_blocks=[])
+            states[handle] = state
+        return state
+
+    def _append_operation(self, state: _HandleState, op: IOOperation, index: int) -> None:
+        block = state.current_block()
+        if block is None:
+            if not self.allow_implicit_blocks:
+                raise ValueError(
+                    f"operation {index}: {op.name!r} on handle {op.handle!r} outside any open..close block"
+                )
+            if state.implicit_block is None:
+                state.implicit_block = PatternNode.block()
+                state.handle_node.add_child(state.implicit_block)
+            block = state.implicit_block
+        nbytes = op.nbytes if self.use_byte_information else 0
+        block.add_child(PatternNode.operation(op.name, nbytes=nbytes, repetitions=1))
+
+
+def build_tree(
+    trace: IOTrace,
+    registry: OperationRegistry = DEFAULT_REGISTRY,
+    use_byte_information: bool = True,
+    drop_negligible: bool = True,
+) -> PatternNode:
+    """Convenience wrapper building the tree for *trace* with defaults."""
+    builder = TreeBuilder(
+        registry=registry,
+        drop_negligible=drop_negligible,
+        use_byte_information=use_byte_information,
+    )
+    return builder.build(trace)

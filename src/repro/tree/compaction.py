@@ -1,0 +1,250 @@
+"""Compaction of access-pattern trees.
+
+Section 3.1 of the paper defines a compression step over consecutive
+operation nodes that share the same BLOCK parent.  Four transformations are
+applied *in the given order*:
+
+1. **Same name, same bytes** — merged into one node with the same
+   information (e.g. a read inside a loop reading ``n`` bytes per iteration).
+2. **Same name, different bytes** — merged into one node with the same name;
+   the new byte value is a combination of both byte values (e.g. reading a
+   2-byte and then a 4-byte struct member in a loop).
+3. **Different name, same bytes** — merged into one node with the same byte
+   value; the new name is a combination of both names (e.g. interlaced
+   read/write of the same size: a tacit copy).
+4. **Different name, different bytes, one of them zero** — merged into one
+   node with the non-zero byte value and a combined name (e.g. ``lseek``
+   followed by ``write`` inside a loop).
+
+The whole pass is then "repeated once again to capture higher level
+patterns"; the number of passes is configurable and an until-fixpoint mode is
+provided for the ablation study (experiment E9 in DESIGN.md).
+
+Pass semantics
+--------------
+The paper does not spell out whether merges cascade within a pass.  We use
+the interpretation that makes its own examples work out:
+
+* **Rule 1 collapses runs**: a run of ``k`` identical ``(name, bytes)``
+  siblings becomes a single node with repetition ``k`` within one pass — a
+  read loop must compress in one step.
+* **Rules 2-4 merge disjoint adjacent pairs** (left to right, no cascading).
+  The paper's struct example — a loop body of ``read(2); read(4)`` executed
+  ``n`` times — then behaves as intended: pass 1 pairs each ``read(2)`` with
+  its ``read(4)`` producing ``n`` identical ``read[6]`` nodes, and pass 2's
+  rule 1 collapses them into one ``read[6]`` node of repetition ``2n``
+  ("repeated once again to capture higher level patterns").  A cascading
+  rule 2 would instead swallow the whole loop into a single node with a
+  meaningless byte total on the first pass.
+
+Merge bookkeeping
+-----------------
+Every merge adds the repetition counts of the two merged nodes, so the sum
+of repetition counts over all operation leaves always equals the number of
+original (non-structural, non-negligible) operations — a property-tested
+invariant.  Rule 2 combines byte values by adding them (configurable);
+rules 3 and 4 combine names as ``"<left>+<right>"`` (identical halves are not
+repeated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.tree.node import NodeKind, PatternNode
+
+__all__ = ["CompactionConfig", "TreeCompactor", "compact_tree"]
+
+#: Function combining the byte values of two merged nodes (rule 2).
+ByteCombiner = Callable[[int, int], int]
+
+
+def _default_byte_combiner(left: int, right: int) -> int:
+    return left + right
+
+
+def _combine_names(left: str, right: str) -> str:
+    if left == right:
+        return left
+    return f"{left}+{right}"
+
+
+@dataclass(frozen=True)
+class CompactionConfig:
+    """Configuration of the tree compaction pass.
+
+    Attributes
+    ----------
+    passes:
+        How many times the full rule pass is applied.  The paper uses 2.
+        Ignored when ``until_fixpoint`` is true.
+    until_fixpoint:
+        Keep applying passes until the tree stops changing (ablation mode).
+    max_fixpoint_passes:
+        Safety bound for the fixpoint mode.
+    enable_rule_1 ... enable_rule_4:
+        Individually toggle the four merge rules (ablation mode).
+    """
+
+    passes: int = 2
+    until_fixpoint: bool = False
+    max_fixpoint_passes: int = 32
+    enable_rule_1: bool = True
+    enable_rule_2: bool = True
+    enable_rule_3: bool = True
+    enable_rule_4: bool = True
+
+    def __post_init__(self) -> None:
+        if self.passes < 0:
+            raise ValueError(f"passes must be >= 0, got {self.passes}")
+        if self.max_fixpoint_passes < 1:
+            raise ValueError("max_fixpoint_passes must be >= 1")
+
+    @classmethod
+    def paper(cls) -> "CompactionConfig":
+        """The configuration described in the paper (two passes, all rules)."""
+        return cls()
+
+    @classmethod
+    def disabled(cls) -> "CompactionConfig":
+        """No compaction at all (ablation baseline)."""
+        return cls(passes=0)
+
+
+class TreeCompactor:
+    """Apply the paper's compaction rules to an access-pattern tree."""
+
+    def __init__(
+        self,
+        config: Optional[CompactionConfig] = None,
+        byte_combiner: ByteCombiner = _default_byte_combiner,
+    ) -> None:
+        self.config = config or CompactionConfig()
+        self.byte_combiner = byte_combiner
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def compact(self, root: PatternNode, in_place: bool = False) -> PatternNode:
+        """Return a compacted copy of the tree rooted at *root*.
+
+        Set ``in_place=True`` to mutate *root* directly instead of copying.
+        """
+        tree = root if in_place else root.copy()
+        if self.config.until_fixpoint:
+            for _ in range(self.config.max_fixpoint_passes):
+                if not self._single_pass(tree):
+                    break
+        else:
+            for _ in range(self.config.passes):
+                self._single_pass(tree)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Pass machinery
+    # ------------------------------------------------------------------
+    def _single_pass(self, node: PatternNode) -> bool:
+        """Apply one full pass (rule 1 then rules 2-4) below *node*."""
+        changed = False
+        if node.children:
+            changed |= self._compact_siblings(node)
+            for child in node.children:
+                changed |= self._single_pass(child)
+        return changed
+
+    def _compact_siblings(self, parent: PatternNode) -> bool:
+        changed = False
+        if self.config.enable_rule_1:
+            changed |= self._collapse_identical_runs(parent)
+        for rule in (2, 3, 4):
+            if getattr(self.config, f"enable_rule_{rule}"):
+                changed |= self._merge_adjacent_pairs(parent, rule)
+        return changed
+
+    @staticmethod
+    def _mergeable(node: PatternNode) -> bool:
+        return node.kind is NodeKind.OPERATION and node.is_leaf
+
+    def _collapse_identical_runs(self, parent: PatternNode) -> bool:
+        """Rule 1: collapse runs of identical (name, bytes) operation siblings."""
+        merged: List[PatternNode] = []
+        changed = False
+        for child in parent.children:
+            previous = merged[-1] if merged else None
+            if (
+                previous is not None
+                and self._mergeable(child)
+                and self._mergeable(previous)
+                and previous.name == child.name
+                and previous.nbytes == child.nbytes
+            ):
+                combined = PatternNode.operation(
+                    previous.name,
+                    nbytes=previous.nbytes,
+                    repetitions=previous.repetitions + child.repetitions,
+                )
+                combined.parent = parent
+                merged[-1] = combined
+                changed = True
+            else:
+                merged.append(child)
+        if changed:
+            parent.children = merged
+            for child in merged:
+                child.parent = parent
+        return changed
+
+    def _merge_adjacent_pairs(self, parent: PatternNode, rule: int) -> bool:
+        """Rules 2-4: merge disjoint adjacent pairs, left to right, no cascading."""
+        children = parent.children
+        merged: List[PatternNode] = []
+        changed = False
+        index = 0
+        while index < len(children):
+            current = children[index]
+            nxt = children[index + 1] if index + 1 < len(children) else None
+            combined = None
+            if nxt is not None and self._mergeable(current) and self._mergeable(nxt):
+                combined = self._apply_rule(rule, current, nxt)
+            if combined is not None:
+                combined.parent = parent
+                merged.append(combined)
+                changed = True
+                index += 2
+            else:
+                merged.append(current)
+                index += 1
+        if changed:
+            parent.children = merged
+            for child in merged:
+                child.parent = parent
+        return changed
+
+    def _apply_rule(self, rule: int, left: PatternNode, right: PatternNode) -> Optional[PatternNode]:
+        same_name = left.name == right.name
+        same_bytes = left.nbytes == right.nbytes
+        repetitions = left.repetitions + right.repetitions
+
+        if rule == 2 and same_name and not same_bytes:
+            combined_bytes = self.byte_combiner(left.nbytes, right.nbytes)
+            return PatternNode.operation(left.name, nbytes=combined_bytes, repetitions=repetitions)
+        if rule == 3 and not same_name and same_bytes:
+            return PatternNode.operation(
+                _combine_names(left.name, right.name), nbytes=left.nbytes, repetitions=repetitions
+            )
+        if rule == 4 and not same_name and not same_bytes and (left.nbytes == 0 or right.nbytes == 0):
+            nonzero = left.nbytes if left.nbytes != 0 else right.nbytes
+            return PatternNode.operation(
+                _combine_names(left.name, right.name), nbytes=nonzero, repetitions=repetitions
+            )
+        return None
+
+
+def compact_tree(
+    root: PatternNode,
+    config: Optional[CompactionConfig] = None,
+    in_place: bool = False,
+) -> PatternNode:
+    """Convenience wrapper: compact *root* using *config* (paper defaults)."""
+    return TreeCompactor(config=config).compact(root, in_place=in_place)

@@ -1,0 +1,216 @@
+"""Tree nodes for the containment representation of I/O access patterns.
+
+Section 3.1 of the paper defines a four-level tree:
+
+* **ROOT** — one imaginary node per access-pattern file;
+* **HANDLE** — one imaginary node per file handle;
+* **BLOCK** — one imaginary node per ``open``..``close`` pair;
+* **operation** — leaves for every remaining operation, each carrying the
+  operation name, a byte value and a repetition count (filled in by the
+  compaction step).
+
+The structural levels always have weight (repetition count) 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional, Sequence
+
+__all__ = ["NodeKind", "PatternNode"]
+
+
+class NodeKind(enum.Enum):
+    """Level of a node in the access-pattern tree."""
+
+    ROOT = "ROOT"
+    HANDLE = "HANDLE"
+    BLOCK = "BLOCK"
+    OPERATION = "OPERATION"
+
+
+class PatternNode:
+    """A node of the access-pattern tree.
+
+    Parameters
+    ----------
+    kind:
+        Level of the node (:class:`NodeKind`).
+    name:
+        Operation name for operation leaves; for structural nodes the name is
+        the kind's literal (``ROOT``, ``HANDLE``, ``BLOCK``).
+    nbytes:
+        Byte value of the node.  Structural nodes always carry 0.  Operation
+        nodes carry the (possibly combined) byte count produced by the
+        compaction rules.
+    repetitions:
+        Repetition count of the node (the weight of the corresponding string
+        token).  Structural nodes always carry 1.
+    children:
+        Initial children, if any.
+    """
+
+    __slots__ = ("kind", "name", "nbytes", "repetitions", "children", "parent")
+
+    def __init__(
+        self,
+        kind: NodeKind,
+        name: Optional[str] = None,
+        nbytes: int = 0,
+        repetitions: int = 1,
+        children: Optional[Sequence["PatternNode"]] = None,
+    ) -> None:
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self.kind = kind
+        self.name = name if name is not None else kind.value
+        self.nbytes = int(nbytes)
+        self.repetitions = int(repetitions)
+        self.children: List[PatternNode] = []
+        self.parent: Optional[PatternNode] = None
+        if children:
+            for child in children:
+                self.add_child(child)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def root(cls) -> "PatternNode":
+        """Create a ROOT node."""
+        return cls(NodeKind.ROOT)
+
+    @classmethod
+    def handle(cls) -> "PatternNode":
+        """Create a HANDLE node."""
+        return cls(NodeKind.HANDLE)
+
+    @classmethod
+    def block(cls) -> "PatternNode":
+        """Create a BLOCK node."""
+        return cls(NodeKind.BLOCK)
+
+    @classmethod
+    def operation(cls, name: str, nbytes: int = 0, repetitions: int = 1) -> "PatternNode":
+        """Create an operation leaf."""
+        return cls(NodeKind.OPERATION, name=name, nbytes=nbytes, repetitions=repetitions)
+
+    def add_child(self, child: "PatternNode") -> "PatternNode":
+        """Append *child* and return it (for chaining)."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # Predicates and simple properties
+    # ------------------------------------------------------------------
+    @property
+    def is_structural(self) -> bool:
+        """Whether this node is an imaginary ROOT/HANDLE/BLOCK node."""
+        return self.kind is not NodeKind.OPERATION
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node has no children."""
+        return not self.children
+
+    def depth(self) -> int:
+        """Distance from the root (the root has depth 0)."""
+        depth = 0
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    def size(self) -> int:
+        """Total number of nodes in the subtree rooted here."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def height(self) -> int:
+        """Height of the subtree rooted here (a leaf has height 0)."""
+        if not self.children:
+            return 0
+        return 1 + max(child.height() for child in self.children)
+
+    def leaf_count(self) -> int:
+        """Number of leaves in the subtree rooted here."""
+        if not self.children:
+            return 1
+        return sum(child.leaf_count() for child in self.children)
+
+    def total_repetitions(self) -> int:
+        """Sum of repetition counts over all operation nodes in this subtree.
+
+        The compaction rules preserve this quantity: merging two consecutive
+        operations adds their repetition counts, never loses them.  Property
+        tests rely on this invariant.
+        """
+        own = self.repetitions if self.kind is NodeKind.OPERATION else 0
+        return own + sum(child.total_repetitions() for child in self.children)
+
+    # ------------------------------------------------------------------
+    # Copying and equality
+    # ------------------------------------------------------------------
+    def copy(self) -> "PatternNode":
+        """Deep-copy the subtree rooted at this node (parent link dropped)."""
+        clone = PatternNode(
+            kind=self.kind,
+            name=self.name,
+            nbytes=self.nbytes,
+            repetitions=self.repetitions,
+        )
+        for child in self.children:
+            clone.add_child(child.copy())
+        return clone
+
+    def structurally_equal(self, other: "PatternNode") -> bool:
+        """Deep structural equality (kind, name, bytes, repetitions, children)."""
+        if (
+            self.kind is not other.kind
+            or self.name != other.name
+            or self.nbytes != other.nbytes
+            or self.repetitions != other.repetitions
+            or len(self.children) != len(other.children)
+        ):
+            return False
+        return all(a.structurally_equal(b) for a, b in zip(self.children, other.children))
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def iter_preorder(self) -> Iterator["PatternNode"]:
+        """Yield the subtree's nodes in pre-order (parent before children)."""
+        stack: List[PatternNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_leaves(self) -> Iterator["PatternNode"]:
+        """Yield the subtree's leaves left to right."""
+        for node in self.iter_preorder():
+            if node.is_leaf:
+                yield node
+
+    def find_operations(self, name: str) -> List["PatternNode"]:
+        """Return all operation nodes in this subtree with the given name."""
+        return [
+            node
+            for node in self.iter_preorder()
+            if node.kind is NodeKind.OPERATION and node.name == name
+        ]
+
+    # ------------------------------------------------------------------
+    # Debugging helpers
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        """Short human-readable label used by renderers."""
+        if self.kind is NodeKind.OPERATION:
+            return f"{self.name}[{self.nbytes}] x{self.repetitions}"
+        return f"[{self.kind.value}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"PatternNode({self.label()}, children={len(self.children)})"

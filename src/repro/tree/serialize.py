@@ -1,0 +1,87 @@
+"""Serialisation and rendering of access-pattern trees.
+
+Trees can be converted to/from plain dictionaries (for JSON persistence), to
+Graphviz ``dot`` source (for visual inspection) and to an indented ASCII
+rendering (used by the CLI and the examples).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.tree.node import NodeKind, PatternNode
+
+__all__ = ["tree_to_dict", "tree_from_dict", "tree_to_dot", "render_tree"]
+
+
+def tree_to_dict(node: PatternNode) -> Dict[str, Any]:
+    """Convert the subtree rooted at *node* into a JSON-friendly dictionary."""
+    payload: Dict[str, Any] = {
+        "kind": node.kind.value,
+        "name": node.name,
+        "nbytes": node.nbytes,
+        "repetitions": node.repetitions,
+    }
+    if node.children:
+        payload["children"] = [tree_to_dict(child) for child in node.children]
+    return payload
+
+
+def tree_from_dict(payload: Dict[str, Any]) -> PatternNode:
+    """Rebuild a tree from the dictionary produced by :func:`tree_to_dict`."""
+    try:
+        kind = NodeKind(payload["kind"])
+    except (KeyError, ValueError) as exc:
+        raise ValueError(f"invalid tree payload: {payload!r}") from exc
+    node = PatternNode(
+        kind=kind,
+        name=payload.get("name"),
+        nbytes=int(payload.get("nbytes", 0)),
+        repetitions=int(payload.get("repetitions", 1)),
+    )
+    for child_payload in payload.get("children", []):
+        node.add_child(tree_from_dict(child_payload))
+    return node
+
+
+def tree_to_dot(root: PatternNode, graph_name: str = "pattern") -> str:
+    """Render the tree as Graphviz ``dot`` source."""
+    lines: List[str] = [f"digraph {graph_name} {{", "  node [shape=box, fontname=monospace];"]
+    counter = 0
+
+    def visit(node: PatternNode) -> int:
+        nonlocal counter
+        node_id = counter
+        counter += 1
+        label = node.label().replace('"', "'")
+        lines.append(f'  n{node_id} [label="{label}"];')
+        for child in node.children:
+            child_id = visit(child)
+            lines.append(f"  n{node_id} -> n{child_id};")
+        return node_id
+
+    visit(root)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def render_tree(root: PatternNode, indent: str = "  ") -> str:
+    """Render the tree as an indented ASCII outline.
+
+    Example output::
+
+        [ROOT]
+          [HANDLE]
+            [BLOCK]
+              write[1024] x3
+              lseek+write[512] x2
+    """
+    lines: List[str] = []
+
+    def visit(node: PatternNode, depth: int) -> None:
+        lines.append(f"{indent * depth}{node.label()}")
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Traversal utilities for access-pattern trees.
+
+The string encoder needs a pre-order walk annotated with how many levels are
+ascended between consecutive nodes (the ``[LEVEL_UP]`` token weight).  This
+module provides that walk plus a few generic traversal helpers used by tests
+and the serialisers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.tree.node import NodeKind, PatternNode
+
+__all__ = ["PreorderStep", "preorder_with_level_changes", "preorder", "postorder", "breadth_first"]
+
+
+@dataclass(frozen=True)
+class PreorderStep:
+    """One step of the annotated pre-order walk.
+
+    Attributes
+    ----------
+    node:
+        The node visited at this step.
+    depth:
+        Depth of the node relative to the traversal root (root = 0).
+    levels_up:
+        How many levels the walk ascended *before* reaching this node from
+        the previously visited node.  Zero for the root and whenever the
+        previous node is this node's parent (descending is implicit in the
+        paper's encoding); positive when the walk returned from a deeper
+        subtree before moving to this node.
+    """
+
+    node: PatternNode
+    depth: int
+    levels_up: int
+
+
+def preorder(root: PatternNode) -> Iterator[PatternNode]:
+    """Plain pre-order traversal of the subtree rooted at *root*."""
+    yield from root.iter_preorder()
+
+
+def postorder(root: PatternNode) -> Iterator[PatternNode]:
+    """Post-order traversal (children before parent)."""
+    for child in root.children:
+        yield from postorder(child)
+    yield root
+
+
+def breadth_first(root: PatternNode) -> Iterator[PatternNode]:
+    """Level-order traversal."""
+    queue: List[PatternNode] = [root]
+    while queue:
+        node = queue.pop(0)
+        yield node
+        queue.extend(node.children)
+
+
+def preorder_with_level_changes(root: PatternNode) -> List[PreorderStep]:
+    """Pre-order walk annotated with the number of levels ascended.
+
+    This is exactly the information needed to emit ``[LEVEL_UP]`` tokens: when
+    the walk moves from a node at depth ``d1`` to the next pre-order node at
+    depth ``d2``:
+
+    * if ``d2 == d1 + 1`` the next node is a child — no token is needed
+      because a descent of one level is implicit between adjacent tokens;
+    * if ``d2 <= d1`` the walk ascended ``d1 - d2 + 1`` levels before
+      descending one level into the next node's subtree.  The paper encodes
+      this as a ``[LEVEL_UP]`` token whose weight is the number of levels
+      jumped.
+
+    The returned list contains one :class:`PreorderStep` per node; the
+    ``levels_up`` of step *i* describes the transition from node *i - 1* to
+    node *i* (and is 0 for the first node).
+    """
+    steps: List[PreorderStep] = []
+    previous_depth: Optional[int] = None
+
+    def visit(node: PatternNode, depth: int) -> None:
+        nonlocal previous_depth
+        if previous_depth is None or depth == previous_depth + 1:
+            levels_up = 0
+        else:
+            # Moving to a sibling (same depth) means ascending 1 level and
+            # descending again; moving to an uncle means ascending 2; etc.
+            levels_up = previous_depth - depth + 1
+        steps.append(PreorderStep(node=node, depth=depth, levels_up=levels_up))
+        previous_depth = depth
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return steps
+
+
+def operation_sequence(root: PatternNode) -> List[Tuple[str, int, int]]:
+    """Flatten the tree's operation leaves to ``(name, nbytes, repetitions)``.
+
+    Handy in tests for asserting what the compaction rules produced without
+    caring about the structural nodes.
+    """
+    return [
+        (node.name, node.nbytes, node.repetitions)
+        for node in root.iter_preorder()
+        if node.kind is NodeKind.OPERATION
+    ]
+
+
+__all__.append("operation_sequence")

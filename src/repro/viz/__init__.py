@@ -1,0 +1,6 @@
+"""Text-based visualisation of the analysis results (ASCII scatter plots and dendrograms)."""
+
+from repro.viz.dendro import ascii_dendrogram, cluster_tree_summary
+from repro.viz.scatter import ascii_scatter, scatter_from_kpca
+
+__all__ = ["ascii_dendrogram", "cluster_tree_summary", "ascii_scatter", "scatter_from_kpca"]

@@ -1,0 +1,96 @@
+"""ASCII dendrogram rendering.
+
+The paper's Figures 7 and 9 are dendrograms of the single-linkage
+hierarchical clustering.  This renderer draws the merge tree sideways
+(leaves on the left, root on the right), scaling merge heights onto a fixed
+number of character columns, which is enough to see the grouping structure
+and the relative merge heights the figures convey.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.learn.dendrogram import Dendrogram
+
+__all__ = ["ascii_dendrogram", "cluster_tree_summary"]
+
+
+def ascii_dendrogram(dendrogram: Dendrogram, width: int = 60, max_leaves: int = 60) -> str:
+    """Render *dendrogram* as sideways ASCII art.
+
+    Leaves are listed top to bottom in the tree-induced order; each merge is
+    drawn as a bracket at a column proportional to its height.  For corpora
+    larger than *max_leaves*, leaves are summarised per label to keep the
+    rendering readable (the paper's own figures do the same by colouring).
+    """
+    if dendrogram.n_leaves == 0:
+        return "(empty dendrogram)"
+    if dendrogram.n_leaves > max_leaves:
+        return cluster_tree_summary(dendrogram)
+
+    order = dendrogram.leaf_order()
+    heights = dendrogram.heights()
+    max_height = max(heights) if heights else 1.0
+    if max_height <= 0:
+        max_height = 1.0
+
+    def leaf_name(index: int) -> str:
+        if dendrogram.names:
+            name = dendrogram.names[index]
+        else:
+            name = f"#{index}"
+        label = dendrogram.labels[index] if dendrogram.labels else None
+        return f"{name} ({label})" if label else name
+
+    name_width = max(len(leaf_name(index)) for index in order) + 1
+    position_of = {leaf: row for row, leaf in enumerate(order)}
+    lines = [leaf_name(leaf).ljust(name_width) + "|" for leaf in order]
+
+    # Track, for every active cluster, the row its branch currently occupies
+    # and the column it has been drawn up to.
+    row_of: Dict[int, int] = {leaf: position_of[leaf] for leaf in order}
+    column_of: Dict[int, int] = {leaf: 0 for leaf in order}
+
+    for merge_index, merge in enumerate(dendrogram.merges):
+        cluster_id = dendrogram.n_leaves + merge_index
+        column = max(1, int(round(merge.height / max_height * (width - 1))))
+        left_row = row_of[merge.left]
+        right_row = row_of[merge.right]
+        top, bottom = sorted((left_row, right_row))
+        for child in (merge.left, merge.right):
+            child_row = row_of[child]
+            start = column_of[child]
+            padding = "-" * max(0, column - start)
+            lines[child_row] = lines[child_row] + padding + "+"
+        row_of[cluster_id] = top
+        column_of[cluster_id] = column + 1
+    return "\n".join(lines)
+
+
+def cluster_tree_summary(dendrogram: Dendrogram, levels: Sequence[int] = (2, 3, 4)) -> str:
+    """Summarise a large dendrogram by its label composition at a few cuts."""
+    lines: List[str] = [f"dendrogram over {dendrogram.n_leaves} leaves (summary)"]
+    for n_clusters in levels:
+        if n_clusters >= dendrogram.n_leaves:
+            continue
+        assignments = dendrogram.cut_into(n_clusters)
+        composition: Dict[int, Dict[str, int]] = {}
+        for index, cluster in enumerate(assignments):
+            label = dendrogram.labels[index] if dendrogram.labels else "?"
+            composition.setdefault(cluster, {}).setdefault(label or "?", 0)
+            composition[cluster][label or "?"] += 1
+        parts = []
+        for cluster in sorted(composition):
+            counts = ", ".join(f"{label}:{count}" for label, count in sorted(composition[cluster].items()))
+            parts.append(f"{{{counts}}}")
+        heights = dendrogram.heights()
+        boundary = len(heights) - (n_clusters - 1)
+        gap = ""
+        if 0 < boundary <= len(heights) - 1:
+            kept = heights[:boundary]
+            undone = heights[boundary:]
+            if kept and undone and max(kept) > 0:
+                gap = f"  (separation ratio {min(undone) / max(kept):.2f})"
+        lines.append(f"  {n_clusters} clusters: " + "  ".join(parts) + gap)
+    return "\n".join(lines)

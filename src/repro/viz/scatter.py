@@ -1,0 +1,91 @@
+"""ASCII scatter plots of Kernel PCA embeddings.
+
+The paper's Figures 6 and 8 are 2-D scatter plots of the Kernel PCA
+projection, with each point labelled by its category.  In a text-only
+environment the same information is rendered as a character grid: each cell
+shows the label of the example(s) falling into it (``*`` when several labels
+collide).  The benchmarks embed these renderings in their console output and
+EXPERIMENTS.md quotes them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "scatter_from_kpca"]
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    labels: Optional[Sequence[str]] = None,
+    width: int = 72,
+    height: int = 24,
+    title: str = "",
+) -> str:
+    """Render points as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    x, y:
+        Point coordinates (equal length).
+    labels:
+        One-character-per-point markers; longer labels are truncated to their
+        first character.  Defaults to ``"."`` for every point.
+    width, height:
+        Size of the character grid.
+    title:
+        Optional title line.
+    """
+    points_x = np.asarray(list(x), dtype=float)
+    points_y = np.asarray(list(y), dtype=float)
+    if points_x.shape != points_y.shape:
+        raise ValueError("x and y must have the same length")
+    count = points_x.size
+    if labels is None:
+        markers = ["."] * count
+    else:
+        markers = [str(label)[0] if str(label) else "." for label in labels]
+        if len(markers) != count:
+            raise ValueError("labels must have the same length as the points")
+    if count == 0:
+        return title + "\n(no points)"
+
+    min_x, max_x = float(points_x.min()), float(points_x.max())
+    min_y, max_y = float(points_y.min()), float(points_y.max())
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for px, py, marker in zip(points_x, points_y, markers):
+        column = int((px - min_x) / span_x * (width - 1))
+        row = int((py - min_y) / span_y * (height - 1))
+        row = height - 1 - row  # y axis grows upwards
+        current = grid[row][column]
+        if current == " ":
+            grid[row][column] = marker
+        elif current != marker:
+            grid[row][column] = "*"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"x: [{min_x:.3f}, {max_x:.3f}]   y: [{min_y:.3f}, {max_y:.3f}]")
+    return "\n".join(lines)
+
+
+def scatter_from_kpca(result, width: int = 72, height: int = 24, title: str = "") -> str:
+    """Render the first two components of a :class:`KernelPCAResult`."""
+    embedding = result.embedding
+    if embedding.shape[1] < 2:
+        padded = np.zeros((embedding.shape[0], 2))
+        padded[:, : embedding.shape[1]] = embedding
+        embedding = padded
+    labels = [label if label is not None else "?" for label in (result.labels or ["?"] * embedding.shape[0])]
+    return ascii_scatter(embedding[:, 0], embedding[:, 1], labels=labels, width=width, height=height, title=title)

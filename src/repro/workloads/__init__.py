@@ -1,0 +1,50 @@
+"""Synthetic workload generators replacing the paper's captured HPC traces.
+
+* :mod:`repro.workloads.base` — generator framework;
+* :mod:`repro.workloads.flash_io` — category A (FLASH-IO style writes);
+* :mod:`repro.workloads.random_posix` — category B (lseek-heavy random POSIX);
+* :mod:`repro.workloads.normal_io` — category C (sequential fixed-size IOR);
+* :mod:`repro.workloads.random_access` — category D (random-offset fixed-size
+  IOR without explicit seeks);
+* :mod:`repro.workloads.ior` — general configurable IOR-like generator and
+  the shared benchmark harness phases;
+* :mod:`repro.workloads.corpus` — the 110-example evaluation corpus of
+  section 4.1.
+"""
+
+from repro.workloads.base import OperationEmitter, WorkloadConfig, WorkloadGenerator
+from repro.workloads.corpus import (
+    PAPER_CLASS_SIZES,
+    PAPER_COPIES_PER_ORIGINAL,
+    PAPER_ORIGINAL_COUNTS,
+    CorpusConfig,
+    CorpusSummary,
+    build_corpus,
+    summarise_corpus_counts,
+)
+from repro.workloads.flash_io import FlashIOGenerator
+from repro.workloads.ior import IORGenerator, IORParameters, emit_harness_epilogue, emit_harness_prologue
+from repro.workloads.normal_io import NormalIOGenerator
+from repro.workloads.random_access import RandomAccessGenerator
+from repro.workloads.random_posix import RandomPosixGenerator
+
+__all__ = [
+    "OperationEmitter",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "PAPER_CLASS_SIZES",
+    "PAPER_COPIES_PER_ORIGINAL",
+    "PAPER_ORIGINAL_COUNTS",
+    "CorpusConfig",
+    "CorpusSummary",
+    "build_corpus",
+    "summarise_corpus_counts",
+    "FlashIOGenerator",
+    "IORGenerator",
+    "IORParameters",
+    "emit_harness_epilogue",
+    "emit_harness_prologue",
+    "NormalIOGenerator",
+    "RandomAccessGenerator",
+    "RandomPosixGenerator",
+]

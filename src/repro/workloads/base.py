@@ -1,0 +1,157 @@
+"""Base machinery for synthetic I/O workload generators.
+
+The paper's corpus comes from real traces of the IOR benchmark and the
+FLASH-IO benchmark captured on an HPC system — data we do not have.  The
+generators in this subpackage are the substitution documented in DESIGN.md:
+they emit plain :class:`~repro.traces.model.IOTrace` objects whose operation
+streams carry the structural signatures the paper attributes to each of its
+four categories.  Because the kernel only ever sees operation names, handles,
+byte counts and ordering, reproducing those signatures is sufficient to
+reproduce the clustering behaviour.
+
+Every generator:
+
+* is deterministic given a seed;
+* labels its traces with the paper's category letter (``A``/``B``/``C``/``D``);
+* produces traces that pass :func:`repro.traces.model.validate_trace`
+  (matched open/close pairs, no zero-byte data operations).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.traces.model import IOOperation, IOTrace, TraceMetadata
+
+__all__ = ["WorkloadConfig", "WorkloadGenerator", "OperationEmitter"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters shared by all workload generators.
+
+    Attributes
+    ----------
+    files:
+        Number of files (handles) the traced program touches.
+    operations_per_file:
+        Approximate number of data operations issued per file.
+    base_request_size:
+        Typical payload size in bytes for one data operation.
+    seed:
+        Seed for the generator's random number generator.
+    ranks:
+        Number of MPI ranks the synthetic application pretends to have; it
+        only affects metadata and the number of handles for rank-private
+        file layouts.
+    """
+
+    files: int = 2
+    operations_per_file: int = 24
+    base_request_size: int = 4096
+    seed: Optional[int] = None
+    ranks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.files < 1:
+            raise ValueError(f"files must be >= 1, got {self.files}")
+        if self.operations_per_file < 1:
+            raise ValueError(f"operations_per_file must be >= 1, got {self.operations_per_file}")
+        if self.base_request_size < 1:
+            raise ValueError(f"base_request_size must be >= 1, got {self.base_request_size}")
+        if self.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {self.ranks}")
+
+
+class OperationEmitter:
+    """Small helper accumulating operations with automatic timestamps."""
+
+    def __init__(self) -> None:
+        self._operations: List[IOOperation] = []
+
+    def emit(self, name: str, handle: str, nbytes: int = 0, offset: Optional[int] = None) -> None:
+        """Append one operation."""
+        self._operations.append(
+            IOOperation(
+                name=name,
+                handle=handle,
+                nbytes=nbytes,
+                offset=offset,
+                timestamp=len(self._operations),
+            )
+        )
+
+    def operations(self) -> List[IOOperation]:
+        """All operations emitted so far, in order."""
+        return list(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+
+class WorkloadGenerator(abc.ABC):
+    """Abstract base class for the category generators.
+
+    Subclasses implement :meth:`_generate_operations`; the base class takes
+    care of naming, labelling, metadata and seeding.
+    """
+
+    #: Category label attached to generated traces (the paper's A/B/C/D).
+    label: str = "?"
+    #: Human-readable description used in trace metadata and reports.
+    description: str = ""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None) -> None:
+        self.config = config or WorkloadConfig()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(self, name: Optional[str] = None, seed: Optional[int] = None) -> IOTrace:
+        """Generate one trace.
+
+        Parameters
+        ----------
+        name:
+            Trace name; defaults to ``"<label>_<seed>"``.
+        seed:
+            Override the config seed for this particular trace (used by the
+            corpus builder to derive many distinct originals from one
+            generator instance).
+        """
+        effective_seed = seed if seed is not None else self.config.seed
+        rng = random.Random(effective_seed)
+        emitter = OperationEmitter()
+        self._generate_operations(emitter, rng)
+        trace_name = name or f"{self.label}_{effective_seed if effective_seed is not None else 'x'}"
+        metadata = TraceMetadata(
+            application=self.__class__.__name__,
+            benchmark=self.benchmark_name(),
+            ranks=self.config.ranks,
+            description=self.description,
+        )
+        return IOTrace.from_operations(emitter.operations(), name=trace_name, label=self.label, metadata=metadata)
+
+    def generate_many(self, count: int, seed: Optional[int] = None) -> List[IOTrace]:
+        """Generate *count* traces with distinct derived seeds."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        base_seed = seed if seed is not None else (self.config.seed or 0)
+        return [
+            self.generate(name=f"{self.label}_{base_seed + index}", seed=base_seed + index)
+            for index in range(count)
+        ]
+
+    def benchmark_name(self) -> str:
+        """Name of the benchmark this generator imitates (for metadata)."""
+        return self.__class__.__name__
+
+    # ------------------------------------------------------------------
+    # To be provided by subclasses
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _generate_operations(self, emitter: OperationEmitter, rng: random.Random) -> None:
+        """Emit the operation stream of one trace into *emitter*."""

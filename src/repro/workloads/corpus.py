@@ -1,0 +1,159 @@
+"""Assembly of the paper's evaluation corpus.
+
+Section 4.1: the patterns come from two parallel I/O benchmarks and four
+forms of accessing storage — Flash I/O (A), Random POSIX I/O (B), Normal I/O
+(C) and Random Access I/O (D).  For each original pattern four synthetic
+mutated copies were created, growing 22 originals into 110 examples
+distributed as A: 50, B: 20, C: 20, D: 20.
+
+That distribution fixes the original counts: 10 A + 4 B + 4 C + 4 D = 22
+originals, each expanded by 4 copies (x5) to 50/20/20/20 = 110.
+
+:func:`build_corpus` reproduces this construction with the synthetic
+generators; everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.traces.model import IOTrace
+from repro.traces.mutation import MutationConfig, TraceMutator
+from repro.workloads.base import WorkloadGenerator
+from repro.workloads.flash_io import FlashIOGenerator
+from repro.workloads.normal_io import NormalIOGenerator
+from repro.workloads.random_access import RandomAccessGenerator
+from repro.workloads.random_posix import RandomPosixGenerator
+
+__all__ = ["CorpusConfig", "CorpusSummary", "build_corpus", "PAPER_CLASS_SIZES", "PAPER_ORIGINAL_COUNTS"]
+
+#: Final class sizes reported in section 4.1.
+PAPER_CLASS_SIZES: Dict[str, int] = {"A": 50, "B": 20, "C": 20, "D": 20}
+
+#: Number of original (un-mutated) patterns per class implied by the paper's
+#: "22 examples ... 4 additional synthetic copies" construction.
+PAPER_ORIGINAL_COUNTS: Dict[str, int] = {"A": 10, "B": 4, "C": 4, "D": 4}
+
+#: Copies per original ("4 additional synthetic copies").
+PAPER_COPIES_PER_ORIGINAL = 4
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Parameters of the corpus construction.
+
+    Attributes
+    ----------
+    originals_per_class:
+        Number of original traces per class label.  Defaults to the paper's
+        implied counts (10/4/4/4).
+    copies_per_original:
+        Mutated copies added per original (the paper uses 4).
+    seed:
+        Master seed; originals and mutations derive their own seeds from it.
+    mutation:
+        Mutation configuration; defaults to :meth:`MutationConfig.paper_corpus`.
+    """
+
+    originals_per_class: Dict[str, int] = field(default_factory=lambda: dict(PAPER_ORIGINAL_COUNTS))
+    copies_per_original: int = PAPER_COPIES_PER_ORIGINAL
+    seed: int = 2017
+    mutation: Optional[MutationConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.copies_per_original < 0:
+            raise ValueError("copies_per_original must be >= 0")
+        for label, count in self.originals_per_class.items():
+            if count < 1:
+                raise ValueError(f"originals_per_class[{label!r}] must be >= 1, got {count}")
+
+    @classmethod
+    def paper(cls, seed: int = 2017) -> "CorpusConfig":
+        """The paper's construction: 22 originals -> 110 examples."""
+        return cls(seed=seed)
+
+    @classmethod
+    def small(cls, seed: int = 2017) -> "CorpusConfig":
+        """A reduced corpus (2 originals per class, 1 copy each) for fast tests."""
+        return cls(
+            originals_per_class={"A": 2, "B": 2, "C": 2, "D": 2},
+            copies_per_original=1,
+            seed=seed,
+        )
+
+    def expected_total(self) -> int:
+        """Total number of examples the corpus will contain."""
+        return sum(self.originals_per_class.values()) * (1 + self.copies_per_original)
+
+
+@dataclass(frozen=True)
+class CorpusSummary:
+    """Counts describing a built corpus."""
+
+    total: int
+    per_label: Dict[str, int]
+    originals: int
+    copies: int
+
+
+def _generator_for(label: str) -> WorkloadGenerator:
+    generators = {
+        "A": FlashIOGenerator,
+        "B": RandomPosixGenerator,
+        "C": NormalIOGenerator,
+        "D": RandomAccessGenerator,
+    }
+    try:
+        return generators[label]()
+    except KeyError as exc:
+        raise ValueError(f"unknown corpus class label: {label!r}") from exc
+
+
+def build_corpus(config: Optional[CorpusConfig] = None) -> List[IOTrace]:
+    """Build the labelled trace corpus described by *config*.
+
+    Returns the traces ordered by class label (A block first, then B, C, D),
+    originals followed immediately by their mutated copies — the same kind of
+    layout the paper's similarity-matrix figures use.
+    """
+    config = config or CorpusConfig.paper()
+    mutation_config = config.mutation or MutationConfig.paper_corpus()
+    corpus: List[IOTrace] = []
+    class_offset = 0
+    for label in sorted(config.originals_per_class):
+        generator = _generator_for(label)
+        originals_count = config.originals_per_class[label]
+        base_seed = config.seed + class_offset * 1000
+        originals = generator.generate_many(originals_count, seed=base_seed)
+        for original_index, original in enumerate(originals):
+            named = original.with_name(f"{label}{original_index:02d}")
+            corpus.append(named)
+            mutator = TraceMutator(
+                config=mutation_config,
+                seed=config.seed + class_offset * 1000 + 100 + original_index,
+            )
+            for copy_index, copy in enumerate(mutator.mutate_many(named, config.copies_per_original)):
+                corpus.append(copy.with_name(f"{label}{original_index:02d}_m{copy_index + 1}"))
+        class_offset += 1
+    return corpus
+
+
+def summarise_corpus_counts(traces: Sequence[IOTrace]) -> CorpusSummary:
+    """Count examples per label and originals vs mutated copies."""
+    per_label: Dict[str, int] = {}
+    copies = 0
+    for trace in traces:
+        label = trace.label or "?"
+        per_label[label] = per_label.get(label, 0) + 1
+        if "_m" in trace.name:
+            copies += 1
+    return CorpusSummary(
+        total=len(traces),
+        per_label=per_label,
+        originals=len(traces) - copies,
+        copies=copies,
+    )
+
+
+__all__.append("summarise_corpus_counts")

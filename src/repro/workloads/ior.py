@@ -1,0 +1,163 @@
+"""IOR-style workload generation.
+
+Three of the paper's four categories (Random POSIX I/O, Normal I/O and
+Random Access I/O) come from the IOR benchmark (Loewe, McLarty & Morrone)
+run with different access options.  Real IOR runs share a common *harness*
+around the measured data phase: the binary reads its configuration/script
+file at start-up and appends a results log at the end.  That shared harness
+matters for the reproduction: it is I/O that categories B, C and D have in
+common (they are the same binary) and category A (FLASH-IO, a different
+application) does not — which is what lets the short-substring baseline
+kernels see B, C and D as one family while the Kast kernel still tells them
+apart by their dominant data-phase structure.
+
+This module provides
+
+* :func:`emit_harness_prologue` / :func:`emit_harness_epilogue` — the shared
+  harness phases, used by the category B/C/D generators;
+* :class:`IORParameters` and :class:`IORGenerator` — a general configurable
+  IOR-like generator (API selection, block/transfer sizes, sequential or
+  random offsets, optional read-back) for users who want workloads beyond
+  the four canned categories.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.workloads.base import OperationEmitter, WorkloadConfig, WorkloadGenerator
+
+__all__ = ["emit_harness_prologue", "emit_harness_epilogue", "IORParameters", "IORGenerator"]
+
+#: Size of one configuration-file read in the harness prologue.
+_CONFIG_READ_SIZE = 512
+#: Number of configuration reads.
+_CONFIG_READ_COUNT = 4
+#: Size of one results-log write in the harness epilogue.
+_LOG_WRITE_SIZE = 256
+#: Number of log writes.
+_LOG_WRITE_COUNT = 3
+
+
+def emit_harness_prologue(emitter: OperationEmitter, handle: str = "ior_config") -> None:
+    """Emit the benchmark start-up phase: read the configuration/script file.
+
+    Identical for every IOR-style category so that the corresponding token
+    run is shared verbatim by categories B, C and D.
+    """
+    emitter.emit("open", handle)
+    for _ in range(_CONFIG_READ_COUNT):
+        emitter.emit("read", handle, _CONFIG_READ_SIZE)
+    emitter.emit("close", handle)
+
+
+def emit_harness_epilogue(emitter: OperationEmitter, handle: str = "ior_log") -> None:
+    """Emit the benchmark shutdown phase: append the results log."""
+    emitter.emit("open", handle)
+    for _ in range(_LOG_WRITE_COUNT):
+        emitter.emit("write", handle, _LOG_WRITE_SIZE)
+    emitter.emit("close", handle)
+
+
+@dataclass(frozen=True)
+class IORParameters:
+    """Options of one IOR-like run (a small subset of real IOR's flags).
+
+    Attributes
+    ----------
+    api:
+        ``"posix"`` or ``"mpiio"`` — selects the operation names emitted.
+    transfer_size:
+        Bytes moved per data operation (IOR ``-t``).
+    transfers_per_block:
+        Data operations per block (IOR block size / transfer size).
+    segments:
+        Number of blocks written per file (IOR ``-s``).
+    random_offsets:
+        Seek to a random block before each transfer (IOR ``-z``); under the
+        POSIX API this emits explicit ``lseek`` operations.
+    read_back:
+        Re-read the data after writing (IOR ``-r`` following ``-w``).
+    fsync:
+        Issue ``fsync`` after the write phase (IOR ``-e``).
+    include_harness:
+        Emit the shared configuration-read / log-write phases.
+    """
+
+    api: str = "posix"
+    transfer_size: int = 4096
+    transfers_per_block: int = 8
+    segments: int = 3
+    random_offsets: bool = False
+    read_back: bool = True
+    fsync: bool = True
+    include_harness: bool = True
+
+    def __post_init__(self) -> None:
+        if self.api not in ("posix", "mpiio"):
+            raise ValueError(f"api must be 'posix' or 'mpiio', got {self.api!r}")
+        if self.transfer_size < 1:
+            raise ValueError("transfer_size must be >= 1")
+        if self.transfers_per_block < 1:
+            raise ValueError("transfers_per_block must be >= 1")
+        if self.segments < 1:
+            raise ValueError("segments must be >= 1")
+
+
+class IORGenerator(WorkloadGenerator):
+    """General IOR-like generator parameterised by :class:`IORParameters`."""
+
+    label = "IOR"
+    description = "Configurable IOR-like workload"
+
+    def __init__(
+        self,
+        parameters: Optional[IORParameters] = None,
+        config: Optional[WorkloadConfig] = None,
+    ) -> None:
+        super().__init__(config or WorkloadConfig(files=1))
+        self.parameters = parameters or IORParameters()
+
+    def benchmark_name(self) -> str:
+        return f"IOR ({self.parameters.api})"
+
+    def _operation_names(self) -> tuple:
+        if self.parameters.api == "mpiio":
+            return "mpi_write", "mpi_read"
+        return "write", "read"
+
+    def _generate_operations(self, emitter: OperationEmitter, rng: random.Random) -> None:
+        parameters = self.parameters
+        write_name, read_name = self._operation_names()
+        if parameters.include_harness:
+            emit_harness_prologue(emitter)
+        transfer = parameters.transfer_size
+        span = transfer * parameters.transfers_per_block * parameters.segments * 4
+        for file_index in range(self.config.files):
+            handle = f"ior{file_index}"
+            emitter.emit("open", handle)
+            offset = 0
+            for _ in range(parameters.segments):
+                for _ in range(parameters.transfers_per_block):
+                    if parameters.random_offsets:
+                        offset = rng.randrange(0, span, transfer)
+                        if parameters.api == "posix":
+                            emitter.emit("lseek", handle, 0, offset=offset)
+                    emitter.emit(write_name, handle, transfer, offset=offset)
+                    offset += transfer
+            if parameters.fsync:
+                emitter.emit("fsync", handle)
+            if parameters.read_back:
+                offset = 0
+                for _ in range(parameters.segments * parameters.transfers_per_block // 2):
+                    if parameters.random_offsets:
+                        offset = rng.randrange(0, span, transfer)
+                        if parameters.api == "posix":
+                            emitter.emit("lseek", handle, 0, offset=offset)
+                    emitter.emit(read_name, handle, transfer, offset=offset)
+                    offset += transfer
+            emitter.emit("close", handle)
+        if parameters.include_harness:
+            emit_harness_epilogue(emitter)

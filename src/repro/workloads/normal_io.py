@@ -1,0 +1,56 @@
+"""Category C — Normal I/O.
+
+Sequential, fixed-transfer-size, write-only access in the style of a default
+``IOR -w`` run: each file is streamed from start to end with a constant
+transfer size and flushed at the end.  No explicit seeks are needed because
+the file position advances implicitly.  The run is wrapped in the IOR harness
+(configuration read, results log write) shared with categories B and D.
+
+Together with category D (random access of the same fixed-size transfers)
+this category forms the pair that the paper found "shared roughly the same
+pattern" and therefore collapsed into one cluster — the string representation
+deliberately ignores offsets, so the only differences left between C and D
+are incidental.  Keeping both categories write-only also preserves the
+paper's observation about the byte-free string variant: without byte values
+the write streams of categories A, C and D become indistinguishable and only
+the lseek-heavy category B still stands out (section 4.2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import OperationEmitter, WorkloadConfig, WorkloadGenerator
+from repro.workloads.ior import emit_harness_epilogue, emit_harness_prologue
+
+__all__ = ["NormalIOGenerator"]
+
+
+class NormalIOGenerator(WorkloadGenerator):
+    """Synthetic sequential fixed-size read/write workload (category C)."""
+
+    label = "C"
+    description = "Normal I/O: sequential fixed-size writes (IOR -w style)"
+
+    def __init__(self, config: WorkloadConfig = None) -> None:  # type: ignore[assignment]
+        super().__init__(config or WorkloadConfig(files=2, operations_per_file=24, base_request_size=4096))
+
+    def benchmark_name(self) -> str:
+        return "IOR (POSIX, sequential)"
+
+    def _generate_operations(self, emitter: OperationEmitter, rng: random.Random) -> None:
+        transfer = self.config.base_request_size
+        # Small run-to-run variation in phase length keeps originals distinct
+        # without changing the structural signature.
+        writes = self.config.operations_per_file + rng.randint(-2, 2)
+        emit_harness_prologue(emitter)
+        for file_index in range(self.config.files):
+            handle = f"seq{file_index}"
+            emitter.emit("open", handle)
+            offset = 0
+            for _ in range(writes):
+                emitter.emit("write", handle, transfer, offset=offset)
+                offset += transfer
+            emitter.emit("fsync", handle)
+            emitter.emit("close", handle)
+        emit_harness_epilogue(emitter)

@@ -1,0 +1,56 @@
+"""Category B — Random POSIX I/O.
+
+The paper's description of why category B separates cleanly (section 4.2):
+"(B) examples contained lseek operations not seen elsewhere."  This generator
+imitates an IOR run in POSIX API mode with a randomised access pattern: each
+data transfer is preceded by an explicit ``lseek`` to a random offset, which
+is the tell-tale operation of the category.  Reads and writes of a fixed
+transfer size alternate between a write phase and a read-back phase, as IOR
+does, and the run is wrapped in the IOR harness (configuration read, results
+log write) shared with categories C and D.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import OperationEmitter, WorkloadConfig, WorkloadGenerator
+from repro.workloads.ior import emit_harness_epilogue, emit_harness_prologue
+
+__all__ = ["RandomPosixGenerator"]
+
+
+class RandomPosixGenerator(WorkloadGenerator):
+    """Synthetic random-offset POSIX workload with explicit seeks (category B)."""
+
+    label = "B"
+    description = "Random POSIX I/O: lseek to random offsets before each fixed-size transfer"
+
+    def __init__(self, config: WorkloadConfig = None) -> None:  # type: ignore[assignment]
+        super().__init__(config or WorkloadConfig(files=2, operations_per_file=24, base_request_size=4096))
+
+    def benchmark_name(self) -> str:
+        return "IOR (POSIX, random)"
+
+    def _generate_operations(self, emitter: OperationEmitter, rng: random.Random) -> None:
+        transfer = self.config.base_request_size
+        file_span = transfer * self.config.operations_per_file * 4
+        writes = self.config.operations_per_file + rng.randint(-2, 2)
+        reads = max(4, writes // 2 + rng.randint(-1, 1))
+        emit_harness_prologue(emitter)
+        for file_index in range(self.config.files):
+            handle = f"data{file_index}"
+            emitter.emit("open", handle)
+            # Write phase: seek to a random aligned offset, then write.
+            for _ in range(writes):
+                offset = rng.randrange(0, file_span, transfer)
+                emitter.emit("lseek", handle, 0, offset=offset)
+                emitter.emit("write", handle, transfer, offset=offset)
+            emitter.emit("fsync", handle)
+            # Read-back phase: seek + read, again at random offsets.
+            for _ in range(reads):
+                offset = rng.randrange(0, file_span, transfer)
+                emitter.emit("lseek", handle, 0, offset=offset)
+                emitter.emit("read", handle, transfer, offset=offset)
+            emitter.emit("close", handle)
+        emit_harness_epilogue(emitter)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.writer import write_trace
+from repro.workloads.normal_io import NormalIOGenerator
+from repro.workloads.random_posix import RandomPosixGenerator
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("generate", "convert", "compare", "experiment", "sweep"):
+            assert parser.parse_args([command] + _minimal_args(command)).command == command
+
+
+def _minimal_args(command: str):
+    return {
+        "generate": ["out"],
+        "convert": ["x.trace"],
+        "compare": ["a.trace", "b.trace"],
+        "experiment": ["worked-example"],
+        "sweep": [],
+    }[command]
+
+
+class TestCommands:
+    def test_generate_small_corpus(self, tmp_path, capsys):
+        output = tmp_path / "corpus"
+        assert main(["generate", str(output), "--small", "--seed", "5"]) == 0
+        files = list(output.glob("*.trace"))
+        assert len(files) == 16
+        assert "wrote 16 traces" in capsys.readouterr().out
+
+    def test_convert_prints_weighted_string(self, tmp_path, capsys):
+        path = tmp_path / "c.trace"
+        write_trace(NormalIOGenerator().generate(seed=1), path)
+        assert main(["convert", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "[ROOT]" in out
+        # The sequential write run fuses with the trailing fsync (rule 4).
+        assert "write+fsync[4096]" in out
+
+    def test_convert_without_bytes(self, tmp_path, capsys):
+        path = tmp_path / "c.trace"
+        write_trace(NormalIOGenerator().generate(seed=1), path)
+        assert main(["convert", str(path), "--no-bytes"]) == 0
+        assert "[4096]" not in capsys.readouterr().out
+
+    def test_compare_same_category(self, tmp_path, capsys):
+        first = tmp_path / "a.trace"
+        second = tmp_path / "b.trace"
+        write_trace(NormalIOGenerator().generate(seed=1), first)
+        write_trace(NormalIOGenerator().generate(seed=2), second)
+        assert main(["compare", str(first), str(second), "--cut-weight", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "normalised kernel value" in out
+
+    def test_compare_cross_category_lower_than_same(self, tmp_path, capsys):
+        def similarity(path_a, path_b):
+            main(["compare", str(path_a), str(path_b)])
+            out = capsys.readouterr().out
+            return float(out.strip().splitlines()[-1].split(":")[-1])
+
+        a1, a2, b1 = tmp_path / "a1", tmp_path / "a2", tmp_path / "b1"
+        write_trace(NormalIOGenerator().generate(seed=1), a1)
+        write_trace(NormalIOGenerator().generate(seed=2), a2)
+        write_trace(RandomPosixGenerator().generate(seed=1), b1)
+        assert similarity(a1, a2) > similarity(a1, b1)
+
+    def test_worked_example_command(self, capsys):
+        assert main(["experiment", "worked-example"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel_value: 1018.0" in out
+
+    def test_console_script_entry_point_registered(self):
+        # The pyproject declares repro-iokast = repro.cli:main.
+        from repro import cli
+
+        assert callable(cli.main)

@@ -1,0 +1,57 @@
+"""Tests for the Kast embedding feature objects (repro.core.features)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.features import KastEmbedding, KastFeature, Occurrence
+
+
+class TestOccurrence:
+    def test_end_and_contains(self):
+        outer = Occurrence(start=2, length=5, weight=20)
+        inner = Occurrence(start=3, length=2, weight=7)
+        disjoint = Occurrence(start=10, length=2, weight=5)
+        assert outer.end == 7
+        assert outer.contains(inner)
+        assert outer.contains(outer)
+        assert not outer.contains(disjoint)
+        assert not inner.contains(outer)
+
+    def test_contains_requires_full_containment(self):
+        outer = Occurrence(start=0, length=3, weight=3)
+        straddling = Occurrence(start=2, length=3, weight=3)
+        assert not outer.contains(straddling)
+
+
+class TestKastFeature:
+    def test_product_and_length(self):
+        feature = KastFeature(
+            literals=("a", "b"),
+            weight_in_a=3,
+            weight_in_b=5,
+            occurrences_a=(Occurrence(0, 2, 3),),
+            occurrences_b=(Occurrence(1, 2, 5),),
+        )
+        assert feature.length == 2
+        assert feature.product == 15
+        assert "a b" in feature.describe()
+
+
+class TestKastEmbedding:
+    def test_vectors_and_len(self):
+        features = (
+            KastFeature(("a",), 1, 2, (Occurrence(0, 1, 1),), (Occurrence(0, 1, 2),)),
+            KastFeature(("b", "c"), 3, 4, (Occurrence(1, 2, 3),), (Occurrence(1, 2, 4),)),
+        )
+        embedding = KastEmbedding(features=features, cut_weight=2, kernel_value=14.0)
+        assert len(embedding) == 2
+        assert embedding.vector_a == [1, 3]
+        assert embedding.vector_b == [2, 4]
+        assert "cut_weight=2" in embedding.describe()
+        assert embedding.kernel_value == 14.0
+
+    def test_empty_embedding(self):
+        embedding = KastEmbedding(features=(), cut_weight=2, kernel_value=0.0)
+        assert len(embedding) == 0
+        assert embedding.vector_a == []

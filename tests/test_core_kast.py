@@ -1,0 +1,230 @@
+"""Tests for the Kast Spectrum Kernel (repro.core.kast)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kast import KastSpectrumKernel, kast_kernel_value
+from repro.pipeline.experiments import worked_example_strings
+from repro.strings.tokens import WeightedString
+
+
+def ws(text: str, name: str = "s") -> WeightedString:
+    return WeightedString.parse(text, name=name)
+
+
+class TestConstruction:
+    def test_invalid_cut_weight_rejected(self):
+        with pytest.raises(ValueError):
+            KastSpectrumKernel(cut_weight=0)
+
+    def test_invalid_normalization_rejected(self):
+        with pytest.raises(ValueError):
+            KastSpectrumKernel(normalization="bogus")
+
+    def test_name_mentions_cut_weight(self):
+        assert "4" in KastSpectrumKernel(cut_weight=4).name
+
+
+class TestWorkedExample:
+    """Section 3.2: the fully worked example with cut weight 4."""
+
+    @pytest.fixture
+    def example(self):
+        return worked_example_strings()
+
+    @pytest.fixture
+    def kernel(self):
+        return KastSpectrumKernel(cut_weight=4, normalization="weight")
+
+    def test_string_weights_match_equations_1_and_2(self, example, kernel):
+        string_a, string_b = example
+        assert kernel.string_weight(string_a) == 64
+        assert kernel.string_weight(string_b) == 52
+
+    def test_three_shared_substrings_found(self, example, kernel):
+        string_a, string_b = example
+        embedding = kernel.embed(string_a, string_b)
+        assert len(embedding) == 3
+
+    def test_feature_vectors_match_equations_6_and_10(self, example, kernel):
+        string_a, string_b = example
+        embedding = kernel.embed(string_a, string_b)
+        assert sorted(embedding.vector_a) == [13, 15, 19]
+        assert sorted(embedding.vector_b) == [11, 14, 35]
+
+    def test_kernel_value_matches_equation_11(self, example, kernel):
+        string_a, string_b = example
+        assert kernel.value(string_a, string_b) == 1018.0
+
+    def test_normalized_value_matches_equation_13(self, example, kernel):
+        string_a, string_b = example
+        assert kernel.normalized_value(string_a, string_b) == pytest.approx(1018 / 3328, abs=1e-9)
+        assert round(kernel.normalized_value(string_a, string_b), 4) == 0.3059
+
+    def test_feature_pairing_matches_equations_3_to_10(self, example, kernel):
+        string_a, string_b = example
+        pairs = {(f.weight_in_a, f.weight_in_b) for f in kernel.embed(string_a, string_b).features}
+        assert pairs == {(19, 35), (13, 11), (15, 14)}
+
+
+class TestKernelBehaviour:
+    def test_identical_strings_have_normalized_similarity_one(self):
+        string = ws("a:5 b:3 c:7")
+        kernel = KastSpectrumKernel(cut_weight=2)
+        assert kernel.normalized_value(string, string) == pytest.approx(1.0)
+
+    def test_disjoint_strings_have_zero_similarity(self):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        assert kernel.value(ws("a:5 b:3"), ws("x:4 y:9")) == 0.0
+        assert kernel.normalized_value(ws("a:5 b:3"), ws("x:4 y:9")) == 0.0
+
+    def test_symmetry(self):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        first, second = ws("a:5 b:3 c:7 a:2"), ws("c:7 a:4 b:2")
+        assert kernel.value(first, second) == kernel.value(second, first)
+        assert kernel.normalized_value(first, second) == pytest.approx(
+            kernel.normalized_value(second, first)
+        )
+
+    def test_empty_string_yields_zero(self):
+        kernel = KastSpectrumKernel()
+        empty = WeightedString([])
+        assert kernel.value(empty, ws("a:5")) == 0.0
+        assert kernel.normalized_value(empty, empty) == 0.0
+        assert kernel.self_value(empty) == 0.0
+
+    def test_shared_substring_below_cut_weight_is_ignored(self):
+        kernel = KastSpectrumKernel(cut_weight=10)
+        # The shared token has weight 3 in one string: occurrence below cut.
+        assert kernel.value(ws("a:3 x:20"), ws("a:12 y:20")) == 0.0
+
+    def test_single_shared_token_value(self):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        # Feature weight = sum of qualifying occurrences: a appears twice in the first string.
+        assert kernel.value(ws("a:5 z:9 a:4"), ws("a:7 q:3")) == (5 + 4) * 7
+
+    def test_longest_match_takes_precedence_and_covers_substrings(self):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        first = ws("a:2 b:3 c:4")
+        second = ws("a:3 b:2 c:5")
+        embedding = kernel.embed(first, second)
+        # The whole string is shared; sub-substrings never appear independently.
+        assert len(embedding) == 1
+        assert embedding.features[0].literals == ("a", "b", "c")
+        assert embedding.kernel_value == 9 * 10
+
+    def test_independent_occurrence_creates_additional_feature(self):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        # "b" also occurs outside the shared "a b" in the first string.
+        first = ws("a:2 b:3 x:9 b:6")
+        second = ws("a:4 b:2 y:7")
+        embedding = kernel.embed(first, second)
+        literal_sets = {feature.literals for feature in embedding.features}
+        assert ("a", "b") in literal_sets
+        assert ("b",) in literal_sets
+
+    def test_without_independence_requirement_more_features_appear(self):
+        strict = KastSpectrumKernel(cut_weight=2)
+        relaxed = KastSpectrumKernel(cut_weight=2, require_independent_occurrence=False)
+        first = ws("a:2 b:3 c:4 z:5")
+        second = ws("a:3 b:2 c:5 w:9")
+        assert len(relaxed.embed(first, second)) >= len(strict.embed(first, second))
+
+    def test_filter_tokens_below_cut_changes_occurrence_weights(self):
+        first = ws("a:1 b:8")
+        second = ws("a:1 b:6")
+        unfiltered = KastSpectrumKernel(cut_weight=4, filter_tokens_below_cut=False)
+        filtered = KastSpectrumKernel(cut_weight=4, filter_tokens_below_cut=True)
+        # Shared substring "a b": unfiltered occurrence weights 9 and 7; filtered 8 and 6.
+        assert unfiltered.value(first, second) == 9 * 7
+        assert filtered.value(first, second) == 8 * 6
+
+    def test_higher_cut_weight_never_increases_raw_value(self):
+        first = ws("a:2 b:3 c:9 d:1 c:5")
+        second = ws("a:4 b:1 c:6 e:2 c:3")
+        values = [KastSpectrumKernel(cut_weight=w).value(first, second) for w in (1, 2, 4, 8, 16, 32)]
+        assert all(earlier >= later for earlier, later in zip(values, values[1:]))
+
+    def test_self_value_equals_squared_total_weight(self):
+        string = ws("a:5 b:3 c:7")
+        kernel = KastSpectrumKernel(cut_weight=2)
+        assert kernel.self_value(string) == (5 + 3 + 7) ** 2
+
+    def test_gram_and_weight_normalizations_agree_when_all_tokens_reach_cut(self):
+        kernel_gram = KastSpectrumKernel(cut_weight=2, normalization="gram")
+        kernel_weight = KastSpectrumKernel(cut_weight=2, normalization="weight")
+        first, second = ws("a:5 b:3 c:7"), ws("a:4 c:7 d:9")
+        assert kernel_gram.normalized_value(first, second) == pytest.approx(
+            kernel_weight.normalized_value(first, second)
+        )
+
+    def test_normalization_none_returns_raw(self):
+        kernel = KastSpectrumKernel(cut_weight=2, normalization=None)
+        first, second = ws("a:5 b:3"), ws("a:4 b:2")
+        assert kernel.normalized_value(first, second) == kernel.value(first, second)
+
+    def test_convenience_function(self):
+        first, second = ws("a:5 b:3"), ws("a:4 b:2")
+        assert kast_kernel_value(first, second, cut_weight=2, normalized=False) == KastSpectrumKernel(2).value(first, second)
+        assert 0.0 <= kast_kernel_value(first, second, cut_weight=2) <= 1.0 + 1e-9
+
+    def test_embedding_describe_mentions_features(self):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        text = kernel.embed(ws("a:5 b:3"), ws("a:4 b:2")).describe()
+        assert "features=1" in text
+
+
+class TestKastOnRealStrings:
+    def test_same_category_more_similar_than_cross_category(self, small_corpus_strings):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        by_label = {}
+        for string in small_corpus_strings:
+            by_label.setdefault(string.label, []).append(string)
+        same_a = kernel.normalized_value(by_label["A"][0], by_label["A"][1])
+        cross = kernel.normalized_value(by_label["A"][0], by_label["B"][0])
+        assert same_a > cross
+
+    def test_c_and_d_categories_are_nearly_identical(self, small_corpus_strings):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        c_strings = [s for s in small_corpus_strings if s.label == "C"]
+        d_strings = [s for s in small_corpus_strings if s.label == "D"]
+        assert kernel.normalized_value(c_strings[0], d_strings[0]) > 0.8
+
+
+# ----------------------------------------------------------------------
+# Property-based kernel invariants
+# ----------------------------------------------------------------------
+_literals = st.sampled_from(["a", "b", "c", "d", "e"])
+_tokens = st.tuples(_literals, st.integers(min_value=1, max_value=30))
+_strings = st.lists(_tokens, min_size=1, max_size=15).map(WeightedString.from_pairs)
+
+
+class TestKastProperties:
+    @given(first=_strings, second=_strings, cut=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry_and_non_negativity(self, first, second, cut):
+        kernel = KastSpectrumKernel(cut_weight=cut)
+        value = kernel.value(first, second)
+        assert value >= 0.0
+        assert value == kernel.value(second, first)
+
+    @given(string=_strings, cut=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_self_similarity_is_one_or_zero(self, string, cut):
+        kernel = KastSpectrumKernel(cut_weight=cut)
+        value = kernel.normalized_value(string, string)
+        assert value == pytest.approx(1.0) or value == 0.0
+
+    @given(first=_strings, second=_strings, cut=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_cauchy_schwarz_for_gram_normalization(self, first, second, cut):
+        kernel = KastSpectrumKernel(cut_weight=cut, normalization="gram")
+        # The maximality rule makes this an empirical similarity rather than a
+        # provable Mercer kernel, but on token-weight strings of this size the
+        # normalised value should stay within a small tolerance of 1.
+        assert kernel.normalized_value(first, second) <= 1.5

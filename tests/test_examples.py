@@ -1,0 +1,59 @@
+"""Smoke tests running every example script.
+
+Each example is executed in-process (with fast command-line arguments where
+the script supports them) so the documented entry points cannot rot.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = {
+    "quickstart.py": [],
+    "cluster_hpc_corpus.py": ["--small"],
+    "compare_kernels.py": ["--small"],
+    "classify_custom_workload.py": [],
+    "cut_weight_study.py": ["--small", "--cut-weights", "2", "8"],
+}
+
+
+def run_example(name: str, arguments, monkeypatch, capsys) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"example script missing: {script}"
+    monkeypatch.setattr(sys, "argv", [str(script), *arguments])
+    runpy.run_path(str(script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", sorted(EXAMPLES))
+def test_example_runs(name, monkeypatch, capsys):
+    output = run_example(name, EXAMPLES[name], monkeypatch, capsys)
+    assert output.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_similarities(monkeypatch, capsys):
+    output = run_example("quickstart.py", [], monkeypatch, capsys)
+    assert "Normalised Kast Spectrum Kernel similarities" in output
+    assert "Shared substrings" in output
+
+
+def test_cluster_example_recovers_groups_on_small_corpus(monkeypatch, capsys):
+    output = run_example("cluster_hpc_corpus.py", ["--small"], monkeypatch, capsys)
+    assert "no misplaced examples" in output
+
+
+def test_compare_kernels_lists_all_kernels(monkeypatch, capsys):
+    output = run_example("compare_kernels.py", ["--small"], monkeypatch, capsys)
+    for kernel in ("kast", "blended", "spectrum", "bag-of-characters", "bag-of-words"):
+        assert kernel in output
+
+
+def test_classification_example_prefers_sequential_categories(monkeypatch, capsys):
+    output = run_example("classify_custom_workload.py", [], monkeypatch, capsys)
+    assert "closest: C" in output or "closest: D" in output

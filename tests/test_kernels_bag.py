@@ -1,0 +1,70 @@
+"""Tests for the bag-of-characters / bag-of-words kernels (repro.kernels.bag)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels.bag import BagOfCharactersKernel, BagOfWordsKernel
+from repro.strings.tokens import WeightedString
+
+
+def ws(text: str) -> WeightedString:
+    return WeightedString.parse(text)
+
+
+class TestBagOfCharacters:
+    def test_weighted_histogram_inner_product(self):
+        kernel = BagOfCharactersKernel(weighted=True)
+        first = ws("a:2 b:3 a:1")   # a -> 3, b -> 3
+        second = ws("a:4 c:7")      # a -> 4
+        assert kernel.value(first, second) == 12.0
+
+    def test_unweighted_histogram(self):
+        kernel = BagOfCharactersKernel(weighted=False)
+        first = ws("a:2 b:3 a:1")
+        second = ws("a:4 c:7")
+        assert kernel.value(first, second) == 2.0
+
+    def test_structural_tokens_can_be_excluded(self):
+        kernel = BagOfCharactersKernel(include_structural=False)
+        first = ws("[ROOT]:1 a:2")
+        second = ws("[ROOT]:1 b:3")
+        assert kernel.value(first, second) == 0.0
+
+    def test_structural_tokens_included_by_default(self):
+        kernel = BagOfCharactersKernel()
+        assert kernel.value(ws("[ROOT]:1 a:2"), ws("[ROOT]:1 b:3")) == 1.0
+
+    def test_normalized_self_similarity(self):
+        kernel = BagOfCharactersKernel()
+        string = ws("a:2 b:3")
+        assert kernel.normalized_value(string, string) == pytest.approx(1.0)
+
+
+class TestBagOfWords:
+    def test_words_split_at_structural_tokens(self):
+        string = ws("[ROOT]:1 [HANDLE]:1 [BLOCK]:1 write[8]:2 read[8]:1 [LEVEL_UP]:2 read[8]:3")
+        words = BagOfWordsKernel.split_words(string)
+        assert [word for word, _ in words] == [("write[8]", "read[8]"), ("read[8]",)]
+        assert [weight for _, weight in words] == [3, 3]
+
+    def test_shared_word_required_for_similarity(self):
+        kernel = BagOfWordsKernel(weighted=False)
+        first = ws("[BLOCK]:1 write[8]:1 read[8]:1")
+        second = ws("[BLOCK]:1 write[8]:1 read[8]:1 [BLOCK]:1 write[8]:1")
+        # shared word (write, read) appears once in first, once in second;
+        # the lone (write) word of the second string has no match.
+        assert kernel.value(first, second) == 1.0
+
+    def test_weighted_words(self):
+        kernel = BagOfWordsKernel(weighted=True)
+        first = ws("[BLOCK]:1 write[8]:5")
+        second = ws("[BLOCK]:1 write[8]:3")
+        assert kernel.value(first, second) == 15.0
+
+    def test_empty_strings(self):
+        kernel = BagOfWordsKernel()
+        assert kernel.value(WeightedString([]), ws("[BLOCK]:1 a:1")) == 0.0
+
+    def test_string_of_only_structural_tokens_has_no_words(self):
+        assert BagOfWordsKernel.split_words(ws("[ROOT]:1 [HANDLE]:1 [BLOCK]:1")) == []

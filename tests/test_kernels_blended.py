@@ -1,0 +1,81 @@
+"""Tests for the blended spectrum kernel baseline (repro.kernels.blended)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels.blended import BlendedSpectrumKernel
+from repro.kernels.spectrum import SpectrumKernel
+from repro.strings.tokens import WeightedString
+
+
+def ws(text: str) -> WeightedString:
+    return WeightedString.parse(text)
+
+
+class TestBlendedSpectrumKernel:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BlendedSpectrumKernel(max_length=0)
+        with pytest.raises(ValueError):
+            BlendedSpectrumKernel(decay=0.0)
+        with pytest.raises(ValueError):
+            BlendedSpectrumKernel(decay=1.5)
+        with pytest.raises(ValueError):
+            BlendedSpectrumKernel(min_weight=0)
+
+    def test_counts_substrings_of_all_lengths(self):
+        kernel = BlendedSpectrumKernel(max_length=2, weighted=False)
+        first = ws("a:1 b:1")
+        second = ws("a:1 b:1")
+        # shared features: a, b (length 1), ab (length 2) -> 3
+        assert kernel.value(first, second) == 3.0
+
+    def test_blended_with_max_length_one_equals_unigram_spectrum(self):
+        blended = BlendedSpectrumKernel(max_length=1, weighted=False)
+        spectrum = SpectrumKernel(k=1, weighted=False)
+        first = ws("a:1 b:1 a:1 c:1")
+        second = ws("a:1 c:1 c:1")
+        assert blended.value(first, second) == spectrum.value(first, second)
+
+    def test_decay_discounts_longer_substrings(self):
+        plain = BlendedSpectrumKernel(max_length=3, weighted=False, decay=1.0)
+        decayed = BlendedSpectrumKernel(max_length=3, weighted=False, decay=0.5)
+        first = ws("a:1 b:1 c:1")
+        assert decayed.value(first, first) < plain.value(first, first)
+
+    def test_min_weight_filters_light_occurrences(self):
+        kernel = BlendedSpectrumKernel(max_length=1, weighted=False, min_weight=5)
+        first = ws("a:1 b:9")
+        second = ws("a:1 b:9")
+        # Only the b unigram reaches the minimum occurrence weight.
+        assert kernel.value(first, second) == 1.0
+
+    def test_weighted_variant(self):
+        kernel = BlendedSpectrumKernel(max_length=1, weighted=True)
+        assert kernel.value(ws("a:10"), ws("a:3")) == 30.0
+
+    def test_normalized_self_similarity(self):
+        kernel = BlendedSpectrumKernel(max_length=3)
+        string = ws("a:2 b:3 c:4 a:2")
+        assert kernel.normalized_value(string, string) == pytest.approx(1.0)
+
+    def test_symmetry_and_nonnegativity(self):
+        kernel = BlendedSpectrumKernel(max_length=3)
+        first = ws("a:2 b:3 c:4")
+        second = ws("b:3 c:4 d:5")
+        assert kernel.value(first, second) == kernel.value(second, first)
+        assert kernel.value(first, second) >= 0.0
+
+    def test_name_mentions_parameters(self):
+        assert "min_weight=2" in BlendedSpectrumKernel(min_weight=2).name
+
+    def test_includes_longer_shared_runs_than_spectrum(self):
+        # The blended kernel sees shared substrings of every length <= k,
+        # so two strings sharing a long run score relatively higher than
+        # under the exact-k spectrum kernel restricted to unigrams.
+        blended = BlendedSpectrumKernel(max_length=3, weighted=False)
+        first = ws("a:1 b:1 c:1 x:1")
+        second = ws("a:1 b:1 c:1 y:1")
+        value = blended.value(first, second)
+        assert value == 3 + 2 + 1  # unigrams a,b,c + bigrams ab,bc + trigram abc

@@ -1,0 +1,88 @@
+"""Tests for kernel combinators (repro.kernels.composite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kast import KastSpectrumKernel
+from repro.kernels.bag import BagOfCharactersKernel
+from repro.kernels.composite import NormalizedKernel, ProductKernel, ScaledKernel, SumKernel
+from repro.strings.tokens import WeightedString
+
+
+def ws(text: str) -> WeightedString:
+    return WeightedString.parse(text)
+
+
+@pytest.fixture
+def pair():
+    return ws("a:5 b:3 c:2"), ws("a:4 b:2 d:6")
+
+
+class TestSumKernel:
+    def test_value_is_sum_of_components(self, pair):
+        first, second = pair
+        kast = KastSpectrumKernel(cut_weight=2)
+        bag = BagOfCharactersKernel()
+        combined = SumKernel([kast, bag])
+        assert combined.value(first, second) == kast.value(first, second) + bag.value(first, second)
+        assert combined.self_value(first) == kast.self_value(first) + bag.self_value(first)
+
+    def test_requires_at_least_one_kernel(self):
+        with pytest.raises(ValueError):
+            SumKernel([])
+
+    def test_name_lists_components(self):
+        assert "bag-of-characters" in SumKernel([BagOfCharactersKernel()]).name
+
+
+class TestProductKernel:
+    def test_value_is_product(self, pair):
+        first, second = pair
+        bag = BagOfCharactersKernel()
+        combined = ProductKernel([bag, bag])
+        assert combined.value(first, second) == bag.value(first, second) ** 2
+
+    def test_requires_at_least_one_kernel(self):
+        with pytest.raises(ValueError):
+            ProductKernel([])
+
+
+class TestScaledKernel:
+    def test_scaling(self, pair):
+        first, second = pair
+        bag = BagOfCharactersKernel()
+        scaled = ScaledKernel(bag, 2.5)
+        assert scaled.value(first, second) == pytest.approx(2.5 * bag.value(first, second))
+        assert scaled.self_value(first) == pytest.approx(2.5 * bag.self_value(first))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ScaledKernel(BagOfCharactersKernel(), 0.0)
+
+    def test_scaling_does_not_change_normalized_similarity(self, pair):
+        first, second = pair
+        bag = BagOfCharactersKernel()
+        scaled = ScaledKernel(bag, 7.0)
+        assert scaled.normalized_value(first, second) == pytest.approx(bag.normalized_value(first, second))
+
+
+class TestNormalizedKernel:
+    def test_raw_value_is_normalized(self, pair):
+        first, second = pair
+        bag = BagOfCharactersKernel()
+        wrapped = NormalizedKernel(bag)
+        assert wrapped.value(first, second) == pytest.approx(bag.normalized_value(first, second))
+        assert wrapped.self_value(first) == 1.0
+
+    def test_self_value_zero_for_empty_string(self):
+        wrapped = NormalizedKernel(BagOfCharactersKernel())
+        assert wrapped.self_value(WeightedString([])) == 0.0
+
+    def test_averaging_two_normalized_kernels(self, pair):
+        first, second = pair
+        kast = NormalizedKernel(KastSpectrumKernel(cut_weight=2))
+        bag = NormalizedKernel(BagOfCharactersKernel())
+        mixture = SumKernel([kast, bag])
+        value = mixture.value(first, second)
+        assert 0.0 <= value <= 2.0

@@ -1,0 +1,63 @@
+"""Tests for the vector-space kernels (repro.kernels.vector)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.vector import (
+    VectorKernel,
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+    vector_gram_matrix,
+)
+
+
+class TestKernelFunctions:
+    def test_linear(self):
+        assert linear_kernel(np.array([1.0, 2.0]), np.array([3.0, 4.0])) == 11.0
+
+    def test_polynomial(self):
+        value = polynomial_kernel(np.array([1.0, 0.0]), np.array([2.0, 0.0]), degree=2, coef0=1.0)
+        assert value == pytest.approx(9.0)
+
+    def test_polynomial_invalid_degree(self):
+        with pytest.raises(ValueError):
+            polynomial_kernel(np.zeros(2), np.zeros(2), degree=0)
+
+    def test_rbf_identity_and_decay(self):
+        x = np.array([1.0, 2.0])
+        assert rbf_kernel(x, x) == pytest.approx(1.0)
+        assert rbf_kernel(x, x + 10.0, gamma=0.1) < 0.01
+
+    def test_rbf_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros(2), np.zeros(2), gamma=0.0)
+
+
+class TestVectorKernel:
+    def test_factories(self):
+        assert VectorKernel.linear().value(np.array([1.0]), np.array([2.0])) == 2.0
+        assert VectorKernel.rbf(gamma=1.0).name == "rbf(gamma=1.0)"
+        assert VectorKernel.polynomial(degree=3).parameters["degree"] == 3
+
+    def test_gram_matrix_symmetric_psd(self):
+        rng = np.random.default_rng(1)
+        vectors = [rng.normal(size=4) for _ in range(6)]
+        gram = vector_gram_matrix(vectors, VectorKernel.rbf(gamma=0.5))
+        assert gram.shape == (6, 6)
+        assert np.allclose(gram, gram.T)
+        assert np.linalg.eigvalsh(gram).min() > -1e-9
+
+    def test_normalized_gram_has_unit_diagonal(self):
+        vectors = [np.array([3.0, 0.0]), np.array([0.0, 5.0]), np.array([1.0, 1.0])]
+        gram = vector_gram_matrix(vectors, VectorKernel.linear(), normalized=True)
+        assert np.allclose(np.diag(gram), 1.0)
+        assert abs(gram[0, 1]) < 1e-12
+
+    def test_matrix_method_on_kernel(self):
+        vectors = [np.array([1.0, 0.0]), np.array([0.0, 1.0])]
+        gram = VectorKernel.linear().matrix(vectors)
+        assert gram[0, 1] == 0.0
+        assert gram[0, 0] == 1.0

@@ -1,0 +1,117 @@
+"""Tests for the kernel classifiers (repro.learn.classify)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kast import KastSpectrumKernel
+from repro.learn.classify import (
+    KernelKNNClassifier,
+    KernelNearestCentroid,
+    leave_one_out_accuracy,
+)
+from repro.strings.encoder import trace_to_string
+from repro.strings.tokens import WeightedString
+from repro.workloads.flash_io import FlashIOGenerator
+from repro.workloads.normal_io import NormalIOGenerator
+from repro.workloads.random_posix import RandomPosixGenerator
+
+
+def ws(text: str, label: str) -> WeightedString:
+    return WeightedString.parse(text, label=label)
+
+
+@pytest.fixture
+def toy_references():
+    return [
+        ws("a:5 b:5 c:5", "X"),
+        ws("a:4 b:6 c:4", "X"),
+        ws("p:5 q:5 r:5", "Y"),
+        ws("p:6 q:4 r:6", "Y"),
+    ]
+
+
+@pytest.fixture
+def kernel():
+    return KastSpectrumKernel(cut_weight=2)
+
+
+class TestFitValidation:
+    def test_empty_reference_set_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            KernelNearestCentroid(kernel).fit([])
+
+    def test_label_length_mismatch_rejected(self, kernel, toy_references):
+        with pytest.raises(ValueError):
+            KernelNearestCentroid(kernel).fit(toy_references, labels=["X"])
+
+    def test_missing_label_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            KernelNearestCentroid(kernel).fit([WeightedString.parse("a:1")])
+
+    def test_classify_before_fit_rejected(self, kernel):
+        with pytest.raises(RuntimeError):
+            KernelNearestCentroid(kernel).classify(WeightedString.parse("a:1"))
+
+    def test_invalid_k_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            KernelKNNClassifier(kernel, k=0)
+
+
+class TestNearestCentroid:
+    def test_classifies_toy_queries(self, kernel, toy_references):
+        classifier = KernelNearestCentroid(kernel).fit(toy_references)
+        assert classifier.classify(ws("a:3 b:3 c:3", None)).label == "X"
+        assert classifier.classify(ws("p:3 q:3 r:3", None)).label == "Y"
+        assert classifier.classes == ["X", "Y"]
+
+    def test_scores_cover_all_labels_and_rank(self, kernel, toy_references):
+        classifier = KernelNearestCentroid(kernel).fit(toy_references)
+        result = classifier.classify(ws("a:3 b:3 c:3", None))
+        assert set(result.scores) == {"X", "Y"}
+        ranked = result.ranked_labels()
+        assert ranked[0][0] == "X"
+        assert ranked[0][1] >= ranked[1][1]
+
+    def test_predict_batch(self, kernel, toy_references):
+        classifier = KernelNearestCentroid(kernel).fit(toy_references)
+        queries = [ws("a:2 b:2 c:2", None), ws("p:2 q:2 r:2", None)]
+        assert classifier.predict(queries) == ["X", "Y"]
+
+
+class TestKNN:
+    def test_classifies_toy_queries(self, kernel, toy_references):
+        classifier = KernelKNNClassifier(kernel, k=3).fit(toy_references)
+        assert classifier.classify(ws("a:3 b:3 c:3", None)).label == "X"
+
+    def test_unweighted_votes(self, kernel, toy_references):
+        classifier = KernelKNNClassifier(kernel, k=2, weighted_votes=False).fit(toy_references)
+        result = classifier.classify(ws("p:3 q:3 r:3", None))
+        assert result.label == "Y"
+        assert result.scores["Y"] == 2.0
+
+
+class TestOnTraceCorpus:
+    def test_classifies_generated_traces_by_category(self, kernel):
+        references = []
+        for generator in (FlashIOGenerator(), RandomPosixGenerator(), NormalIOGenerator()):
+            for seed in range(3):
+                references.append(trace_to_string(generator.generate(seed=seed)))
+        classifier = KernelNearestCentroid(kernel).fit(references)
+
+        query_a = trace_to_string(FlashIOGenerator().generate(seed=50))
+        query_b = trace_to_string(RandomPosixGenerator().generate(seed=50))
+        assert classifier.classify(query_a).label == "A"
+        assert classifier.classify(query_b).label == "B"
+
+    def test_leave_one_out_accuracy_is_high_within_categories(self, kernel):
+        strings = []
+        for generator in (FlashIOGenerator(), RandomPosixGenerator(), NormalIOGenerator()):
+            for seed in range(4):
+                strings.append(trace_to_string(generator.generate(seed=seed)))
+        accuracy = leave_one_out_accuracy(lambda: KernelNearestCentroid(kernel), strings)
+        assert accuracy == 1.0
+
+    def test_leave_one_out_needs_two_examples(self, kernel):
+        with pytest.raises(ValueError):
+            leave_one_out_accuracy(lambda: KernelNearestCentroid(kernel), [WeightedString.parse("a:1", label="X")])

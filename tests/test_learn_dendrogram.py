@@ -1,0 +1,76 @@
+"""Tests for the dendrogram structure (repro.learn.dendrogram)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learn.dendrogram import Dendrogram, Merge
+
+
+@pytest.fixture
+def dendrogram() -> Dendrogram:
+    """Four leaves: (0, 1) merge at 0.1, (2, 3) at 0.2, roots join at 1.0."""
+    merges = (
+        Merge(left=0, right=1, height=0.1, size=2),
+        Merge(left=2, right=3, height=0.2, size=2),
+        Merge(left=4, right=5, height=1.0, size=4),
+    )
+    return Dendrogram(merges=merges, n_leaves=4, names=("a", "b", "c", "d"), labels=("X", "X", "Y", "Y"))
+
+
+class TestDendrogram:
+    def test_merge_count_validation(self):
+        with pytest.raises(ValueError):
+            Dendrogram(merges=(), n_leaves=3)
+
+    def test_names_length_validation(self):
+        with pytest.raises(ValueError):
+            Dendrogram(merges=(), n_leaves=1, names=("a", "b"))
+
+    def test_heights(self, dendrogram):
+        assert dendrogram.heights() == [0.1, 0.2, 1.0]
+
+    def test_linkage_matrix_shape_and_content(self, dendrogram):
+        matrix = dendrogram.linkage_matrix()
+        assert matrix.shape == (3, 4)
+        assert matrix[2].tolist() == [4.0, 5.0, 1.0, 4.0]
+
+    def test_leaves_of(self, dendrogram):
+        assert dendrogram.leaves_of(0) == [0]
+        assert sorted(dendrogram.leaves_of(4)) == [0, 1]
+        assert sorted(dendrogram.leaves_of(6)) == [0, 1, 2, 3]
+
+    def test_leaf_order_contains_all_leaves(self, dendrogram):
+        assert sorted(dendrogram.leaf_order()) == [0, 1, 2, 3]
+
+    def test_cut_at_height(self, dendrogram):
+        assert dendrogram.cut_at_height(0.05) == [0, 1, 2, 3]
+        assignments = dendrogram.cut_at_height(0.5)
+        assert assignments[0] == assignments[1]
+        assert assignments[2] == assignments[3]
+        assert assignments[0] != assignments[2]
+        assert dendrogram.cut_at_height(2.0) == [0, 0, 0, 0]
+
+    def test_cut_into(self, dendrogram):
+        assert dendrogram.cut_into(4) == [0, 1, 2, 3]
+        two = dendrogram.cut_into(2)
+        assert two[0] == two[1] and two[2] == two[3] and two[0] != two[2]
+        assert dendrogram.cut_into(1) == [0, 0, 0, 0]
+
+    def test_cut_into_invalid(self, dendrogram):
+        with pytest.raises(ValueError):
+            dendrogram.cut_into(0)
+
+    def test_cut_into_more_clusters_than_leaves(self, dendrogram):
+        assert dendrogram.cut_into(10) == [0, 1, 2, 3]
+
+    def test_describe_clusters_uses_names(self, dendrogram):
+        description = dendrogram.describe_clusters(dendrogram.cut_into(2))
+        groups = sorted(sorted(names) for names in description.values())
+        assert groups == [["a", "b"], ["c", "d"]]
+
+    def test_empty_dendrogram(self):
+        empty = Dendrogram(merges=(), n_leaves=0)
+        assert empty.leaf_order() == []
+        assert empty.cut_at_height(1.0) == []

@@ -1,0 +1,75 @@
+"""Tests for similarity/distance conversions (repro.learn.distance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learn.distance import (
+    check_distance_matrix,
+    distance_to_kernel,
+    kernel_to_distance,
+    similarity_to_dissimilarity,
+)
+
+
+class TestKernelToDistance:
+    def test_normalized_kernel_distances(self):
+        kernel = np.array([[1.0, 0.5], [0.5, 1.0]])
+        distances = kernel_to_distance(kernel)
+        assert distances[0, 1] == pytest.approx(np.sqrt(1.0))
+        assert distances[0, 0] == 0.0
+
+    def test_euclidean_consistency_with_linear_kernel(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(6, 3))
+        kernel = points @ points.T
+        distances = kernel_to_distance(kernel)
+        direct = np.linalg.norm(points[:, None, :] - points[None, :, :], axis=-1)
+        assert np.allclose(distances, direct, atol=1e-10)
+
+
+class TestSimilarityToDissimilarity:
+    def test_complement(self):
+        similarity = np.array([[1.0, 0.25], [0.25, 1.0]])
+        dissimilarity = similarity_to_dissimilarity(similarity)
+        assert dissimilarity[0, 1] == 0.75
+        assert dissimilarity[0, 0] == 0.0
+
+    def test_never_negative(self):
+        similarity = np.array([[1.0, 1.2], [1.2, 1.0]])
+        assert np.all(similarity_to_dissimilarity(similarity) >= 0.0)
+
+
+class TestDistanceToKernel:
+    def test_round_trip_with_kernel_to_distance(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(5, 2))
+        points = points - points.mean(axis=0)
+        kernel = points @ points.T
+        recovered = distance_to_kernel(kernel_to_distance(kernel))
+        assert np.allclose(recovered, kernel, atol=1e-8)
+
+    def test_empty(self):
+        assert distance_to_kernel(np.zeros((0, 0))).shape == (0, 0)
+
+
+class TestCheckDistanceMatrix:
+    def test_valid_matrix_passes(self):
+        check_distance_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError):
+            check_distance_matrix(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_distance_matrix(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            check_distance_matrix(np.array([[1.0, 0.0], [0.0, 0.0]]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            check_distance_matrix(np.zeros((2, 3)))

@@ -1,0 +1,152 @@
+"""Tests for clustering metrics (repro.learn.metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn.metrics import (
+    adjusted_rand_index,
+    cluster_label_composition,
+    clusters_exactly_match_partition,
+    contingency_table,
+    misplacement_count,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+    silhouette_from_distances,
+)
+
+PERFECT = ([0, 0, 1, 1, 2, 2], ["A", "A", "B", "B", "C", "C"])
+RANDOMISH = ([0, 1, 0, 1, 0, 1], ["A", "A", "B", "B", "C", "C"])
+
+
+class TestContingencyAndPurity:
+    def test_contingency_table(self):
+        table = contingency_table([0, 0, 1], ["A", "B", "B"])
+        assert table[0]["A"] == 1
+        assert table[0]["B"] == 1
+        assert table[1]["B"] == 1
+
+    def test_purity_perfect(self):
+        assert purity(*PERFECT) == 1.0
+
+    def test_purity_mixed(self):
+        assert purity([0, 0, 0, 0], ["A", "A", "A", "B"]) == 0.75
+
+    def test_purity_empty(self):
+        assert purity([], []) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            purity([0], ["A", "B"])
+
+
+class TestRandIndices:
+    def test_perfect_agreement(self):
+        assert rand_index(*PERFECT) == 1.0
+        assert adjusted_rand_index(*PERFECT) == 1.0
+
+    def test_label_permutation_invariance(self):
+        predicted = [5, 5, 9, 9, 2, 2]
+        assert adjusted_rand_index(predicted, PERFECT[1]) == 1.0
+
+    def test_adjusted_rand_low_for_unrelated(self):
+        assert adjusted_rand_index(*RANDOMISH) <= 0.0
+
+    def test_adjusted_lower_than_unadjusted_for_poor_clustering(self):
+        assert adjusted_rand_index(*RANDOMISH) < rand_index(*RANDOMISH)
+
+    def test_single_example(self):
+        assert adjusted_rand_index([0], ["A"]) == 1.0
+
+    def test_all_in_one_cluster_vs_distinct_labels(self):
+        value = adjusted_rand_index([0, 0, 0, 0], ["A", "B", "C", "D"])
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+
+class TestNMI:
+    def test_perfect(self):
+        assert normalized_mutual_information(*PERFECT) == pytest.approx(1.0)
+
+    def test_independent_partitions_low(self):
+        assert normalized_mutual_information([0, 1, 0, 1], ["A", "A", "B", "B"]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_range(self):
+        value = normalized_mutual_information(*RANDOMISH)
+        assert 0.0 <= value <= 1.0
+
+
+class TestPartitionPredicates:
+    def test_composition(self):
+        composition = cluster_label_composition([0, 0, 1], ["A", "B", "B"])
+        assert composition == {0: {"A": 1, "B": 1}, 1: {"B": 1}}
+
+    def test_exact_partition_match(self):
+        predicted = [0, 0, 1, 1, 2, 2, 2]
+        labels = ["A", "A", "B", "B", "C", "D", "C"]
+        assert clusters_exactly_match_partition(predicted, labels, [["A"], ["B"], ["C", "D"]])
+        assert not clusters_exactly_match_partition(predicted, labels, [["A"], ["B"], ["C"], ["D"]])
+
+    def test_exact_partition_with_unknown_label(self):
+        assert not clusters_exactly_match_partition([0], ["Z"], [["A"]])
+
+    def test_misplacement_count_zero_for_exact_match(self):
+        predicted = [0, 0, 1, 1, 2, 2]
+        labels = ["A", "A", "B", "B", "C", "D"]
+        assert misplacement_count(predicted, labels, [["A"], ["B"], ["C", "D"]]) == 0
+
+    def test_misplacement_count_detects_strays(self):
+        predicted = [0, 2, 1, 1, 2, 2]  # one A example landed in the C/D cluster
+        labels = ["A", "A", "B", "B", "C", "D"]
+        assert misplacement_count(predicted, labels, [["A"], ["B"], ["C", "D"]]) == 1
+
+    def test_misplacement_count_collapsed_groups(self):
+        predicted = [0, 0, 0, 0, 1, 1]  # A and B collapsed into one cluster
+        labels = ["A", "A", "B", "B", "C", "D"]
+        assert misplacement_count(predicted, labels, [["A"], ["B"], ["C", "D"]]) == 2
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_high(self):
+        distances = np.array(
+            [
+                [0.0, 0.1, 5.0, 5.0],
+                [0.1, 0.0, 5.0, 5.0],
+                [5.0, 5.0, 0.0, 0.1],
+                [5.0, 5.0, 0.1, 0.0],
+            ]
+        )
+        assert silhouette_from_distances(distances, [0, 0, 1, 1]) > 0.9
+
+    def test_single_cluster_scores_zero(self):
+        distances = np.zeros((3, 3))
+        assert silhouette_from_distances(distances, [0, 0, 0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            silhouette_from_distances(np.zeros((2, 2)), [0, 0, 1])
+
+
+class TestMetricProperties:
+    @given(
+        predicted=st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ari_is_one_when_comparing_partition_with_itself(self, predicted):
+        assert adjusted_rand_index(predicted, predicted) == pytest.approx(1.0)
+
+    @given(
+        predicted=st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=25),
+        truth=st.lists(st.sampled_from("ABCD"), min_size=2, max_size=25),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_metric_ranges(self, predicted, truth):
+        size = min(len(predicted), len(truth))
+        predicted, truth = predicted[:size], truth[:size]
+        assert 0.0 <= purity(predicted, truth) <= 1.0
+        assert 0.0 <= rand_index(predicted, truth) <= 1.0
+        assert -0.5 <= adjusted_rand_index(predicted, truth) <= 1.0
+        assert 0.0 <= normalized_mutual_information(predicted, truth) <= 1.0 + 1e-9

@@ -1,0 +1,57 @@
+"""Tests for textual reports (repro.pipeline.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.pipeline import AnalysisPipeline
+from repro.pipeline.report import cluster_report, format_table, summarise_result, summarise_sweep
+from repro.pipeline.sweep import cut_weight_sweep
+from repro.workloads.corpus import CorpusConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(corpus=CorpusConfig.small(seed=7))
+    return AnalysisPipeline(config).run()
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_columns_and_alignment(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 2.0}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.2346" in table
+        assert len(lines) == 4
+
+    def test_explicit_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=("b",))
+        assert "a" not in table.splitlines()[0]
+
+
+class TestSummaries:
+    def test_summarise_result_mentions_metrics_and_clusters(self, result):
+        text = summarise_result(result, title="small experiment")
+        assert "small experiment" in text
+        assert "adjusted_rand_index" in text
+        assert "cluster 0" in text
+        assert "explained variance" in text
+
+    def test_cluster_report_counts(self, result):
+        text = cluster_report(result)
+        assert "examples" in text
+        assert text.count("cluster") == int(result.metrics["n_clusters"])
+
+    def test_summarise_sweep_has_one_row_per_cut_weight(self, result):
+        config = ExperimentConfig(corpus=CorpusConfig.small(seed=7))
+        sweep = cut_weight_sweep(config, cut_weights=(2, 4), strings=result.strings)
+        text = summarise_sweep(sweep, title="sweep")
+        assert "cut_weight" in text
+        # header + separator + title + underline + config line + 2 rows
+        assert len([line for line in text.splitlines() if line.strip()]) >= 6

@@ -1,0 +1,62 @@
+"""Tests for cut-weight sweeps (repro.pipeline.sweep)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.sweep import PAPER_CUT_WEIGHTS, cut_weight_sweep
+from repro.workloads.corpus import CorpusConfig
+
+
+class TestPaperCutWeights:
+    def test_grid_is_powers_of_two_up_to_1024(self):
+        assert PAPER_CUT_WEIGHTS == (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class TestCutWeightSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, ):
+        config = ExperimentConfig(corpus=CorpusConfig.small(seed=7), n_clusters=3)
+        return cut_weight_sweep(config, cut_weights=(2, 8, 64))
+
+    def test_one_point_per_cut_weight(self, sweep):
+        assert sweep.cut_weights() == [2, 8, 64]
+        assert len(sweep.points) == 3
+
+    def test_points_carry_metrics_and_timing(self, sweep):
+        for point in sweep.points:
+            assert "adjusted_rand_index" in point.metrics
+            assert point.kernel_seconds >= 0.0
+            assert point.metric("purity") >= 0.0
+
+    def test_series_extraction(self, sweep):
+        series = sweep.series("purity")
+        assert len(series) == 3
+        assert all(0.0 <= value <= 1.0 for value in series)
+
+    def test_best_point(self, sweep):
+        best = sweep.best_point("adjusted_rand_index")
+        assert best.metrics["adjusted_rand_index"] == max(sweep.series("adjusted_rand_index"))
+
+    def test_as_rows(self, sweep):
+        rows = sweep.as_rows()
+        assert len(rows) == 3
+        assert rows[0]["cut_weight"] == 2.0
+
+    def test_small_cut_weight_is_at_least_as_good_as_large(self, sweep):
+        # Section 4.2: small cut weights achieve the meaningful clustering;
+        # very large cut weights filter out everything.
+        ari = sweep.series("adjusted_rand_index")
+        assert ari[0] >= ari[-1]
+
+    def test_empty_sweep_best_point_raises(self):
+        config = ExperimentConfig(corpus=CorpusConfig.small(seed=7))
+        sweep = cut_weight_sweep(config, cut_weights=())
+        with pytest.raises(ValueError):
+            sweep.best_point()
+
+    def test_sweep_accepts_prebuilt_strings(self, small_corpus_strings):
+        config = ExperimentConfig(n_clusters=3)
+        sweep = cut_weight_sweep(config, cut_weights=(2, 4), strings=small_corpus_strings)
+        assert len(sweep.points) == 2

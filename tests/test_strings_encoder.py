@@ -1,0 +1,115 @@
+"""Tests for the tree/trace to weighted-string encoder (repro.strings.encoder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.strings.encoder import StringEncoder, encode_tree, trace_to_string
+from repro.strings.tokens import BLOCK_LITERAL, HANDLE_LITERAL, LEVEL_UP_LITERAL, ROOT_LITERAL
+from repro.traces.model import IOTrace
+from repro.tree.builder import build_tree
+from repro.tree.compaction import CompactionConfig, compact_tree
+from repro.tree.node import PatternNode
+
+
+class TestEncodeTree:
+    def test_structural_tokens_have_weight_one(self, simple_trace):
+        string = trace_to_string(simple_trace)
+        for token in string:
+            if token.literal in (ROOT_LITERAL, HANDLE_LITERAL, BLOCK_LITERAL):
+                assert token.weight == 1
+
+    def test_first_token_is_root(self, simple_trace):
+        string = trace_to_string(simple_trace)
+        assert string[0].literal == ROOT_LITERAL
+
+    def test_operation_tokens_carry_repetitions_as_weight(self):
+        root = PatternNode.root()
+        handle = root.add_child(PatternNode.handle())
+        block = handle.add_child(PatternNode.block())
+        block.add_child(PatternNode.operation("write", 1024, 7))
+        string = encode_tree(root)
+        assert string.literals() == [ROOT_LITERAL, HANDLE_LITERAL, BLOCK_LITERAL, "write[1024]"]
+        assert string.weights() == [1, 1, 1, 7]
+
+    def test_level_up_tokens_between_handles(self, two_handle_trace):
+        string = trace_to_string(two_handle_trace)
+        level_ups = [token for token in string if token.literal == LEVEL_UP_LITERAL]
+        # Moving from the last operation of handle 1 (depth 3) to handle 2 (depth 1) is 3 levels.
+        assert len(level_ups) == 1
+        assert level_ups[0].weight == 3
+
+    def test_level_up_weight_between_blocks(self):
+        trace = IOTrace.from_tuples(
+            [
+                ("open", "f", 0),
+                ("write", "f", 10),
+                ("close", "f", 0),
+                ("open", "f", 0),
+                ("write", "f", 10),
+                ("close", "f", 0),
+            ]
+        )
+        string = trace_to_string(trace)
+        level_ups = [token.weight for token in string if token.literal == LEVEL_UP_LITERAL]
+        # operation (depth 3) -> next BLOCK (depth 2): 2 levels up.
+        assert level_ups == [2]
+
+    def test_level_up_can_be_disabled(self, two_handle_trace):
+        string = trace_to_string(two_handle_trace, emit_level_up=False)
+        assert LEVEL_UP_LITERAL not in string.literals()
+
+    def test_sibling_transition_emits_level_up_of_one(self, simple_trace):
+        # Within a single block, moving between sibling operation leaves is a
+        # one-level ascent (leaf -> block) before the implicit descent.
+        string = trace_to_string(simple_trace)
+        level_ups = [token.weight for token in string if token.literal == LEVEL_UP_LITERAL]
+        assert level_ups == [1]
+
+
+class TestTraceToString:
+    def test_name_and_label_propagated(self, simple_trace):
+        string = trace_to_string(simple_trace)
+        assert string.name == simple_trace.name
+        assert string.label == simple_trace.label
+
+    def test_byte_information_toggle(self, simple_trace):
+        with_bytes = trace_to_string(simple_trace, use_byte_information=True)
+        without_bytes = trace_to_string(simple_trace, use_byte_information=False)
+        assert any("[1024]" in literal for literal in with_bytes.literals())
+        assert all("[0]" in literal or literal.startswith("[") for literal in without_bytes.literals())
+
+    def test_byte_free_strings_merge_more(self, simple_trace):
+        with_bytes = trace_to_string(simple_trace, use_byte_information=True)
+        without_bytes = trace_to_string(simple_trace, use_byte_information=False)
+        assert len(without_bytes) <= len(with_bytes)
+
+    def test_compaction_config_respected(self, simple_trace):
+        compacted = trace_to_string(simple_trace)
+        uncompacted = trace_to_string(simple_trace, compaction=CompactionConfig.disabled())
+        assert len(uncompacted) > len(compacted)
+        # Without compaction every operation token has weight 1.
+        assert all(
+            token.weight == 1 for token in uncompacted if not token.is_structural
+        )
+
+    def test_total_weight_accounts_for_all_operations(self, simple_trace):
+        # Structural tokens weigh 1 each; operation weights sum to the number
+        # of non-open/close operations (compaction preserves repetitions).
+        string = trace_to_string(simple_trace)
+        structural_weight = sum(token.weight for token in string if token.is_structural)
+        operation_weight = sum(token.weight for token in string if not token.is_structural)
+        assert operation_weight == 5
+        assert structural_weight == 4  # ROOT + HANDLE + BLOCK + one sibling [LEVEL_UP]
+
+    def test_encoder_matches_manual_pipeline(self, simple_trace):
+        manual_tree = compact_tree(build_tree(simple_trace), CompactionConfig.paper())
+        manual = StringEncoder().encode_tree(manual_tree, name=simple_trace.name, label=simple_trace.label)
+        assert manual == trace_to_string(simple_trace)
+
+    def test_encode_corpus_preserves_order(self, small_corpus):
+        encoder = StringEncoder()
+        strings = encoder.encode_corpus(small_corpus)
+        assert len(strings) == len(small_corpus)
+        assert [string.name for string in strings] == [trace.name for trace in small_corpus]
+        assert [string.label for string in strings] == [trace.label for trace in small_corpus]

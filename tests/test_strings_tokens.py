@@ -1,0 +1,167 @@
+"""Tests for weighted tokens and strings (repro.strings.tokens)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings.tokens import (
+    BLOCK_LITERAL,
+    HANDLE_LITERAL,
+    LEVEL_UP_LITERAL,
+    ROOT_LITERAL,
+    Token,
+    WeightedString,
+    operation_literal,
+)
+
+
+class TestToken:
+    def test_basic_construction(self):
+        token = Token("write[1024]", 5)
+        assert token.literal == "write[1024]"
+        assert token.weight == 5
+
+    def test_default_weight_is_one(self):
+        assert Token("x").weight == 1
+
+    def test_empty_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Token("")
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Token("x", 0)
+        with pytest.raises(ValueError):
+            Token("x", -3)
+
+    def test_structural_detection(self):
+        assert Token(ROOT_LITERAL).is_structural
+        assert Token(HANDLE_LITERAL).is_structural
+        assert Token(BLOCK_LITERAL).is_structural
+        assert Token(LEVEL_UP_LITERAL).is_structural
+        assert Token(LEVEL_UP_LITERAL).is_level_up
+        assert not Token("write[10]").is_structural
+
+    def test_with_weight(self):
+        assert Token("x", 1).with_weight(9).weight == 9
+
+    def test_str_format(self):
+        assert str(Token("write[8]", 3)) == "write[8]:3"
+
+    def test_operation_literal_helper(self):
+        assert operation_literal("read", 4096) == "read[4096]"
+        assert operation_literal("lseek+write", 0) == "lseek+write[0]"
+
+
+class TestWeightedString:
+    def test_from_pairs_and_length(self):
+        string = WeightedString.from_pairs([("a", 1), ("b", 2)], name="s")
+        assert len(string) == 2
+        assert string.name == "s"
+
+    def test_indexing_and_slicing(self):
+        string = WeightedString.from_pairs([("a", 1), ("b", 2), ("c", 3)])
+        assert string[1].literal == "b"
+        sliced = string[1:]
+        assert isinstance(sliced, WeightedString)
+        assert sliced.literals() == ["b", "c"]
+
+    def test_equality_and_hash_depend_on_tokens_only(self):
+        first = WeightedString.from_pairs([("a", 1)], name="x")
+        second = WeightedString.from_pairs([("a", 1)], name="y")
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != WeightedString.from_pairs([("a", 2)])
+
+    def test_weight_with_threshold(self):
+        string = WeightedString.from_pairs([("a", 1), ("b", 4), ("c", 10)])
+        assert string.total_weight() == 15
+        assert string.weight(4) == 14
+        assert string.weight(5) == 10
+        assert string.weight(100) == 0
+
+    def test_max_token_weight(self):
+        assert WeightedString.from_pairs([("a", 3), ("b", 7)]).max_token_weight() == 7
+        assert WeightedString([]).max_token_weight() == 0
+
+    def test_literals_and_weights(self):
+        string = WeightedString.from_pairs([("a", 1), ("b", 2)])
+        assert string.literals() == ["a", "b"]
+        assert string.weights() == [1, 2]
+
+    def test_substring(self):
+        string = WeightedString.from_pairs([("a", 1), ("b", 2), ("c", 3), ("d", 4)])
+        sub = string.substring(1, 2)
+        assert sub.literals() == ["b", "c"]
+        assert sub.total_weight() == 5
+
+    def test_substring_out_of_range(self):
+        string = WeightedString.from_pairs([("a", 1)])
+        with pytest.raises(IndexError):
+            string.substring(0, 5)
+        with pytest.raises(ValueError):
+            string.substring(0, -1)
+
+    def test_without_structural_tokens(self):
+        string = WeightedString.from_pairs([(ROOT_LITERAL, 1), ("write[8]", 2), (LEVEL_UP_LITERAL, 3)])
+        assert string.without_structural_tokens().literals() == ["write[8]"]
+
+    def test_concatenated(self):
+        first = WeightedString.from_pairs([("a", 1)], name="x")
+        second = WeightedString.from_pairs([("b", 2)], name="y")
+        combined = first.concatenated(second)
+        assert combined.literals() == ["a", "b"]
+        assert combined.name == "x+y"
+
+    def test_with_name_and_label(self):
+        string = WeightedString.from_pairs([("a", 1)]).with_name("n").with_label("A")
+        assert string.name == "n"
+        assert string.label == "A"
+
+    def test_parse_and_to_text_round_trip(self):
+        text = "[ROOT]:1 [HANDLE]:1 write[1024]:7 [LEVEL_UP]:2"
+        string = WeightedString.parse(text)
+        assert string.to_text() == text
+        assert string.weights() == [1, 1, 7, 2]
+
+    def test_parse_default_weight(self):
+        string = WeightedString.parse("a b:3 c")
+        assert string.weights() == [1, 3, 1]
+
+    def test_parse_star_separator(self):
+        assert WeightedString.parse("a*4").weights() == [4]
+
+    def test_parse_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedString.parse("a:zzz")
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+_literals = st.sampled_from(["[ROOT]", "[HANDLE]", "[BLOCK]", "[LEVEL_UP]", "read[64]", "write[4096]", "lseek+write[512]"])
+_tokens = st.tuples(_literals, st.integers(min_value=1, max_value=500))
+_strings = st.lists(_tokens, min_size=0, max_size=50).map(WeightedString.from_pairs)
+
+
+class TestWeightedStringProperties:
+    @given(string=_strings)
+    @settings(max_examples=80, deadline=None)
+    def test_text_round_trip(self, string):
+        assert WeightedString.parse(string.to_text() or "") == string if len(string) else True
+        if len(string):
+            assert WeightedString.parse(string.to_text()) == string
+
+    @given(string=_strings, threshold=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=80, deadline=None)
+    def test_weight_threshold_monotonic(self, string, threshold):
+        assert string.weight(threshold) <= string.total_weight()
+        assert string.weight(threshold) >= string.weight(threshold + 1)
+
+    @given(string=_strings, start=st.integers(min_value=0, max_value=50), length=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=80, deadline=None)
+    def test_substring_weight_never_exceeds_total(self, string, start, length):
+        if start + length <= len(string):
+            assert string.substring(start, length).total_weight() <= string.total_weight()

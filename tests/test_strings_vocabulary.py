@@ -1,0 +1,65 @@
+"""Tests for token vocabularies (repro.strings.vocabulary)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.strings.tokens import WeightedString
+from repro.strings.vocabulary import Vocabulary, build_vocabulary
+
+
+@pytest.fixture
+def sample_strings():
+    return [
+        WeightedString.from_pairs([("a", 2), ("b", 3), ("a", 1)]),
+        WeightedString.from_pairs([("b", 5), ("c", 1)]),
+    ]
+
+
+class TestVocabulary:
+    def test_ids_are_stable_and_dense(self, sample_strings):
+        vocabulary = build_vocabulary(sample_strings)
+        assert len(vocabulary) == 3
+        assert sorted(vocabulary.id_of(lit) for lit in ("a", "b", "c")) == [0, 1, 2]
+        assert vocabulary.literal_of(vocabulary.id_of("b")) == "b"
+
+    def test_frequencies_and_weights(self, sample_strings):
+        vocabulary = build_vocabulary(sample_strings)
+        assert vocabulary.frequency("a") == 2
+        assert vocabulary.frequency("b") == 2
+        assert vocabulary.total_weight("a") == 3
+        assert vocabulary.total_weight("b") == 8
+
+    def test_contains(self, sample_strings):
+        vocabulary = build_vocabulary(sample_strings)
+        assert "a" in vocabulary
+        assert "zzz" not in vocabulary
+
+    def test_unknown_literal_lookup_raises(self, sample_strings):
+        with pytest.raises(KeyError):
+            build_vocabulary(sample_strings).id_of("zzz")
+
+    def test_most_common(self, sample_strings):
+        vocabulary = build_vocabulary(sample_strings)
+        top = vocabulary.most_common(2)
+        assert len(top) == 2
+        assert top[0][1] >= top[1][1]
+
+    def test_encode_adds_unknown_literals(self, sample_strings):
+        vocabulary = build_vocabulary(sample_strings)
+        new_string = WeightedString.from_pairs([("d", 1), ("a", 1)])
+        ids = vocabulary.encode(new_string)
+        assert len(ids) == 2
+        assert "d" in vocabulary
+
+    def test_bag_of_tokens_weighted_and_unweighted(self, sample_strings):
+        vocabulary = build_vocabulary(sample_strings)
+        weighted = vocabulary.bag_of_tokens(sample_strings[0], weighted=True)
+        unweighted = vocabulary.bag_of_tokens(sample_strings[0], weighted=False)
+        assert weighted[vocabulary.id_of("a")] == 3.0
+        assert unweighted[vocabulary.id_of("a")] == 2.0
+
+    def test_empty_vocabulary(self):
+        vocabulary = Vocabulary()
+        assert len(vocabulary) == 0
+        assert vocabulary.literals() == []

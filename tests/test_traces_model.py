@@ -1,0 +1,142 @@
+"""Tests for the trace data model (repro.traces.model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.model import IOOperation, IOTrace, TraceMetadata, validate_trace
+from repro.traces.operations import OperationClass
+
+
+class TestIOOperation:
+    def test_basic_construction(self):
+        op = IOOperation(name="write", handle="f1", nbytes=4096, offset=0, timestamp=3)
+        assert op.name == "write"
+        assert op.handle == "f1"
+        assert op.nbytes == 4096
+        assert op.offset == 0
+        assert op.timestamp == 3
+
+    def test_defaults(self):
+        op = IOOperation(name="fsync")
+        assert op.handle == "0"
+        assert op.nbytes == 0
+        assert op.offset is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            IOOperation(name="")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            IOOperation(name="write", nbytes=-1)
+
+    def test_with_bytes_and_without_bytes(self):
+        op = IOOperation(name="read", nbytes=100)
+        assert op.with_bytes(5).nbytes == 5
+        assert op.without_bytes().nbytes == 0
+        assert op.nbytes == 100  # original unchanged (frozen dataclass)
+
+    def test_with_handle(self):
+        op = IOOperation(name="read", handle="a")
+        assert op.with_handle("b").handle == "b"
+
+    def test_operation_class(self):
+        assert IOOperation(name="read").operation_class() is OperationClass.DATA
+        assert IOOperation(name="fileno").operation_class() is OperationClass.NEGLIGIBLE
+
+    def test_operations_are_hashable(self):
+        assert len({IOOperation(name="read"), IOOperation(name="read")}) == 1
+
+
+class TestIOTrace:
+    def test_from_tuples_and_sequence_protocol(self, simple_trace):
+        assert len(simple_trace) == 7
+        assert simple_trace[0].name == "open"
+        assert [op.name for op in simple_trace][:2] == ["open", "write"]
+
+    def test_timestamps_assigned_in_order(self, simple_trace):
+        assert [op.timestamp for op in simple_trace] == list(range(7))
+
+    def test_handles_in_order_of_first_appearance(self, two_handle_trace):
+        assert two_handle_trace.handles() == ["f1", "f2"]
+
+    def test_operations_for_handle(self, two_handle_trace):
+        names = [op.name for op in two_handle_trace.operations_for_handle("f2")]
+        assert names == ["open", "read", "read", "fileno", "read", "close"]
+
+    def test_total_bytes(self, simple_trace):
+        assert simple_trace.total_bytes() == 1024 * 3 + 512
+
+    def test_without_bytes(self, simple_trace):
+        byte_free = simple_trace.without_bytes()
+        assert byte_free.total_bytes() == 0
+        assert len(byte_free) == len(simple_trace)
+        assert simple_trace.total_bytes() > 0
+
+    def test_with_label_and_name(self, simple_trace):
+        relabelled = simple_trace.with_label("Z").with_name("other")
+        assert relabelled.label == "Z"
+        assert relabelled.name == "other"
+        assert simple_trace.label == "X"
+
+    def test_filtered_drops_negligible(self, two_handle_trace):
+        filtered = two_handle_trace.filtered()
+        assert "fileno" not in filtered.operation_names()
+        assert len(filtered) == len(two_handle_trace) - 1
+
+    def test_filtered_can_be_disabled(self, two_handle_trace):
+        assert len(two_handle_trace.filtered(drop_negligible=False)) == len(two_handle_trace)
+
+    def test_counts_by_name(self, simple_trace):
+        counts = simple_trace.counts_by_name()
+        assert counts["write"] == 4
+        assert counts["open"] == 1
+
+    def test_counts_by_class(self, simple_trace):
+        counts = simple_trace.counts_by_class()
+        assert counts[OperationClass.DATA] == 4
+        assert counts[OperationClass.OPEN] == 1
+        assert counts[OperationClass.CLOSE] == 1
+        assert counts[OperationClass.POSITIONING] == 1
+
+    def test_split_by_handle(self, two_handle_trace):
+        parts = two_handle_trace.split_by_handle()
+        assert set(parts) == {"f1", "f2"}
+        assert all(op.handle == "f1" for op in parts["f1"])
+        assert parts["f1"].label == two_handle_trace.label
+
+    def test_concatenated(self, simple_trace, two_handle_trace):
+        combined = simple_trace.concatenated(two_handle_trace)
+        assert len(combined) == len(simple_trace) + len(two_handle_trace)
+        assert combined.operations[: len(simple_trace)] == simple_trace.operations
+
+    def test_operations_tuple_is_immutable(self, simple_trace):
+        assert isinstance(simple_trace.operations, tuple)
+
+    def test_metadata_as_dict(self):
+        metadata = TraceMetadata(application="flash", benchmark="FLASH-IO", ranks=8, extra=(("node", "n42"),))
+        data = metadata.as_dict()
+        assert data["application"] == "flash"
+        assert data["ranks"] == "8"
+        assert data["node"] == "n42"
+
+
+class TestValidateTrace:
+    def test_well_formed_trace_has_no_warnings(self, simple_trace):
+        assert validate_trace(simple_trace) == []
+
+    def test_close_without_open_is_reported(self):
+        trace = IOTrace.from_tuples([("close", "f1", 0)])
+        warnings = validate_trace(trace)
+        assert any("without a matching open" in warning for warning in warnings)
+
+    def test_unclosed_open_is_reported(self):
+        trace = IOTrace.from_tuples([("open", "f1", 0), ("write", "f1", 8)])
+        warnings = validate_trace(trace)
+        assert any("never closed" in warning for warning in warnings)
+
+    def test_zero_byte_data_operation_is_reported(self):
+        trace = IOTrace.from_tuples([("open", "f1", 0), ("write", "f1", 0), ("close", "f1", 0)])
+        warnings = validate_trace(trace)
+        assert any("zero bytes" in warning for warning in warnings)

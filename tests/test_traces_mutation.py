@@ -1,0 +1,125 @@
+"""Tests for the trace mutation engine (repro.traces.mutation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.model import IOTrace, validate_trace
+from repro.traces.mutation import MutationConfig, TraceMutator, make_mutated_copies, mutate_trace
+from repro.workloads.flash_io import FlashIOGenerator
+from repro.workloads.normal_io import NormalIOGenerator
+
+
+@pytest.fixture
+def base_trace() -> IOTrace:
+    return NormalIOGenerator().generate(seed=11)
+
+
+class TestMutationConfig:
+    def test_defaults_are_valid(self):
+        MutationConfig()
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            MutationConfig(byte_jitter_rate=1.5)
+        with pytest.raises(ValueError):
+            MutationConfig(deletion_rate=-0.1)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            MutationConfig(byte_jitter_max_factor=-1.0)
+
+    def test_presets_exist(self):
+        assert MutationConfig.gentle().deletion_rate == 0.0
+        assert MutationConfig.aggressive().deletion_rate > 0.0
+        assert MutationConfig.paper_corpus().substitution_rate == 0.0
+
+
+class TestTraceMutator:
+    def test_mutation_is_deterministic_given_seed(self, base_trace):
+        first = TraceMutator(seed=3).mutate(base_trace)
+        second = TraceMutator(seed=3).mutate(base_trace)
+        assert first.operations == second.operations
+
+    def test_different_seeds_give_different_results(self, base_trace):
+        config = MutationConfig.aggressive()
+        first = TraceMutator(config, seed=1).mutate(base_trace)
+        second = TraceMutator(config, seed=2).mutate(base_trace)
+        assert first.operations != second.operations
+
+    def test_label_and_metadata_preserved(self, base_trace):
+        mutated = mutate_trace(base_trace, seed=5)
+        assert mutated.label == base_trace.label
+        assert mutated.metadata == base_trace.metadata
+        assert mutated.name.startswith(base_trace.name)
+
+    def test_mutants_remain_structurally_valid(self, base_trace):
+        for seed in range(5):
+            mutated = TraceMutator(MutationConfig.paper_corpus(), seed=seed).mutate(base_trace)
+            assert validate_trace(mutated) == []
+
+    def test_open_close_never_deleted(self, base_trace):
+        config = MutationConfig(deletion_rate=1.0, byte_jitter_rate=0.0, duplication_rate=0.0,
+                                substitution_rate=0.0, block_duplication_rate=0.0)
+        mutated = TraceMutator(config, seed=0).mutate(base_trace)
+        original_counts = base_trace.counts_by_name()
+        mutated_counts = mutated.counts_by_name()
+        assert mutated_counts.get("open", 0) == original_counts["open"]
+        assert mutated_counts.get("close", 0) == original_counts["close"]
+        # Everything that is not structural has been deleted.
+        assert len(mutated) == original_counts["open"] + original_counts["close"]
+
+    def test_full_duplication_doubles_non_structural_operations(self, base_trace):
+        config = MutationConfig(duplication_rate=1.0, byte_jitter_rate=0.0, deletion_rate=0.0,
+                                substitution_rate=0.0, block_duplication_rate=0.0)
+        mutated = TraceMutator(config, seed=0).mutate(base_trace)
+        structural = base_trace.counts_by_name()["open"] + base_trace.counts_by_name()["close"]
+        assert len(mutated) == structural + 2 * (len(base_trace) - structural)
+
+    def test_byte_jitter_changes_some_byte_counts(self, base_trace):
+        config = MutationConfig(byte_jitter_rate=1.0, byte_jitter_max_factor=0.5, duplication_rate=0.0,
+                                deletion_rate=0.0, substitution_rate=0.0, block_duplication_rate=0.0)
+        mutated = TraceMutator(config, seed=1).mutate(base_trace)
+        assert mutated.total_bytes() != base_trace.total_bytes()
+        assert len(mutated) == len(base_trace)
+
+    def test_block_duplication_adds_new_handles(self):
+        trace = FlashIOGenerator().generate(seed=2)
+        config = MutationConfig(block_duplication_rate=1.0, max_block_duplications=1, byte_jitter_rate=0.0,
+                                duplication_rate=0.0, deletion_rate=0.0, substitution_rate=0.0)
+        mutated = TraceMutator(config, seed=4).mutate(trace)
+        assert len(mutated.handles()) == len(trace.handles()) + 1
+
+    def test_substitution_swaps_related_operations(self, base_trace):
+        config = MutationConfig(substitution_rate=1.0, byte_jitter_rate=0.0, duplication_rate=0.0,
+                                deletion_rate=0.0, block_duplication_rate=0.0)
+        mutated = TraceMutator(config, seed=9).mutate(base_trace)
+        # writes become pwrite/writev/append; reads become pread/readv
+        assert "write" not in mutated.counts_by_name() or mutated.counts_by_name()["write"] < base_trace.counts_by_name()["write"]
+        assert len(mutated) == len(base_trace)
+
+    def test_timestamps_renumbered(self, base_trace):
+        mutated = TraceMutator(MutationConfig.aggressive(), seed=7).mutate(base_trace)
+        assert [op.timestamp for op in mutated] == list(range(len(mutated)))
+
+    def test_mutate_many_returns_requested_count(self, base_trace):
+        copies = make_mutated_copies(base_trace, copies=4, seed=1)
+        assert len(copies) == 4
+        assert len({copy.name for copy in copies}) == 4
+
+    def test_negative_copy_count_rejected(self, base_trace):
+        with pytest.raises(ValueError):
+            TraceMutator(seed=0).mutate_many(base_trace, -1)
+
+
+class TestMutationProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_paper_corpus_mutations_preserve_validity_and_label(self, seed):
+        base = NormalIOGenerator().generate(seed=seed % 17)
+        mutated = TraceMutator(MutationConfig.paper_corpus(), seed=seed).mutate(base)
+        assert validate_trace(mutated) == []
+        assert mutated.label == base.label
+        assert len(mutated) >= 4

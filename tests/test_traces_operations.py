@@ -1,0 +1,94 @@
+"""Tests for the operation taxonomy (repro.traces.operations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.operations import (
+    DATA_OPERATIONS,
+    DEFAULT_REGISTRY,
+    NEGLIGIBLE_OPERATIONS,
+    OperationClass,
+    OperationRegistry,
+    OperationSpec,
+    POSITIONING_OPERATIONS,
+    STRUCTURAL_OPERATIONS,
+    canonical_name,
+    carries_bytes,
+    classify,
+    is_close,
+    is_negligible,
+    is_open,
+)
+
+
+class TestBuiltinRegistry:
+    def test_paper_negligible_operations_are_registered(self):
+        # The paper names fileno, nmap and fscanf explicitly as negligible.
+        for name in ("fileno", "nmap", "fscanf"):
+            assert is_negligible(name), name
+
+    def test_open_and_close_are_structural(self):
+        assert is_open("open")
+        assert is_close("close")
+        assert "open" in STRUCTURAL_OPERATIONS
+        assert "close" in STRUCTURAL_OPERATIONS
+
+    def test_aliases_map_to_canonical_names(self):
+        assert canonical_name("fopen") == "open"
+        assert canonical_name("fwrite") == "write"
+        assert canonical_name("fread") == "read"
+        assert canonical_name("lseek64") == "lseek"
+        assert canonical_name("mmap") == "nmap"
+
+    def test_canonical_name_is_case_insensitive(self):
+        assert canonical_name("WRITE") == "write"
+        assert canonical_name("  Read ") == "read"
+
+    def test_unknown_operation_classified_as_unknown(self):
+        assert classify("teleport") is OperationClass.UNKNOWN
+        assert canonical_name("Teleport") == "teleport"
+
+    def test_data_operations_carry_bytes(self):
+        for name in ("read", "write", "pread", "pwrite"):
+            assert carries_bytes(name), name
+            assert name in DATA_OPERATIONS
+
+    def test_positioning_operations_do_not_carry_bytes(self):
+        assert not carries_bytes("lseek")
+        assert "lseek" in POSITIONING_OPERATIONS
+
+    def test_unknown_operations_keep_byte_information(self):
+        assert carries_bytes("h5dwrite")
+
+    def test_classification_sets_are_disjoint(self):
+        assert not (DATA_OPERATIONS & NEGLIGIBLE_OPERATIONS)
+        assert not (DATA_OPERATIONS & STRUCTURAL_OPERATIONS)
+        assert not (STRUCTURAL_OPERATIONS & NEGLIGIBLE_OPERATIONS)
+
+    def test_contains_and_len(self):
+        assert "read" in DEFAULT_REGISTRY
+        assert "fread" in DEFAULT_REGISTRY
+        assert "no_such_call" not in DEFAULT_REGISTRY
+        assert len(DEFAULT_REGISTRY) > 10
+
+
+class TestCustomRegistry:
+    def test_register_custom_operation(self):
+        registry = OperationRegistry.with_builtins()
+        registry.register(OperationSpec("h5dwrite", OperationClass.DATA, carries_bytes=True, aliases=("h5d_write",)))
+        assert registry.classify("h5dwrite") is OperationClass.DATA
+        assert registry.canonical_name("h5d_write") == "h5dwrite"
+        assert registry.carries_bytes("h5dwrite")
+
+    def test_empty_registry_knows_nothing(self):
+        registry = OperationRegistry()
+        assert registry.classify("read") is OperationClass.UNKNOWN
+        assert len(registry) == 0
+        assert registry.known_names() == frozenset()
+
+    def test_known_names_excludes_aliases(self):
+        registry = OperationRegistry.with_builtins()
+        names = registry.known_names()
+        assert "open" in names
+        assert "fopen" not in names

@@ -1,0 +1,181 @@
+"""Tests for the trace parser (repro.traces.parser)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.model import IOOperation, IOTrace
+from repro.traces.parser import TraceParseError, TraceParser, parse_trace, parse_trace_file
+from repro.traces.writer import format_trace, write_trace
+
+WHITESPACE_TRACE = """
+# trace: demo
+# benchmark: ior
+open  fh1
+write fh1 1024
+write fh1 1024 offset=2048
+lseek fh1 0
+read  fh1 512 4096
+close fh1
+"""
+
+CSV_TRACE = """
+open,fh1,0
+write,fh1,1024
+read,fh1,512,2048
+close,fh1,0
+"""
+
+KEYVALUE_TRACE = """
+op=open handle=fh1
+op=write handle=fh1 bytes=1024 offset=0
+op=read handle=fh1 bytes=512
+op=close handle=fh1
+"""
+
+
+class TestWhitespaceDialect:
+    def test_basic_parse(self):
+        trace = parse_trace(WHITESPACE_TRACE, name="demo")
+        assert trace.name == "demo"
+        assert len(trace) == 6
+        assert trace[1].name == "write"
+        assert trace[1].nbytes == 1024
+        assert trace[1].handle == "fh1"
+
+    def test_offset_keyword_field(self):
+        trace = parse_trace(WHITESPACE_TRACE)
+        assert trace[2].offset == 2048
+
+    def test_positional_offset_field(self):
+        trace = parse_trace(WHITESPACE_TRACE)
+        assert trace[4].offset == 4096
+
+    def test_comments_and_blank_lines_ignored(self):
+        trace = parse_trace(WHITESPACE_TRACE)
+        assert all(not op.name.startswith("#") for op in trace)
+
+    def test_metadata_comments_collected(self):
+        trace = parse_trace(WHITESPACE_TRACE)
+        assert ("benchmark", "ior") in trace.metadata.extra
+
+    def test_too_many_fields_rejected(self):
+        with pytest.raises(TraceParseError):
+            parse_trace("write fh1 10 20 30 40")
+
+    def test_invalid_byte_count_rejected(self):
+        with pytest.raises(TraceParseError):
+            parse_trace("write fh1 notanumber")
+
+    def test_negative_byte_count_rejected(self):
+        with pytest.raises(TraceParseError):
+            parse_trace("write fh1 -5")
+
+    def test_non_strict_mode_skips_bad_lines(self):
+        trace = parse_trace("write fh1 bad\nread fh1 64\n", strict=False)
+        assert len(trace) == 1
+        assert trace[0].name == "read"
+
+
+class TestOtherDialects:
+    def test_csv_dialect(self):
+        trace = parse_trace(CSV_TRACE, dialect="csv")
+        assert len(trace) == 4
+        assert trace[2].nbytes == 512
+        assert trace[2].offset == 2048
+
+    def test_keyvalue_dialect(self):
+        trace = parse_trace(KEYVALUE_TRACE, dialect="keyvalue")
+        assert len(trace) == 4
+        assert trace[1].nbytes == 1024
+        assert trace[1].offset == 0
+
+    def test_auto_dialect_sniffs_per_line(self):
+        mixed = "open fh1\nop=write handle=fh1 bytes=64\nread,fh1,32\n"
+        trace = parse_trace(mixed)
+        assert [op.name for op in trace] == ["open", "write", "read"]
+        assert trace[1].nbytes == 64
+        assert trace[2].nbytes == 32
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(ValueError):
+            TraceParser(dialect="xml")
+
+    def test_keyvalue_missing_operation_rejected(self):
+        with pytest.raises(TraceParseError):
+            parse_trace("handle=fh1 bytes=10", dialect="keyvalue")
+
+
+class TestCanonicalisation:
+    def test_aliases_canonicalised_by_default(self):
+        trace = parse_trace("fwrite fh1 100\nfread fh1 50\n")
+        assert trace.operation_names() == ["write", "read"]
+
+    def test_canonicalisation_can_be_disabled(self):
+        trace = parse_trace("fwrite fh1 100\n", canonicalise=False)
+        assert trace.operation_names() == ["fwrite"]
+
+
+class TestFileRoundTrip:
+    def test_parse_trace_file_uses_stem_as_name(self, tmp_path, simple_trace):
+        path = tmp_path / "my_pattern.trace"
+        write_trace(simple_trace, path)
+        parsed = parse_trace_file(path)
+        assert parsed.name == "my_pattern"
+        assert parsed.operation_names() == simple_trace.operation_names()
+
+    def test_write_then_parse_preserves_fields(self, tmp_path, two_handle_trace):
+        path = tmp_path / "round.trace"
+        write_trace(two_handle_trace, path)
+        parsed = parse_trace_file(path)
+        assert len(parsed) == len(two_handle_trace)
+        for original, reparsed in zip(two_handle_trace, parsed):
+            assert original.name == reparsed.name
+            assert original.handle == reparsed.handle
+            assert original.nbytes == reparsed.nbytes
+
+
+# ----------------------------------------------------------------------
+# Property-based round trip: write(format(trace)) == trace on semantic fields
+# ----------------------------------------------------------------------
+_operation_names = st.sampled_from(["open", "close", "read", "write", "lseek", "fsync", "pread", "stat"])
+_handles = st.sampled_from(["f0", "f1", "f2", "data", "log"])
+
+
+@st.composite
+def traces(draw) -> IOTrace:
+    count = draw(st.integers(min_value=0, max_value=30))
+    operations = []
+    for index in range(count):
+        operations.append(
+            IOOperation(
+                name=draw(_operation_names),
+                handle=draw(_handles),
+                nbytes=draw(st.integers(min_value=0, max_value=10_000_000)),
+                offset=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=10_000_000))),
+                timestamp=index,
+            )
+        )
+    return IOTrace.from_operations(operations, name="prop", label=draw(st.one_of(st.none(), st.just("A"))))
+
+
+class TestParserProperties:
+    @given(trace=traces())
+    @settings(max_examples=60, deadline=None)
+    def test_format_parse_round_trip(self, trace):
+        text = format_trace(trace)
+        parsed = parse_trace(text, name=trace.name)
+        assert len(parsed) == len(trace)
+        for original, reparsed in zip(trace, parsed):
+            assert reparsed.name == original.name
+            assert reparsed.handle == original.handle
+            assert reparsed.nbytes == original.nbytes
+            assert reparsed.offset == original.offset
+
+    @given(trace=traces())
+    @settings(max_examples=30, deadline=None)
+    def test_parse_is_deterministic(self, trace):
+        text = format_trace(trace)
+        assert parse_trace(text).operations == parse_trace(text).operations

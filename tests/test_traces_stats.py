@@ -1,0 +1,96 @@
+"""Tests for trace statistics (repro.traces.stats)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.traces.model import IOOperation, IOTrace
+from repro.traces.stats import compute_statistics, summarise_corpus
+from repro.workloads.corpus import CorpusConfig, build_corpus
+from repro.workloads.flash_io import FlashIOGenerator
+from repro.workloads.random_posix import RandomPosixGenerator
+
+
+class TestComputeStatistics:
+    def test_simple_trace_counts(self, simple_trace):
+        stats = compute_statistics(simple_trace)
+        assert stats.operation_count == 7
+        assert stats.handle_count == 1
+        assert stats.block_count == 1
+        assert stats.total_bytes == simple_trace.total_bytes()
+
+    def test_mean_request_size(self, simple_trace):
+        stats = compute_statistics(simple_trace)
+        assert stats.mean_request_size == pytest.approx((1024 * 3 + 512) / 4)
+
+    def test_read_fraction_write_only_trace(self, simple_trace):
+        assert compute_statistics(simple_trace).read_fraction == 0.0
+
+    def test_read_fraction_mixed(self):
+        trace = IOTrace.from_tuples(
+            [("open", "f", 0), ("read", "f", 100), ("write", "f", 300), ("close", "f", 0)]
+        )
+        assert compute_statistics(trace).read_fraction == pytest.approx(0.25)
+
+    def test_seek_fraction(self, simple_trace):
+        assert compute_statistics(simple_trace).seek_fraction == pytest.approx(1 / 7)
+
+    def test_random_access_fraction_sequential(self):
+        operations = [IOOperation("open", "f")]
+        offset = 0
+        for _ in range(8):
+            operations.append(IOOperation("write", "f", nbytes=100, offset=offset))
+            offset += 100
+        operations.append(IOOperation("close", "f"))
+        trace = IOTrace.from_operations(operations)
+        assert compute_statistics(trace).random_access_fraction == 0.0
+
+    def test_random_access_fraction_random(self):
+        operations = [IOOperation("open", "f")]
+        for offset in (500, 100, 900, 200):
+            operations.append(IOOperation("write", "f", nbytes=100, offset=offset))
+        operations.append(IOOperation("close", "f"))
+        trace = IOTrace.from_operations(operations)
+        assert compute_statistics(trace).random_access_fraction > 0.5
+
+    def test_request_size_entropy_zero_for_uniform_sizes(self):
+        trace = IOTrace.from_tuples([("write", "f", 100)] * 10)
+        assert compute_statistics(trace).request_size_entropy == 0.0
+
+    def test_request_size_entropy_positive_for_mixed_sizes(self):
+        trace = IOTrace.from_tuples([("write", "f", 100), ("write", "f", 200), ("write", "f", 400)])
+        assert compute_statistics(trace).request_size_entropy == pytest.approx(math.log2(3))
+
+    def test_empty_trace(self):
+        stats = compute_statistics(IOTrace.from_operations([]))
+        assert stats.operation_count == 0
+        assert stats.mean_request_size == 0.0
+        assert stats.read_fraction == 0.0
+
+    def test_as_dict_contains_all_scalars(self, simple_trace):
+        data = compute_statistics(simple_trace).as_dict()
+        assert data["operation_count"] == 7
+        assert "name_counts" in data
+
+
+class TestCategorySignatures:
+    """The statistics should reflect the structural signatures the paper assigns to each category."""
+
+    def test_flash_io_has_varying_request_sizes(self):
+        stats = compute_statistics(FlashIOGenerator().generate(seed=0))
+        assert stats.request_size_entropy > 1.0
+        assert stats.read_fraction == 0.0
+
+    def test_random_posix_is_seek_heavy(self):
+        stats = compute_statistics(RandomPosixGenerator().generate(seed=0))
+        assert stats.seek_fraction > 0.2
+
+    def test_summarise_corpus_groups_by_label(self):
+        corpus = build_corpus(CorpusConfig.small(seed=3))
+        summary = summarise_corpus(corpus)
+        assert set(summary) == {"A", "B", "C", "D"}
+        assert summary["B"]["seek_fraction"] > summary["C"]["seek_fraction"]
+        assert summary["A"]["request_size_entropy"] > summary["C"]["request_size_entropy"]
+        assert all(values["count"] == 4.0 for values in summary.values())

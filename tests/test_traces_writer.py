@@ -1,0 +1,48 @@
+"""Tests for the trace writer (repro.traces.writer)."""
+
+from __future__ import annotations
+
+import io
+
+from repro.traces.model import IOOperation, IOTrace
+from repro.traces.parser import parse_trace
+from repro.traces.writer import TraceWriter, format_trace, write_trace
+
+
+class TestTraceWriter:
+    def test_header_contains_name_and_label(self, simple_trace):
+        text = format_trace(simple_trace)
+        assert "# trace: simple" in text
+        assert "# label: X" in text
+
+    def test_header_can_be_disabled(self, simple_trace):
+        text = format_trace(simple_trace, include_header=False)
+        assert not text.startswith("#")
+
+    def test_offsets_included_when_present(self):
+        trace = IOTrace.from_operations(
+            [
+                IOOperation(name="open", handle="f1"),
+                IOOperation(name="write", handle="f1", nbytes=10, offset=99),
+            ]
+        )
+        text = format_trace(trace)
+        assert "offset=99" in text
+
+    def test_offsets_can_be_suppressed(self, simple_trace):
+        writer = TraceWriter(include_offsets=False)
+        assert "offset=" not in writer.format(simple_trace)
+
+    def test_write_to_stream(self, simple_trace):
+        stream = io.StringIO()
+        TraceWriter().write(simple_trace, stream)
+        assert "write f1 1024" in stream.getvalue()
+
+    def test_write_file_and_reparse(self, tmp_path, simple_trace):
+        path = tmp_path / "out.trace"
+        write_trace(simple_trace, path)
+        parsed = parse_trace(path.read_text(), name="x")
+        assert parsed.operation_names() == simple_trace.operation_names()
+
+    def test_trailing_newline(self, simple_trace):
+        assert format_trace(simple_trace).endswith("\n")

@@ -1,0 +1,133 @@
+"""Tests for the trace-to-tree builder (repro.tree.builder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.model import IOTrace
+from repro.tree.builder import TreeBuilder, build_tree
+from repro.tree.node import NodeKind
+from repro.tree.traversal import operation_sequence
+
+
+class TestTreeBuilder:
+    def test_levels_root_handle_block_operation(self, simple_trace):
+        root = build_tree(simple_trace)
+        assert root.kind is NodeKind.ROOT
+        assert all(child.kind is NodeKind.HANDLE for child in root.children)
+        handle = root.children[0]
+        assert all(child.kind is NodeKind.BLOCK for child in handle.children)
+        block = handle.children[0]
+        assert all(child.kind is NodeKind.OPERATION for child in block.children)
+
+    def test_open_and_close_become_block_delimiters_not_leaves(self, simple_trace):
+        root = build_tree(simple_trace)
+        names = [name for name, _, _ in operation_sequence(root)]
+        assert "open" not in names
+        assert "close" not in names
+
+    def test_operation_order_preserved_within_block(self, simple_trace):
+        root = build_tree(simple_trace)
+        names = [name for name, _, _ in operation_sequence(root)]
+        assert names == ["write", "write", "write", "lseek", "write"]
+
+    def test_one_handle_node_per_file_handle(self, two_handle_trace):
+        root = build_tree(two_handle_trace)
+        assert len(root.children) == 2
+
+    def test_interleaved_operations_grouped_by_handle(self, two_handle_trace):
+        root = build_tree(two_handle_trace)
+        first_handle_ops = [name for name, _, _ in operation_sequence(root.children[0])]
+        second_handle_ops = [name for name, _, _ in operation_sequence(root.children[1])]
+        assert first_handle_ops == ["write", "write"]
+        assert second_handle_ops == ["read", "read", "read"]
+
+    def test_negligible_operations_dropped(self, two_handle_trace):
+        root = build_tree(two_handle_trace)
+        names = [name for name, _, _ in operation_sequence(root)]
+        assert "fileno" not in names
+
+    def test_negligible_operations_kept_when_requested(self, two_handle_trace):
+        root = build_tree(two_handle_trace, drop_negligible=False)
+        names = [name for name, _, _ in operation_sequence(root)]
+        assert "fileno" in names
+
+    def test_byte_information_can_be_dropped(self, simple_trace):
+        root = build_tree(simple_trace, use_byte_information=False)
+        assert all(nbytes == 0 for _, nbytes, _ in operation_sequence(root))
+
+    def test_multiple_blocks_per_handle(self):
+        trace = IOTrace.from_tuples(
+            [
+                ("open", "f", 0),
+                ("write", "f", 10),
+                ("close", "f", 0),
+                ("open", "f", 0),
+                ("read", "f", 20),
+                ("close", "f", 0),
+            ]
+        )
+        root = build_tree(trace)
+        handle = root.children[0]
+        assert len(handle.children) == 2
+        assert [child.children[0].name for child in handle.children] == ["write", "read"]
+
+    def test_nested_opens_create_nested_blocks_on_stack(self):
+        # Re-opening the same handle before closing it pushes a second block;
+        # operations go to the innermost open block.
+        trace = IOTrace.from_tuples(
+            [
+                ("open", "f", 0),
+                ("write", "f", 1),
+                ("open", "f", 0),
+                ("write", "f", 2),
+                ("close", "f", 0),
+                ("write", "f", 3),
+                ("close", "f", 0),
+            ]
+        )
+        root = build_tree(trace)
+        handle = root.children[0]
+        assert len(handle.children) == 2
+        sizes = sorted(len(block.children) for block in handle.children)
+        assert sizes == [1, 2]
+
+    def test_operations_without_open_get_implicit_block(self):
+        trace = IOTrace.from_tuples([("write", "stdout", 80), ("write", "stdout", 80)])
+        root = build_tree(trace)
+        assert len(root.children) == 1
+        assert len(root.children[0].children) == 1
+        assert len(root.children[0].children[0].children) == 2
+
+    def test_strict_mode_rejects_orphan_operations(self):
+        trace = IOTrace.from_tuples([("write", "stdout", 80)])
+        builder = TreeBuilder(allow_implicit_blocks=False)
+        with pytest.raises(ValueError):
+            builder.build(trace)
+
+    def test_strict_mode_rejects_unmatched_close(self):
+        trace = IOTrace.from_tuples([("close", "f", 0)])
+        builder = TreeBuilder(allow_implicit_blocks=False)
+        with pytest.raises(ValueError):
+            builder.build(trace)
+
+    def test_unmatched_close_tolerated_by_default(self):
+        trace = IOTrace.from_tuples([("close", "f", 0), ("open", "f", 0), ("write", "f", 5), ("close", "f", 0)])
+        root = build_tree(trace)
+        assert root.total_repetitions() == 1
+
+    def test_empty_trace_gives_bare_root(self):
+        root = build_tree(IOTrace.from_operations([]))
+        assert root.kind is NodeKind.ROOT
+        assert root.children == []
+
+    def test_total_repetitions_equals_non_structural_operation_count(self, small_corpus):
+        for trace in small_corpus:
+            root = build_tree(trace)
+            filtered = trace.filtered()
+            expected = sum(
+                1
+                for op in filtered
+                if op.name not in ("open", "close")
+            )
+            assert root.total_repetitions() == expected

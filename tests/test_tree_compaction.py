@@ -1,0 +1,186 @@
+"""Tests for the compaction rules (repro.tree.compaction)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.model import IOTrace
+from repro.tree.builder import build_tree
+from repro.tree.compaction import CompactionConfig, TreeCompactor, compact_tree
+from repro.tree.node import PatternNode
+from repro.tree.traversal import operation_sequence
+
+
+def block_of(*ops) -> PatternNode:
+    """Build ROOT/HANDLE/BLOCK wrapping the given (name, bytes, reps) leaves."""
+    root = PatternNode.root()
+    handle = root.add_child(PatternNode.handle())
+    block = handle.add_child(PatternNode.block())
+    for name, nbytes, repetitions in ops:
+        block.add_child(PatternNode.operation(name, nbytes=nbytes, repetitions=repetitions))
+    return root
+
+
+def compacted_ops(root, config=None):
+    return operation_sequence(compact_tree(root, config))
+
+
+class TestRule1SameNameSameBytes:
+    def test_read_loop_collapses_to_single_node(self):
+        root = block_of(*[("read", 4096, 1)] * 6)
+        assert compacted_ops(root) == [("read", 4096, 6)]
+
+    def test_collapse_happens_within_a_single_pass(self):
+        root = block_of(*[("write", 64, 1)] * 5)
+        assert compacted_ops(root, CompactionConfig(passes=1)) == [("write", 64, 5)]
+
+    def test_runs_separated_by_other_operations_stay_separate(self):
+        root = block_of(("read", 10, 1), ("read", 10, 1), ("write", 20, 1), ("read", 10, 1))
+        ops = compacted_ops(root, CompactionConfig(passes=1, enable_rule_2=False, enable_rule_3=False, enable_rule_4=False))
+        assert ops == [("read", 10, 2), ("write", 20, 1), ("read", 10, 1)]
+
+
+class TestRule2SameNameDifferentBytes:
+    def test_struct_read_example_from_paper(self):
+        # Loop body read(2); read(4) executed 3 times: pass 1 pairs each body,
+        # pass 2 collapses the identical pairs -> one read[6] node, repetitions 6.
+        root = block_of(*[("read", 2, 1), ("read", 4, 1)] * 3)
+        assert compacted_ops(root) == [("read", 6, 6)]
+
+    def test_single_pass_produces_intermediate_pairs(self):
+        root = block_of(*[("read", 2, 1), ("read", 4, 1)] * 3)
+        ops = compacted_ops(root, CompactionConfig(passes=1))
+        assert ops == [("read", 6, 2)] * 3
+
+    def test_byte_combination_is_sum_by_default(self):
+        root = block_of(("write", 100, 1), ("write", 28, 1))
+        assert compacted_ops(root) == [("write", 128, 2)]
+
+    def test_custom_byte_combiner(self):
+        root = block_of(("write", 100, 1), ("write", 28, 1))
+        compactor = TreeCompactor(CompactionConfig(passes=1), byte_combiner=max)
+        ops = operation_sequence(compactor.compact(root))
+        assert ops == [("write", 100, 2)]
+
+
+class TestRule3DifferentNameSameBytes:
+    def test_interlaced_read_write_copy_pattern(self):
+        root = block_of(*[("read", 4096, 1), ("write", 4096, 1)] * 4)
+        assert compacted_ops(root) == [("read+write", 4096, 8)]
+
+    def test_combined_name_preserves_order(self):
+        root = block_of(("write", 8, 1), ("read", 8, 1))
+        assert compacted_ops(root) == [("write+read", 8, 2)]
+
+
+class TestRule4ZeroByteFusion:
+    def test_lseek_write_loop_example_from_paper(self):
+        root = block_of(*[("lseek", 0, 1), ("write", 512, 1)] * 5)
+        assert compacted_ops(root) == [("lseek+write", 512, 10)]
+
+    def test_non_zero_different_bytes_do_not_merge(self):
+        root = block_of(("read", 10, 1), ("write", 20, 1))
+        assert compacted_ops(root) == [("read", 10, 1), ("write", 20, 1)]
+
+
+class TestRuleToggles:
+    def test_disabled_compaction_is_identity(self):
+        root = block_of(("read", 10, 1), ("read", 10, 1))
+        assert compacted_ops(root, CompactionConfig.disabled()) == [("read", 10, 1), ("read", 10, 1)]
+
+    def test_rule_1_can_be_disabled(self):
+        root = block_of(("read", 10, 1), ("read", 10, 1))
+        config = CompactionConfig(enable_rule_1=False, enable_rule_2=False, enable_rule_3=False, enable_rule_4=False)
+        assert compacted_ops(root, config) == [("read", 10, 1), ("read", 10, 1)]
+
+    def test_rule_4_can_be_disabled(self):
+        root = block_of(("lseek", 0, 1), ("write", 512, 1))
+        config = CompactionConfig(enable_rule_4=False)
+        assert compacted_ops(root, config) == [("lseek", 0, 1), ("write", 512, 1)]
+
+    def test_invalid_passes_rejected(self):
+        with pytest.raises(ValueError):
+            CompactionConfig(passes=-1)
+
+    def test_until_fixpoint_reaches_stable_tree(self):
+        root = block_of(*[("read", 2, 1), ("read", 4, 1)] * 8)
+        fixpoint_config = CompactionConfig(until_fixpoint=True)
+        once = compact_tree(root, fixpoint_config)
+        twice = compact_tree(once, fixpoint_config)
+        assert once.structurally_equal(twice)
+
+
+class TestCompactionMechanics:
+    def test_compact_returns_copy_by_default(self):
+        root = block_of(("read", 10, 1), ("read", 10, 1))
+        compacted = compact_tree(root)
+        assert root.leaf_count() == 2  # original untouched
+        assert compacted.leaf_count() == 1
+
+    def test_in_place_compaction_mutates_original(self):
+        root = block_of(("read", 10, 1), ("read", 10, 1))
+        result = compact_tree(root, in_place=True)
+        assert result is root
+        assert root.leaf_count() == 1
+
+    def test_merging_never_crosses_block_boundaries(self):
+        trace = IOTrace.from_tuples(
+            [
+                ("open", "f", 0),
+                ("write", "f", 10),
+                ("close", "f", 0),
+                ("open", "f", 0),
+                ("write", "f", 10),
+                ("close", "f", 0),
+            ]
+        )
+        root = compact_tree(build_tree(trace))
+        assert operation_sequence(root) == [("write", 10, 1), ("write", 10, 1)]
+
+    def test_structural_nodes_never_merged(self, simple_trace):
+        root = compact_tree(build_tree(simple_trace))
+        assert root.kind.value == "ROOT"
+        assert root.children[0].kind.value == "HANDLE"
+        assert root.children[0].children[0].kind.value == "BLOCK"
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+_names = st.sampled_from(["read", "write", "lseek", "fsync", "pread"])
+_ops = st.tuples(_names, st.sampled_from([0, 8, 64, 4096]), st.integers(min_value=1, max_value=4))
+
+
+class TestCompactionProperties:
+    @given(ops=st.lists(_ops, min_size=0, max_size=40), passes=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=80, deadline=None)
+    def test_total_repetitions_preserved(self, ops, passes):
+        root = block_of(*ops)
+        before = root.total_repetitions()
+        compacted = compact_tree(root, CompactionConfig(passes=passes))
+        assert compacted.total_repetitions() == before
+
+    @given(ops=st.lists(_ops, min_size=0, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_compaction_never_increases_node_count(self, ops):
+        root = block_of(*ops)
+        compacted = compact_tree(root)
+        assert compacted.size() <= root.size()
+
+    @given(ops=st.lists(_ops, min_size=0, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_compaction_is_deterministic(self, ops):
+        root = block_of(*ops)
+        first = compact_tree(root)
+        second = compact_tree(root)
+        assert first.structurally_equal(second)
+
+    @given(ops=st.lists(_ops, min_size=0, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_additional_passes_only_shrink_further(self, ops):
+        root = block_of(*ops)
+        two_passes = compact_tree(root, CompactionConfig(passes=2))
+        four_passes = compact_tree(root, CompactionConfig(passes=4))
+        assert four_passes.size() <= two_passes.size()

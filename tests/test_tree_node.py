@@ -1,0 +1,97 @@
+"""Tests for tree nodes (repro.tree.node)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tree.node import NodeKind, PatternNode
+
+
+def build_sample_tree() -> PatternNode:
+    root = PatternNode.root()
+    handle = root.add_child(PatternNode.handle())
+    block = handle.add_child(PatternNode.block())
+    block.add_child(PatternNode.operation("write", nbytes=1024, repetitions=3))
+    block.add_child(PatternNode.operation("read", nbytes=512, repetitions=2))
+    return root
+
+
+class TestPatternNode:
+    def test_structural_factories(self):
+        assert PatternNode.root().kind is NodeKind.ROOT
+        assert PatternNode.handle().kind is NodeKind.HANDLE
+        assert PatternNode.block().kind is NodeKind.BLOCK
+        assert PatternNode.root().name == "ROOT"
+
+    def test_operation_factory(self):
+        node = PatternNode.operation("write", nbytes=100, repetitions=4)
+        assert node.kind is NodeKind.OPERATION
+        assert node.name == "write"
+        assert node.nbytes == 100
+        assert node.repetitions == 4
+        assert not node.is_structural
+
+    def test_invalid_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            PatternNode.operation("write", repetitions=0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PatternNode.operation("write", nbytes=-1)
+
+    def test_add_child_sets_parent(self):
+        root = PatternNode.root()
+        child = root.add_child(PatternNode.handle())
+        assert child.parent is root
+        assert root.children == [child]
+
+    def test_depth_and_height(self):
+        root = build_sample_tree()
+        leaf = root.children[0].children[0].children[0]
+        assert root.depth() == 0
+        assert leaf.depth() == 3
+        assert root.height() == 3
+        assert leaf.height() == 0
+
+    def test_size_and_leaf_count(self):
+        root = build_sample_tree()
+        assert root.size() == 5
+        assert root.leaf_count() == 2
+
+    def test_total_repetitions_counts_only_operations(self):
+        root = build_sample_tree()
+        assert root.total_repetitions() == 5  # 3 + 2, structural nodes excluded
+
+    def test_copy_is_deep_and_equal(self):
+        root = build_sample_tree()
+        clone = root.copy()
+        assert clone is not root
+        assert clone.structurally_equal(root)
+        clone.children[0].children[0].children[0].repetitions = 99
+        assert not clone.structurally_equal(root)
+
+    def test_structural_equality_checks_all_fields(self):
+        a = PatternNode.operation("write", nbytes=10, repetitions=1)
+        b = PatternNode.operation("write", nbytes=10, repetitions=1)
+        c = PatternNode.operation("write", nbytes=11, repetitions=1)
+        assert a.structurally_equal(b)
+        assert not a.structurally_equal(c)
+
+    def test_iter_preorder_order(self):
+        root = build_sample_tree()
+        kinds = [node.kind for node in root.iter_preorder()]
+        assert kinds == [NodeKind.ROOT, NodeKind.HANDLE, NodeKind.BLOCK, NodeKind.OPERATION, NodeKind.OPERATION]
+
+    def test_iter_leaves(self):
+        root = build_sample_tree()
+        names = [leaf.name for leaf in root.iter_leaves()]
+        assert names == ["write", "read"]
+
+    def test_find_operations(self):
+        root = build_sample_tree()
+        assert len(root.find_operations("write")) == 1
+        assert root.find_operations("fsync") == []
+
+    def test_label(self):
+        assert PatternNode.operation("write", 100, 3).label() == "write[100] x3"
+        assert PatternNode.block().label() == "[BLOCK]"

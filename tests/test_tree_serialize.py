@@ -1,0 +1,63 @@
+"""Tests for tree serialisation (repro.tree.serialize)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tree.builder import build_tree
+from repro.tree.compaction import compact_tree
+from repro.tree.node import PatternNode
+from repro.tree.serialize import render_tree, tree_from_dict, tree_to_dict, tree_to_dot
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_structure(self, simple_trace):
+        root = compact_tree(build_tree(simple_trace))
+        rebuilt = tree_from_dict(tree_to_dict(root))
+        assert rebuilt.structurally_equal(root)
+
+    def test_dict_is_json_serialisable(self, simple_trace):
+        root = build_tree(simple_trace)
+        payload = tree_to_dict(root)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_leaf_node_dict_has_no_children_key(self):
+        node = PatternNode.operation("write", 10, 2)
+        assert "children" not in tree_to_dict(node)
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ValueError):
+            tree_from_dict({"kind": "GALAXY"})
+        with pytest.raises(ValueError):
+            tree_from_dict({})
+
+
+class TestDotOutput:
+    def test_dot_contains_all_nodes_and_edges(self, simple_trace):
+        root = compact_tree(build_tree(simple_trace))
+        dot = tree_to_dot(root)
+        assert dot.startswith("digraph")
+        assert dot.count("label=") == root.size()
+        assert dot.count("->") == root.size() - 1
+
+    def test_dot_escapes_quotes(self):
+        node = PatternNode.operation('we"ird', 1, 1)
+        assert '"' not in tree_to_dot(node).split("label=")[1].split("]")[0][1:-1]
+
+
+class TestRenderTree:
+    def test_render_shows_indentation_by_depth(self, simple_trace):
+        root = compact_tree(build_tree(simple_trace))
+        text = render_tree(root)
+        lines = text.splitlines()
+        assert lines[0] == "[ROOT]"
+        assert lines[1].startswith("  [HANDLE]")
+        assert lines[2].startswith("    [BLOCK]")
+        # write x3 fuses with the following lseek via rule 4 (zero-byte fusion).
+        assert any("write+lseek[1024] x4" in line for line in lines)
+
+    def test_render_line_count_equals_size(self, simple_trace):
+        root = build_tree(simple_trace)
+        assert len(render_tree(root).splitlines()) == root.size()

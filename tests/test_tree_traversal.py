@@ -1,0 +1,95 @@
+"""Tests for tree traversal utilities (repro.tree.traversal)."""
+
+from __future__ import annotations
+
+from repro.tree.builder import build_tree
+from repro.tree.node import NodeKind, PatternNode
+from repro.tree.traversal import (
+    breadth_first,
+    operation_sequence,
+    postorder,
+    preorder,
+    preorder_with_level_changes,
+)
+
+
+def two_block_tree() -> PatternNode:
+    root = PatternNode.root()
+    handle = root.add_child(PatternNode.handle())
+    block1 = handle.add_child(PatternNode.block())
+    block1.add_child(PatternNode.operation("write", 100, 2))
+    block1.add_child(PatternNode.operation("read", 50, 1))
+    block2 = handle.add_child(PatternNode.block())
+    block2.add_child(PatternNode.operation("read", 50, 3))
+    return root
+
+
+class TestTraversals:
+    def test_preorder_parent_before_children(self):
+        root = two_block_tree()
+        nodes = list(preorder(root))
+        assert nodes[0] is root
+        assert [node.kind for node in nodes[:3]] == [NodeKind.ROOT, NodeKind.HANDLE, NodeKind.BLOCK]
+        assert len(nodes) == root.size()
+
+    def test_postorder_children_before_parent(self):
+        root = two_block_tree()
+        nodes = list(postorder(root))
+        assert nodes[-1] is root
+        assert nodes[0].kind is NodeKind.OPERATION
+
+    def test_breadth_first_level_order(self):
+        root = two_block_tree()
+        kinds = [node.kind for node in breadth_first(root)]
+        assert kinds == [
+            NodeKind.ROOT,
+            NodeKind.HANDLE,
+            NodeKind.BLOCK,
+            NodeKind.BLOCK,
+            NodeKind.OPERATION,
+            NodeKind.OPERATION,
+            NodeKind.OPERATION,
+        ]
+
+    def test_operation_sequence(self):
+        assert operation_sequence(two_block_tree()) == [("write", 100, 2), ("read", 50, 1), ("read", 50, 3)]
+
+
+class TestPreorderWithLevelChanges:
+    def test_root_and_descents_have_zero_levels_up(self):
+        root = two_block_tree()
+        steps = preorder_with_level_changes(root)
+        assert steps[0].levels_up == 0
+        assert steps[0].depth == 0
+        # ROOT -> HANDLE -> BLOCK -> write are all single descents.
+        assert [step.levels_up for step in steps[:4]] == [0, 0, 0, 0]
+
+    def test_sibling_transition_counts_one_level(self):
+        root = two_block_tree()
+        steps = preorder_with_level_changes(root)
+        # write (depth 3) -> read (depth 3): ascend one level to the block.
+        assert steps[4].node.name == "read"
+        assert steps[4].levels_up == 1
+
+    def test_block_to_block_transition_counts_two_levels(self):
+        root = two_block_tree()
+        steps = preorder_with_level_changes(root)
+        # read (depth 3, last child of block1) -> block2 (depth 2): two levels up.
+        assert steps[5].node.kind is NodeKind.BLOCK
+        assert steps[5].levels_up == 2
+
+    def test_depths_match_tree_depths(self):
+        root = two_block_tree()
+        for step in preorder_with_level_changes(root):
+            assert step.depth == step.node.depth()
+
+    def test_number_of_steps_equals_tree_size(self, simple_trace):
+        root = build_tree(simple_trace)
+        assert len(preorder_with_level_changes(root)) == root.size()
+
+    def test_levels_up_consistency_invariant(self, small_corpus):
+        # depth(next) = depth(prev) + 1 - levels_up must hold for every transition.
+        for trace in small_corpus[:6]:
+            steps = preorder_with_level_changes(build_tree(trace))
+            for previous, current in zip(steps, steps[1:]):
+                assert current.depth == previous.depth + 1 - current.levels_up

@@ -1,0 +1,80 @@
+"""Tests for the ASCII visualisations (repro.viz)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learn.dendrogram import Dendrogram, Merge
+from repro.learn.hierarchical import HierarchicalClustering
+from repro.learn.kpca import kernel_pca_embedding
+from repro.viz.dendro import ascii_dendrogram, cluster_tree_summary
+from repro.viz.scatter import ascii_scatter, scatter_from_kpca
+
+
+class TestAsciiScatter:
+    def test_empty(self):
+        assert "(no points)" in ascii_scatter([], [], title="t")
+
+    def test_dimensions_and_frame(self):
+        text = ascii_scatter([0, 1, 2], [0, 1, 2], labels=["A", "B", "C"], width=20, height=5)
+        lines = text.splitlines()
+        body = [line for line in lines if line.startswith("|")]
+        assert len(body) == 5
+        assert all(len(line) == 22 for line in body)
+
+    def test_labels_appear(self):
+        text = ascii_scatter([0, 5], [0, 5], labels=["A", "B"], width=10, height=4)
+        assert "A" in text and "B" in text
+
+    def test_collision_marker(self):
+        text = ascii_scatter([0, 0, 5], [0, 0, 5], labels=["A", "B", "C"], width=10, height=4)
+        assert "*" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1, 2], [1])
+        with pytest.raises(ValueError):
+            ascii_scatter([1, 2], [1, 2], labels=["A"])
+
+    def test_scatter_from_kpca(self):
+        result = kernel_pca_embedding(np.eye(5), n_components=2)
+        text = scatter_from_kpca(result, title="kpca")
+        assert "kpca" in text
+        assert text.count("|") >= 2
+
+    def test_scatter_from_single_component_result(self):
+        result = kernel_pca_embedding(np.eye(3), n_components=1)
+        assert scatter_from_kpca(result)
+
+
+class TestAsciiDendrogram:
+    @pytest.fixture
+    def dendrogram(self):
+        merges = (
+            Merge(0, 1, 0.2, 2),
+            Merge(2, 3, 0.3, 2),
+            Merge(4, 5, 1.0, 4),
+        )
+        return Dendrogram(merges=merges, n_leaves=4, names=("a", "b", "c", "d"), labels=("X", "X", "Y", "Y"))
+
+    def test_contains_leaf_names_and_labels(self, dendrogram):
+        text = ascii_dendrogram(dendrogram)
+        for name in ("a", "b", "c", "d"):
+            assert name in text
+        assert "(X)" in text
+
+    def test_empty_dendrogram(self):
+        assert "(empty" in ascii_dendrogram(Dendrogram(merges=(), n_leaves=0))
+
+    def test_large_dendrogram_falls_back_to_summary(self):
+        distances = np.abs(np.subtract.outer(np.arange(100.0), np.arange(100.0)))
+        dendrogram = HierarchicalClustering("single").fit(distances)
+        text = ascii_dendrogram(dendrogram, max_leaves=50)
+        assert "summary" in text
+
+    def test_cluster_tree_summary_reports_compositions(self, dendrogram):
+        text = cluster_tree_summary(dendrogram, levels=(2,))
+        assert "2 clusters" in text
+        assert "X:2" in text
+        assert "Y:2" in text

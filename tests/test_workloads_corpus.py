@@ -1,0 +1,84 @@
+"""Tests for the evaluation-corpus builder (repro.workloads.corpus)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.model import validate_trace
+from repro.workloads.corpus import (
+    PAPER_CLASS_SIZES,
+    PAPER_COPIES_PER_ORIGINAL,
+    PAPER_ORIGINAL_COUNTS,
+    CorpusConfig,
+    build_corpus,
+    summarise_corpus_counts,
+)
+
+
+class TestCorpusConfig:
+    def test_paper_totals(self):
+        config = CorpusConfig.paper()
+        assert config.expected_total() == 110
+        assert sum(PAPER_ORIGINAL_COUNTS.values()) == 22
+        assert PAPER_COPIES_PER_ORIGINAL == 4
+
+    def test_small_config(self):
+        assert CorpusConfig.small().expected_total() == 16
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(copies_per_original=-1)
+        with pytest.raises(ValueError):
+            CorpusConfig(originals_per_class={"A": 0})
+
+
+class TestBuildCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_corpus(CorpusConfig.paper(seed=123))
+
+    def test_class_sizes_match_section_4_1(self, corpus):
+        summary = summarise_corpus_counts(corpus)
+        assert summary.total == 110
+        assert summary.per_label == PAPER_CLASS_SIZES
+        assert summary.originals == 22
+        assert summary.copies == 88
+
+    def test_names_are_unique(self, corpus):
+        assert len({trace.name for trace in corpus}) == len(corpus)
+
+    def test_all_traces_valid(self, corpus):
+        for trace in corpus:
+            assert validate_trace(trace) == [], trace.name
+
+    def test_copies_follow_their_original(self, corpus):
+        by_name = {trace.name: index for index, trace in enumerate(corpus)}
+        for trace in corpus:
+            if "_m" in trace.name:
+                original = trace.name.split("_m")[0]
+                assert by_name[trace.name] > by_name[original]
+
+    def test_labels_sorted_in_blocks(self, corpus):
+        labels = [trace.label for trace in corpus]
+        assert labels == sorted(labels)
+
+    def test_deterministic_given_seed(self):
+        first = build_corpus(CorpusConfig.small(seed=9))
+        second = build_corpus(CorpusConfig.small(seed=9))
+        assert [trace.name for trace in first] == [trace.name for trace in second]
+        assert all(a.operations == b.operations for a, b in zip(first, second))
+
+    def test_different_seeds_differ(self):
+        first = build_corpus(CorpusConfig.small(seed=1))
+        second = build_corpus(CorpusConfig.small(seed=2))
+        assert any(a.operations != b.operations for a, b in zip(first, second))
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            build_corpus(CorpusConfig(originals_per_class={"Z": 1}))
+
+    def test_custom_copy_count(self):
+        corpus = build_corpus(CorpusConfig(originals_per_class={"A": 2, "B": 2}, copies_per_original=2, seed=5))
+        summary = summarise_corpus_counts(corpus)
+        assert summary.total == 12
+        assert summary.copies == 8

@@ -1,0 +1,137 @@
+"""Tests for the category workload generators (repro.workloads.*)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.model import validate_trace
+from repro.traces.operations import DEFAULT_REGISTRY, OperationClass
+from repro.workloads.base import WorkloadConfig, WorkloadGenerator
+from repro.workloads.flash_io import FlashIOGenerator
+from repro.workloads.normal_io import NormalIOGenerator
+from repro.workloads.random_access import RandomAccessGenerator
+from repro.workloads.random_posix import RandomPosixGenerator
+
+ALL_GENERATORS = [FlashIOGenerator, RandomPosixGenerator, NormalIOGenerator, RandomAccessGenerator]
+
+
+class TestWorkloadConfig:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"files": 0},
+            {"operations_per_file": 0},
+            {"base_request_size": 0},
+            {"ranks": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+
+class TestGeneratorsCommon:
+    @pytest.mark.parametrize("generator_class", ALL_GENERATORS)
+    def test_traces_are_valid(self, generator_class):
+        trace = generator_class().generate(seed=1)
+        assert validate_trace(trace) == []
+        assert len(trace) > 10
+
+    @pytest.mark.parametrize("generator_class", ALL_GENERATORS)
+    def test_deterministic_given_seed(self, generator_class):
+        first = generator_class().generate(seed=5)
+        second = generator_class().generate(seed=5)
+        assert first.operations == second.operations
+
+    @pytest.mark.parametrize("generator_class", ALL_GENERATORS)
+    def test_different_seeds_differ(self, generator_class):
+        first = generator_class().generate(seed=1)
+        second = generator_class().generate(seed=2)
+        assert first.operations != second.operations
+
+    @pytest.mark.parametrize("generator_class", ALL_GENERATORS)
+    def test_label_attached(self, generator_class):
+        trace = generator_class().generate(seed=0)
+        assert trace.label == generator_class.label
+        assert trace.metadata.benchmark != ""
+
+    @pytest.mark.parametrize("generator_class", ALL_GENERATORS)
+    def test_generate_many_unique_names(self, generator_class):
+        traces = generator_class().generate_many(3, seed=10)
+        assert len({trace.name for trace in traces}) == 3
+
+    def test_generate_many_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FlashIOGenerator().generate_many(-1)
+
+
+class TestCategorySignatures:
+    """Each category must carry the structural signature the paper attributes to it."""
+
+    def test_flash_io_is_write_only_with_varying_sizes(self):
+        trace = FlashIOGenerator().generate(seed=3)
+        data_ops = [op for op in trace if op.operation_class() is OperationClass.DATA]
+        assert all("write" in op.name for op in data_ops)
+        assert len({op.nbytes for op in data_ops}) > 4
+        assert "lseek" not in trace.counts_by_name()
+
+    def test_random_posix_contains_lseek_not_seen_elsewhere(self):
+        posix_trace = RandomPosixGenerator().generate(seed=3)
+        assert posix_trace.counts_by_name().get("lseek", 0) > 10
+        for generator_class in (FlashIOGenerator, NormalIOGenerator, RandomAccessGenerator):
+            assert "lseek" not in generator_class().generate(seed=3).counts_by_name()
+
+    def test_normal_and_random_access_share_operation_mix(self):
+        normal = NormalIOGenerator().generate(seed=4)
+        random_access = RandomAccessGenerator().generate(seed=4)
+        assert set(normal.counts_by_name()) == set(random_access.counts_by_name())
+
+    def test_normal_io_offsets_are_sequential(self):
+        trace = NormalIOGenerator().generate(seed=5)
+        per_handle = {}
+        for op in trace:
+            if op.name == "write" and op.offset is not None and op.handle.startswith("seq"):
+                per_handle.setdefault(op.handle, []).append(op.offset)
+        assert per_handle
+        for offsets in per_handle.values():
+            assert offsets == sorted(offsets)
+
+    def test_random_access_offsets_are_not_sequential(self):
+        trace = RandomAccessGenerator().generate(seed=5)
+        offsets = [op.offset for op in trace if op.name == "write" and op.handle.startswith("rand")]
+        assert offsets != sorted(offsets)
+
+    def test_ior_categories_share_harness_phases(self):
+        # Categories B, C and D are the same benchmark binary, so they share
+        # the configuration-read and log-write phases verbatim.
+        for generator_class in (RandomPosixGenerator, NormalIOGenerator, RandomAccessGenerator):
+            trace = generator_class().generate(seed=6)
+            handles = trace.handles()
+            assert "ior_config" in handles
+            assert "ior_log" in handles
+        assert "ior_config" not in FlashIOGenerator().generate(seed=6).handles()
+
+    def test_fixed_transfer_size_for_ior_data_phases(self):
+        trace = NormalIOGenerator().generate(seed=7)
+        sizes = {op.nbytes for op in trace if op.name == "write" and op.handle.startswith("seq")}
+        assert len(sizes) == 1
+
+
+class TestCustomGenerator:
+    def test_subclassing_workload_generator(self):
+        class TinyGenerator(WorkloadGenerator):
+            label = "T"
+            description = "two writes"
+
+            def _generate_operations(self, emitter, rng):
+                emitter.emit("open", "f")
+                emitter.emit("write", "f", 10)
+                emitter.emit("write", "f", 10)
+                emitter.emit("close", "f")
+
+        trace = TinyGenerator().generate(seed=0)
+        assert trace.label == "T"
+        assert len(trace) == 4

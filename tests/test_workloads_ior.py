@@ -1,0 +1,87 @@
+"""Tests for the configurable IOR-like generator (repro.workloads.ior)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.model import validate_trace
+from repro.workloads.base import OperationEmitter
+from repro.workloads.ior import IORGenerator, IORParameters, emit_harness_epilogue, emit_harness_prologue
+
+
+class TestHarnessPhases:
+    def test_prologue_reads_configuration(self):
+        emitter = OperationEmitter()
+        emit_harness_prologue(emitter)
+        names = [op.name for op in emitter.operations()]
+        assert names[0] == "open"
+        assert names[-1] == "close"
+        assert names.count("read") >= 2
+
+    def test_epilogue_writes_log(self):
+        emitter = OperationEmitter()
+        emit_harness_epilogue(emitter)
+        names = [op.name for op in emitter.operations()]
+        assert names.count("write") >= 2
+
+    def test_phases_are_deterministic(self):
+        first, second = OperationEmitter(), OperationEmitter()
+        emit_harness_prologue(first)
+        emit_harness_prologue(second)
+        assert first.operations() == second.operations()
+
+
+class TestIORParameters:
+    def test_invalid_api_rejected(self):
+        with pytest.raises(ValueError):
+            IORParameters(api="hdf5")
+
+    @pytest.mark.parametrize("field, value", [("transfer_size", 0), ("transfers_per_block", 0), ("segments", 0)])
+    def test_invalid_sizes_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            IORParameters(**{field: value})
+
+
+class TestIORGenerator:
+    def test_default_run_is_valid(self):
+        trace = IORGenerator().generate(seed=1)
+        assert validate_trace(trace) == []
+
+    def test_sequential_run_has_no_lseek(self):
+        trace = IORGenerator(IORParameters(random_offsets=False)).generate(seed=1)
+        assert "lseek" not in trace.counts_by_name()
+
+    def test_random_posix_run_emits_lseek(self):
+        trace = IORGenerator(IORParameters(random_offsets=True, api="posix")).generate(seed=1)
+        assert trace.counts_by_name()["lseek"] > 0
+
+    def test_mpiio_run_uses_mpi_operation_names(self):
+        trace = IORGenerator(IORParameters(api="mpiio")).generate(seed=1)
+        counts = trace.counts_by_name()
+        assert counts.get("mpi_write", 0) > 0
+        assert "write" not in counts or counts["write"] <= 3  # harness log writes only
+
+    def test_mpiio_random_offsets_do_not_emit_posix_seeks(self):
+        trace = IORGenerator(IORParameters(api="mpiio", random_offsets=True)).generate(seed=1)
+        assert "lseek" not in trace.counts_by_name()
+
+    def test_write_count_matches_segments_and_transfers(self):
+        parameters = IORParameters(transfers_per_block=4, segments=3, read_back=False, include_harness=False, fsync=False)
+        trace = IORGenerator(parameters).generate(seed=2)
+        assert trace.counts_by_name()["write"] == 12
+
+    def test_read_back_can_be_disabled(self):
+        parameters = IORParameters(read_back=False, include_harness=False)
+        trace = IORGenerator(parameters).generate(seed=2)
+        assert "read" not in trace.counts_by_name()
+
+    def test_harness_can_be_disabled(self):
+        trace = IORGenerator(IORParameters(include_harness=False)).generate(seed=2)
+        assert "ior_config" not in trace.handles()
+        assert "ior_log" not in trace.handles()
+
+    def test_fsync_toggle(self):
+        with_fsync = IORGenerator(IORParameters(fsync=True)).generate(seed=3)
+        without_fsync = IORGenerator(IORParameters(fsync=False)).generate(seed=3)
+        assert "fsync" in with_fsync.counts_by_name()
+        assert "fsync" not in without_fsync.counts_by_name()
