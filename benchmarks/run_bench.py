@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Run the E10 scaling benchmarks and record a perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--output benchmarks/BENCH_scaling.json]
+                                                  [--repeats 3] [--quick]
+
+Measures, with the paper's 110-example corpus:
+
+* **E10a** — single Kast pair evaluation (milliseconds) vs string length,
+  for both candidate-search backends;
+* **E10b** — full Gram-matrix construction (seconds) vs corpus size,
+  through the :class:`~repro.core.engine.GramEngine` (numpy backend) and
+  through the pure-Python serial reference backend.
+
+The result is written as JSON so future PRs can diff their numbers against
+the recorded trajectory (see ``benchmarks/README.md``).  Timings are the
+median over ``--repeats`` runs to damp scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import statistics
+import time
+from typing import Callable, Dict, List
+
+from repro.core.kast import KastSpectrumKernel
+from repro.core.matrix import compute_kernel_matrix
+from repro.pipeline.experiments import DEFAULT_SEED, paper_strings
+from repro.strings.tokens import Token, WeightedString
+
+PAIR_LENGTHS = (16, 32, 64, 128, 256)
+CORPUS_SIZES = (20, 40, 80, 110)
+
+
+def synthetic_string(length: int, seed: int, alphabet_size: int = 12) -> WeightedString:
+    rng = random.Random(seed)
+    tokens = [
+        Token(f"op{rng.randrange(alphabet_size)}[{rng.choice((0, 512, 4096))}]", rng.randint(1, 40))
+        for _ in range(length)
+    ]
+    return WeightedString(tokens, name=f"synthetic_{length}_{seed}")
+
+
+def median_seconds(action: Callable[[], None], repeats: int) -> float:
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        action()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def bench_pair_eval(repeats: int, lengths=PAIR_LENGTHS) -> Dict[str, Dict[str, float]]:
+    """E10a: single pair evaluation cost (ms) per backend and string length."""
+    results: Dict[str, Dict[str, float]] = {}
+    for backend in ("python", "numpy"):
+        per_length: Dict[str, float] = {}
+        for length in lengths:
+            first = synthetic_string(length, seed=1)
+            second = synthetic_string(length, seed=2)
+            kernel = KastSpectrumKernel(cut_weight=2, backend=backend)
+            kernel.value(first, second)  # warm the prepared-string cache
+            per_length[str(length)] = median_seconds(lambda: kernel.value(first, second), repeats) * 1000.0
+        results[backend] = per_length
+    return results
+
+
+def bench_gram(repeats: int, sizes=CORPUS_SIZES) -> Dict[str, Dict[str, float]]:
+    """E10b: Gram-matrix construction cost (s) per backend and corpus size."""
+    strings = list(paper_strings(DEFAULT_SEED, True))
+    results: Dict[str, Dict[str, float]] = {}
+    for backend in ("python", "numpy"):
+        per_size: Dict[str, float] = {}
+        for size in sizes:
+            subset = strings[:size]
+
+            def build() -> None:
+                kernel = KastSpectrumKernel(cut_weight=2, backend=backend)
+                compute_kernel_matrix(subset, kernel, repair=False)
+
+            per_size[str(size)] = median_seconds(build, repeats)
+        results[backend] = per_size
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="benchmarks/BENCH_scaling.json", help="where to write the JSON report")
+    parser.add_argument("--repeats", type=int, default=3, help="runs per measurement (median is recorded)")
+    parser.add_argument("--quick", action="store_true", help="smaller grids for a fast smoke run")
+    args = parser.parse_args()
+
+    pair_lengths = (16, 64) if args.quick else PAIR_LENGTHS
+    corpus_sizes = (20, 40) if args.quick else CORPUS_SIZES
+
+    print("E10a: single Kast pair evaluation (ms)")
+    pair_eval = bench_pair_eval(args.repeats, pair_lengths)
+    for backend, series in pair_eval.items():
+        row = "  ".join(f"{length}tok={value:7.2f}" for length, value in series.items())
+        print(f"  {backend:>7}: {row}")
+
+    print("E10b: Gram-matrix construction (s)")
+    gram = bench_gram(args.repeats, corpus_sizes)
+    for backend, series in gram.items():
+        row = "  ".join(f"n={size}:{value:6.2f}" for size, value in series.items())
+        print(f"  {backend:>7}: {row}")
+
+    largest = str(corpus_sizes[-1])
+    speedup = gram["python"][largest] / gram["numpy"][largest] if gram["numpy"][largest] > 0 else float("inf")
+    print(f"numpy engine vs python serial on the {largest}-example Gram: {speedup:.2f}x")
+
+    report = {
+        "benchmark": "E10 scaling",
+        "repeats": args.repeats,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "pair_eval_ms": pair_eval,
+        "gram_seconds": gram,
+        "gram_speedup_numpy_vs_python": speedup,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

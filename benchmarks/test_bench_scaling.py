@@ -63,18 +63,29 @@ def test_bench_gram_matrix_scaling_with_corpus_size(benchmark, strings_with_byte
         compute_kernel_matrix(subset, KastSpectrumKernel(cut_weight=2), repair=False)
         timings[size] = time.perf_counter() - start
 
+    # Reference: the pure-Python serial backend on the full corpus.
+    start = time.perf_counter()
+    compute_kernel_matrix(strings_with_bytes, KastSpectrumKernel(cut_weight=2, backend="python"), repair=False)
+    python_seconds = time.perf_counter() - start
+
     benchmark.pedantic(
         lambda: compute_kernel_matrix(strings_with_bytes, kernel, repair=False), rounds=1, iterations=1
     )
 
     print()
-    print("E10b: Kast Gram-matrix construction vs corpus size")
+    print("E10b: Kast Gram-matrix construction vs corpus size (engine, numpy backend)")
     for size in sizes:
         pairs = size * (size - 1) // 2
         print(f"  {size:4d} examples ({pairs:5d} pairs) : {timings[size]:6.2f} s")
+    print(f"  reference python backend, 110 examples : {python_seconds:6.2f} s")
+    print(f"  engine speedup vs python serial        : {python_seconds / timings[110]:6.2f}x")
+    print("  (see benchmarks/run_bench.py to record the trajectory as JSON)")
 
     # Quadratic-ish growth: the full corpus should cost no more than ~12x the
     # 20-example subset (a generous bound well above (110/20)^2 measurement noise
     # would need, but far below pathological blow-up).
     assert timings[110] < timings[20] * 60
     assert timings[110] < 60.0
+    # The vectorised engine path must not regress behind the python reference
+    # (generous noise margin: a single-core CI container throttles freely).
+    assert timings[110] < python_seconds * 1.5

@@ -21,7 +21,7 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core.kast import KastSpectrumKernel
+from repro.core.kast import KAST_BACKENDS, KastSpectrumKernel
 from repro.pipeline.config import KERNEL_CHOICES, ExperimentConfig
 from repro.pipeline.experiments import (
     experiment_cut_weight_sweep,
@@ -72,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("trace_b", help="second trace file")
     compare.add_argument("--cut-weight", type=int, default=2, help="Kast kernel cut weight")
     compare.add_argument("--no-bytes", action="store_true", help="ignore byte information")
+    _add_engine_arguments(compare)
 
     experiment = subparsers.add_parser("experiment", help="run one of the canned paper experiments")
     experiment.add_argument(
@@ -81,12 +82,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--seed", type=int, default=2017, help="corpus seed")
     experiment.add_argument("--cut-weight", type=int, default=2, help="cut weight")
+    _add_engine_arguments(experiment)
 
     sweep = subparsers.add_parser("sweep", help="run the cut-weight sweep")
     sweep.add_argument("--seed", type=int, default=2017, help="corpus seed")
     sweep.add_argument("--no-bytes", action="store_true", help="use the byte-free string variant")
+    _add_engine_arguments(sweep)
 
     return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Kernel-engine flags shared by the kernel-evaluating commands."""
+    parser.add_argument(
+        "--backend",
+        choices=list(KAST_BACKENDS),
+        default="numpy",
+        help="Kast candidate-search implementation (default: numpy)",
+    )
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker threads for Gram-matrix construction (default: 1)",
+    )
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -113,7 +132,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     use_bytes = not args.no_bytes
     string_a = trace_to_string(trace_a, use_byte_information=use_bytes)
     string_b = trace_to_string(trace_b, use_byte_information=use_bytes)
-    kernel = KastSpectrumKernel(cut_weight=args.cut_weight)
+    kernel = KastSpectrumKernel(cut_weight=args.cut_weight, backend=args.backend)
     embedding = kernel.embed(string_a, string_b)
     print(embedding.describe())
     print(f"raw kernel value        : {embedding.kernel_value}")
@@ -126,7 +145,9 @@ def _command_experiment(args: argparse.Namespace) -> int:
         for key, value in experiment_worked_example().items():
             print(f"{key}: {value}")
         return 0
-    result = _EXPERIMENTS[args.name](seed=args.seed, cut_weight=args.cut_weight)
+    result = _EXPERIMENTS[args.name](
+        seed=args.seed, cut_weight=args.cut_weight, n_jobs=args.n_jobs, backend=args.backend
+    )
     print(summarise_result(result, title=f"experiment {args.name}"))
     print()
     print(scatter_from_kpca(result.kpca, title="Kernel PCA (first two components)"))
@@ -137,10 +158,10 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 def _command_sweep(args: argparse.Namespace) -> int:
     if args.no_bytes:
-        sweep = experiment_nobytes_variant(seed=args.seed)
+        sweep = experiment_nobytes_variant(seed=args.seed, n_jobs=args.n_jobs, backend=args.backend)
         title = "cut-weight sweep (byte information ignored)"
     else:
-        sweep = experiment_cut_weight_sweep(seed=args.seed)
+        sweep = experiment_cut_weight_sweep(seed=args.seed, n_jobs=args.n_jobs, backend=args.backend)
         title = "cut-weight sweep (byte information kept)"
     print(summarise_sweep(sweep, title=title))
     return 0

@@ -3,12 +3,15 @@
 * :mod:`repro.core.kast` — the kernel itself;
 * :mod:`repro.core.features` — inspectable pairwise embeddings;
 * :mod:`repro.core.matrix` — labelled kernel matrices over corpora;
+* :mod:`repro.core.engine` — the Gram-matrix evaluation engine (pair
+  caching, parallel workers, on-disk persistence);
 * :mod:`repro.core.normalization` — cosine normalisation, centring and the
   negative-eigenvalue repair used in section 4.1 of the paper.
 """
 
+from repro.core.engine import GramEngine, load_matrix, save_matrix
 from repro.core.features import KastEmbedding, KastFeature, Occurrence
-from repro.core.kast import KastSpectrumKernel, kast_kernel_value
+from repro.core.kast import KAST_BACKENDS, KastSpectrumKernel, kast_kernel_value
 from repro.core.matrix import KernelMatrix, compute_kernel_matrix
 from repro.core.normalization import (
     center_kernel_matrix,
@@ -19,9 +22,13 @@ from repro.core.normalization import (
 )
 
 __all__ = [
+    "GramEngine",
+    "load_matrix",
+    "save_matrix",
     "KastEmbedding",
     "KastFeature",
     "Occurrence",
+    "KAST_BACKENDS",
     "KastSpectrumKernel",
     "kast_kernel_value",
     "KernelMatrix",

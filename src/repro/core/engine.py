@@ -1,0 +1,537 @@
+"""Fast Gram-matrix evaluation engine.
+
+The paper's downstream analyses (Kernel PCA, hierarchical clustering) only
+ever consume the pairwise kernel matrix, and building that matrix dominates
+the pipeline cost.  :class:`GramEngine` concentrates everything the matrix
+construction can exploit in one place:
+
+* **symmetric pair-value cache** — ``k(a, b)`` is stored under a
+  content-based symmetric key, so ``k(b, a)``, repeated strings in a corpus
+  and repeated engine calls on overlapping corpora all hit the cache;
+* **content-keyed self-value cache** — normalisation denominators are
+  computed once per distinct string;
+* **chunked parallel scheduling** — the unique pairs are chunked and spread
+  over a ``concurrent.futures`` thread pool (``n_jobs`` workers).  The numpy
+  kernel backend spends its time in ufunc sweeps that release the GIL, so
+  threads give real speedup without any pickling cost;
+* **on-disk persistence with incremental extension** — a computed matrix
+  can be saved as JSON (via :meth:`KernelMatrix.as_dict`); when the engine
+  is later asked for a corpus whose prefix matches a saved matrix, only the
+  rows/columns of the newly appended strings are evaluated.
+
+The engine is deterministic: the values it produces are identical for any
+``n_jobs`` (workers only ever compute independent pairs; assembly order is
+fixed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.matrix import KernelMatrix
+from repro.kernels.base import StringKernel, normalize_kernel_value
+from repro.strings.interner import TokenInterner
+from repro.strings.tokens import Token, WeightedString
+
+__all__ = ["GramEngine", "save_matrix", "load_matrix", "string_fingerprint"]
+
+#: Symmetric content key of an unordered string pair (ordered small-int pair).
+PairKey = Tuple[int, int]
+
+#: Default number of unique pairs handed to one worker at a time.
+_DEFAULT_CHUNK_SIZE = 32
+
+#: Default bound on the symmetric pair-value cache.
+_DEFAULT_PAIR_CACHE_SIZE = 262_144
+
+
+def string_fingerprint(string: WeightedString) -> str:
+    """Content digest of a weighted string (name and label excluded).
+
+    Used by the on-disk matrix cache to detect corpora whose example
+    *names* match a stored matrix but whose token content changed (e.g.
+    the same trace corpus re-encoded with different options).
+    """
+    digest = hashlib.sha1()
+    for token in string:
+        digest.update(token.literal.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(str(token.weight).encode("ascii"))
+        digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+def save_matrix(
+    matrix: KernelMatrix,
+    path: str,
+    fingerprints: Optional[Sequence[str]] = None,
+    kernel_signature: Optional[str] = None,
+) -> None:
+    """Persist *matrix* as JSON (atomically, via a temporary file).
+
+    *fingerprints* (one per example, see :func:`string_fingerprint`) and
+    *kernel_signature* are stored alongside :meth:`KernelMatrix.as_dict`
+    so a later load can prove the cached values still describe the same
+    corpus content and kernel configuration.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    payload = matrix.as_dict()
+    if fingerprints is not None:
+        payload["fingerprints"] = list(fingerprints)
+    if kernel_signature is not None:
+        payload["kernel_signature"] = kernel_signature
+    temporary = f"{path}.tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(temporary, path)
+
+
+def load_matrix(path: str) -> KernelMatrix:
+    """Load a matrix previously written by :func:`save_matrix`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return KernelMatrix.from_dict(payload)
+
+
+class GramEngine:
+    """Kernel-matrix evaluation engine wrapping one :class:`StringKernel`.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel to evaluate.  If the kernel exposes an ``interner``
+        attribute (the Kast kernel's numpy backend does) and *interner* is
+        given, the engine installs it so several engines/kernels can share
+        one literal → id space.
+    n_jobs:
+        Number of worker threads for pair evaluation (1 = serial).
+    chunk_size:
+        Unique pairs per scheduled work item; chunking amortises the
+        executor overhead for cheap pairs.
+    pair_cache_size:
+        Bound on the symmetric pair-value LRU cache.
+    interner:
+        Optional shared :class:`~repro.strings.interner.TokenInterner`.
+    """
+
+    def __init__(
+        self,
+        kernel: StringKernel,
+        n_jobs: int = 1,
+        chunk_size: int = _DEFAULT_CHUNK_SIZE,
+        pair_cache_size: int = _DEFAULT_PAIR_CACHE_SIZE,
+        interner: Optional[TokenInterner] = None,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.kernel = kernel
+        self.n_jobs = n_jobs
+        self.chunk_size = chunk_size
+        self.pair_cache_size = pair_cache_size
+        if interner is not None and hasattr(kernel, "interner"):
+            kernel.interner = interner
+        self._pair_cache: "OrderedDict[PairKey, float]" = OrderedDict()
+        self._self_cache: Dict[int, float] = {}
+        # Content → small-int key registry.  Hashing a token tuple touches
+        # every token, so it is done once per distinct string *object* (the
+        # id-keyed memo pins the object to keep ids stable) and once per
+        # distinct *content* (the registry); pair keys are then int pairs.
+        self._key_registry: Dict[Tuple[Token, ...], int] = {}
+        self._object_keys: Dict[int, Tuple[WeightedString, int]] = {}
+        self._next_key = 0
+        self._lock = threading.Lock()
+        #: Cache observability (used by tests and benchmarks).
+        self.pair_hits = 0
+        self.pair_misses = 0
+
+    # ------------------------------------------------------------------
+    # Single-value entry points (cached)
+    # ------------------------------------------------------------------
+    #: Bound on the id-keyed object memo (a pure shortcut, safe to drop).
+    _OBJECT_MEMO_LIMIT = 65_536
+
+    def _string_key(self, string: WeightedString) -> int:
+        memo = self._object_keys.get(id(string))
+        if memo is not None and memo[0] is string:
+            return memo[1]
+        with self._lock:
+            tokens = string.tokens
+            key = self._key_registry.get(tokens)
+            if key is None:
+                # Keys are drawn from a monotonic counter and NEVER reused:
+                # an in-flight computation may still hold keys handed out
+                # before an eviction, and reusing their ints would alias
+                # different-content pairs in the caches.
+                key = self._next_key
+                self._next_key += 1
+                self._key_registry[tokens] = key
+                # The registry itself is bounded by dropping the dependent
+                # caches with it; stale cache entries under retired keys
+                # are unreachable and age out of the pair-cache LRU.
+                if len(self._key_registry) > self.pair_cache_size:
+                    self._key_registry = {tokens: key}
+                    self._object_keys.clear()
+                    self._pair_cache.clear()
+                    self._self_cache.clear()
+            if len(self._object_keys) > self._OBJECT_MEMO_LIMIT:
+                self._object_keys.clear()
+            self._object_keys[id(string)] = (string, key)
+        return key
+
+    def _pair_key(self, a: WeightedString, b: WeightedString) -> PairKey:
+        first, second = self._string_key(a), self._string_key(b)
+        return (first, second) if first <= second else (second, first)
+
+    def pair_value(self, a: WeightedString, b: WeightedString) -> float:
+        """Raw ``k(a, b)`` through the symmetric content-keyed cache."""
+        key = self._pair_key(a, b)
+        with self._lock:
+            cached = self._pair_cache.get(key)
+            if cached is not None:
+                self._pair_cache.move_to_end(key)
+                self.pair_hits += 1
+                return cached
+            self.pair_misses += 1
+        value = float(self.kernel.value(a, b))
+        with self._lock:
+            self._pair_cache[key] = value
+            self._pair_cache.move_to_end(key)
+            while len(self._pair_cache) > self.pair_cache_size:
+                self._pair_cache.popitem(last=False)
+        return value
+
+    def self_value(self, string: WeightedString) -> float:
+        """Cached ``k(a, a)``."""
+        key = self._string_key(string)
+        with self._lock:
+            cached = self._self_cache.get(key)
+        if cached is not None:
+            return cached
+        value = float(self.kernel.self_value(string))
+        with self._lock:
+            self._self_cache[key] = value
+        return value
+
+    def normalized_pair_value(self, a: WeightedString, b: WeightedString) -> float:
+        """Cosine-normalised ``k(a, b)`` through the caches."""
+        return normalize_kernel_value(self.pair_value(a, b), self.self_value(a), self.self_value(b))
+
+    # ------------------------------------------------------------------
+    # Gram matrix
+    # ------------------------------------------------------------------
+    def gram(self, strings: Sequence[WeightedString], normalized: bool = True) -> np.ndarray:
+        """The (square, symmetric) Gram matrix over *strings* as an array."""
+        string_list = list(strings)
+        count = len(string_list)
+        gram = np.zeros((count, count), dtype=float)
+        self_values = [self.self_value(string) for string in string_list]
+        pairs = [(i, j) for i in range(count) for j in range(i + 1, count)]
+        raw_by_pair = self._evaluate_pairs(string_list, pairs)
+        for (i, j), raw in raw_by_pair.items():
+            entry = normalize_kernel_value(raw, self_values[i], self_values[j]) if normalized else raw
+            gram[i, j] = entry
+            gram[j, i] = entry
+        for i in range(count):
+            gram[i, i] = 1.0 if normalized and self_values[i] > 0 else self_values[i]
+        return gram
+
+    def _evaluate_pairs(
+        self,
+        strings: List[WeightedString],
+        index_pairs: Sequence[Tuple[int, int]],
+    ) -> Dict[Tuple[int, int], float]:
+        """Evaluate the raw kernel for every index pair, deduplicated by content.
+
+        Content-identical pairs (including ``(i, j)`` vs ``(j, i)`` requests
+        and duplicate strings in the corpus) map onto one unique evaluation;
+        cached values are served first, and the remainder is scheduled over
+        the worker pool.  Kernels exposing a ``value_row`` batch method (the
+        Kast kernel's numpy backend does) are driven row by row — one work
+        item evaluates one string against all of its pending partners, which
+        amortises the per-pair setup cost; other kernels fall back to fixed
+        size chunks of single pair evaluations.
+        """
+        tasks: "OrderedDict[PairKey, List[Tuple[int, int]]]" = OrderedDict()
+        for i, j in index_pairs:
+            key = self._pair_key(strings[i], strings[j])
+            tasks.setdefault(key, []).append((i, j))
+
+        raw_by_key: Dict[PairKey, float] = {}
+        pending: List[Tuple[PairKey, Tuple[int, int]]] = []
+        with self._lock:
+            for key, positions in tasks.items():
+                cached = self._pair_cache.get(key)
+                if cached is not None:
+                    raw_by_key[key] = cached
+                    self.pair_hits += 1
+                else:
+                    pending.append((key, positions[0]))
+                    self.pair_misses += 1
+
+        if pending:
+            if hasattr(self.kernel, "value_row"):
+                work_items: List[List[Tuple[PairKey, Tuple[int, int]]]] = [
+                    group for _, group in self._group_by_row(pending)
+                ]
+                evaluate = self._evaluate_row
+            else:
+                work_items = [
+                    pending[start : start + self.chunk_size]
+                    for start in range(0, len(pending), self.chunk_size)
+                ]
+                evaluate = self._evaluate_chunk
+            computed: List[Tuple[PairKey, float]] = []
+            if self.n_jobs > 1 and len(work_items) > 1:
+                with ThreadPoolExecutor(max_workers=self.n_jobs) as executor:
+                    for result in executor.map(lambda item: evaluate(strings, item), work_items):
+                        computed.extend(result)
+            else:
+                for item in work_items:
+                    computed.extend(evaluate(strings, item))
+            with self._lock:
+                for key, value in computed:
+                    raw_by_key[key] = value
+                    self._pair_cache[key] = value
+                while len(self._pair_cache) > self.pair_cache_size:
+                    self._pair_cache.popitem(last=False)
+
+        results: Dict[Tuple[int, int], float] = {}
+        for key, positions in tasks.items():
+            value = raw_by_key[key]
+            for position in positions:
+                results[position] = value
+        return results
+
+    @staticmethod
+    def _group_by_row(
+        pending: List[Tuple[PairKey, Tuple[int, int]]]
+    ) -> List[Tuple[int, List[Tuple[PairKey, Tuple[int, int]]]]]:
+        rows: "OrderedDict[int, List[Tuple[PairKey, Tuple[int, int]]]]" = OrderedDict()
+        for key, (i, j) in pending:
+            rows.setdefault(i, []).append((key, (i, j)))
+        return list(rows.items())
+
+    def _evaluate_row(
+        self, strings: List[WeightedString], group: List[Tuple[PairKey, Tuple[int, int]]]
+    ) -> List[Tuple[PairKey, float]]:
+        row_index = group[0][1][0]
+        targets = [strings[j] for _, (_, j) in group]
+        values = self.kernel.value_row(strings[row_index], targets)
+        return [(key, float(value)) for (key, _), value in zip(group, values)]
+
+    def _evaluate_chunk(
+        self, strings: List[WeightedString], chunk: List[Tuple[PairKey, Tuple[int, int]]]
+    ) -> List[Tuple[PairKey, float]]:
+        return [(key, float(self.kernel.value(strings[i], strings[j]))) for key, (i, j) in chunk]
+
+    # ------------------------------------------------------------------
+    # Labelled matrices, persistence and incremental extension
+    # ------------------------------------------------------------------
+    def kernel_signature(self) -> str:
+        """String identifying every kernel option that affects values.
+
+        Kernels may expose a ``cache_signature()`` method (the Kast kernel
+        does — it encodes all value-affecting flags while deliberately
+        omitting the backend, whose two implementations are equivalent);
+        otherwise the kernel name is the best available identity.
+        """
+        signature = getattr(self.kernel, "cache_signature", None)
+        if callable(signature):
+            return str(signature())
+        return self.kernel.name
+
+    def matrix(
+        self,
+        strings: Sequence[WeightedString],
+        normalized: bool = True,
+        base: Optional[KernelMatrix] = None,
+        base_fingerprints: Optional[Sequence[str]] = None,
+        base_signature: Optional[str] = None,
+    ) -> KernelMatrix:
+        """Labelled (pre-repair) kernel matrix over *strings*.
+
+        When *base* is a previously computed matrix whose examples form a
+        prefix of *strings* (matched by name, kernel and normalisation
+        mode — and, when *base_fingerprints*/*base_signature* are given,
+        by string content and full kernel configuration), its block is
+        reused verbatim and only pairs involving the appended strings are
+        evaluated.
+        """
+        string_list = list(strings)
+        names = tuple(string.name for string in string_list)
+        labels = tuple(string.label for string in string_list)
+        values: Optional[np.ndarray] = None
+        if base is not None and self._base_is_prefix(
+            base, string_list, names, normalized, base_fingerprints, base_signature
+        ):
+            values = self._extend_values(base, string_list, normalized)
+        if values is None:
+            values = self.gram(string_list, normalized=normalized)
+        return KernelMatrix(
+            values=values,
+            names=names,
+            labels=labels,
+            kernel_name=self.kernel.name,
+            normalized=normalized,
+        )
+
+    def _base_is_prefix(
+        self,
+        base: KernelMatrix,
+        strings: List[WeightedString],
+        names: Tuple[str, ...],
+        normalized: bool,
+        base_fingerprints: Optional[Sequence[str]] = None,
+        base_signature: Optional[str] = None,
+    ) -> bool:
+        if not (
+            base.kernel_name == self.kernel.name
+            and base.normalized == normalized
+            and len(base) <= len(names)
+            and tuple(base.names) == names[: len(base)]
+        ):
+            return False
+        if base_signature is not None and base_signature != self.kernel_signature():
+            return False
+        if base_fingerprints is not None:
+            if len(base_fingerprints) != len(base):
+                return False
+            current = [string_fingerprint(string) for string in strings[: len(base)]]
+            if list(base_fingerprints) != current:
+                return False
+        return True
+
+    def _extend_values(
+        self,
+        base: KernelMatrix,
+        strings: List[WeightedString],
+        normalized: bool,
+    ) -> np.ndarray:
+        existing = len(base)
+        count = len(strings)
+        values = np.zeros((count, count), dtype=float)
+        values[:existing, :existing] = base.values
+        if existing == count:
+            return values
+        self_values = [self.self_value(string) for string in strings]
+        pairs = [(i, j) for j in range(existing, count) for i in range(j)]
+        raw_by_pair = self._evaluate_pairs(strings, pairs)
+        for (i, j), raw in raw_by_pair.items():
+            entry = normalize_kernel_value(raw, self_values[i], self_values[j]) if normalized else raw
+            values[i, j] = entry
+            values[j, i] = entry
+        for i in range(existing, count):
+            values[i, i] = 1.0 if normalized and self_values[i] > 0 else self_values[i]
+        return values
+
+    def extend(self, base: KernelMatrix, strings: Sequence[WeightedString], normalized: bool = True) -> KernelMatrix:
+        """Extend *base* to cover *strings* (which must start with base's examples)."""
+        string_list = list(strings)
+        names = tuple(string.name for string in string_list)
+        if not self._base_is_prefix(base, string_list, names, normalized):
+            raise ValueError(
+                "base matrix does not match the corpus prefix "
+                f"(kernel {base.kernel_name!r} vs {self.kernel.name!r}, {len(base)} vs {len(names)} examples)"
+            )
+        return self.matrix(string_list, normalized=normalized, base=base)
+
+    def compute(
+        self,
+        strings: Sequence[WeightedString],
+        normalized: bool = True,
+        repair: bool = True,
+        cache_path: Optional[str] = None,
+    ) -> KernelMatrix:
+        """One-call matrix computation with optional on-disk persistence.
+
+        When *cache_path* exists and its stored corpus fingerprints and
+        kernel signature match, its matrix seeds the computation (full
+        reuse if the corpus is unchanged, incremental extension if strings
+        were appended); any mismatch — including same-named strings whose
+        content changed — triggers a full recomputation.  The *pre-repair*
+        matrix is written back, so later extensions stay exact.
+        """
+        string_list = list(strings)
+        base: Optional[KernelMatrix] = None
+        base_fingerprints: Optional[List[str]] = None
+        base_signature: Optional[str] = None
+        if cache_path is not None and os.path.exists(cache_path):
+            try:
+                with open(cache_path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                base = KernelMatrix.from_dict(payload)
+                stored_fingerprints = payload.get("fingerprints")
+                base_fingerprints = (
+                    [str(item) for item in stored_fingerprints]
+                    if isinstance(stored_fingerprints, list)
+                    # Files without fingerprints cannot prove content
+                    # identity: an empty list always mismatches a
+                    # non-empty corpus prefix, forcing recomputation.
+                    else []
+                )
+                base_signature = str(payload.get("kernel_signature", ""))
+            # Any malformed file — wrong JSON shape included — falls back
+            # to recomputation, as documented.
+            except (ValueError, KeyError, TypeError, AttributeError, OSError, json.JSONDecodeError):
+                base = None
+                base_fingerprints = None
+                base_signature = None
+
+        names = tuple(string.name for string in string_list)
+        full_hit = (
+            base is not None
+            and len(base) == len(string_list)
+            and tuple(base.labels) == tuple(string.label for string in string_list)
+            and self._base_is_prefix(
+                base, string_list, names, normalized, base_fingerprints, base_signature
+            )
+        )
+        if full_hit:
+            # Nothing changed: reuse the stored matrix verbatim and skip the
+            # rewrite (no point re-serialising an identical O(n^2) file).
+            matrix = base
+        else:
+            matrix = self.matrix(
+                string_list,
+                normalized=normalized,
+                base=base,
+                base_fingerprints=base_fingerprints,
+                base_signature=base_signature,
+            )
+            if cache_path is not None:
+                save_matrix(
+                    matrix,
+                    cache_path,
+                    fingerprints=[string_fingerprint(string) for string in string_list],
+                    kernel_signature=self.kernel_signature(),
+                )
+        if repair and not matrix.is_positive_semidefinite():
+            matrix = matrix.repaired()
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Sizes and hit counters of the engine caches."""
+        with self._lock:
+            return {
+                "pair_entries": len(self._pair_cache),
+                "self_entries": len(self._self_cache),
+                "pair_hits": self.pair_hits,
+                "pair_misses": self.pair_misses,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"GramEngine(kernel={self.kernel!r}, n_jobs={self.n_jobs})"

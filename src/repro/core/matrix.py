@@ -163,8 +163,15 @@ def compute_kernel_matrix(
     kernel: StringKernel,
     normalized: bool = True,
     repair: bool = True,
+    n_jobs: int = 1,
+    engine: Optional["GramEngine"] = None,
+    cache_path: Optional[str] = None,
 ) -> KernelMatrix:
     """Compute the kernel matrix of *strings* under *kernel*.
+
+    The computation goes through a :class:`~repro.core.engine.GramEngine`,
+    which provides symmetric pair caching, parallel evaluation and optional
+    on-disk persistence.
 
     Parameters
     ----------
@@ -177,15 +184,17 @@ def compute_kernel_matrix(
     repair:
         Clip negative eigenvalues to zero and rebuild the matrix, as the
         paper does before handing it to the learning algorithms.
+    n_jobs:
+        Worker threads for pair evaluation (ignored when *engine* is given).
+    engine:
+        Optional pre-built engine; passing one lets callers reuse its pair
+        and self-value caches across several matrix computations.
+    cache_path:
+        Optional JSON file backing the matrix: loaded (and incrementally
+        extended) when present, written after computation.
     """
-    values = kernel.matrix(strings, normalized=normalized)
-    matrix = KernelMatrix(
-        values=values,
-        names=tuple(string.name for string in strings),
-        labels=tuple(string.label for string in strings),
-        kernel_name=kernel.name,
-        normalized=normalized,
-    )
-    if repair and not matrix.is_positive_semidefinite():
-        matrix = matrix.repaired()
-    return matrix
+    from repro.core.engine import GramEngine  # local import: engine depends on this module
+
+    if engine is None:
+        engine = GramEngine(kernel, n_jobs=n_jobs)
+    return engine.compute(list(strings), normalized=normalized, repair=repair, cache_path=cache_path)

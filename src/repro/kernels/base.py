@@ -21,17 +21,32 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.strings.tokens import WeightedString
 
-__all__ = ["StringKernel", "KernelEvaluationError"]
+__all__ = ["StringKernel", "KernelEvaluationError", "normalize_kernel_value"]
 
 
 class KernelEvaluationError(RuntimeError):
     """Raised when a kernel cannot be evaluated on the given inputs."""
+
+
+def normalize_kernel_value(raw: float, self_a: float, self_b: float) -> float:
+    """Cosine-normalise one raw kernel value: ``raw / sqrt(k(a,a) k(b,b))``.
+
+    This is the single normalisation path shared by ``normalized_value``,
+    the Gram/cross matrix assembly and the :class:`~repro.core.engine.GramEngine`,
+    so every caller treats the degenerate cases identically: a zero *or
+    negative* self-similarity (numerically possible for non-Mercer empirical
+    kernels) yields 0.0 instead of a division error or a NaN.
+    """
+    denominator_squared = self_a * self_b
+    if self_a <= 0.0 or self_b <= 0.0 or denominator_squared <= 0.0:
+        return 0.0
+    return raw / math.sqrt(denominator_squared)
 
 
 class StringKernel(abc.ABC):
@@ -50,10 +65,7 @@ class StringKernel(abc.ABC):
 
     def normalized_value(self, a: WeightedString, b: WeightedString) -> float:
         """Cosine-normalised kernel value in ``[0, 1]`` (0 when either self-value is 0)."""
-        denominator = math.sqrt(self.self_value(a) * self.self_value(b))
-        if denominator <= 0.0:
-            return 0.0
-        return self.value(a, b) / denominator
+        return normalize_kernel_value(self.value(a, b), self.self_value(a), self.self_value(b))
 
     # ------------------------------------------------------------------
     # Gram matrix helpers
@@ -63,8 +75,13 @@ class StringKernel(abc.ABC):
         strings: Sequence[WeightedString],
         normalized: bool = True,
         others: Optional[Sequence[WeightedString]] = None,
+        n_jobs: int = 1,
     ) -> np.ndarray:
         """Compute the Gram matrix over *strings* (or a cross matrix vs *others*).
+
+        The symmetric case is delegated to
+        :class:`~repro.core.engine.GramEngine`, which adds a symmetric
+        pair-value cache and optional parallel evaluation.
 
         Parameters
         ----------
@@ -76,25 +93,16 @@ class StringKernel(abc.ABC):
             When given, compute the (rectangular) cross-kernel matrix between
             *strings* and *others* instead of the square symmetric Gram
             matrix.
+        n_jobs:
+            Number of worker threads used for the symmetric Gram matrix
+            (1 = serial).
         """
         if others is None:
-            return self._symmetric_matrix(strings, normalized)
-        return self._cross_matrix(strings, others, normalized)
+            # Imported lazily: repro.core depends on this module.
+            from repro.core.engine import GramEngine
 
-    def _symmetric_matrix(self, strings: Sequence[WeightedString], normalized: bool) -> np.ndarray:
-        count = len(strings)
-        gram = np.zeros((count, count), dtype=float)
-        self_values: List[float] = [self.self_value(string) for string in strings]
-        for i in range(count):
-            gram[i, i] = 1.0 if normalized and self_values[i] > 0 else self_values[i]
-            for j in range(i + 1, count):
-                raw = self.value(strings[i], strings[j])
-                if normalized:
-                    denominator = math.sqrt(self_values[i] * self_values[j])
-                    raw = raw / denominator if denominator > 0 else 0.0
-                gram[i, j] = raw
-                gram[j, i] = raw
-        return gram
+            return GramEngine(self, n_jobs=n_jobs).gram(strings, normalized=normalized)
+        return self._cross_matrix(strings, others, normalized)
 
     def _cross_matrix(
         self,
@@ -109,8 +117,7 @@ class StringKernel(abc.ABC):
             for j, col in enumerate(cols):
                 raw = self.value(row, col)
                 if normalized:
-                    denominator = math.sqrt(row_self[i] * col_self[j])
-                    raw = raw / denominator if denominator > 0 else 0.0
+                    raw = normalize_kernel_value(raw, row_self[i], col_self[j])
                 matrix[i, j] = raw
         return matrix
 

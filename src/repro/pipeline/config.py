@@ -13,11 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.core.kast import KastSpectrumKernel
+from repro.core.kast import KAST_BACKENDS, KastSpectrumKernel
 from repro.kernels.bag import BagOfCharactersKernel, BagOfWordsKernel
 from repro.kernels.base import StringKernel
 from repro.kernels.blended import BlendedSpectrumKernel
 from repro.kernels.spectrum import SpectrumKernel
+from repro.strings.interner import TokenInterner
 from repro.tree.compaction import CompactionConfig
 from repro.workloads.corpus import CorpusConfig
 
@@ -32,6 +33,8 @@ def make_kernel(
     cut_weight: int = 2,
     spectrum_k: int = 3,
     blended_weighted: bool = False,
+    backend: str = "numpy",
+    interner: Optional[TokenInterner] = None,
 ) -> StringKernel:
     """Instantiate the kernel named *kind* with the experiment's parameters.
 
@@ -39,10 +42,13 @@ def make_kernel(
     it is the Kast kernel's cut weight and the blended kernel's minimum
     occurrence weight; the plain spectrum and bag kernels have no equivalent
     and ignore it (which is also why the paper found them hard to tune).
+    *backend* and *interner* configure the Kast kernel's candidate-search
+    implementation (see :class:`~repro.core.kast.KastSpectrumKernel`); the
+    other kernels ignore them.
     """
     kind = kind.lower()
     if kind == "kast":
-        return KastSpectrumKernel(cut_weight=cut_weight)
+        return KastSpectrumKernel(cut_weight=cut_weight, backend=backend, interner=interner)
     if kind == "blended":
         return BlendedSpectrumKernel(max_length=spectrum_k, weighted=blended_weighted, min_weight=cut_weight)
     if kind == "spectrum":
@@ -80,14 +86,31 @@ class ExperimentConfig:
     n_clusters: int = 3
     #: Linkage method for hierarchical clustering (paper uses single linkage).
     linkage: str = "single"
+    #: Candidate-search backend for the Kast kernel (see :data:`KAST_BACKENDS`).
+    backend: str = "numpy"
+    #: Worker threads for Gram-matrix construction (1 = serial).
+    n_jobs: int = 1
 
-    def build_kernel(self) -> StringKernel:
-        """Instantiate the configured kernel."""
+    def __post_init__(self) -> None:
+        if self.backend not in KAST_BACKENDS:
+            raise ValueError(f"backend must be one of {KAST_BACKENDS}, got {self.backend!r}")
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+
+    def build_kernel(self, interner: Optional[TokenInterner] = None) -> StringKernel:
+        """Instantiate the configured kernel.
+
+        *interner* (Kast kernel only) lets callers share one token-id space
+        across several kernels — the cut-weight sweep uses this so prepared
+        string encodings carry over between sweep points.
+        """
         return make_kernel(
             self.kernel,
             cut_weight=self.cut_weight,
             spectrum_k=self.spectrum_k,
             blended_weighted=self.blended_weighted,
+            backend=self.backend,
+            interner=interner,
         )
 
     def with_cut_weight(self, cut_weight: int) -> "ExperimentConfig":
@@ -97,6 +120,14 @@ class ExperimentConfig:
     def with_kernel(self, kernel: str) -> "ExperimentConfig":
         """Copy of this configuration with a different kernel."""
         return replace(self, kernel=kernel)
+
+    def with_n_jobs(self, n_jobs: int) -> "ExperimentConfig":
+        """Copy of this configuration with a different worker count."""
+        return replace(self, n_jobs=n_jobs)
+
+    def with_backend(self, backend: str) -> "ExperimentConfig":
+        """Copy of this configuration with a different Kast search backend."""
+        return replace(self, backend=backend)
 
     def without_byte_information(self) -> "ExperimentConfig":
         """Copy of this configuration using the byte-free string variant."""

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.matrix import KernelMatrix, compute_kernel_matrix
+from repro.kernels.base import StringKernel
 from repro.learn.hierarchical import ClusteringResult, HierarchicalClustering
 from repro.learn.kpca import KernelPCA, KernelPCAResult
 from repro.learn.metrics import (
@@ -132,10 +133,30 @@ class AnalysisPipeline:
         )
         return encoder.encode_corpus(list(traces))
 
-    def compute_matrix(self, strings: Sequence[WeightedString]) -> KernelMatrix:
-        """Compute the normalised, PSD-repaired kernel matrix."""
-        kernel = self.config.build_kernel()
-        return compute_kernel_matrix(list(strings), kernel, normalized=True, repair=True)
+    def compute_matrix(
+        self,
+        strings: Sequence[WeightedString],
+        kernel: Optional[StringKernel] = None,
+        cache_path: Optional[str] = None,
+    ) -> KernelMatrix:
+        """Compute the normalised, PSD-repaired kernel matrix.
+
+        The computation goes through the :class:`~repro.core.engine.GramEngine`
+        with the configured worker count.  *kernel* overrides the configured
+        kernel (the cut-weight sweep passes kernels sharing one token
+        interner); *cache_path* enables the engine's on-disk matrix
+        persistence.
+        """
+        if kernel is None:
+            kernel = self.config.build_kernel()
+        return compute_kernel_matrix(
+            list(strings),
+            kernel,
+            normalized=True,
+            repair=True,
+            n_jobs=self.config.n_jobs,
+            cache_path=cache_path,
+        )
 
     def analyse_matrix(
         self,

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.pipeline.config import ExperimentConfig
 from repro.pipeline.pipeline import AnalysisPipeline, AnalysisResult
+from repro.strings.interner import TokenInterner
 from repro.strings.tokens import WeightedString
 from repro.traces.model import IOTrace
 
@@ -107,12 +108,18 @@ def cut_weight_sweep(
         strings = base_pipeline.encode(trace_list)
     string_list = list(strings)
 
+    # One token interner for the whole sweep: the integer encoding of the
+    # corpus does not depend on the cut weight, so every sweep point's kernel
+    # reuses the same literal → id space instead of re-interning the corpus.
+    interner = TokenInterner()
+
     result = SweepResult(config=base_config)
     for cut_weight in cut_weights:
         config = base_config.with_cut_weight(cut_weight)
         pipeline = AnalysisPipeline(config)
+        kernel = config.build_kernel(interner=interner)
         start = time.perf_counter()
-        matrix = pipeline.compute_matrix(string_list)
+        matrix = pipeline.compute_matrix(string_list, kernel=kernel)
         kernel_seconds = time.perf_counter() - start
         analysis: AnalysisResult = pipeline.analyse_matrix(matrix, string_list)
         result.points.append(

@@ -8,6 +8,7 @@
 """
 
 from repro.strings.encoder import StringEncoder, encode_tree, trace_to_string
+from repro.strings.interner import TokenInterner
 from repro.strings.tokens import (
     BLOCK_LITERAL,
     HANDLE_LITERAL,
@@ -32,6 +33,7 @@ __all__ = [
     "Token",
     "WeightedString",
     "operation_literal",
+    "TokenInterner",
     "Vocabulary",
     "build_vocabulary",
 ]

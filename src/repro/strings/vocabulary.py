@@ -34,11 +34,7 @@ class Vocabulary:
     # ------------------------------------------------------------------
     def add(self, literal: str, weight: int = 1) -> int:
         """Add one occurrence of *literal* (with *weight*) and return its id."""
-        token_id = self._literal_to_id.get(literal)
-        if token_id is None:
-            token_id = len(self._id_to_literal)
-            self._literal_to_id[literal] = token_id
-            self._id_to_literal.append(literal)
+        token_id = self.intern(literal)
         self._frequencies[literal] += 1
         self._weight_totals[literal] += weight
         return token_id
@@ -52,6 +48,32 @@ class Vocabulary:
         """Add every token of every string in *strings*."""
         for string in strings:
             self.add_string(string)
+
+    def intern(self, literal: str) -> int:
+        """Return the id of *literal*, assigning a fresh one if unknown.
+
+        Unlike :meth:`add` this does not touch the frequency/weight
+        statistics — it is the id-assignment primitive used by
+        :class:`~repro.strings.interner.TokenInterner` for fast integer
+        encodings of strings.
+        """
+        token_id = self._literal_to_id.get(literal)
+        if token_id is None:
+            token_id = len(self._id_to_literal)
+            self._literal_to_id[literal] = token_id
+            self._id_to_literal.append(literal)
+        return token_id
+
+    def intern_all(self, literals: Sequence[str]) -> List[int]:
+        """Intern every literal of a sequence and return the ids in order."""
+        lookup = self._literal_to_id.get
+        ids: List[int] = []
+        for literal in literals:
+            token_id = lookup(literal)
+            if token_id is None:
+                token_id = self.intern(literal)
+            ids.append(token_id)
+        return ids
 
     # ------------------------------------------------------------------
     # Lookup

@@ -1,0 +1,258 @@
+"""Tests for the Gram-matrix evaluation engine (repro.core.engine)."""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GramEngine, load_matrix, save_matrix
+from repro.core.kast import KastSpectrumKernel
+from repro.core.matrix import compute_kernel_matrix
+from repro.kernels.spectrum import SpectrumKernel
+from repro.strings.interner import TokenInterner
+from repro.strings.tokens import Token, WeightedString
+
+
+def synthetic(length: int, seed: int, alphabet: int = 6, name: str = "") -> WeightedString:
+    rng = random.Random(seed)
+    tokens = [Token(f"op{rng.randrange(alphabet)}", rng.randint(1, 40)) for _ in range(length)]
+    return WeightedString(tokens, name=name or f"synthetic_{seed}", label="A")
+
+
+@pytest.fixture
+def corpus():
+    return [synthetic(12 + index, seed=index) for index in range(10)]
+
+
+class CountingKernel(KastSpectrumKernel):
+    """Kast kernel counting raw pair evaluations (cache observability)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.value_calls = 0
+        self.row_values = 0
+
+    def value(self, a, b):
+        self.value_calls += 1
+        return super().value(a, b)
+
+    def value_row(self, a, others):
+        self.row_values += len(others)
+        return super().value_row(a, others)
+
+
+class TestPairCache:
+    def test_symmetric_cache_hit(self, corpus):
+        kernel = CountingKernel(cut_weight=2)
+        engine = GramEngine(kernel)
+        a, b = corpus[0], corpus[1]
+        first = engine.pair_value(a, b)
+        second = engine.pair_value(b, a)
+        assert first == second
+        assert kernel.value_calls == 1
+        assert engine.cache_info()["pair_hits"] == 1
+
+    def test_content_identical_pair_shares_entry(self, corpus):
+        kernel = CountingKernel(cut_weight=2)
+        engine = GramEngine(kernel)
+        twin = WeightedString(corpus[1].tokens, name="twin")
+        engine.pair_value(corpus[0], corpus[1])
+        engine.pair_value(corpus[0], twin)
+        assert kernel.value_calls == 1
+
+    def test_self_value_cached(self, corpus):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        engine = GramEngine(kernel)
+        assert engine.self_value(corpus[0]) == engine.self_value(corpus[0])
+        assert engine.cache_info()["self_entries"] == 1
+
+    def test_normalized_pair_value_in_unit_interval(self, corpus):
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2))
+        value = engine.normalized_pair_value(corpus[0], corpus[1])
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_gram_second_call_is_all_hits(self, corpus):
+        kernel = CountingKernel(cut_weight=2)
+        engine = GramEngine(kernel)
+        first = engine.gram(corpus)
+        evaluations = kernel.row_values + kernel.value_calls
+        second = engine.gram(corpus)
+        assert kernel.row_values + kernel.value_calls == evaluations
+        np.testing.assert_array_equal(first, second)
+
+    def test_invalid_parameters_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            GramEngine(KastSpectrumKernel(), n_jobs=0)
+        with pytest.raises(ValueError):
+            GramEngine(KastSpectrumKernel(), chunk_size=0)
+
+
+class TestGram:
+    def test_matches_direct_kernel_loop(self, corpus):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        engine = GramEngine(kernel)
+        gram = engine.gram(corpus, normalized=False)
+        reference = KastSpectrumKernel(cut_weight=2, backend="python")
+        for i in range(len(corpus)):
+            for j in range(len(corpus)):
+                if i == j:
+                    assert gram[i, i] == reference.self_value(corpus[i])
+                else:
+                    assert gram[i, j] == reference.value(corpus[i], corpus[j])
+
+    def test_normalized_unit_diagonal(self, corpus):
+        gram = GramEngine(KastSpectrumKernel(cut_weight=2)).gram(corpus, normalized=True)
+        np.testing.assert_allclose(np.diag(gram), 1.0)
+        assert np.allclose(gram, gram.T)
+
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_parallel_equals_serial(self, corpus, n_jobs):
+        serial = GramEngine(KastSpectrumKernel(cut_weight=2), n_jobs=1).gram(corpus)
+        parallel = GramEngine(KastSpectrumKernel(cut_weight=2), n_jobs=n_jobs, chunk_size=3).gram(corpus)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_parallel_equals_serial_for_generic_kernel(self, corpus):
+        # SpectrumKernel has no value_row: exercises the chunked fallback.
+        serial = GramEngine(SpectrumKernel(k=2), n_jobs=1).gram(corpus)
+        parallel = GramEngine(SpectrumKernel(k=2), n_jobs=4, chunk_size=2).gram(corpus)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_string_kernel_matrix_delegates_to_engine(self, corpus):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        via_matrix = kernel.matrix(corpus, normalized=True)
+        via_engine = GramEngine(KastSpectrumKernel(cut_weight=2)).gram(corpus, normalized=True)
+        np.testing.assert_array_equal(via_matrix, via_engine)
+
+    def test_compute_kernel_matrix_n_jobs(self, corpus):
+        kernel = KastSpectrumKernel(cut_weight=2)
+        serial = compute_kernel_matrix(corpus, kernel, n_jobs=1)
+        parallel = compute_kernel_matrix(corpus, KastSpectrumKernel(cut_weight=2), n_jobs=4)
+        np.testing.assert_array_equal(serial.values, parallel.values)
+
+    def test_shared_interner_injected(self, corpus):
+        interner = TokenInterner()
+        kernel = KastSpectrumKernel(cut_weight=2)
+        GramEngine(kernel, interner=interner)
+        assert kernel.interner is interner
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, corpus, tmp_path):
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2))
+        matrix = engine.matrix(corpus)
+        path = str(tmp_path / "gram.json")
+        save_matrix(matrix, path)
+        loaded = load_matrix(path)
+        np.testing.assert_allclose(loaded.values, matrix.values)
+        assert loaded.names == matrix.names
+        assert loaded.kernel_name == matrix.kernel_name
+
+    def test_compute_writes_cache_file(self, corpus, tmp_path):
+        path = str(tmp_path / "cache.json")
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2))
+        engine.compute(corpus, cache_path=path)
+        assert os.path.exists(path)
+
+    def test_compute_reuses_cache_without_evaluations(self, corpus, tmp_path):
+        path = str(tmp_path / "cache.json")
+        GramEngine(KastSpectrumKernel(cut_weight=2)).compute(corpus, cache_path=path)
+        kernel = CountingKernel(cut_weight=2)
+        matrix = GramEngine(kernel).compute(corpus, cache_path=path)
+        assert kernel.value_calls == 0 and kernel.row_values == 0
+        reference = GramEngine(KastSpectrumKernel(cut_weight=2)).compute(corpus)
+        np.testing.assert_allclose(matrix.values, reference.values)
+
+    def test_incremental_extension_matches_full_recompute(self, corpus, tmp_path):
+        path = str(tmp_path / "cache.json")
+        prefix = corpus[:6]
+        GramEngine(KastSpectrumKernel(cut_weight=2)).compute(prefix, cache_path=path)
+        kernel = CountingKernel(cut_weight=2)
+        extended = GramEngine(kernel).compute(corpus, cache_path=path)
+        # Only pairs touching the 4 appended strings get evaluated:
+        # 6*4 cross pairs + C(4,2) new pairs = 30 < C(10,2) = 45.
+        assert kernel.value_calls + kernel.row_values <= 30
+        full = GramEngine(KastSpectrumKernel(cut_weight=2)).compute(corpus)
+        np.testing.assert_allclose(extended.values, full.values, atol=1e-12)
+
+    def test_extend_explicit_api(self, corpus):
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2))
+        base = engine.matrix(corpus[:5])
+        extended = engine.extend(base, corpus)
+        full = GramEngine(KastSpectrumKernel(cut_weight=2)).matrix(corpus)
+        np.testing.assert_allclose(extended.values, full.values, atol=1e-12)
+
+    def test_extend_rejects_mismatched_prefix(self, corpus):
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2))
+        base = engine.matrix(corpus[:5])
+        shuffled = list(reversed(corpus))
+        with pytest.raises(ValueError):
+            engine.extend(base, shuffled)
+
+    def test_mismatched_cache_triggers_recompute(self, corpus, tmp_path):
+        path = str(tmp_path / "cache.json")
+        GramEngine(KastSpectrumKernel(cut_weight=2)).compute(corpus, cache_path=path)
+        # A kernel with another cut weight must not reuse the stored matrix.
+        other = GramEngine(KastSpectrumKernel(cut_weight=64)).compute(corpus, cache_path=path)
+        reference = GramEngine(KastSpectrumKernel(cut_weight=64)).compute(corpus)
+        np.testing.assert_allclose(other.values, reference.values)
+
+    @pytest.mark.parametrize("content", ["{not json", "[1, 2, 3]", '{"names": 7}', '{"values": "x"}'])
+    def test_corrupt_cache_file_is_ignored(self, corpus, tmp_path, content):
+        path = str(tmp_path / "cache.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        matrix = GramEngine(KastSpectrumKernel(cut_weight=2)).compute(corpus, cache_path=path)
+        assert len(matrix) == len(corpus)
+
+    def test_full_cache_hit_skips_rewrite(self, corpus, tmp_path):
+        path = str(tmp_path / "cache.json")
+        GramEngine(KastSpectrumKernel(cut_weight=2)).compute(corpus, cache_path=path)
+        stat = os.stat(path)
+        matrix = GramEngine(KastSpectrumKernel(cut_weight=2)).compute(corpus, cache_path=path)
+        assert os.stat(path).st_mtime_ns == stat.st_mtime_ns
+        fresh = GramEngine(KastSpectrumKernel(cut_weight=2)).compute(corpus)
+        np.testing.assert_allclose(matrix.values, fresh.values)
+
+    def test_tiny_pair_cache_eviction_never_aliases(self, corpus):
+        # Forcing registry eviction must never hand out a previously used
+        # key int (which would alias different-content pairs in the cache).
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2), pair_cache_size=2)
+        reference = KastSpectrumKernel(cut_weight=2, backend="python")
+        expected = [reference.value(corpus[0], other) for other in corpus[1:]]
+        for _ in range(2):
+            assert [engine.pair_value(corpus[0], other) for other in corpus[1:]] == expected
+
+    def test_same_names_different_content_recomputes(self, corpus, tmp_path):
+        # Same example names, different token content: the stored matrix
+        # must NOT be reused (fingerprints catch what names cannot).
+        path = str(tmp_path / "cache.json")
+        GramEngine(KastSpectrumKernel(cut_weight=2)).compute(corpus, cache_path=path)
+        renamed = [
+            WeightedString(synthetic(10 + index, seed=1000 + index).tokens, name=string.name, label=string.label)
+            for index, string in enumerate(corpus)
+        ]
+        cached = GramEngine(KastSpectrumKernel(cut_weight=2)).compute(renamed, cache_path=path)
+        fresh = GramEngine(KastSpectrumKernel(cut_weight=2)).compute(renamed)
+        np.testing.assert_allclose(cached.values, fresh.values)
+
+    def test_kernel_flag_change_recomputes(self, corpus, tmp_path):
+        # Same kernel name "kast(cut=2)" but different value-affecting flag:
+        # the kernel signature must invalidate the cache.
+        path = str(tmp_path / "cache.json")
+        GramEngine(KastSpectrumKernel(cut_weight=2)).compute(corpus, cache_path=path)
+        flagged_kernel = KastSpectrumKernel(cut_weight=2, filter_tokens_below_cut=True)
+        cached = GramEngine(flagged_kernel).compute(corpus, cache_path=path)
+        fresh = GramEngine(KastSpectrumKernel(cut_weight=2, filter_tokens_below_cut=True)).compute(corpus)
+        np.testing.assert_allclose(cached.values, fresh.values)
+
+
+class TestBackendIntegrity:
+    def test_engine_does_not_flip_python_backend_to_numpy(self, corpus):
+        kernel = KastSpectrumKernel(cut_weight=2, backend="python")
+        GramEngine(kernel, interner=TokenInterner())
+        assert kernel.interner is None
+        prepared = kernel._prepare(corpus[0])
+        assert prepared.ids is None  # still on the pure-python search path

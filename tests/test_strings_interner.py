@@ -1,0 +1,87 @@
+"""Tests for corpus-level token interning (repro.strings.interner)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.strings.interner import TokenInterner
+from repro.strings.tokens import WeightedString
+from repro.strings.vocabulary import Vocabulary
+
+
+def ws(text: str, name: str = "s") -> WeightedString:
+    return WeightedString.parse(text, name=name)
+
+
+class TestTokenInterner:
+    def test_encode_returns_int32_array(self):
+        interner = TokenInterner()
+        ids = interner.encode(("a", "b", "a"))
+        assert ids.dtype == np.int32
+        assert ids.tolist() == [0, 1, 0]
+
+    def test_ids_are_stable_across_calls(self):
+        interner = TokenInterner()
+        first = interner.encode(("x", "y"))
+        second = interner.encode(("y", "x", "z"))
+        assert first.tolist() == [0, 1]
+        assert second.tolist() == [1, 0, 2]
+
+    def test_encode_string_uses_literals(self):
+        interner = TokenInterner()
+        ids = interner.encode_string(ws("a:5 b:3 a:2"))
+        assert ids.tolist() == [0, 1, 0]
+
+    def test_shared_id_space_across_strings(self):
+        interner = TokenInterner()
+        ids_a = interner.encode_string(ws("a:1 b:1"))
+        ids_b = interner.encode_string(ws("b:1 c:1"))
+        assert ids_a[1] == ids_b[0]
+
+    def test_encode_corpus(self):
+        interner = TokenInterner()
+        arrays = interner.encode_corpus([ws("a:1"), ws("a:1 b:1")])
+        assert [array.tolist() for array in arrays] == [[0], [0, 1]]
+
+    def test_empty_sequence(self):
+        interner = TokenInterner()
+        assert interner.encode(()).shape == (0,)
+
+    def test_len_counts_distinct_literals(self):
+        interner = TokenInterner()
+        interner.encode(("a", "b", "a"))
+        assert len(interner) == 2
+
+    def test_id_of_interns_unknown_literal(self):
+        interner = TokenInterner()
+        assert interner.id_of("fresh") == 0
+        assert interner.id_of("fresh") == 0
+
+    def test_wraps_existing_vocabulary(self):
+        vocabulary = Vocabulary()
+        vocabulary.add("pre")
+        interner = TokenInterner(vocabulary)
+        assert interner.encode(("pre", "new")).tolist() == [0, 1]
+
+
+class TestVocabularyIntern:
+    def test_intern_does_not_touch_frequencies(self):
+        vocabulary = Vocabulary()
+        vocabulary.intern("a")
+        assert vocabulary.frequency("a") == 0
+        vocabulary.add("a")
+        assert vocabulary.frequency("a") == 1
+
+    def test_intern_all_matches_intern(self):
+        vocabulary = Vocabulary()
+        ids = vocabulary.intern_all(["a", "b", "a", "c"])
+        assert ids == [0, 1, 0, 2]
+        assert vocabulary.id_of("c") == 2
+
+    def test_add_and_intern_share_id_space(self):
+        vocabulary = Vocabulary()
+        vocabulary.add("a", weight=5)
+        assert vocabulary.intern("a") == 0
+        assert vocabulary.intern("b") == 1
+        assert vocabulary.add("b") == 1
