@@ -16,9 +16,9 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro import AnalysisSession, kernel_choices
 from repro.learn.metrics import adjusted_rand_index
-from repro.pipeline.config import KERNEL_CHOICES, ExperimentConfig
-from repro.pipeline.pipeline import AnalysisPipeline
+from repro.pipeline.config import ExperimentConfig
 from repro.pipeline.report import format_table
 from repro.workloads.corpus import CorpusConfig
 
@@ -32,13 +32,15 @@ def main() -> None:
 
     corpus_config = CorpusConfig.small(seed=arguments.seed) if arguments.small else CorpusConfig.paper(seed=arguments.seed)
 
-    # Build the corpus and its strings once; only the kernel changes.
-    base_pipeline = AnalysisPipeline(ExperimentConfig(corpus=corpus_config))
-    traces = base_pipeline.build_traces()
-    strings = base_pipeline.encode(traces)
+    # One session for the whole comparison: the corpus is encoded once and
+    # every kernel's engine shares the session's token interner.  The kernel
+    # kinds come from the spec registry — registering a new kernel adds it
+    # to this comparison automatically.
+    session = AnalysisSession()
+    strings = session.corpus(corpus_config)
 
     rows = []
-    for kernel_name in KERNEL_CHOICES:
+    for kernel_name in kernel_choices():
         config = ExperimentConfig(
             kernel=kernel_name,
             cut_weight=arguments.cut_weight,
@@ -47,7 +49,7 @@ def main() -> None:
             corpus=corpus_config,
         )
         start = time.perf_counter()
-        result = AnalysisPipeline(config).run_on_strings(strings)
+        result = session.analyze(config, strings=strings)
         elapsed = time.perf_counter() - start
         labels = [label or "?" for label in result.labels]
         merged = ["CD" if label in ("C", "D") else label for label in labels]

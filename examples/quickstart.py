@@ -6,8 +6,10 @@ traces:
 1. parse plain-text access patterns;
 2. convert them to the weighted-string representation (trace -> tree ->
    compacted tree -> weighted string);
-3. evaluate the Kast Spectrum Kernel between them and inspect the shared
-   substrings backing the similarity value.
+3. describe the kernel declaratively (:func:`repro.make_spec`) and evaluate
+   it through an :class:`repro.AnalysisSession` — the facade that owns the
+   warm caches every evaluation shares;
+4. inspect the shared substrings backing the similarity value.
 
 Run with::
 
@@ -16,7 +18,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import KastSpectrumKernel, parse_trace, trace_to_string
+from repro import AnalysisSession, make_spec, parse_trace, trace_to_string
 from repro.tree.builder import build_tree
 from repro.tree.compaction import compact_tree
 from repro.tree.serialize import render_tree
@@ -87,19 +89,26 @@ def main() -> None:
         print(f"{string.name:16s} -> {string.to_text()}")
     print()
 
-    # Step 3: pairwise similarities under the Kast Spectrum Kernel.
-    kernel = KastSpectrumKernel(cut_weight=2)
-    print("Normalised Kast Spectrum Kernel similarities (cut weight 2):")
-    print(f"  writer_a  vs writer_b       : {kernel.normalized_value(string_a, string_b):.4f}")
-    print(f"  writer_a  vs random_updater : {kernel.normalized_value(string_a, string_c):.4f}")
-    print(f"  writer_b  vs random_updater : {kernel.normalized_value(string_b, string_c):.4f}")
-    print()
+    # Step 3: pairwise similarities under the Kast Spectrum Kernel.  The
+    # kernel is described declaratively (a picklable, JSON-serialisable
+    # KernelSpec) and evaluated through an AnalysisSession, whose engines
+    # cache every pair value — ask again and the session answers from the
+    # warm cache.
+    spec = make_spec("kast", cut_weight=2)
+    with AnalysisSession() as session:
+        print(f"Kernel spec: {spec.to_json()}")
+        print("Normalised Kast Spectrum Kernel similarities (cut weight 2):")
+        print(f"  writer_a  vs writer_b       : {session.normalized_value(spec, string_a, string_b):.4f}")
+        print(f"  writer_a  vs random_updater : {session.normalized_value(spec, string_a, string_c):.4f}")
+        print(f"  writer_b  vs random_updater : {session.normalized_value(spec, string_b, string_c):.4f}")
+        print()
 
-    # Step 4: why are writer_a and writer_b similar?  Inspect the embedding.
-    embedding = kernel.embed(string_a, string_b)
-    print("Shared substrings between writer_a and writer_b:")
-    for feature in embedding.features:
-        print(f"  weight {feature.weight_in_a:3d} / {feature.weight_in_b:3d}  <- {' '.join(feature.literals)}")
+        # Step 4: why are writer_a and writer_b similar?  Inspect the
+        # embedding through the session's warm kernel for the same spec.
+        embedding = session.kernel(spec).embed(string_a, string_b)
+        print("Shared substrings between writer_a and writer_b:")
+        for feature in embedding.features:
+            print(f"  weight {feature.weight_in_a:3d} / {feature.weight_in_b:3d}  <- {' '.join(feature.literals)}")
 
 
 if __name__ == "__main__":

@@ -20,15 +20,25 @@ The package is organised bottom-up:
 
 Quick start::
 
-    from repro import KastSpectrumKernel, trace_to_string, parse_trace
+    from repro import AnalysisSession, make_spec, trace_to_string, parse_trace
 
     trace_a = parse_trace(open("a.trace").read(), name="a")
     trace_b = parse_trace(open("b.trace").read(), name="b")
     string_a = trace_to_string(trace_a)
     string_b = trace_to_string(trace_b)
-    similarity = KastSpectrumKernel(cut_weight=2).normalized_value(string_a, string_b)
+    with AnalysisSession() as session:
+        similarity = session.normalized_value(make_spec("kast", cut_weight=2), string_a, string_b)
 """
 
+from repro.api import (
+    AnalysisSession,
+    KernelSpec,
+    kernel_choices,
+    kernel_from_spec,
+    make_spec,
+    register_kernel,
+    spec_from_kernel,
+)
 from repro.core.kast import KastSpectrumKernel, kast_kernel_value
 from repro.core.matrix import KernelMatrix, compute_kernel_matrix
 from repro.kernels.bag import BagOfCharactersKernel, BagOfWordsKernel
@@ -49,6 +59,13 @@ from repro.workloads.corpus import CorpusConfig, build_corpus
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisSession",
+    "KernelSpec",
+    "kernel_choices",
+    "kernel_from_spec",
+    "make_spec",
+    "register_kernel",
+    "spec_from_kernel",
     "KastSpectrumKernel",
     "kast_kernel_value",
     "KernelMatrix",

@@ -1,0 +1,44 @@
+"""repro.api — the library's declarative front door.
+
+Two pieces:
+
+* :mod:`repro.api.spec` — :class:`KernelSpec` (frozen, JSON/dict
+  round-trippable, picklable kernel descriptions) and the kernel-factory
+  registry (:func:`register_kernel`, :func:`kernel_from_spec`,
+  :func:`spec_from_kernel`).  Every kernel kind the CLI and the pipeline
+  offer derives from this registry.
+* :mod:`repro.api.session` — :class:`AnalysisSession`, the service facade
+  owning one token interner and one warm Gram engine per spec, with
+  ``submit``/``result`` job handles for asynchronous clients.
+"""
+
+from repro.api.session import AnalysisSession, JobError
+from repro.api.spec import (
+    KernelSpec,
+    KernelSpecError,
+    canonicalize_spec,
+    coerce_spec,
+    kernel_choices,
+    kernel_from_spec,
+    make_spec,
+    register_kernel,
+    registered_kinds,
+    spec_from_kernel,
+    spec_signature,
+)
+
+__all__ = [
+    "AnalysisSession",
+    "JobError",
+    "KernelSpec",
+    "KernelSpecError",
+    "canonicalize_spec",
+    "coerce_spec",
+    "kernel_choices",
+    "kernel_from_spec",
+    "make_spec",
+    "register_kernel",
+    "registered_kinds",
+    "spec_from_kernel",
+    "spec_signature",
+]

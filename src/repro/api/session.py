@@ -1,0 +1,430 @@
+"""The :class:`AnalysisSession` service facade — the library's front door.
+
+One session owns the mutable, warm state every kernel evaluation can share:
+
+* one :class:`~repro.strings.interner.TokenInterner` (one literal → id space
+  for every Kast kernel the session builds);
+* one live kernel and one :class:`~repro.core.engine.GramEngine` per
+  :class:`~repro.api.spec.KernelSpec` — the engines' symmetric pair caches
+  and self-value caches persist across calls, so interactive clients,
+  repeated experiments and sweeps reuse each other's evaluations instead of
+  recomputing them;
+* a small job layer (:meth:`submit` / :meth:`result`) that runs matrix and
+  analysis requests on a background pool, the seam the ROADMAP's async
+  evaluation service grows from.
+
+Everything a session does is keyed by declarative specs, so the same facade
+serves scripting users (``session.matrix("kast", strings)``), the CLI, and
+process workers (specs are picklable).
+
+Example
+-------
+::
+
+    from repro.api import AnalysisSession, make_spec
+
+    with AnalysisSession(n_jobs=2) as session:
+        strings = session.corpus(small=True, seed=7)
+        matrix = session.matrix(make_spec("kast", cut_weight=4), strings)
+        job = session.submit("blended", strings)
+        other = session.result(job)
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError  # == builtin TimeoutError only from 3.11
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.api.spec import KernelSpec, coerce_spec, kernel_from_spec
+from repro.core.engine import ENGINE_EXECUTORS, GramEngine
+from repro.core.matrix import KernelMatrix
+from repro.kernels.base import StringKernel
+from repro.strings.encoder import StringEncoder
+from repro.strings.interner import TokenInterner
+from repro.strings.tokens import WeightedString
+from repro.traces.model import IOTrace
+from repro.traces.parser import parse_trace_file
+from repro.workloads.corpus import CorpusConfig, build_corpus
+
+__all__ = ["AnalysisSession", "JobError"]
+
+#: Anything the session accepts where a kernel spec is expected.
+SpecLike = Union[KernelSpec, Mapping[str, Any], str, StringKernel]
+
+
+class JobError(RuntimeError):
+    """Raised by :meth:`AnalysisSession.result` when a job failed."""
+
+
+class _Job:
+    """Internal handle pairing a future with its description."""
+
+    __slots__ = ("job_id", "kind", "future")
+
+    def __init__(self, job_id: str, kind: str, future: "Future") -> None:
+        self.job_id = job_id
+        self.kind = kind
+        self.future = future
+
+    def status(self) -> str:
+        if self.future.cancelled():
+            return "cancelled"
+        if self.future.done():
+            return "error" if self.future.exception() is not None else "done"
+        if self.future.running():
+            return "running"
+        return "pending"
+
+
+class AnalysisSession:
+    """Shared-state facade over corpora, kernels and Gram-matrix engines.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker count forwarded to every engine the session creates.
+    executor:
+        Engine worker-pool implementation, ``"thread"`` (default) or
+        ``"process"`` (see :class:`~repro.core.engine.GramEngine`).
+    interner:
+        Optional pre-existing token interner to share with other sessions.
+    pair_cache_size / chunk_size:
+        Forwarded to every engine.
+    max_job_workers:
+        Size of the background pool serving :meth:`submit` jobs.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        executor: str = "thread",
+        interner: Optional[TokenInterner] = None,
+        pair_cache_size: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        max_job_workers: int = 2,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        if executor not in ENGINE_EXECUTORS:
+            raise ValueError(f"executor must be one of {ENGINE_EXECUTORS}, got {executor!r}")
+        if max_job_workers < 1:
+            raise ValueError(f"max_job_workers must be >= 1, got {max_job_workers}")
+        self.n_jobs = n_jobs
+        self.executor = executor
+        self.interner = interner if interner is not None else TokenInterner()
+        self._engine_options: Dict[str, Any] = {}
+        if pair_cache_size is not None:
+            self._engine_options["pair_cache_size"] = pair_cache_size
+        if chunk_size is not None:
+            self._engine_options["chunk_size"] = chunk_size
+        self._kernels: Dict[KernelSpec, StringKernel] = {}
+        self._engines: Dict[KernelSpec, GramEngine] = {}
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, _Job] = {}
+        self._job_ids = itertools.count(1)
+        self._job_pool: Optional[ThreadPoolExecutor] = None
+        self._max_job_workers = max_job_workers
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Spec / kernel / engine resolution (warm caches)
+    # ------------------------------------------------------------------
+    def spec(self, spec: SpecLike) -> KernelSpec:
+        """Coerce any accepted spec shorthand to a :class:`KernelSpec`."""
+        return coerce_spec(spec)
+
+    def kernel(self, spec: SpecLike) -> StringKernel:
+        """The session's warm kernel for *spec* (built once, then reused).
+
+        Every kernel shares the session interner, so prepared string
+        encodings carry over between kernels and sweep points.
+        """
+        resolved = self.spec(spec)
+        with self._lock:
+            kernel = self._kernels.get(resolved)
+            if kernel is None:
+                kernel = kernel_from_spec(resolved, interner=self.interner)
+                self._kernels[resolved] = kernel
+            return kernel
+
+    def engine(self, spec: SpecLike) -> GramEngine:
+        """The session's warm :class:`GramEngine` for *spec*.
+
+        The engine (and its pair/self-value caches) persists for the session
+        lifetime: a sweep revisiting a spec, or an interactive client asking
+        for an extended corpus, hits the warm caches instead of recomputing.
+        """
+        resolved = self.spec(spec)
+        kernel = self.kernel(resolved)
+        with self._lock:
+            engine = self._engines.get(resolved)
+            if engine is None:
+                engine = GramEngine(
+                    kernel,
+                    n_jobs=self.n_jobs,
+                    interner=self.interner if hasattr(kernel, "interner") else None,
+                    spec=resolved,
+                    executor=self.executor,
+                    **self._engine_options,
+                )
+                self._engines[resolved] = engine
+            return engine
+
+    # ------------------------------------------------------------------
+    # Corpus construction
+    # ------------------------------------------------------------------
+    def corpus(
+        self,
+        config: Optional[CorpusConfig] = None,
+        *,
+        seed: int = 2017,
+        small: bool = False,
+        use_byte_information: bool = True,
+        emit_level_up: bool = True,
+        compaction: Optional[Any] = None,
+        traces: Optional[Sequence[IOTrace]] = None,
+    ) -> List[WeightedString]:
+        """Build (or encode) a labelled corpus of weighted strings.
+
+        Without arguments this produces the paper's 110-example corpus;
+        ``small=True`` selects the reduced 16-example test corpus.  *traces*
+        bypasses corpus generation and encodes the given traces instead.
+        """
+        if traces is None:
+            if config is None:
+                config = CorpusConfig.small(seed=seed) if small else CorpusConfig.paper(seed=seed)
+            traces = build_corpus(config)
+        encoder = self._encoder(use_byte_information, emit_level_up, compaction)
+        return encoder.encode_corpus(list(traces))
+
+    def corpus_from_directory(
+        self,
+        directory: str,
+        *,
+        use_byte_information: bool = True,
+        emit_level_up: bool = True,
+        compaction: Optional[Any] = None,
+        pattern: str = ".trace",
+    ) -> List[WeightedString]:
+        """Parse every ``*.trace`` file under *directory* into weighted strings.
+
+        Files are taken in sorted name order so matrices computed from a
+        directory are reproducible; *pattern* is the required filename
+        suffix.
+        """
+        import os
+
+        names = sorted(name for name in os.listdir(directory) if name.endswith(pattern))
+        if not names:
+            raise FileNotFoundError(f"no '*{pattern}' files under {directory!r}")
+        traces = [parse_trace_file(os.path.join(directory, name)) for name in names]
+        encoder = self._encoder(use_byte_information, emit_level_up, compaction)
+        return encoder.encode_corpus(traces)
+
+    @staticmethod
+    def _encoder(use_byte_information: bool, emit_level_up: bool, compaction: Optional[Any]) -> StringEncoder:
+        from repro.tree.compaction import CompactionConfig
+
+        return StringEncoder(
+            emit_level_up=emit_level_up,
+            include_bytes_in_literal=use_byte_information,
+            use_byte_information=use_byte_information,
+            compaction=compaction if compaction is not None else CompactionConfig.paper(),
+        )
+
+    # ------------------------------------------------------------------
+    # Kernel evaluation
+    # ------------------------------------------------------------------
+    def value(self, spec: SpecLike, a: WeightedString, b: WeightedString) -> float:
+        """Raw ``k(a, b)`` through the spec's warm engine caches."""
+        return self.engine(spec).pair_value(a, b)
+
+    def normalized_value(self, spec: SpecLike, a: WeightedString, b: WeightedString) -> float:
+        """Cosine-normalised ``k(a, b)`` through the warm engine caches."""
+        return self.engine(spec).normalized_pair_value(a, b)
+
+    def gram(self, spec: SpecLike, strings: Sequence[WeightedString], normalized: bool = True) -> np.ndarray:
+        """Plain Gram array over *strings* (see :meth:`GramEngine.gram`)."""
+        return self.engine(spec).gram(strings, normalized=normalized)
+
+    def matrix(
+        self,
+        spec: SpecLike,
+        strings: Sequence[WeightedString],
+        normalized: bool = True,
+        repair: bool = True,
+        cache_path: Optional[str] = None,
+    ) -> KernelMatrix:
+        """Labelled kernel matrix over *strings* under *spec*.
+
+        Goes through the spec's warm engine; *cache_path* enables the
+        engine's stamped on-disk persistence (always carrying corpus
+        fingerprints and the spec-derived kernel signature).
+        """
+        return self.engine(spec).compute(
+            strings, normalized=normalized, repair=repair, cache_path=cache_path
+        )
+
+    # ------------------------------------------------------------------
+    # Pipeline-level entry points
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        config: Optional[Any] = None,
+        traces: Optional[Sequence[IOTrace]] = None,
+        strings: Optional[Sequence[WeightedString]] = None,
+    ) -> Any:
+        """Run the full analysis pipeline for an ``ExperimentConfig``.
+
+        Equivalent to :func:`repro.pipeline.pipeline.run_experiment`, except
+        the kernel-matrix stage goes through the session's warm engines, so
+        repeated analyses (and analyses following interactive queries under
+        the same spec) share their pair caches.  The session owns the
+        execution policy: its ``n_jobs``/``executor`` apply to the matrix
+        stage and ``config.n_jobs`` is ignored here — pass the desired
+        parallelism to the session constructor.
+        """
+        from repro.pipeline.config import ExperimentConfig
+        from repro.pipeline.pipeline import AnalysisPipeline
+
+        pipeline = AnalysisPipeline(config or ExperimentConfig(), session=self)
+        if strings is not None:
+            return pipeline.run_on_strings(list(strings))
+        return pipeline.run(traces)
+
+    def sweep(
+        self,
+        config: Optional[Any] = None,
+        cut_weights: Optional[Sequence[int]] = None,
+        traces: Optional[Sequence[IOTrace]] = None,
+        strings: Optional[Sequence[WeightedString]] = None,
+    ) -> Any:
+        """Cut-weight sweep sharing the session's interner and warm engines."""
+        from repro.pipeline.sweep import PAPER_CUT_WEIGHTS, cut_weight_sweep
+
+        return cut_weight_sweep(
+            config,
+            cut_weights=tuple(cut_weights) if cut_weights is not None else PAPER_CUT_WEIGHTS,
+            traces=traces,
+            strings=strings,
+            session=self,
+        )
+
+    # ------------------------------------------------------------------
+    # Job handles (async-service seam)
+    # ------------------------------------------------------------------
+    def submit(self, spec: SpecLike, strings: Sequence[WeightedString], **matrix_options: Any) -> str:
+        """Queue a :meth:`matrix` computation; returns a job id.
+
+        The job runs on the session's background pool against the same warm
+        engines, so its results (and cache warm-up) are shared with
+        synchronous callers.
+        """
+        resolved = self.spec(spec)
+        string_list = list(strings)
+        return self._submit_job("matrix", lambda: self.matrix(resolved, string_list, **matrix_options))
+
+    def submit_analyze(self, config: Optional[Any] = None, **analyze_options: Any) -> str:
+        """Queue an :meth:`analyze` run; returns a job id."""
+        return self._submit_job("analyze", lambda: self.analyze(config, **analyze_options))
+
+    def _submit_job(self, kind: str, work) -> str:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            if self._job_pool is None:
+                self._job_pool = ThreadPoolExecutor(
+                    max_workers=self._max_job_workers, thread_name_prefix="repro-session"
+                )
+            job_id = f"{kind}-{next(self._job_ids)}"
+            self._jobs[job_id] = _Job(job_id, kind, self._job_pool.submit(work))
+            return job_id
+
+    def _job(self, job_id: str) -> _Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job id {job_id!r}")
+        return job
+
+    def status(self, job_id: str) -> str:
+        """``"pending" | "running" | "done" | "error" | "cancelled"``."""
+        return self._job(job_id).status()
+
+    def result(self, job_id: str, timeout: Optional[float] = None, forget: bool = False) -> Any:
+        """Block for (and return) a job's result.
+
+        Raises :class:`JobError` wrapping the original exception when the
+        job failed, so callers can distinguish job failure from lookup
+        errors.  *forget=True* drops the finished job (and the reference to
+        its result) from the session after delivery — long-lived service
+        loops should use it, or call :meth:`forget`, so retained results do
+        not accumulate for the session lifetime.
+        """
+        job = self._job(job_id)
+        try:
+            value = job.future.result(timeout=timeout)
+        except (TimeoutError, FuturesTimeoutError):
+            raise
+        except Exception as exc:
+            if forget:
+                self.forget(job_id)
+            raise JobError(f"job {job_id!r} failed: {exc}") from exc
+        if forget:
+            self.forget(job_id)
+        return value
+
+    def forget(self, job_id: str) -> bool:
+        """Drop a *finished* job and its retained result; returns whether dropped.
+
+        Running or pending jobs are left untouched (and ``False`` is
+        returned) — this is an eviction hook, not a cancellation API.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or not job.future.done():
+                return False
+            del self._jobs[job_id]
+            return True
+
+    def jobs(self) -> Dict[str, str]:
+        """Status of every job submitted to this session."""
+        return {job_id: job.status() for job_id, job in self._jobs.items()}
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, Dict[str, int]]:
+        """Per-spec engine cache counters (keyed by canonical spec)."""
+        with self._lock:
+            engines = list(self._engines.items())
+        return {spec.canonical(): engine.cache_info() for spec, engine in engines}
+
+    def specs(self) -> Tuple[KernelSpec, ...]:
+        """Every spec the session has warmed an engine or kernel for."""
+        with self._lock:
+            return tuple(dict.fromkeys(list(self._kernels) + list(self._engines)))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the background job pool (idempotent)."""
+        with self._lock:
+            pool, self._job_pool = self._job_pool, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"AnalysisSession(n_jobs={self.n_jobs}, executor={self.executor!r}, "
+            f"warm_specs={len(self._engines)}, jobs={len(self._jobs)})"
+        )

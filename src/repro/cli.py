@@ -4,25 +4,31 @@
 
 * ``generate`` — write a synthetic trace corpus to a directory;
 * ``convert`` — convert one trace file to its weighted-string representation;
-* ``compare`` — evaluate the Kast kernel between two trace files;
+* ``compare`` — evaluate a kernel between two trace files;
+* ``matrix`` — compute the JSON Gram matrix of a trace-corpus directory;
 * ``experiment`` — run one of the canned paper experiments and print the
   report;
 * ``sweep`` — run the cut-weight sweep and print the table.
 
 The CLI is intentionally thin: every command is a few lines of glue around
-the library API, so scripting users can lift the same calls into their own
-code.
+the :class:`~repro.api.session.AnalysisSession` facade and the declarative
+kernel-spec registry, so scripting users can lift the same calls into their
+own code.  Kernel-evaluating commands accept either flag-level kernel
+options (``--kernel``, ``--cut-weight``, …) or a full declarative spec via
+``--spec path.json`` (see :class:`~repro.api.spec.KernelSpec`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.core.kast import KAST_BACKENDS, KastSpectrumKernel
-from repro.pipeline.config import KERNEL_CHOICES, ExperimentConfig
+from repro.api import AnalysisSession, KernelSpec, kernel_choices
+from repro.core.kast import KAST_BACKENDS
+from repro.pipeline.config import ExperimentConfig, config_from_spec
 from repro.pipeline.experiments import (
     experiment_cut_weight_sweep,
     experiment_fig6_kpca_kast,
@@ -33,6 +39,7 @@ from repro.pipeline.experiments import (
     experiment_worked_example,
 )
 from repro.pipeline.report import summarise_result, summarise_sweep
+from repro.pipeline.sweep import cut_weight_sweep
 from repro.strings.encoder import trace_to_string
 from repro.traces.parser import parse_trace_file
 from repro.traces.writer import write_trace
@@ -67,12 +74,26 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("trace", help="path to a plain-text trace file")
     convert.add_argument("--no-bytes", action="store_true", help="ignore byte information")
 
-    compare = subparsers.add_parser("compare", help="evaluate the Kast kernel between two trace files")
+    compare = subparsers.add_parser("compare", help="evaluate a kernel between two trace files")
     compare.add_argument("trace_a", help="first trace file")
     compare.add_argument("trace_b", help="second trace file")
     compare.add_argument("--cut-weight", type=int, default=2, help="Kast kernel cut weight")
     compare.add_argument("--no-bytes", action="store_true", help="ignore byte information")
+    _add_spec_argument(compare)
     _add_engine_arguments(compare)
+
+    matrix = subparsers.add_parser(
+        "matrix", help="compute the JSON Gram matrix of a directory of trace files"
+    )
+    matrix.add_argument("corpus", help="directory containing *.trace files")
+    matrix.add_argument("--kernel", choices=list(kernel_choices()), default="kast", help="kernel kind")
+    matrix.add_argument("--cut-weight", type=int, default=2, help="cut weight / minimum substring weight")
+    matrix.add_argument("--spectrum-k", type=int, default=3, help="substring length bound (spectrum/blended)")
+    matrix.add_argument("--no-bytes", action="store_true", help="ignore byte information")
+    matrix.add_argument("--raw", action="store_true", help="skip cosine normalisation")
+    matrix.add_argument("--output", default=None, help="write the JSON payload here instead of stdout")
+    _add_spec_argument(matrix)
+    _add_engine_arguments(matrix)
 
     experiment = subparsers.add_parser("experiment", help="run one of the canned paper experiments")
     experiment.add_argument(
@@ -87,9 +108,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser("sweep", help="run the cut-weight sweep")
     sweep.add_argument("--seed", type=int, default=2017, help="corpus seed")
     sweep.add_argument("--no-bytes", action="store_true", help="use the byte-free string variant")
+    _add_spec_argument(sweep)
     _add_engine_arguments(sweep)
 
     return parser
+
+
+def _add_spec_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="JSON kernel-spec file (overrides the kernel flags; see repro.api.KernelSpec)",
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -104,8 +135,23 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--n-jobs",
         type=int,
         default=1,
-        help="worker threads for Gram-matrix construction (default: 1)",
+        help="workers for Gram-matrix construction (default: 1)",
     )
+    parser.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker-pool implementation for --n-jobs > 1 (default: thread)",
+    )
+
+
+def _load_spec(path: str) -> KernelSpec:
+    with open(path, "r", encoding="utf-8") as handle:
+        return KernelSpec.from_json(handle.read())
+
+
+def _session_from_args(args: argparse.Namespace) -> AnalysisSession:
+    return AnalysisSession(n_jobs=args.n_jobs, executor=getattr(args, "executor", "thread"))
 
 
 def _command_generate(args: argparse.Namespace) -> int:
@@ -132,11 +178,46 @@ def _command_compare(args: argparse.Namespace) -> int:
     use_bytes = not args.no_bytes
     string_a = trace_to_string(trace_a, use_byte_information=use_bytes)
     string_b = trace_to_string(trace_b, use_byte_information=use_bytes)
-    kernel = KastSpectrumKernel(cut_weight=args.cut_weight, backend=args.backend)
-    embedding = kernel.embed(string_a, string_b)
-    print(embedding.describe())
-    print(f"raw kernel value        : {embedding.kernel_value}")
-    print(f"normalised kernel value : {kernel.normalized_value(string_a, string_b):.6f}")
+    if args.spec is not None:
+        spec = _load_spec(args.spec)
+    else:
+        spec = ExperimentConfig(cut_weight=args.cut_weight, backend=args.backend).kernel_spec()
+    session = _session_from_args(args)
+    kernel = session.kernel(spec)
+    embed = getattr(kernel, "embed", None)
+    if callable(embed):
+        print(embed(string_a, string_b).describe())
+    else:
+        print(f"kernel spec               : {spec.canonical()}")
+    print(f"raw kernel value        : {session.value(spec, string_a, string_b)}")
+    print(f"normalised kernel value : {session.normalized_value(spec, string_a, string_b):.6f}")
+    return 0
+
+
+def _command_matrix(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        spec = _load_spec(args.spec)
+    else:
+        spec = ExperimentConfig(
+            kernel=args.kernel,
+            cut_weight=args.cut_weight,
+            spectrum_k=args.spectrum_k,
+            backend=args.backend,
+        ).kernel_spec()
+    session = _session_from_args(args)
+    strings = session.corpus_from_directory(args.corpus, use_byte_information=not args.no_bytes)
+    matrix = session.matrix(spec, strings, normalized=not args.raw)
+    # One stamped-payload format for files and stdout: the engine owns it.
+    payload = session.engine(spec).matrix_payload(matrix, strings)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        directory = os.path.dirname(os.path.abspath(args.output))
+        os.makedirs(directory, exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(strings)}x{len(strings)} {spec.kind} matrix to {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -157,7 +238,19 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    if args.no_bytes:
+    if args.spec is not None:
+        base = ExperimentConfig(
+            use_byte_information=not args.no_bytes,
+            n_clusters=3,
+            corpus=CorpusConfig.paper(seed=args.seed),
+            n_jobs=args.n_jobs,
+        )
+        config = config_from_spec(_load_spec(args.spec), base)
+        session = _session_from_args(args)
+        sweep = cut_weight_sweep(config, session=session)
+        byte_text = "ignored" if args.no_bytes else "kept"
+        title = f"cut-weight sweep ({config.kernel} spec, byte information {byte_text})"
+    elif args.no_bytes:
         sweep = experiment_nobytes_variant(seed=args.seed, n_jobs=args.n_jobs, backend=args.backend)
         title = "cut-weight sweep (byte information ignored)"
     else:
@@ -175,6 +268,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "convert": _command_convert,
         "compare": _command_compare,
+        "matrix": _command_matrix,
         "experiment": _command_experiment,
         "sweep": _command_sweep,
     }

@@ -31,8 +31,8 @@ import json
 import os
 import threading
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,16 +41,51 @@ from repro.kernels.base import StringKernel, normalize_kernel_value
 from repro.strings.interner import TokenInterner
 from repro.strings.tokens import Token, WeightedString
 
-__all__ = ["GramEngine", "save_matrix", "load_matrix", "string_fingerprint"]
+__all__ = ["GramEngine", "save_matrix", "load_matrix", "string_fingerprint", "ENGINE_EXECUTORS"]
 
 #: Symmetric content key of an unordered string pair (ordered small-int pair).
 PairKey = Tuple[int, int]
+
+#: Worker-pool implementations accepted by :class:`GramEngine`.
+ENGINE_EXECUTORS = ("thread", "process")
 
 #: Default number of unique pairs handed to one worker at a time.
 _DEFAULT_CHUNK_SIZE = 32
 
 #: Default bound on the symmetric pair-value cache.
 _DEFAULT_PAIR_CACHE_SIZE = 262_144
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker plumbing
+# ----------------------------------------------------------------------
+# The process executor cannot ship live kernels (they hold locks, caches and
+# numpy scratch state); instead every worker process rebuilds its kernel
+# exactly once from the engine's declarative KernelSpec, which is plain
+# picklable data.  The corpus travels the same way: the full string list is
+# pickled once per worker through the pool initializer, and work items are
+# index-only chunks — without this an n-string corpus would re-pickle each
+# string once per pending pair (O(n^2) IPC payload).  Both sides run the
+# identical kernel code on the identical inputs, so the values are
+# bit-identical to the serial/thread paths.
+_WORKER_KERNEL: Optional[StringKernel] = None
+_WORKER_STRINGS: Optional[List[WeightedString]] = None
+
+
+def _process_worker_init(spec: Any, strings: List[WeightedString]) -> None:
+    global _WORKER_KERNEL, _WORKER_STRINGS
+    from repro.api.spec import kernel_from_spec
+
+    _WORKER_KERNEL = kernel_from_spec(spec)
+    _WORKER_STRINGS = strings
+
+
+def _process_evaluate_chunk(
+    chunk: List[Tuple[PairKey, Tuple[int, int]]]
+) -> List[Tuple[PairKey, float]]:
+    kernel, strings = _WORKER_KERNEL, _WORKER_STRINGS
+    assert kernel is not None and strings is not None, "process worker used before initialisation"
+    return [(key, float(kernel.value(strings[i], strings[j]))) for key, (i, j) in chunk]
 
 
 def string_fingerprint(string: WeightedString) -> str:
@@ -69,6 +104,15 @@ def string_fingerprint(string: WeightedString) -> str:
     return digest.hexdigest()
 
 
+def _write_json_atomic(payload: Dict[str, Any], path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    temporary = f"{path}.tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(temporary, path)
+
+
 def save_matrix(
     matrix: KernelMatrix,
     path: str,
@@ -80,19 +124,15 @@ def save_matrix(
     *fingerprints* (one per example, see :func:`string_fingerprint`) and
     *kernel_signature* are stored alongside :meth:`KernelMatrix.as_dict`
     so a later load can prove the cached values still describe the same
-    corpus content and kernel configuration.
+    corpus content and kernel configuration.  Prefer
+    :meth:`GramEngine.save`, which cannot omit the stamps.
     """
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
     payload = matrix.as_dict()
     if fingerprints is not None:
         payload["fingerprints"] = list(fingerprints)
     if kernel_signature is not None:
         payload["kernel_signature"] = kernel_signature
-    temporary = f"{path}.tmp"
-    with open(temporary, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
-    os.replace(temporary, path)
+    _write_json_atomic(payload, path)
 
 
 def load_matrix(path: str) -> KernelMatrix:
@@ -121,21 +161,77 @@ class GramEngine:
         Bound on the symmetric pair-value LRU cache.
     interner:
         Optional shared :class:`~repro.strings.interner.TokenInterner`.
+    spec:
+        Optional declarative :class:`~repro.api.spec.KernelSpec`.  When
+        *kernel* is omitted the spec is instantiated through the registry;
+        when both are given the spec is trusted as the kernel's description.
+        If neither is given explicitly the engine derives the spec from the
+        live kernel (``spec_from_kernel``) when the kernel's class is
+        registered.  The spec powers the persistence signature and the
+        process executor.
+    executor:
+        ``"thread"`` (default) — pair chunks are spread over a
+        ``ThreadPoolExecutor``; the numpy kernel backend releases the GIL in
+        its ufunc sweeps, so this is the right default on single-package
+        hosts and in CI.  ``"process"`` — chunks go to a
+        ``ProcessPoolExecutor`` whose workers rebuild the kernel from the
+        (picklable) spec, sidestepping the GIL for the Python scoring tail
+        on multi-core hosts.  Requires a derivable spec.  Values are
+        bit-identical across executors and ``n_jobs``.
     """
 
     def __init__(
         self,
-        kernel: StringKernel,
+        kernel: Optional[StringKernel] = None,
         n_jobs: int = 1,
         chunk_size: int = _DEFAULT_CHUNK_SIZE,
         pair_cache_size: int = _DEFAULT_PAIR_CACHE_SIZE,
         interner: Optional[TokenInterner] = None,
+        spec: Optional[Any] = None,
+        executor: str = "thread",
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if executor not in ENGINE_EXECUTORS:
+            raise ValueError(f"executor must be one of {ENGINE_EXECUTORS}, got {executor!r}")
+        if spec is not None:
+            # Accept every spec shorthand (KernelSpec, dict, JSON text, kind
+            # name) and canonicalize it, whether or not a live kernel is
+            # also given — the signature/persistence/process paths all rely
+            # on spec being a canonical KernelSpec.
+            from repro.api.spec import coerce_spec
+
+            spec = coerce_spec(spec)
+        if kernel is None:
+            if spec is None:
+                raise ValueError("GramEngine requires a kernel or a spec")
+            from repro.api.spec import kernel_from_spec
+
+            kernel = kernel_from_spec(spec, interner=interner)
+        elif spec is None:
+            # Best effort: unregistered kernel classes fall back to the
+            # legacy name/cache_signature identity (and cannot use the
+            # process executor, which needs a picklable description).  For
+            # the process executor the derivation must be exact — mapping a
+            # value-overriding subclass to its base kind would make workers
+            # silently compute with the base kernel.
+            try:
+                from repro.api.spec import spec_from_kernel
+
+                spec = spec_from_kernel(kernel, exact=(executor == "process"))
+            except Exception:
+                spec = None
+        if executor == "process" and spec is None:
+            raise ValueError(
+                "executor='process' requires a faithful kernel spec (the workers rebuild the "
+                "kernel from it); pass spec=... explicitly or register the kernel's exact class "
+                "with repro.api.register_kernel"
+            )
         self.kernel = kernel
+        self.spec = spec
+        self.executor = executor
         self.n_jobs = n_jobs
         self.chunk_size = chunk_size
         self.pair_cache_size = pair_cache_size
@@ -280,25 +376,10 @@ class GramEngine:
                     self.pair_misses += 1
 
         if pending:
-            if hasattr(self.kernel, "value_row"):
-                work_items: List[List[Tuple[PairKey, Tuple[int, int]]]] = [
-                    group for _, group in self._group_by_row(pending)
-                ]
-                evaluate = self._evaluate_row
+            if self.executor == "process" and self.n_jobs > 1 and len(pending) > 1:
+                computed = self._evaluate_pending_in_processes(strings, pending)
             else:
-                work_items = [
-                    pending[start : start + self.chunk_size]
-                    for start in range(0, len(pending), self.chunk_size)
-                ]
-                evaluate = self._evaluate_chunk
-            computed: List[Tuple[PairKey, float]] = []
-            if self.n_jobs > 1 and len(work_items) > 1:
-                with ThreadPoolExecutor(max_workers=self.n_jobs) as executor:
-                    for result in executor.map(lambda item: evaluate(strings, item), work_items):
-                        computed.extend(result)
-            else:
-                for item in work_items:
-                    computed.extend(evaluate(strings, item))
+                computed = self._evaluate_pending_in_threads(strings, pending)
             with self._lock:
                 for key, value in computed:
                     raw_by_key[key] = value
@@ -312,6 +393,62 @@ class GramEngine:
             for position in positions:
                 results[position] = value
         return results
+
+    def _evaluate_pending_in_threads(
+        self,
+        strings: List[WeightedString],
+        pending: List[Tuple[PairKey, Tuple[int, int]]],
+    ) -> List[Tuple[PairKey, float]]:
+        """Serial / thread-pool evaluation (also the ``n_jobs=1`` fast path)."""
+        if hasattr(self.kernel, "value_row"):
+            work_items: List[List[Tuple[PairKey, Tuple[int, int]]]] = [
+                group for _, group in self._group_by_row(pending)
+            ]
+            evaluate = self._evaluate_row
+        else:
+            work_items = [
+                pending[start : start + self.chunk_size]
+                for start in range(0, len(pending), self.chunk_size)
+            ]
+            evaluate = self._evaluate_chunk
+        computed: List[Tuple[PairKey, float]] = []
+        if self.n_jobs > 1 and len(work_items) > 1:
+            with ThreadPoolExecutor(max_workers=self.n_jobs) as executor:
+                for result in executor.map(lambda item: evaluate(strings, item), work_items):
+                    computed.extend(result)
+        else:
+            for item in work_items:
+                computed.extend(evaluate(strings, item))
+        return computed
+
+    def _evaluate_pending_in_processes(
+        self,
+        strings: List[WeightedString],
+        pending: List[Tuple[PairKey, Tuple[int, int]]],
+    ) -> List[Tuple[PairKey, float]]:
+        """Process-pool evaluation: workers rebuild the kernel from the spec.
+
+        Workers share nothing with the parent but what the pool initialiser
+        hands them: the picklable spec and the string list (pickled once per
+        worker); work items are index-only chunks.  The pool is per-call —
+        its lifetime matches the string list shipped at initialisation, and
+        on this library's workloads the fork cost is dwarfed by the pair
+        evaluations the pool exists for.  Values are accumulated in
+        submission order, keeping assembly deterministic.
+        """
+        chunks = [
+            pending[start : start + self.chunk_size]
+            for start in range(0, len(pending), self.chunk_size)
+        ]
+        computed: List[Tuple[PairKey, float]] = []
+        with ProcessPoolExecutor(
+            max_workers=self.n_jobs,
+            initializer=_process_worker_init,
+            initargs=(self.spec, strings),
+        ) as executor:
+            for result in executor.map(_process_evaluate_chunk, chunks):
+                computed.extend(result)
+        return computed
 
     @staticmethod
     def _group_by_row(
@@ -341,15 +478,51 @@ class GramEngine:
     def kernel_signature(self) -> str:
         """String identifying every kernel option that affects values.
 
-        Kernels may expose a ``cache_signature()`` method (the Kast kernel
-        does — it encodes all value-affecting flags while deliberately
-        omitting the backend, whose two implementations are equivalent);
-        otherwise the kernel name is the best available identity.
+        Derived from the canonical serialization of the engine's declarative
+        :class:`~repro.api.spec.KernelSpec` (minus parameters the registry
+        marks value-irrelevant, e.g. the Kast backend whose implementations
+        are equivalent) — the same description that reconstructs the kernel
+        in process workers.  Kernels whose class is not registered fall back
+        to the legacy ``cache_signature()`` / name identity.
         """
+        if self.spec is not None:
+            return self.spec.signature()
         signature = getattr(self.kernel, "cache_signature", None)
         if callable(signature):
             return str(signature())
         return self.kernel.name
+
+    def matrix_payload(self, matrix: KernelMatrix, strings: Sequence[WeightedString]) -> Dict[str, Any]:
+        """The stamped JSON-ready persistence payload for *matrix*.
+
+        Single source of truth for the stamped-matrix format: the matrix
+        fields (:meth:`KernelMatrix.as_dict`) plus the content fingerprints
+        of *strings*, the spec-derived kernel signature and — when the
+        engine has a declarative spec — the spec itself, so a payload is
+        self-describing.  Used by :meth:`save` and the CLI ``matrix``
+        command.
+        """
+        string_list = list(strings)
+        if len(string_list) != len(matrix):
+            raise ValueError(
+                f"strings/matrix size mismatch: {len(string_list)} strings vs {len(matrix)} rows"
+            )
+        payload = matrix.as_dict()
+        payload["fingerprints"] = [string_fingerprint(string) for string in string_list]
+        payload["kernel_signature"] = self.kernel_signature()
+        if self.spec is not None:
+            payload["kernel_spec"] = self.spec.to_dict()
+        return payload
+
+    def save(self, matrix: KernelMatrix, path: str, strings: Sequence[WeightedString]) -> None:
+        """Persist *matrix*, always stamping fingerprints and kernel signature.
+
+        Unlike the module-level :func:`save_matrix` (whose metadata arguments
+        are optional), the engine method cannot produce an unstamped file:
+        every matrix it writes carries the full :meth:`matrix_payload`
+        metadata, so stale-cache detection can never be silently skipped.
+        """
+        _write_json_atomic(self.matrix_payload(matrix, strings), path)
 
     def matrix(
         self,
@@ -510,12 +683,7 @@ class GramEngine:
                 base_signature=base_signature,
             )
             if cache_path is not None:
-                save_matrix(
-                    matrix,
-                    cache_path,
-                    fingerprints=[string_fingerprint(string) for string in string_list],
-                    kernel_signature=self.kernel_signature(),
-                )
+                self.save(matrix, cache_path, string_list)
         if repair and not matrix.is_positive_semidefinite():
             matrix = matrix.repaired()
         return matrix

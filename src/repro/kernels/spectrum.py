@@ -45,17 +45,21 @@ class SpectrumKernel(StringKernel):
         self.k = k
         self.weighted = weighted
         self.name = f"spectrum(k={k}{', weighted' if weighted else ''})"
-        self._cache: Dict[int, Dict[_Gram, float]] = {}
+        self._cache: Dict[int, Tuple[WeightedString, Dict[_Gram, float]]] = {}
 
     # ------------------------------------------------------------------
     # Feature map
     # ------------------------------------------------------------------
     def feature_map(self, string: WeightedString) -> Dict[_Gram, float]:
         """Sparse k-gram feature vector of *string*."""
+        # The cache entry pins the string object: a live entry means its id
+        # cannot be recycled, and the identity check rejects any entry left
+        # over from a freed string (process workers unpickle fresh strings
+        # per chunk, so id reuse is routine there).
         key = id(string)
         cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] is string:
+            return cached[1]
         literals = [token.literal for token in string]
         weights = [token.weight for token in string]
         features: Dict[_Gram, float] = defaultdict(float)
@@ -66,10 +70,10 @@ class SpectrumKernel(StringKernel):
             else:
                 features[gram] += 1.0
         result = dict(features)
-        self._cache[key] = result
+        self._cache[key] = (string, result)
         if len(self._cache) > 4096:
             self._cache.clear()
-            self._cache[key] = result
+            self._cache[key] = (string, result)
         return result
 
     # ------------------------------------------------------------------

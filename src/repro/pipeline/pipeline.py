@@ -111,10 +111,23 @@ class AnalysisResult:
 
 
 class AnalysisPipeline:
-    """Run the full trace-comparison pipeline for one configuration."""
+    """Run the full trace-comparison pipeline for one configuration.
 
-    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+    Parameters
+    ----------
+    config:
+        The experiment configuration (defaults to the paper's main setting).
+    session:
+        Optional :class:`~repro.api.session.AnalysisSession`.  When given,
+        the kernel-matrix stage goes through the session's warm per-spec
+        engines (shared pair caches, shared token interner, the session's
+        worker policy) instead of building a throwaway kernel and engine.
+        :meth:`AnalysisSession.analyze` constructs pipelines this way.
+    """
+
+    def __init__(self, config: Optional[ExperimentConfig] = None, session: Optional[object] = None) -> None:
         self.config = config or ExperimentConfig()
+        self.session = session
 
     # ------------------------------------------------------------------
     # Stages
@@ -145,8 +158,19 @@ class AnalysisPipeline:
         with the configured worker count.  *kernel* overrides the configured
         kernel (the cut-weight sweep passes kernels sharing one token
         interner); *cache_path* enables the engine's on-disk matrix
-        persistence.
+        persistence.  With a bound session (and no kernel override) the
+        matrix comes from the session's warm engine for this configuration's
+        kernel spec — note the session's execution policy (its ``n_jobs``
+        and ``executor``) then applies, not this configuration's ``n_jobs``.
         """
+        if kernel is None and self.session is not None:
+            return self.session.matrix(
+                self.config.kernel_spec(),
+                list(strings),
+                normalized=True,
+                repair=True,
+                cache_path=cache_path,
+            )
         if kernel is None:
             kernel = self.config.build_kernel()
         return compute_kernel_matrix(

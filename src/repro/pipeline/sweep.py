@@ -80,6 +80,7 @@ def cut_weight_sweep(
     cut_weights: Sequence[int] = PAPER_CUT_WEIGHTS,
     traces: Optional[Sequence[IOTrace]] = None,
     strings: Optional[Sequence[WeightedString]] = None,
+    session: Optional[object] = None,
 ) -> SweepResult:
     """Run the pipeline once per cut weight and collect the metrics.
 
@@ -99,6 +100,13 @@ def cut_weight_sweep(
         several sweeps, e.g. byte-info on vs off).
     strings:
         Optional pre-encoded strings; takes precedence over *traces*.
+    session:
+        Optional :class:`~repro.api.session.AnalysisSession`.  When given,
+        each sweep point's matrix comes from the session's warm engine for
+        that cut weight's kernel spec (all sharing the session interner), so
+        repeated or interleaved sweeps reuse each other's pair caches.
+        Without one, a sweep-local token interner provides the same sharing
+        within this sweep only.
     """
     base_config = base_config or ExperimentConfig()
     base_pipeline = AnalysisPipeline(base_config)
@@ -111,13 +119,13 @@ def cut_weight_sweep(
     # One token interner for the whole sweep: the integer encoding of the
     # corpus does not depend on the cut weight, so every sweep point's kernel
     # reuses the same literal → id space instead of re-interning the corpus.
-    interner = TokenInterner()
+    interner = TokenInterner() if session is None else None
 
     result = SweepResult(config=base_config)
     for cut_weight in cut_weights:
         config = base_config.with_cut_weight(cut_weight)
-        pipeline = AnalysisPipeline(config)
-        kernel = config.build_kernel(interner=interner)
+        pipeline = AnalysisPipeline(config, session=session)
+        kernel = config.build_kernel(interner=interner) if session is None else None
         start = time.perf_counter()
         matrix = pipeline.compute_matrix(string_list, kernel=kernel)
         kernel_seconds = time.perf_counter() - start

@@ -1,0 +1,194 @@
+"""Tests for the AnalysisSession facade (repro.api.session)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import AnalysisSession, JobError, make_spec
+from repro.core.matrix import compute_kernel_matrix
+from repro.pipeline.config import ExperimentConfig
+from repro.pipeline.pipeline import AnalysisPipeline
+from repro.traces.writer import write_trace
+from repro.workloads.corpus import CorpusConfig, build_corpus
+
+
+@pytest.fixture
+def session():
+    with AnalysisSession() as live:
+        yield live
+
+
+@pytest.fixture
+def strings(session):
+    return session.corpus(small=True, seed=7)
+
+
+class TestWarmState:
+    def test_kernel_and_engine_are_cached_per_spec(self, session):
+        spec = make_spec("kast", cut_weight=4)
+        assert session.kernel(spec) is session.kernel(spec)
+        assert session.engine(spec) is session.engine(spec)
+        assert session.engine(make_spec("kast", cut_weight=8)) is not session.engine(spec)
+
+    def test_kernels_share_the_session_interner(self, session):
+        a = session.kernel(make_spec("kast", cut_weight=2))
+        b = session.kernel(make_spec("kast", cut_weight=64))
+        assert a.interner is session.interner
+        assert b.interner is session.interner
+
+    def test_spec_shorthands_resolve_to_same_engine(self, session):
+        canonical = make_spec("kast")
+        assert session.engine("kast") is session.engine(canonical)
+        assert session.engine(canonical.to_dict()) is session.engine(canonical)
+
+    def test_repeated_matrix_hits_warm_cache(self, session, strings):
+        spec = make_spec("kast", cut_weight=2)
+        first = session.matrix(spec, strings)
+        info = session.engine(spec).cache_info()
+        assert info["pair_misses"] > 0
+        second = session.matrix(spec, strings)
+        after = session.engine(spec).cache_info()
+        assert after["pair_misses"] == info["pair_misses"]
+        np.testing.assert_allclose(first.values, second.values)
+
+    def test_cache_info_keyed_by_canonical_spec(self, session, strings):
+        spec = make_spec("spectrum", k=2)
+        session.matrix(spec, strings)
+        assert spec.canonical() in session.cache_info()
+        assert spec in session.specs()
+
+
+class TestComputation:
+    def test_matrix_matches_compute_kernel_matrix(self, session, strings):
+        spec = make_spec("kast", cut_weight=2)
+        via_session = session.matrix(spec, strings)
+        reference = compute_kernel_matrix(strings, ExperimentConfig().build_kernel())
+        np.testing.assert_allclose(via_session.values, reference.values)
+        assert via_session.names == reference.names
+
+    def test_value_and_normalized_value(self, session, strings):
+        spec = make_spec("kast", cut_weight=2)
+        raw = session.value(spec, strings[0], strings[1])
+        normalized = session.normalized_value(spec, strings[0], strings[1])
+        assert raw >= 0.0
+        assert 0.0 <= normalized <= 1.0 + 1e-9
+
+    def test_analyze_matches_plain_pipeline(self, session, strings):
+        config = ExperimentConfig(corpus=CorpusConfig.small(seed=7))
+        via_session = session.analyze(config, strings=strings)
+        reference = AnalysisPipeline(config).run_on_strings(strings)
+        np.testing.assert_allclose(
+            via_session.kernel_matrix.values, reference.kernel_matrix.values
+        )
+        assert via_session.metrics["purity"] == reference.metrics["purity"]
+
+    def test_sweep_through_session(self, session, strings):
+        config = ExperimentConfig(corpus=CorpusConfig.small(seed=7))
+        result = session.sweep(config, cut_weights=(2, 8), strings=strings)
+        assert result.cut_weights() == [2, 8]
+        # Both sweep points warmed session engines under their own specs.
+        assert len(session.specs()) >= 2
+
+    def test_matrix_persistence_is_stamped(self, session, strings, tmp_path):
+        import json
+
+        path = str(tmp_path / "gram.json")
+        spec = make_spec("kast", cut_weight=2)
+        session.matrix(spec, strings, cache_path=path)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["kernel_signature"] == spec.signature()
+        assert len(payload["fingerprints"]) == len(strings)
+
+
+class TestCorpus:
+    def test_small_flag_selects_reduced_corpus(self, session):
+        assert len(session.corpus(small=True, seed=7)) == 16
+
+    def test_explicit_traces_are_encoded(self, session):
+        traces = build_corpus(CorpusConfig.small(seed=7))[:4]
+        strings = session.corpus(traces=traces)
+        assert [string.name for string in strings] == [trace.name for trace in traces]
+
+    def test_corpus_from_directory(self, session, tmp_path):
+        for trace in build_corpus(CorpusConfig.small(seed=7))[:5]:
+            write_trace(trace, os.path.join(tmp_path, f"{trace.name}.trace"))
+        strings = session.corpus_from_directory(str(tmp_path))
+        assert len(strings) == 5
+        # Sorted file order makes directory matrices reproducible.
+        assert [string.name for string in strings] == sorted(string.name for string in strings)
+
+    def test_corpus_from_empty_directory_rejected(self, session, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            session.corpus_from_directory(str(tmp_path))
+
+
+class TestJobs:
+    def test_submit_and_result_roundtrip(self, session, strings):
+        spec = make_spec("kast", cut_weight=2)
+        job = session.submit(spec, strings)
+        result = session.result(job, timeout=120)
+        np.testing.assert_allclose(result.values, session.matrix(spec, strings).values)
+        assert session.status(job) == "done"
+        assert session.jobs()[job] == "done"
+
+    def test_submit_analyze(self, session, strings):
+        config = ExperimentConfig(corpus=CorpusConfig.small(seed=7))
+        job = session.submit_analyze(config, strings=strings)
+        result = session.result(job, timeout=240)
+        assert "purity" in result.metrics
+
+    def test_failed_job_raises_job_error(self, session):
+        job = session.submit(make_spec("kast"), [object()])  # not weighted strings
+        with pytest.raises(JobError):
+            session.result(job, timeout=120)
+        assert session.status(job) == "error"
+
+    def test_unknown_job_id(self, session):
+        with pytest.raises(KeyError):
+            session.result("matrix-999")
+
+    def test_submit_after_shutdown_rejected(self, strings):
+        session = AnalysisSession()
+        session.shutdown()
+        with pytest.raises(RuntimeError):
+            session.submit(make_spec("kast"), strings)
+
+
+class TestValidation:
+    def test_bad_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            AnalysisSession(n_jobs=0)
+        with pytest.raises(ValueError):
+            AnalysisSession(executor="fork-bomb")
+        with pytest.raises(ValueError):
+            AnalysisSession(max_job_workers=0)
+
+
+class TestSessionCanonicalization:
+    def test_partial_json_spec_shares_engine_with_canonical(self, session):
+        assert session.engine('{"kind": "kast"}') is session.engine(make_spec("kast"))
+
+
+class TestJobEviction:
+    def test_result_forget_drops_job(self, session, strings):
+        job = session.submit(make_spec("kast"), strings)
+        session.result(job, timeout=120, forget=True)
+        assert job not in session.jobs()
+        with pytest.raises(KeyError):
+            session.status(job)
+
+    def test_forget_only_finished_jobs(self, session, strings):
+        job = session.submit(make_spec("kast"), strings)
+        session.result(job, timeout=120)
+        assert session.forget(job) is True
+        assert session.forget(job) is False  # already gone
+
+    def test_failed_job_forgettable(self, session):
+        job = session.submit(make_spec("kast"), [object()])
+        with pytest.raises(JobError):
+            session.result(job, timeout=120, forget=True)
+        assert job not in session.jobs()

@@ -19,8 +19,21 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("generate", "convert", "compare", "experiment", "sweep"):
+        for command in ("generate", "convert", "compare", "matrix", "experiment", "sweep"):
             assert parser.parse_args([command] + _minimal_args(command)).command == command
+
+    def test_kernel_choices_derive_from_registry(self):
+        from repro.api import kernel_choices
+
+        parser = build_parser()
+        args = parser.parse_args(["matrix", "corpus", "--kernel", kernel_choices()[-1]])
+        assert args.kernel == kernel_choices()[-1]
+
+    def test_spec_flag_accepted_by_compare_and_sweep(self):
+        parser = build_parser()
+        assert parser.parse_args(["compare", "a", "b", "--spec", "spec.json"]).spec == "spec.json"
+        assert parser.parse_args(["sweep", "--spec", "spec.json"]).spec == "spec.json"
+        assert parser.parse_args(["matrix", "corpus", "--spec", "spec.json"]).spec == "spec.json"
 
 
 def _minimal_args(command: str):
@@ -28,6 +41,7 @@ def _minimal_args(command: str):
         "generate": ["out"],
         "convert": ["x.trace"],
         "compare": ["a.trace", "b.trace"],
+        "matrix": ["corpus"],
         "experiment": ["worked-example"],
         "sweep": [],
     }[command]
@@ -87,3 +101,92 @@ class TestCommands:
         from repro import cli
 
         assert callable(cli.main)
+
+
+class TestMatrixCommand:
+    @pytest.fixture
+    def corpus_dir(self, tmp_path):
+        output = tmp_path / "corpus"
+        assert main(["generate", str(output), "--small", "--seed", "5"]) == 0
+        return output
+
+    def test_matrix_prints_json_payload(self, corpus_dir, capsys):
+        import json
+
+        assert main(["matrix", str(corpus_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["names"]) == 16
+        assert len(payload["values"]) == 16
+        assert payload["kernel_spec"]["kind"] == "kast"
+        assert payload["kernel_signature"]
+        assert len(payload["fingerprints"]) == 16
+
+    def test_matrix_with_spec_file(self, corpus_dir, tmp_path, capsys):
+        import json
+
+        from repro.api import make_spec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(make_spec("spectrum", k=2).to_json())
+        assert main(["matrix", str(corpus_dir), "--spec", str(spec_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kernel_spec"]["kind"] == "spectrum"
+        assert payload["kernel_spec"]["params"]["k"] == 2
+
+    def test_matrix_output_file(self, corpus_dir, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "out" / "gram.json"
+        assert main(["matrix", str(corpus_dir), "--output", str(target)]) == 0
+        assert "wrote 16x16 kast matrix" in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert len(payload["names"]) == 16
+
+    def test_matrix_matches_library_computation(self, corpus_dir, capsys):
+        import json
+
+        import numpy as np
+
+        from repro.api import AnalysisSession, make_spec
+
+        assert main(["matrix", str(corpus_dir), "--cut-weight", "4"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        session = AnalysisSession()
+        strings = session.corpus_from_directory(str(corpus_dir))
+        reference = session.matrix(make_spec("kast", cut_weight=4), strings)
+        np.testing.assert_allclose(np.asarray(payload["values"]), reference.values)
+
+
+class TestCompareSpec:
+    def test_compare_with_spec_file(self, tmp_path, capsys):
+        from repro.api import make_spec
+
+        first = tmp_path / "a.trace"
+        second = tmp_path / "b.trace"
+        write_trace(NormalIOGenerator().generate(seed=1), first)
+        write_trace(NormalIOGenerator().generate(seed=2), second)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(make_spec("bag-of-words").to_json())
+        assert main(["compare", str(first), str(second), "--spec", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bag-of-words" in out
+        assert "normalised kernel value" in out
+
+    def test_compare_spec_matches_flag_path(self, tmp_path, capsys):
+        first = tmp_path / "a.trace"
+        second = tmp_path / "b.trace"
+        write_trace(NormalIOGenerator().generate(seed=1), first)
+        write_trace(NormalIOGenerator().generate(seed=2), second)
+
+        def last_value(arguments):
+            assert main(arguments) == 0
+            out = capsys.readouterr().out
+            return float(out.strip().splitlines()[-1].split(":")[-1])
+
+        from repro.api import make_spec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(make_spec("kast", cut_weight=2).to_json())
+        via_flags = last_value(["compare", str(first), str(second), "--cut-weight", "2"])
+        via_spec = last_value(["compare", str(first), str(second), "--spec", str(spec_path)])
+        assert via_flags == via_spec

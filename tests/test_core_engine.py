@@ -256,3 +256,177 @@ class TestBackendIntegrity:
         assert kernel.interner is None
         prepared = kernel._prepare(corpus[0])
         assert prepared.ids is None  # still on the pure-python search path
+
+
+class TestSpecIntegration:
+    def test_engine_derives_spec_from_registered_kernel(self, corpus):
+        from repro.api.spec import make_spec
+
+        engine = GramEngine(KastSpectrumKernel(cut_weight=4))
+        assert engine.spec == make_spec("kast", cut_weight=4)
+        assert engine.kernel_signature() == engine.spec.signature()
+
+    def test_engine_built_from_spec_alone(self, corpus):
+        engine = GramEngine(spec="kast")
+        assert isinstance(engine.kernel, KastSpectrumKernel)
+        reference = GramEngine(KastSpectrumKernel(cut_weight=2)).gram(corpus)
+        np.testing.assert_array_equal(engine.gram(corpus), reference)
+
+    def test_engine_requires_kernel_or_spec(self):
+        with pytest.raises(ValueError):
+            GramEngine()
+
+    def test_unregistered_kernel_falls_back_to_name(self, corpus):
+        class OddKernel(SpectrumKernel.__bases__[0]):  # bare StringKernel
+            name = "odd"
+
+            def value(self, a, b):
+                return 1.0
+
+        engine = GramEngine(OddKernel())
+        assert engine.spec is None
+        assert engine.kernel_signature() == "odd"
+        with pytest.raises(ValueError):
+            GramEngine(OddKernel(), executor="process")
+
+    def test_backend_change_does_not_invalidate_cache(self, corpus, tmp_path):
+        # The backends are value-equivalent; the spec signature exempts them.
+        path = str(tmp_path / "cache.json")
+        GramEngine(KastSpectrumKernel(cut_weight=2, backend="numpy")).compute(corpus, cache_path=path)
+        kernel = CountingKernel(cut_weight=2, backend="python")
+        GramEngine(kernel).compute(corpus, cache_path=path)
+        assert kernel.value_calls == 0 and kernel.row_values == 0
+
+    @pytest.mark.parametrize(
+        "changed",
+        [
+            dict(cut_weight=3),
+            dict(filter_tokens_below_cut=True),
+            dict(require_independent_occurrence=False),
+        ],
+    )
+    def test_any_spec_field_change_invalidates_persistence(self, corpus, tmp_path, changed):
+        # Regression: a matrix persisted under one spec signature must be
+        # recomputed whenever any value-affecting spec field changes.
+        path = str(tmp_path / "cache.json")
+        GramEngine(KastSpectrumKernel(cut_weight=2)).compute(corpus, cache_path=path)
+        same = CountingKernel(cut_weight=2)
+        GramEngine(same).compute(corpus, cache_path=path)
+        assert same.value_calls == 0 and same.row_values == 0  # full reuse
+        kwargs = dict(cut_weight=2)
+        kwargs.update(changed)
+        different = CountingKernel(**kwargs)
+        GramEngine(different).compute(corpus, cache_path=path)
+        assert different.value_calls + different.row_values > 0  # recomputed
+
+    def test_engine_save_always_stamps(self, corpus, tmp_path):
+        import json
+
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2))
+        matrix = engine.matrix(corpus)
+        path = str(tmp_path / "stamped.json")
+        engine.save(matrix, path, corpus)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["kernel_signature"] == engine.kernel_signature()
+        assert len(payload["fingerprints"]) == len(corpus)
+        with pytest.raises(ValueError):
+            engine.save(matrix, path, corpus[:-1])
+
+    def test_compute_cache_file_carries_signature(self, corpus, tmp_path):
+        import json
+
+        path = str(tmp_path / "cache.json")
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2))
+        engine.compute(corpus, cache_path=path)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["kernel_signature"] == engine.kernel_signature()
+
+
+class TestProcessExecutor:
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            GramEngine(KastSpectrumKernel(), executor="greenlet")
+
+    def test_process_gram_bit_identical_to_serial(self, corpus):
+        serial = GramEngine(KastSpectrumKernel(cut_weight=2), n_jobs=1).gram(corpus)
+        process = GramEngine(
+            KastSpectrumKernel(cut_weight=2), n_jobs=2, executor="process", chunk_size=5
+        ).gram(corpus)
+        np.testing.assert_array_equal(serial, process)
+
+    def test_process_gram_for_generic_kernel(self, corpus):
+        serial = GramEngine(SpectrumKernel(k=2), n_jobs=1).gram(corpus)
+        process = GramEngine(SpectrumKernel(k=2), n_jobs=2, executor="process", chunk_size=3).gram(corpus)
+        np.testing.assert_array_equal(serial, process)
+
+    def test_process_single_job_falls_back_to_serial(self, corpus):
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2), n_jobs=1, executor="process")
+        reference = GramEngine(KastSpectrumKernel(cut_weight=2)).gram(corpus)
+        np.testing.assert_array_equal(engine.gram(corpus), reference)
+
+    def test_process_results_populate_parent_cache(self, corpus):
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2), n_jobs=2, executor="process")
+        engine.gram(corpus)
+        misses = engine.cache_info()["pair_misses"]
+        engine.gram(corpus)
+        assert engine.cache_info()["pair_misses"] == misses
+
+
+class TestProcessExecutorFaithfulness:
+    def test_process_refuses_value_overriding_subclass(self, corpus):
+        # A subclass overriding value() must not be silently replaced by
+        # its base kind in the workers: exact-class spec derivation fails
+        # and the engine refuses the process executor up front.
+        class DoubledKast(KastSpectrumKernel):
+            def value(self, a, b):
+                return 2.0 * super().value(a, b)
+
+        with pytest.raises(ValueError):
+            GramEngine(DoubledKast(cut_weight=2), executor="process")
+        # An explicit spec overrides the refusal (caller takes ownership).
+        engine = GramEngine(DoubledKast(cut_weight=2), executor="process", spec="kast")
+        assert engine.spec is not None
+
+    def test_process_repeated_grams_stay_identical(self, corpus):
+        # Regression for worker-side id reuse: repeated/chunked process
+        # evaluation must keep returning the same values as serial.
+        engine = GramEngine(SpectrumKernel(k=2), n_jobs=2, executor="process", chunk_size=2)
+        serial = GramEngine(SpectrumKernel(k=2)).gram(corpus, normalized=False)
+        np.testing.assert_array_equal(engine.gram(corpus, normalized=False), serial)
+
+
+class TestMatrixPayload:
+    def test_payload_is_self_describing(self, corpus):
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2))
+        matrix = engine.matrix(corpus)
+        payload = engine.matrix_payload(matrix, corpus)
+        assert payload["kernel_signature"] == engine.kernel_signature()
+        assert payload["kernel_spec"]["kind"] == "kast"
+        assert len(payload["fingerprints"]) == len(corpus)
+        # The payload still loads as a plain matrix.
+        loaded = __import__("repro.core.matrix", fromlist=["KernelMatrix"]).KernelMatrix.from_dict(payload)
+        np.testing.assert_allclose(loaded.values, matrix.values)
+
+
+class TestExplicitSpecShorthand:
+    def test_kernel_plus_spec_shorthand_is_coerced(self, corpus):
+        # Regression: a str/dict spec passed alongside a live kernel used to
+        # be stored raw, crashing kernel_signature()/matrix_payload()/save.
+        from repro.api.spec import make_spec
+
+        engine = GramEngine(SpectrumKernel(k=2), spec="spectrum")
+        assert engine.spec == make_spec("spectrum")
+        assert engine.kernel_signature() == make_spec("spectrum").signature()
+        payload = engine.matrix_payload(engine.matrix(corpus[:4]), corpus[:4])
+        assert payload["kernel_spec"]["kind"] == "spectrum"
+
+    def test_partial_spec_engine_matches_canonical_signature(self, corpus, tmp_path):
+        # A cache written under the canonical spec must be reused by an
+        # engine configured with the equivalent partial-JSON spec.
+        path = str(tmp_path / "cache.json")
+        GramEngine(spec="kast").compute(corpus, cache_path=path)
+        counting = CountingKernel(cut_weight=2)
+        GramEngine(counting, spec='{"kind": "kast"}').compute(corpus, cache_path=path)
+        assert counting.value_calls == 0 and counting.row_values == 0

@@ -70,3 +70,23 @@ class TestSpectrumKernel:
     def test_disjoint_alphabets_give_zero(self):
         kernel = SpectrumKernel(k=1)
         assert kernel.value(ws("a:1"), ws("b:1")) == 0.0
+
+
+class TestFeatureCacheIdentity:
+    def test_cache_not_fooled_by_id_reuse(self):
+        # Regression: the feature cache was keyed on id(string) without
+        # pinning the string, so a freed string's recycled id could serve
+        # stale features (seen with process-executor workers unpickling
+        # fresh strings per chunk).  Entries now pin the string and are
+        # identity-checked.
+        kernel = SpectrumKernel(k=1, weighted=False)
+        for index in range(200):
+            string = WeightedString.from_pairs([(f"op{index}", 1)], name="x")
+            features = kernel.feature_map(string)
+            assert list(features) == [(f"op{index}",)], index
+
+    def test_cache_hit_requires_same_object(self):
+        kernel = SpectrumKernel(k=1)
+        string = WeightedString.from_pairs([("a", 1)], name="x")
+        first = kernel.feature_map(string)
+        assert kernel.feature_map(string) is first

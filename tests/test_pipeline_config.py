@@ -71,3 +71,40 @@ class TestExperimentConfig:
         assert "blended" in text
         assert "16" in text
         assert "bytes" in text
+
+
+class TestConfigFromSpec:
+    def test_round_trips_expressible_specs(self):
+        from repro.api import make_spec
+        from repro.pipeline.config import config_from_spec
+
+        spec = make_spec("kast", cut_weight=16, backend="python")
+        config = config_from_spec(spec)
+        assert config.kernel == "kast"
+        assert config.cut_weight == 16
+        assert config.backend == "python"
+        assert config.kernel_spec() == spec
+
+        blended = make_spec("blended", min_weight=8, max_length=4, weighted=True)
+        config = config_from_spec(blended)
+        assert (config.kernel, config.cut_weight, config.spectrum_k, config.blended_weighted) == (
+            "blended", 8, 4, True,
+        )
+
+    def test_rejects_inexpressible_parameters(self):
+        from repro.api import make_spec
+        from repro.pipeline.config import config_from_spec
+
+        with pytest.raises(ValueError):
+            config_from_spec(make_spec("kast", filter_tokens_below_cut=True))
+        with pytest.raises(ValueError):
+            config_from_spec(make_spec("blended", decay=0.5))
+        with pytest.raises(ValueError):
+            config_from_spec(make_spec("bag-of-words", weighted=False))
+
+    def test_rejects_composites(self):
+        from repro.api import make_spec
+        from repro.pipeline.config import config_from_spec
+
+        with pytest.raises(ValueError):
+            config_from_spec(make_spec("sum", children=[make_spec("kast")]))
