@@ -12,7 +12,11 @@ Measures, with the paper's 110-example corpus:
   for both candidate-search backends;
 * **E10b** — full Gram-matrix construction (seconds) vs corpus size,
   through the :class:`~repro.core.engine.GramEngine` (numpy backend) and
-  through the pure-Python serial reference backend.
+  through the pure-Python serial reference backend;
+* **E10c** — local vs service overhead: the same warm matrix request
+  through :meth:`AnalysisSession.matrix` in-process and through a
+  :class:`~repro.service.ServiceClient` against a local HTTP server (the
+  per-call cost of the wire protocol, job store and transport).
 
 The result is written as JSON so future PRs can diff their numbers against
 the recorded trajectory (see ``benchmarks/README.md``).  Timings are the
@@ -89,6 +93,51 @@ def bench_gram(repeats: int, sizes=CORPUS_SIZES) -> Dict[str, Dict[str, float]]:
     return results
 
 
+def bench_service_overhead(repeats: int, corpus_size: int = 40) -> Dict[str, float]:
+    """E10c: warm matrix call, in-process vs through the HTTP service.
+
+    Both sides are measured against warm engine caches, so the difference
+    is the service overhead itself — corpus serialisation, the HTTP round
+    trip, job-store persistence and payload decoding — not kernel work.
+    """
+    import tempfile
+
+    from repro.api import AnalysisSession, make_spec
+    from repro.pipeline.experiments import paper_strings
+    from repro.service import AnalysisServer, ServiceClient
+
+    spec = make_spec("kast", cut_weight=2)
+    strings = list(paper_strings(DEFAULT_SEED, True))[:corpus_size]
+
+    with AnalysisSession() as session:
+        session.matrix(spec, strings)  # warm the engine caches
+        local_seconds = median_seconds(lambda: session.matrix(spec, strings), repeats)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as state_dir:
+        server = AnalysisServer(state_dir=state_dir)
+        try:
+            host, port = server.start_http()
+            with ServiceClient(f"http://{host}:{port}") as client:
+                client.matrix(spec, strings, timeout=600)  # warm the server session
+                service_seconds = median_seconds(
+                    lambda: client.matrix(spec, strings, timeout=600), repeats
+                )
+                sharded_seconds = median_seconds(
+                    lambda: client.matrix(spec, strings, shards=4, timeout=600), repeats
+                )
+        finally:
+            server.close()
+
+    return {
+        "corpus_size": float(corpus_size),
+        "local_warm_seconds": local_seconds,
+        "service_warm_seconds": service_seconds,
+        "service_warm_sharded4_seconds": sharded_seconds,
+        "overhead_seconds": service_seconds - local_seconds,
+        "overhead_ratio": service_seconds / local_seconds if local_seconds > 0 else float("inf"),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="benchmarks/BENCH_scaling.json", help="where to write the JSON report")
@@ -115,6 +164,15 @@ def main() -> int:
     speedup = gram["python"][largest] / gram["numpy"][largest] if gram["numpy"][largest] > 0 else float("inf")
     print(f"numpy engine vs python serial on the {largest}-example Gram: {speedup:.2f}x")
 
+    print("E10c: local vs service warm matrix call (s)")
+    service = bench_service_overhead(args.repeats, corpus_size=20 if args.quick else 40)
+    print(
+        f"  n={int(service['corpus_size'])}: local={service['local_warm_seconds']:.4f}  "
+        f"service={service['service_warm_seconds']:.4f}  "
+        f"(overhead {service['overhead_seconds'] * 1000:.1f} ms, "
+        f"ratio {service['overhead_ratio']:.2f}x)"
+    )
+
     report = {
         "benchmark": "E10 scaling",
         "repeats": args.repeats,
@@ -125,6 +183,7 @@ def main() -> int:
         "pair_eval_ms": pair_eval,
         "gram_seconds": gram,
         "gram_speedup_numpy_vs_python": speedup,
+        "service_overhead": service,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -10,9 +10,14 @@ Two pieces:
 * :mod:`repro.api.session` — :class:`AnalysisSession`, the service facade
   owning one token interner and one warm Gram engine per spec, with
   ``submit``/``result`` job handles for asynchronous clients.
+
+:class:`ServiceClient` (the networked mirror of the session surface, see
+:mod:`repro.service`) is re-exported lazily so ``from repro.api import
+ServiceClient`` works without importing the service stack — or the session
+module importing it — at package-import time.
 """
 
-from repro.api.session import AnalysisSession, JobError
+from repro.api.session import AnalysisSession, JobError, JobTimeout
 from repro.api.spec import (
     KernelSpec,
     KernelSpecError,
@@ -30,8 +35,10 @@ from repro.api.spec import (
 __all__ = [
     "AnalysisSession",
     "JobError",
+    "JobTimeout",
     "KernelSpec",
     "KernelSpecError",
+    "ServiceClient",
     "canonicalize_spec",
     "coerce_spec",
     "kernel_choices",
@@ -42,3 +49,11 @@ __all__ = [
     "spec_from_kernel",
     "spec_signature",
 ]
+
+
+def __getattr__(name: str):
+    if name == "ServiceClient":
+        from repro.service.client import ServiceClient
+
+        return ServiceClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -51,7 +51,7 @@ from repro.traces.model import IOTrace
 from repro.traces.parser import parse_trace_file
 from repro.workloads.corpus import CorpusConfig, build_corpus
 
-__all__ = ["AnalysisSession", "JobError"]
+__all__ = ["AnalysisSession", "JobError", "JobTimeout"]
 
 #: Anything the session accepts where a kernel spec is expected.
 SpecLike = Union[KernelSpec, Mapping[str, Any], str, StringKernel]
@@ -59,6 +59,22 @@ SpecLike = Union[KernelSpec, Mapping[str, Any], str, StringKernel]
 
 class JobError(RuntimeError):
     """Raised by :meth:`AnalysisSession.result` when a job failed."""
+
+
+class JobTimeout(TimeoutError):
+    """Raised by :meth:`AnalysisSession.result` when *timeout* expires.
+
+    A :class:`TimeoutError` subclass (so existing ``except TimeoutError``
+    callers keep working) that carries the job id and the timeout that
+    expired, so service loops can report or retry the specific job instead
+    of unwinding with an anonymous pool timeout.
+    """
+
+    def __init__(self, job_id: str, timeout: Optional[float] = None) -> None:
+        detail = f" within {timeout}s" if timeout is not None else ""
+        super().__init__(f"job {job_id!r} did not finish{detail}")
+        self.job_id = job_id
+        self.timeout = timeout
 
 
 class _Job:
@@ -333,6 +349,20 @@ class AnalysisSession:
         """Queue an :meth:`analyze` run; returns a job id."""
         return self._submit_job("analyze", lambda: self.analyze(config, **analyze_options))
 
+    def submit_work(self, kind: str, work: Any) -> str:
+        """Queue an arbitrary callable on the session's job pool; returns a job id.
+
+        The persistence hook for service front ends: a server wraps its own
+        computation (e.g. a block-sharded matrix job that also writes the
+        result to an on-disk job store) in *work* and still gets the
+        session's job-id/status/result lifecycle — including
+        :class:`JobError` wrapping and :class:`JobTimeout` on slow results.
+        *kind* is a short tag prefixed to the generated job id.
+        """
+        if not callable(work):
+            raise TypeError(f"work must be callable, got {type(work).__name__}")
+        return self._submit_job(str(kind), work)
+
     def _submit_job(self, kind: str, work) -> str:
         with self._lock:
             if self._closed:
@@ -358,18 +388,34 @@ class AnalysisSession:
     def result(self, job_id: str, timeout: Optional[float] = None, forget: bool = False) -> Any:
         """Block for (and return) a job's result.
 
+        Parameters
+        ----------
+        job_id:
+            A handle previously returned by :meth:`submit`,
+            :meth:`submit_analyze` or :meth:`submit_work` (unknown ids raise
+            :class:`KeyError`).
+        timeout:
+            Maximum seconds to wait; when it expires a :class:`JobTimeout`
+            (a :class:`TimeoutError` subclass carrying the job id) is raised
+            and the job keeps running — the result can still be collected by
+            a later call.
+        forget:
+            When ``True`` the finished job (and the session's reference to
+            its result or exception) is dropped after delivery, exactly as
+            :meth:`forget` would.  Long-lived service loops should pass it —
+            or call :meth:`forget` explicitly — so retained results do not
+            accumulate for the session lifetime.  A timed-out job is *not*
+            forgotten (it has not finished).
+
         Raises :class:`JobError` wrapping the original exception when the
         job failed, so callers can distinguish job failure from lookup
-        errors.  *forget=True* drops the finished job (and the reference to
-        its result) from the session after delivery — long-lived service
-        loops should use it, or call :meth:`forget`, so retained results do
-        not accumulate for the session lifetime.
+        errors.
         """
         job = self._job(job_id)
         try:
             value = job.future.result(timeout=timeout)
-        except (TimeoutError, FuturesTimeoutError):
-            raise
+        except (TimeoutError, FuturesTimeoutError) as exc:
+            raise JobTimeout(job_id, timeout) from exc
         except Exception as exc:
             if forget:
                 self.forget(job_id)
@@ -377,6 +423,15 @@ class AnalysisSession:
         if forget:
             self.forget(job_id)
         return value
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started; returns whether it was cancelled.
+
+        Mirrors :meth:`concurrent.futures.Future.cancel`: a queued job is
+        cancelled and reports the ``"cancelled"`` status, a running or
+        finished job is left untouched and ``False`` is returned.
+        """
+        return self._job(job_id).future.cancel()
 
     def forget(self, job_id: str) -> bool:
         """Drop a *finished* job and its retained result; returns whether dropped.

@@ -8,7 +8,11 @@
 * ``matrix`` — compute the JSON Gram matrix of a trace-corpus directory;
 * ``experiment`` — run one of the canned paper experiments and print the
   report;
-* ``sweep`` — run the cut-weight sweep and print the table.
+* ``sweep`` — run the cut-weight sweep and print the table;
+* ``serve`` — run the analysis service (HTTP or stdio) over a persistent
+  state directory;
+* ``remote`` — talk to a running analysis service (submit matrix jobs,
+  query status/results, health).
 
 The CLI is intentionally thin: every command is a few lines of glue around
 the :class:`~repro.api.session.AnalysisSession` facade and the declarative
@@ -111,6 +115,70 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_argument(sweep)
     _add_engine_arguments(sweep)
 
+    serve = subparsers.add_parser("serve", help="run the analysis service")
+    serve.add_argument("--state-dir", required=True, help="job-store directory (records/payloads/quarantine)")
+    serve.add_argument("--host", default="127.0.0.1", help="HTTP bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0, help="HTTP port (0 = pick an ephemeral port)")
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound port here once listening (for scripts using --port 0)",
+    )
+    serve.add_argument("--stdio", action="store_true", help="serve line-framed JSON on stdin/stdout instead of HTTP")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="default block-shard count for matrix jobs that do not request one (default: 1)",
+    )
+    serve.add_argument("--n-jobs", type=int, default=1, help="engine workers (default: 1)")
+    serve.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="engine worker-pool implementation (default: thread)",
+    )
+    serve.add_argument("--job-workers", type=int, default=2, help="concurrent service jobs (default: 2)")
+
+    remote = subparsers.add_parser("remote", help="talk to a running analysis service")
+    remote.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8123")
+    remote.add_argument("--timeout", type=float, default=600.0, help="seconds to wait for results (default: 600)")
+    remote_actions = remote.add_subparsers(dest="remote_command", required=True)
+
+    remote_actions.add_parser("health", help="print the server health snapshot")
+    remote_actions.add_parser("specs", help="list the server's kernel kinds and warm specs")
+
+    remote_matrix = remote_actions.add_parser(
+        "matrix", help="compute a Gram matrix remotely from a directory of trace files"
+    )
+    remote_matrix.add_argument("corpus", help="directory containing *.trace files")
+    remote_matrix.add_argument("--kernel", choices=list(kernel_choices()), default="kast", help="kernel kind")
+    remote_matrix.add_argument("--cut-weight", type=int, default=2, help="cut weight / minimum substring weight")
+    remote_matrix.add_argument("--spectrum-k", type=int, default=3, help="substring length bound (spectrum/blended)")
+    remote_matrix.add_argument("--no-bytes", action="store_true", help="ignore byte information")
+    remote_matrix.add_argument("--raw", action="store_true", help="skip cosine normalisation")
+    remote_matrix.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="block-shard count for the job (1 = monolithic; default: the server's default)",
+    )
+    remote_matrix.add_argument("--no-wait", action="store_true", help="print the job id instead of waiting")
+    remote_matrix.add_argument("--output", default=None, help="write the JSON payload here instead of stdout")
+    _add_spec_argument(remote_matrix)
+
+    remote_status = remote_actions.add_parser("status", help="print one job's status")
+    remote_status.add_argument("job_id", help="job id returned by a submit")
+
+    remote_result = remote_actions.add_parser("result", help="fetch one job's result payload")
+    remote_result.add_argument("job_id", help="job id returned by a submit")
+    remote_result.add_argument("--output", default=None, help="write the JSON payload here instead of stdout")
+    remote_result.add_argument("--forget", action="store_true", help="drop the job server-side after delivery")
+
+    remote_cancel = remote_actions.add_parser("cancel", help="cancel a queued job")
+    remote_cancel.add_argument("job_id", help="job id returned by a submit")
+
     return parser
 
 
@@ -194,6 +262,19 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_payload(payload: dict, output: Optional[str], summary: str) -> None:
+    """Write a JSON payload to *output* (with a one-line summary) or stdout."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if output:
+        directory = os.path.dirname(os.path.abspath(output))
+        os.makedirs(directory, exist_ok=True)
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(summary)
+    else:
+        print(text)
+
+
 def _command_matrix(args: argparse.Namespace) -> int:
     if args.spec is not None:
         spec = _load_spec(args.spec)
@@ -209,15 +290,9 @@ def _command_matrix(args: argparse.Namespace) -> int:
     matrix = session.matrix(spec, strings, normalized=not args.raw)
     # One stamped-payload format for files and stdout: the engine owns it.
     payload = session.engine(spec).matrix_payload(matrix, strings)
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    if args.output:
-        directory = os.path.dirname(os.path.abspath(args.output))
-        os.makedirs(directory, exist_ok=True)
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
-        print(f"wrote {len(strings)}x{len(strings)} {spec.kind} matrix to {args.output}")
-    else:
-        print(text)
+    _emit_payload(
+        payload, args.output, f"wrote {len(strings)}x{len(strings)} {spec.kind} matrix to {args.output}"
+    )
     return 0
 
 
@@ -260,6 +335,92 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import AnalysisServer, serve_stdio
+
+    server = AnalysisServer(
+        state_dir=args.state_dir,
+        n_jobs=args.n_jobs,
+        executor=args.executor,
+        max_job_workers=args.job_workers,
+        default_shards=args.shards,
+    )
+    try:
+        if args.stdio:
+            # Protocol traffic owns stdout; operator chatter goes to stderr.
+            print(f"serving stdio protocol (state dir {server.store.root})", file=sys.stderr)
+            serve_stdio(server, sys.stdin, sys.stdout)
+            return 0
+
+        def announce(host: str, port: int) -> None:
+            if args.port_file:
+                directory = os.path.dirname(os.path.abspath(args.port_file))
+                os.makedirs(directory, exist_ok=True)
+                with open(args.port_file, "w", encoding="utf-8") as handle:
+                    handle.write(f"{port}\n")
+            print(f"serving on http://{host}:{port} (state dir {server.store.root})")
+
+        try:
+            server.serve_http_forever(host=args.host, port=args.port, ready=announce)
+        except KeyboardInterrupt:
+            print("shutting down")
+        return 0
+    finally:
+        server.close()
+
+
+def _command_remote(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.url) as client:
+        if args.remote_command == "health":
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.remote_command == "specs":
+            print(json.dumps(client.specs(), indent=2, sort_keys=True))
+            return 0
+        if args.remote_command == "status":
+            print(client.status(args.job_id))
+            return 0
+        if args.remote_command == "result":
+            payload = client.result_payload(args.job_id, timeout=args.timeout, forget=args.forget)
+            _emit_payload(payload, args.output, f"wrote result of {args.job_id} to {args.output}")
+            return 0
+        if args.remote_command == "cancel":
+            from repro.service.protocol import CannotCancel
+
+            try:
+                client.cancel(args.job_id)
+            except CannotCancel as exc:
+                print(f"not cancelled: {exc}")
+                return 1
+            print("cancelled")
+            return 0
+        # matrix
+        if args.spec is not None:
+            spec = _load_spec(args.spec)
+        else:
+            spec = ExperimentConfig(
+                kernel=args.kernel, cut_weight=args.cut_weight, spectrum_k=args.spectrum_k
+            ).kernel_spec()
+        session = AnalysisSession()
+        strings = session.corpus_from_directory(args.corpus, use_byte_information=not args.no_bytes)
+        if args.no_wait:
+            job_id = client.submit(spec, strings, normalized=not args.raw, shards=args.shards)
+            print(job_id)
+            return 0
+        payload = client.matrix_payload(
+            spec, strings, normalized=not args.raw, shards=args.shards, timeout=args.timeout
+        )
+        shard_text = "server-default shards" if args.shards is None else f"{args.shards} shard(s)"
+        _emit_payload(
+            payload,
+            args.output,
+            f"wrote {len(strings)}x{len(strings)} {spec.kind} matrix ({shard_text}) to {args.output}",
+        )
+        return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-iokast`` console script."""
     parser = build_parser()
@@ -271,6 +432,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "matrix": _command_matrix,
         "experiment": _command_experiment,
         "sweep": _command_sweep,
+        "serve": _command_serve,
+        "remote": _command_remote,
     }
     return handlers[args.command](args)
 

@@ -41,7 +41,15 @@ from repro.kernels.base import StringKernel, normalize_kernel_value
 from repro.strings.interner import TokenInterner
 from repro.strings.tokens import Token, WeightedString
 
-__all__ = ["GramEngine", "save_matrix", "load_matrix", "string_fingerprint", "ENGINE_EXECUTORS"]
+__all__ = [
+    "GramEngine",
+    "save_matrix",
+    "load_matrix",
+    "string_fingerprint",
+    "plan_index_blocks",
+    "block_index_pairs",
+    "ENGINE_EXECUTORS",
+]
 
 #: Symmetric content key of an unordered string pair (ordered small-int pair).
 PairKey = Tuple[int, int]
@@ -140,6 +148,52 @@ def load_matrix(path: str) -> KernelMatrix:
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     return KernelMatrix.from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Block-sharding plan helpers
+# ----------------------------------------------------------------------
+def plan_index_blocks(count: int, shards: int) -> List[Tuple[int, int]]:
+    """Partition ``range(count)`` into at most *shards* contiguous blocks.
+
+    The blocks are as even as possible (sizes differ by at most one) and
+    cover the index range exactly once.  They are the unit of the service
+    layer's sharded Gram jobs: each unordered block pair becomes one
+    independent evaluation task (see :func:`block_index_pairs`), and the
+    per-block results merge through :meth:`GramEngine.assemble_gram` into
+    the same matrix a monolithic evaluation produces.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, count) or 1
+    base, remainder = divmod(count, shards)
+    blocks: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < remainder else 0)
+        if stop > start:
+            blocks.append((start, stop))
+        start = stop
+    return blocks
+
+
+def block_index_pairs(first: Tuple[int, int], second: Tuple[int, int]) -> List[Tuple[int, int]]:
+    """The unique ``i < j`` index pairs of one symmetric block pair.
+
+    For a diagonal block (*first* == *second*) these are the strictly
+    upper-triangular pairs within the block; for an off-diagonal pair every
+    cross pair.  The union over all unordered block pairs of a
+    :func:`plan_index_blocks` plan is exactly the strict upper triangle of
+    the full matrix — each pair appears in exactly one task.
+    """
+    if first == second:
+        return [(i, j) for i in range(*first) for j in range(i + 1, first[1])]
+    (a_start, a_stop), (b_start, b_stop) = sorted((tuple(first), tuple(second)))
+    if a_stop > b_start:
+        raise ValueError(f"blocks {first} and {second} overlap")
+    return [(i, j) for i in range(a_start, a_stop) for j in range(b_start, b_stop)]
 
 
 class GramEngine:
@@ -330,29 +384,58 @@ class GramEngine:
         """The (square, symmetric) Gram matrix over *strings* as an array."""
         string_list = list(strings)
         count = len(string_list)
-        gram = np.zeros((count, count), dtype=float)
-        self_values = [self.self_value(string) for string in string_list]
         pairs = [(i, j) for i in range(count) for j in range(i + 1, count)]
-        raw_by_pair = self._evaluate_pairs(string_list, pairs)
+        raw_by_pair = self.evaluate_pairs(string_list, pairs)
+        return self.assemble_gram(string_list, raw_by_pair, normalized=normalized)
+
+    def assemble_gram(
+        self,
+        strings: Sequence[WeightedString],
+        raw_by_pair: Dict[Tuple[int, int], float],
+        normalized: bool = True,
+    ) -> np.ndarray:
+        """Assemble a full Gram array from raw off-diagonal pair values.
+
+        *raw_by_pair* must cover every unordered ``i != j`` index pair once
+        (either orientation) — e.g. the union of per-block results from a
+        sharded evaluation (:func:`plan_index_blocks` /
+        :func:`block_index_pairs`).  Diagonal entries and normalisation
+        denominators come from the engine's cached self values, so merging
+        separately computed blocks yields bit-identical values to a
+        monolithic :meth:`gram` call.
+        """
+        string_list = list(strings)
+        count = len(string_list)
+        gram = np.zeros((count, count), dtype=float)
+        filled = np.zeros((count, count), dtype=bool)
+        self_values = [self.self_value(string) for string in string_list]
         for (i, j), raw in raw_by_pair.items():
             entry = normalize_kernel_value(raw, self_values[i], self_values[j]) if normalized else raw
             gram[i, j] = entry
             gram[j, i] = entry
+            filled[i, j] = True
+            filled[j, i] = True
+        np.fill_diagonal(filled, True)
+        if not filled.all():
+            missing = int(np.argwhere(~filled)[0][0]), int(np.argwhere(~filled)[0][1])
+            raise ValueError(f"raw_by_pair does not cover pair {missing} of a {count}-string corpus")
         for i in range(count):
             gram[i, i] = 1.0 if normalized and self_values[i] > 0 else self_values[i]
         return gram
 
-    def _evaluate_pairs(
+    def evaluate_pairs(
         self,
         strings: List[WeightedString],
         index_pairs: Sequence[Tuple[int, int]],
     ) -> Dict[Tuple[int, int], float]:
         """Evaluate the raw kernel for every index pair, deduplicated by content.
 
-        Content-identical pairs (including ``(i, j)`` vs ``(j, i)`` requests
-        and duplicate strings in the corpus) map onto one unique evaluation;
-        cached values are served first, and the remainder is scheduled over
-        the worker pool.  Kernels exposing a ``value_row`` batch method (the
+        This is the engine's scheduling seam: one call is one *task* — the
+        service layer's sharded Gram jobs issue one call per index block and
+        merge through :meth:`assemble_gram`.  Content-identical pairs
+        (including ``(i, j)`` vs ``(j, i)`` requests and duplicate strings
+        in the corpus) map onto one unique evaluation; cached values are
+        served first, and the remainder is scheduled over the worker pool.  Kernels exposing a ``value_row`` batch method (the
         Kast kernel's numpy backend does) are driven row by row — one work
         item evaluates one string against all of its pending partners, which
         amortises the per-pair setup cost; other kernels fall back to fixed
@@ -599,7 +682,7 @@ class GramEngine:
             return values
         self_values = [self.self_value(string) for string in strings]
         pairs = [(i, j) for j in range(existing, count) for i in range(j)]
-        raw_by_pair = self._evaluate_pairs(strings, pairs)
+        raw_by_pair = self.evaluate_pairs(strings, pairs)
         for (i, j), raw in raw_by_pair.items():
             entry = normalize_kernel_value(raw, self_values[i], self_values[j]) if normalized else raw
             values[i, j] = entry

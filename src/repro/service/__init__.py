@@ -1,0 +1,61 @@
+"""repro.service — the networked kernel-analysis service.
+
+PR 2 left the library with an in-process service facade
+(:class:`~repro.api.session.AnalysisSession`: warm per-spec engines plus
+``submit()/result()`` job handles).  This package is the move from library
+to long-running service: clients in other processes — or on other hosts —
+share one warm session, and jobs survive the server process.
+
+* :mod:`repro.service.protocol` — the versioned JSON request/response
+  messages (submit-matrix, submit-analyze, status, result, cancel, specs,
+  health) with a typed error hierarchy and the corpus wire codec.  The same
+  messages travel over HTTP and over stdio.
+* :mod:`repro.service.jobstore` — the on-disk job store: one JSON record
+  plus one payload file per job under a state directory, written via atomic
+  renames and checksum-stamped, so finished results are retrievable after a
+  crash and damaged files are quarantined instead of trusted.
+* :mod:`repro.service.server` — :class:`AnalysisServer`, a stdlib
+  ``ThreadingHTTPServer`` front end owning a single session and a job
+  store.  Matrix jobs may be **block-sharded**: the index range is split
+  into symmetric blocks, each block-pair is one engine task, and the blocks
+  merge through :meth:`~repro.core.engine.GramEngine.assemble_gram` into a
+  matrix bit-identical to the monolithic computation.
+* :mod:`repro.service.client` — :class:`ServiceClient`, mirroring the
+  ``AnalysisSession`` surface (``matrix()/analyze()/submit()/result()``)
+  over an HTTP or stdio transport.
+
+The CLI wires this up as ``repro-iokast serve`` and ``repro-iokast remote``.
+"""
+
+from repro.service.client import HTTPTransport, ServiceClient, StdioTransport
+from repro.service.jobstore import JobRecord, JobStore, RecoveryReport
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    BadRequest,
+    JobFailed,
+    JobPending,
+    ServiceError,
+    UnknownJob,
+    decode_corpus,
+    encode_corpus,
+)
+from repro.service.server import AnalysisServer, serve_stdio
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AnalysisServer",
+    "BadRequest",
+    "HTTPTransport",
+    "JobFailed",
+    "JobPending",
+    "JobRecord",
+    "JobStore",
+    "RecoveryReport",
+    "ServiceClient",
+    "ServiceError",
+    "StdioTransport",
+    "UnknownJob",
+    "decode_corpus",
+    "encode_corpus",
+    "serve_stdio",
+]

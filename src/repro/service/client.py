@@ -1,0 +1,374 @@
+"""The service client: the ``AnalysisSession`` surface over a transport.
+
+:class:`ServiceClient` speaks the :mod:`repro.service.protocol` messages and
+mirrors the session facade — ``matrix()``/``analyze()`` block for a result,
+``submit()``/``result()``/``status()``/``cancel()`` manage job handles — so
+moving a workload from in-process to remote is a one-line change::
+
+    from repro.api import AnalysisSession
+    from repro.service import ServiceClient
+
+    with AnalysisSession() as session:
+        strings = session.corpus(small=True, seed=7)
+        local = session.matrix("kast", strings)
+
+    with ServiceClient("http://127.0.0.1:8123") as client:
+        remote = client.matrix("kast", strings)        # bit-identical values
+
+Two transports ship:
+
+* :class:`HTTPTransport` — ``urllib``-based, one ``POST /v1`` per request;
+  works across hosts.
+* :class:`StdioTransport` — line-framed JSON over a pair of file objects
+  (e.g. the pipes of a ``repro-iokast serve --stdio`` child process); the
+  zero-port single-host transport.
+
+Server-side failures arrive as the same typed
+:class:`~repro.service.protocol.ServiceError` hierarchy the server raised,
+and result polling honours the session's timeout contract by raising
+:class:`~repro.api.session.JobTimeout` with the job id attached.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Mapping, Optional, Sequence, TextIO, Union
+
+from repro.api.session import JobTimeout
+from repro.api.spec import KernelSpec, coerce_spec
+from repro.core.matrix import KernelMatrix
+from repro.service.protocol import (
+    CancelRequest,
+    HealthRequest,
+    JobPending,
+    Request,
+    ResultRequest,
+    ServiceError,
+    SpecsRequest,
+    StatusRequest,
+    SubmitAnalyzeRequest,
+    SubmitMatrixRequest,
+    check_response,
+    dump_message,
+    encode_corpus,
+    load_message,
+)
+from repro.strings.tokens import WeightedString
+
+__all__ = ["HTTPTransport", "ServiceClient", "StdioTransport", "spawn_stdio_server"]
+
+#: Spec shorthands the client accepts (mirrors the session's SpecLike).
+SpecLike = Union[KernelSpec, Mapping[str, Any], str]
+
+#: Per-request server-side wait used while polling for a result.
+_POLL_WAIT_SECONDS = 2.0
+
+
+class HTTPTransport:
+    """One ``POST /v1`` per request against a server base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        body = dump_message(payload).encode("utf-8")
+        http_request = urllib.request.Request(
+            f"{self.base_url}/v1",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(http_request, timeout=self.timeout) as response:
+                text = response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            # Typed protocol errors travel in the body with a 4xx/5xx status;
+            # surface them as the envelope so check_response re-raises them.
+            text = exc.read().decode("utf-8", errors="replace")
+            try:
+                return json.loads(text)
+            except json.JSONDecodeError:
+                raise ServiceError(f"HTTP {exc.code} from {self.base_url}: {text[:200]}") from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach analysis server at {self.base_url}: {exc.reason}") from exc
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"server returned non-JSON response: {text[:200]}") from exc
+
+    def close(self) -> None:
+        """HTTP requests are one-shot; nothing to release."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"HTTPTransport({self.base_url!r})"
+
+
+class StdioTransport:
+    """Line-framed JSON over a (reader, writer) pair of text streams.
+
+    The request/response exchange is serialised under a lock, so one
+    transport may be shared by several threads of a single-host client.
+    When constructed via :func:`spawn_stdio_server` the transport owns the
+    child process and terminates it on :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        reader: TextIO,
+        writer: TextIO,
+        process: Optional[subprocess.Popen] = None,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._process = process
+        self._lock = threading.Lock()
+
+    def request(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            self._writer.write(dump_message(payload) + "\n")
+            self._writer.flush()
+            line = self._reader.readline()
+        if not line:
+            raise ServiceError("stdio server closed the stream without answering")
+        return load_message(line)
+
+    def close(self) -> None:
+        for stream in (self._writer, self._reader):
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover - stream already gone
+                pass
+        if self._process is not None:
+            try:
+                self._process.terminate()
+                self._process.wait(timeout=5)
+            except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+                self._process.kill()
+            self._process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"StdioTransport(process={self._process.pid if self._process else None})"
+
+
+def spawn_stdio_server(
+    state_dir: str,
+    python: Optional[str] = None,
+    extra_args: Sequence[str] = (),
+) -> StdioTransport:
+    """Launch ``python -m repro serve --stdio`` and wrap its pipes.
+
+    The child inherits the current interpreter's environment (including
+    ``PYTHONPATH``), so this works from a source checkout; *extra_args* are
+    appended to the ``serve`` invocation (e.g. ``["--n-jobs", "2"]``).
+    """
+    command = [
+        python or sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--stdio",
+        "--state-dir",
+        state_dir,
+        *extra_args,
+    ]
+    process = subprocess.Popen(
+        command,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+        bufsize=1,
+    )
+    assert process.stdin is not None and process.stdout is not None
+    return StdioTransport(process.stdout, process.stdin, process=process)
+
+
+class ServiceClient:
+    """Remote mirror of the :class:`~repro.api.session.AnalysisSession` surface.
+
+    Parameters
+    ----------
+    transport:
+        An :class:`HTTPTransport`, a :class:`StdioTransport`, or a bare
+        ``http(s)://`` URL string (wrapped in an HTTP transport).
+    """
+
+    def __init__(self, transport: Union[str, HTTPTransport, StdioTransport]) -> None:
+        if isinstance(transport, str):
+            transport = HTTPTransport(transport)
+        self.transport = transport
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _call(self, request: Request) -> Dict[str, Any]:
+        return check_response(self.transport.request(request.to_payload()))
+
+    @staticmethod
+    def _spec_payload(spec: SpecLike) -> Dict[str, Any]:
+        return coerce_spec(spec).to_dict()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """The server's health snapshot (uptime, job counts, recovery info)."""
+        return self._call(HealthRequest())
+
+    def specs(self) -> Dict[str, Any]:
+        """Registered kernel kinds and the server session's warm specs."""
+        return self._call(SpecsRequest())
+
+    # ------------------------------------------------------------------
+    # Job handles
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: SpecLike,
+        strings: Sequence[WeightedString],
+        normalized: bool = True,
+        repair: bool = True,
+        shards: Optional[int] = None,
+    ) -> str:
+        """Queue a matrix job (``shards > 1`` → block-sharded); returns its id."""
+        response = self._call(
+            SubmitMatrixRequest(
+                spec=self._spec_payload(spec),
+                strings=tuple(encode_corpus(strings)),
+                normalized=normalized,
+                repair=repair,
+                shards=shards,
+            )
+        )
+        return str(response["job_id"])
+
+    def submit_analyze(
+        self,
+        spec: SpecLike,
+        strings: Sequence[WeightedString],
+        n_clusters: int = 3,
+        n_components: int = 2,
+        linkage: str = "single",
+    ) -> str:
+        """Queue a full pipeline run; returns its job id."""
+        response = self._call(
+            SubmitAnalyzeRequest(
+                spec=self._spec_payload(spec),
+                strings=tuple(encode_corpus(strings)),
+                n_clusters=n_clusters,
+                n_components=n_components,
+                linkage=linkage,
+            )
+        )
+        return str(response["job_id"])
+
+    def status(self, job_id: str) -> str:
+        """The job's store status (``queued``/``running``/``done``/...)."""
+        return str(self._call(StatusRequest(job_id=job_id))["status"])
+
+    def result_payload(
+        self, job_id: str, timeout: Optional[float] = None, forget: bool = False
+    ) -> Dict[str, Any]:
+        """Block (poll) for a job's raw payload dict.
+
+        Each poll asks the server to wait a short interval server-side, so
+        the client does not busy-loop; *timeout* bounds the total wait and
+        raises :class:`~repro.api.session.JobTimeout` carrying the job id.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise JobTimeout(job_id, timeout)
+            wait = _POLL_WAIT_SECONDS if remaining is None else max(0.0, min(_POLL_WAIT_SECONDS, remaining))
+            try:
+                response = self._call(ResultRequest(job_id=job_id, wait=wait, forget=forget))
+            except JobPending:
+                continue
+            payload = response.get("payload")
+            if not isinstance(payload, dict):
+                raise ServiceError(f"job {job_id!r} returned a malformed result payload")
+            return payload
+
+    def result(
+        self, job_id: str, timeout: Optional[float] = None, forget: bool = False
+    ) -> Union[KernelMatrix, Dict[str, Any]]:
+        """A job's decoded result: matrices as :class:`KernelMatrix`, else the dict."""
+        payload = self.result_payload(job_id, timeout=timeout, forget=forget)
+        if "values" in payload and "names" in payload:
+            return KernelMatrix.from_dict(payload)
+        return payload
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job (typed ``cannot-cancel`` error if it started)."""
+        return self._call(CancelRequest(job_id=job_id))["status"] == "cancelled"
+
+    # ------------------------------------------------------------------
+    # Blocking conveniences (the session look-alikes)
+    # ------------------------------------------------------------------
+    def matrix(
+        self,
+        spec: SpecLike,
+        strings: Sequence[WeightedString],
+        normalized: bool = True,
+        repair: bool = True,
+        shards: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> KernelMatrix:
+        """Compute a labelled kernel matrix remotely (submit + wait + decode).
+
+        The finished job is forgotten server-side after delivery, matching
+        the one-shot semantics of :meth:`AnalysisSession.matrix`.
+        """
+        job_id = self.submit(spec, strings, normalized=normalized, repair=repair, shards=shards)
+        payload = self.result_payload(job_id, timeout=timeout, forget=True)
+        return KernelMatrix.from_dict(payload)
+
+    def matrix_payload(
+        self,
+        spec: SpecLike,
+        strings: Sequence[WeightedString],
+        normalized: bool = True,
+        repair: bool = True,
+        shards: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Like :meth:`matrix` but returning the stamped wire payload."""
+        job_id = self.submit(spec, strings, normalized=normalized, repair=repair, shards=shards)
+        return self.result_payload(job_id, timeout=timeout, forget=True)
+
+    def analyze(
+        self,
+        spec: SpecLike,
+        strings: Sequence[WeightedString],
+        n_clusters: int = 3,
+        n_components: int = 2,
+        linkage: str = "single",
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Run the full pipeline remotely; returns the metrics/assignments report."""
+        job_id = self.submit_analyze(
+            spec, strings, n_clusters=n_clusters, n_components=n_components, linkage=linkage
+        )
+        return self.result_payload(job_id, timeout=timeout, forget=True)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.transport.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ServiceClient(transport={self.transport!r})"

@@ -1,0 +1,415 @@
+"""Crash-safe on-disk job store backing the analysis server.
+
+Each job owns two files under the server's state directory::
+
+    state_dir/
+        jobs/<job_id>.json        # small record: kind, status, spec, error
+        payloads/<job_id>.json    # the stamped result payload (written once)
+        quarantine/               # damaged files moved here, never trusted
+
+Every write goes through an atomic temp-file + ``os.replace`` dance, so a
+crash leaves either the old file or the new file — never a torn one — and
+result payloads are checksum-stamped into their record
+(``payload_sha256``), so a payload that *was* torn (e.g. written by an
+older, non-atomic tool, or truncated by a full disk) is detected on the
+next start-up, moved to ``quarantine/`` and reported instead of served.
+
+Start-up recovery (:meth:`JobStore.recover`, run by the constructor):
+
+* unparseable record files are quarantined (with their payload);
+* ``done`` records whose payload is missing or fails its checksum have the
+  damaged payload quarantined and the record flipped to ``error``;
+* orphan payload files without a record are quarantined;
+* jobs still ``queued``/``running`` from a previous process are marked
+  ``interrupted`` — the work died with the old server, but the record (and
+  its error message) remains answerable.
+
+The store is transport- and session-agnostic: it never imports the server
+or the protocol, so it can be reused by other front ends (and tested in
+isolation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["JOB_STATUSES", "JobRecord", "JobStore", "JobStoreError", "RecoveryReport"]
+
+#: Every status a stored job can be in.  ``queued → running → done|error|
+#: cancelled`` in one server life; ``interrupted`` is stamped by recovery.
+JOB_STATUSES = ("queued", "running", "done", "error", "cancelled", "interrupted")
+
+#: Statuses a job can never leave.
+TERMINAL_STATUSES = frozenset({"done", "error", "cancelled", "interrupted"})
+
+
+class JobStoreError(RuntimeError):
+    """Raised for invalid store operations or damaged stored state."""
+
+
+def _payload_checksum(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _write_text_atomic(path: str, text: str) -> None:
+    temporary = f"{path}.tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's durable metadata (everything except the result payload)."""
+
+    job_id: str
+    kind: str
+    status: str = "queued"
+    spec: Optional[Dict[str, Any]] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    payload_sha256: Optional[str] = None
+    created_at: float = 0.0
+    updated_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise JobStoreError("job_id must be non-empty")
+        if self.status not in JOB_STATUSES:
+            raise JobStoreError(f"unknown job status {self.status!r}; expected one of {JOB_STATUSES}")
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job reached a terminal status."""
+        return self.status in TERMINAL_STATUSES
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "spec": self.spec,
+            "options": dict(self.options),
+            "error": self.error,
+            "payload_sha256": self.payload_sha256,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobRecord":
+        if not isinstance(payload, Mapping):
+            raise JobStoreError(f"job record must be a mapping, got {type(payload).__name__}")
+        unknown = set(payload) - {
+            "job_id", "kind", "status", "spec", "options", "error",
+            "payload_sha256", "created_at", "updated_at",
+        }
+        if unknown:
+            raise JobStoreError(f"job record has unknown keys {sorted(unknown)}")
+        spec = payload.get("spec")
+        if spec is not None and not isinstance(spec, Mapping):
+            raise JobStoreError("job record 'spec' must be an object or null")
+        options = payload.get("options", {})
+        if not isinstance(options, Mapping):
+            raise JobStoreError("job record 'options' must be an object")
+        try:
+            return cls(
+                job_id=str(payload.get("job_id", "")),
+                kind=str(payload.get("kind", "job")),
+                status=str(payload.get("status", "queued")),
+                spec=dict(spec) if spec is not None else None,
+                options=dict(options),
+                error=str(payload["error"]) if payload.get("error") is not None else None,
+                payload_sha256=(
+                    str(payload["payload_sha256"]) if payload.get("payload_sha256") is not None else None
+                ),
+                created_at=float(payload.get("created_at", 0.0)),
+                updated_at=float(payload.get("updated_at", 0.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            # e.g. a non-numeric timestamp: the record is damaged, and the
+            # recovery contract requires quarantine, not a start-up crash.
+            raise JobStoreError(f"job record has malformed fields: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What start-up recovery found: quarantined files and interrupted jobs."""
+
+    quarantined: Tuple[Tuple[str, str], ...] = ()
+    interrupted: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return (
+            f"recovered state dir: {len(self.quarantined)} file(s) quarantined, "
+            f"{len(self.interrupted)} job(s) interrupted"
+        )
+
+
+class JobStore:
+    """Directory-backed store of job records and result payloads."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.jobs_dir = os.path.join(self.root, "jobs")
+        self.payloads_dir = os.path.join(self.root, "payloads")
+        self.quarantine_dir = os.path.join(self.root, "quarantine")
+        for directory in (self.jobs_dir, self.payloads_dir, self.quarantine_dir):
+            os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        #: Report of the recovery pass run over pre-existing state.
+        self.recovery = self.recover()
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _record_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def _payload_path(self, job_id: str) -> str:
+        return os.path.join(self.payloads_dir, f"{job_id}.json")
+
+    def _quarantine(self, path: str, reason: str) -> Optional[Tuple[str, str]]:
+        """Move *path* into the quarantine directory (collision-safe)."""
+        if not os.path.exists(path):
+            return None
+        name = os.path.basename(path)
+        target = os.path.join(self.quarantine_dir, name)
+        counter = 0
+        while os.path.exists(target):
+            counter += 1
+            target = os.path.join(self.quarantine_dir, f"{name}.{counter}")
+        os.replace(path, target)
+        return (name, reason)
+
+    # ------------------------------------------------------------------
+    # Record lifecycle
+    # ------------------------------------------------------------------
+    def new_job_id(self, kind: str) -> str:
+        """A collision-free job id, unique across server restarts."""
+        return f"{kind}-{uuid.uuid4().hex[:12]}"
+
+    def create(
+        self,
+        kind: str,
+        spec: Optional[Mapping[str, Any]] = None,
+        options: Optional[Mapping[str, Any]] = None,
+        job_id: Optional[str] = None,
+    ) -> JobRecord:
+        """Persist a new ``queued`` record and return it."""
+        now = time.time()
+        record = JobRecord(
+            job_id=job_id or self.new_job_id(kind),
+            kind=kind,
+            status="queued",
+            spec=dict(spec) if spec is not None else None,
+            options=dict(options or {}),
+            created_at=now,
+            updated_at=now,
+        )
+        with self._lock:
+            if os.path.exists(self._record_path(record.job_id)):
+                raise JobStoreError(f"job {record.job_id!r} already exists")
+            self._write_record(record)
+        return record
+
+    def _write_record(self, record: JobRecord) -> None:
+        _write_text_atomic(
+            self._record_path(record.job_id),
+            json.dumps(record.to_dict(), indent=2, sort_keys=True),
+        )
+
+    def get(self, job_id: str) -> JobRecord:
+        """The stored record for *job_id* (:class:`KeyError` when absent)."""
+        path = self._record_path(job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise KeyError(f"unknown job id {job_id!r}") from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise JobStoreError(f"job record {job_id!r} is unreadable: {exc}") from exc
+        return JobRecord.from_dict(payload)
+
+    def update(self, job_id: str, **changes: Any) -> JobRecord:
+        """Apply field changes to a record (terminal statuses are final)."""
+        with self._lock:
+            record = self.get(job_id)
+            if record.finished and changes.get("status") not in (None, record.status):
+                raise JobStoreError(
+                    f"job {job_id!r} is {record.status} and cannot move to {changes['status']!r}"
+                )
+            record = replace(record, updated_at=time.time(), **changes)
+            self._write_record(record)
+        return record
+
+    def mark_running(self, job_id: str) -> JobRecord:
+        return self.update(job_id, status="running")
+
+    def mark_error(self, job_id: str, error: str) -> JobRecord:
+        return self.update(job_id, status="error", error=str(error))
+
+    def mark_cancelled(self, job_id: str) -> JobRecord:
+        return self.update(job_id, status="cancelled")
+
+    def records(self) -> List[JobRecord]:
+        """Every stored record, oldest first."""
+        records: List[JobRecord] = []
+        for name in os.listdir(self.jobs_dir):
+            if name.endswith(".json"):
+                try:
+                    records.append(self.get(name[: -len(".json")]))
+                except (KeyError, JobStoreError):
+                    continue
+        return sorted(records, key=lambda record: (record.created_at, record.job_id))
+
+    def forget(self, job_id: str) -> bool:
+        """Drop a finished job's record and payload; returns whether dropped."""
+        with self._lock:
+            try:
+                record = self.get(job_id)
+            except KeyError:
+                return False
+            if not record.finished:
+                return False
+            for path in (self._payload_path(job_id), self._record_path(job_id)):
+                try:
+                    os.remove(path)
+                except FileNotFoundError:
+                    pass
+        return True
+
+    # ------------------------------------------------------------------
+    # Result payloads
+    # ------------------------------------------------------------------
+    def store_result(self, job_id: str, payload: Mapping[str, Any]) -> JobRecord:
+        """Persist a job's result payload and flip the record to ``done``.
+
+        The payload file lands first (atomically), then the record is
+        updated with the payload checksum and the ``done`` status — so a
+        crash between the two writes leaves a ``running`` record recovery
+        will mark interrupted, never a ``done`` record without its payload.
+        """
+        text = json.dumps(dict(payload), sort_keys=True)
+        _write_text_atomic(self._payload_path(job_id), text)
+        return self.update(job_id, status="done", payload_sha256=_payload_checksum(text), error=None)
+
+    def load_result(self, job_id: str) -> Dict[str, Any]:
+        """Load (and checksum-verify) the stored result of a ``done`` job."""
+        record = self.get(job_id)
+        if record.status != "done":
+            raise JobStoreError(f"job {job_id!r} is {record.status}, not done; no result to load")
+        path = self._payload_path(job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            payload = json.loads(text)
+        except (OSError, json.JSONDecodeError) as exc:
+            self._quarantine(path, f"unreadable payload: {exc}")
+            self.mark_damaged(job_id, f"result payload unreadable: {exc}")
+            raise JobStoreError(f"result payload of job {job_id!r} is damaged and was quarantined") from exc
+        if record.payload_sha256 is not None and _payload_checksum(text) != record.payload_sha256:
+            self._quarantine(path, "payload checksum mismatch")
+            self.mark_damaged(job_id, "result payload failed its checksum")
+            raise JobStoreError(
+                f"result payload of job {job_id!r} failed its checksum and was quarantined"
+            )
+        if not isinstance(payload, dict):
+            self._quarantine(path, "payload is not an object")
+            self.mark_damaged(job_id, "result payload is not a JSON object")
+            raise JobStoreError(f"result payload of job {job_id!r} is not a JSON object")
+        return payload
+
+    def mark_damaged(self, job_id: str, error: str) -> JobRecord:
+        """Force a record to ``error`` after its payload proved unusable."""
+        with self._lock:
+            record = self.get(job_id)
+            record = replace(
+                record, status="error", error=str(error), payload_sha256=None, updated_at=time.time()
+            )
+            self._write_record(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Scan the state dir, quarantine damage, mark interrupted jobs."""
+        quarantined: List[Tuple[str, str]] = []
+        interrupted: List[str] = []
+        known_ids = set()
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if not name.endswith(".json"):
+                continue
+            job_id = name[: -len(".json")]
+            record_path = self._record_path(job_id)
+            try:
+                record = self.get(job_id)
+            except (JobStoreError, KeyError) as exc:
+                moved = self._quarantine(record_path, f"unreadable record: {exc}")
+                if moved:
+                    quarantined.append(moved)
+                moved = self._quarantine(self._payload_path(job_id), "payload of unreadable record")
+                if moved:
+                    quarantined.append(moved)
+                continue
+            known_ids.add(job_id)
+            if record.status == "done":
+                damage = self._verify_payload(record)
+                if damage is not None:
+                    moved = self._quarantine(self._payload_path(job_id), damage)
+                    if moved:
+                        quarantined.append(moved)
+                    self.mark_damaged(job_id, f"recovery: {damage}")
+            elif record.status in ("queued", "running"):
+                self.update(
+                    job_id,
+                    status="interrupted",
+                    error="interrupted by server restart before completion",
+                )
+                interrupted.append(job_id)
+        for name in sorted(os.listdir(self.payloads_dir)):
+            if name.endswith(".tmp"):
+                moved = self._quarantine(
+                    os.path.join(self.payloads_dir, name), "torn temporary payload"
+                )
+                if moved:
+                    quarantined.append(moved)
+                continue
+            if not name.endswith(".json"):
+                continue
+            if name[: -len(".json")] not in known_ids:
+                moved = self._quarantine(os.path.join(self.payloads_dir, name), "payload without a record")
+                if moved:
+                    quarantined.append(moved)
+        return RecoveryReport(quarantined=tuple(quarantined), interrupted=tuple(interrupted))
+
+    def _verify_payload(self, record: JobRecord) -> Optional[str]:
+        """Reason the record's payload is unusable, or None when it is fine."""
+        path = self._payload_path(record.job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except FileNotFoundError:
+            return "done record has no payload file"
+        except OSError as exc:
+            return f"payload unreadable: {exc}"
+        if record.payload_sha256 is not None and _payload_checksum(text) != record.payload_sha256:
+            return "payload checksum mismatch (half-written file?)"
+        try:
+            json.loads(text)
+        except json.JSONDecodeError as exc:
+            return f"payload is not valid JSON: {exc}"
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"JobStore(root={self.root!r}, jobs={len(self.records())})"

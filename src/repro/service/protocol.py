@@ -1,0 +1,442 @@
+"""Versioned JSON wire protocol of the analysis service.
+
+One request/response vocabulary serves every transport: the HTTP front end
+posts one JSON object per request, the stdio transport writes one JSON
+object per line.  Messages are *data*, built from the same declarative
+pieces the library already persists — kernel specs travel as
+:meth:`~repro.api.spec.KernelSpec.to_dict` payloads, corpora as the
+round-trippable :meth:`~repro.strings.tokens.WeightedString.to_text` form,
+and results as the engine's stamped matrix payloads
+(:meth:`~repro.core.engine.GramEngine.matrix_payload`).
+
+Requests
+--------
+Every request object carries ``{"v": 1, "type": "<name>", ...fields}``.
+The types are:
+
+==================  ====================================================
+``submit-matrix``   queue a (possibly block-sharded) Gram-matrix job
+``submit-analyze``  queue a full pipeline run (KPCA + clustering + metrics)
+``status``          status of one job
+``result``          result payload of one job (optionally waiting)
+``cancel``          cancel a queued job
+``specs``           registered kernel kinds and the session's warm specs
+``health``          liveness / protocol / job-count snapshot
+==================  ====================================================
+
+Responses are ``{"v": 1, "ok": true, "type": ..., ...}`` on success and
+``{"v": 1, "ok": false, "error": {"code", "message", "details"}}`` on
+failure.  Error codes map onto the typed :class:`ServiceError` hierarchy on
+both sides of the wire, so a client sees the same exception types an
+in-process caller would.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+from repro.strings.tokens import WeightedString
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServiceError",
+    "BadRequest",
+    "UnsupportedVersion",
+    "UnknownJob",
+    "JobFailed",
+    "JobPending",
+    "CannotCancel",
+    "Request",
+    "SubmitMatrixRequest",
+    "SubmitAnalyzeRequest",
+    "StatusRequest",
+    "ResultRequest",
+    "CancelRequest",
+    "SpecsRequest",
+    "HealthRequest",
+    "parse_request",
+    "ok_response",
+    "error_response",
+    "check_response",
+    "http_status_for_response",
+    "encode_corpus",
+    "decode_corpus",
+    "dump_message",
+    "load_message",
+]
+
+#: Version stamped into (and required of) every message.
+PROTOCOL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Typed errors
+# ----------------------------------------------------------------------
+class ServiceError(RuntimeError):
+    """Base service failure; serialisable to (and from) the wire error form.
+
+    Every subclass fixes a stable ``code`` (the wire discriminator) and the
+    HTTP status the server answers with.  ``details`` is a small
+    JSON-representable mapping of structured context (e.g. the job id).
+    """
+
+    code: ClassVar[str] = "internal"
+    http_status: ClassVar[int] = 500
+
+    def __init__(self, message: str, details: Optional[Mapping[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.details: Dict[str, Any] = dict(details or {})
+
+    @property
+    def job_id(self) -> Optional[str]:
+        """The job id this error concerns, when it concerns one."""
+        value = self.details.get("job_id")
+        return str(value) if value is not None else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"code": self.code, "message": str(self)}
+        if self.details:
+            payload["details"] = self.details
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "ServiceError":
+        """Rebuild the typed error a server serialised (unknown codes → base)."""
+        code = str(payload.get("code", "internal"))
+        message = str(payload.get("message", "service error"))
+        details = payload.get("details")
+        error_class = _ERROR_CODES.get(code, ServiceError)
+        error = error_class(message, details if isinstance(details, Mapping) else None)
+        return error
+
+
+class BadRequest(ServiceError):
+    """Malformed message: wrong shape, unknown type, invalid field values."""
+
+    code = "bad-request"
+    http_status = 400
+
+
+class UnsupportedVersion(BadRequest):
+    """Message carried a protocol version this peer does not speak."""
+
+    code = "unsupported-version"
+
+
+class UnknownJob(ServiceError):
+    """No job record exists under the given id."""
+
+    code = "unknown-job"
+    http_status = 404
+
+
+class JobFailed(ServiceError):
+    """The job ran and raised; the original error text is in the message."""
+
+    code = "job-failed"
+    http_status = 500
+
+
+class JobPending(ServiceError):
+    """The job has not finished inside the request's wait window."""
+
+    code = "job-pending"
+    http_status = 409
+
+
+class CannotCancel(ServiceError):
+    """The job already started or finished and cannot be cancelled."""
+
+    code = "cannot-cancel"
+    http_status = 409
+
+
+_ERROR_CODES: Dict[str, Type[ServiceError]] = {
+    error_class.code: error_class
+    for error_class in (ServiceError, BadRequest, UnsupportedVersion, UnknownJob, JobFailed, JobPending, CannotCancel)
+}
+
+
+# ----------------------------------------------------------------------
+# Corpus wire codec
+# ----------------------------------------------------------------------
+def encode_corpus(strings: Sequence[WeightedString]) -> List[Dict[str, Any]]:
+    """Encode weighted strings for the wire (name, label, compact token text).
+
+    The token text is :meth:`WeightedString.to_text`, whose ``literal:weight``
+    form round-trips exactly through :meth:`WeightedString.parse` — the same
+    representation the CLI's ``convert`` command prints.
+    """
+    items: List[Dict[str, Any]] = []
+    for string in strings:
+        item: Dict[str, Any] = {"name": string.name, "tokens": string.to_text()}
+        if string.label is not None:
+            item["label"] = string.label
+        items.append(item)
+    return items
+
+
+def decode_corpus(items: Sequence[Mapping[str, Any]]) -> List[WeightedString]:
+    """Rebuild the weighted strings of :func:`encode_corpus` output."""
+    if isinstance(items, (str, bytes)) or not isinstance(items, Sequence):
+        raise BadRequest(f"corpus must be a sequence of objects, got {type(items).__name__}")
+    strings: List[WeightedString] = []
+    for position, item in enumerate(items):
+        if not isinstance(item, Mapping):
+            raise BadRequest(f"corpus item {position} must be an object, got {type(item).__name__}")
+        unknown = set(item) - {"name", "label", "tokens"}
+        if unknown:
+            raise BadRequest(f"corpus item {position} has unknown keys {sorted(unknown)}")
+        tokens = item.get("tokens")
+        if not isinstance(tokens, str):
+            raise BadRequest(f"corpus item {position} is missing its 'tokens' text")
+        label = item.get("label")
+        try:
+            strings.append(
+                WeightedString.parse(
+                    tokens,
+                    name=str(item.get("name", f"string{position}")),
+                    label=str(label) if label is not None else None,
+                )
+            )
+        except ValueError as exc:
+            raise BadRequest(f"corpus item {position} does not parse: {exc}") from exc
+    return strings
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request:
+    """Base class for protocol requests (one dataclass per message type)."""
+
+    TYPE: ClassVar[str] = ""
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The wire object: version, type and every dataclass field."""
+        payload: Dict[str, Any] = {"v": PROTOCOL_VERSION, "type": self.TYPE}
+        for field in dataclass_fields(self):
+            payload[field.name] = getattr(self, field.name)
+        return payload
+
+    @classmethod
+    def _from_fields(cls, fields: Mapping[str, Any]) -> "Request":
+        names = {field.name for field in dataclass_fields(cls)}
+        unknown = set(fields) - names
+        if unknown:
+            raise BadRequest(f"{cls.TYPE!r} request has unknown fields {sorted(unknown)}")
+        try:
+            return cls(**fields)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"invalid {cls.TYPE!r} request: {exc}") from exc
+
+
+def _require_str(value: Any, what: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise BadRequest(f"{what} must be a non-empty string, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class SubmitMatrixRequest(Request):
+    """Queue a Gram-matrix job over an inline corpus.
+
+    ``spec`` is a :meth:`KernelSpec.to_dict` payload (or a bare kind name),
+    ``strings`` an :func:`encode_corpus` list.  ``shards > 1`` asks the
+    server to split the computation into that many symmetric index blocks,
+    each evaluated as a separate engine task and merged — the values are
+    bit-identical to an unsharded run.  ``shards=1`` explicitly requests
+    the monolithic evaluation; ``shards=None`` (the default) leaves the
+    choice to the server's configured default.
+    """
+
+    TYPE: ClassVar[str] = "submit-matrix"
+
+    spec: Any
+    strings: Tuple[Mapping[str, Any], ...] = ()
+    normalized: bool = True
+    repair: bool = True
+    shards: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "strings", tuple(self.strings))
+        if not isinstance(self.normalized, bool) or not isinstance(self.repair, bool):
+            raise BadRequest("'normalized' and 'repair' must be booleans")
+        if self.shards is not None and (
+            not isinstance(self.shards, int) or isinstance(self.shards, bool) or self.shards < 1
+        ):
+            raise BadRequest(f"'shards' must be a positive integer or null, got {self.shards!r}")
+
+
+@dataclass(frozen=True)
+class SubmitAnalyzeRequest(Request):
+    """Queue a full pipeline run (matrix → KPCA → clustering → metrics)."""
+
+    TYPE: ClassVar[str] = "submit-analyze"
+
+    spec: Any
+    strings: Tuple[Mapping[str, Any], ...] = ()
+    n_clusters: int = 3
+    n_components: int = 2
+    linkage: str = "single"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "strings", tuple(self.strings))
+        for name, value in (("n_clusters", self.n_clusters), ("n_components", self.n_components)):
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise BadRequest(f"{name!r} must be a positive integer, got {value!r}")
+        _require_str(self.linkage, "'linkage'")
+
+
+@dataclass(frozen=True)
+class StatusRequest(Request):
+    TYPE: ClassVar[str] = "status"
+
+    job_id: str
+
+    def __post_init__(self) -> None:
+        _require_str(self.job_id, "'job_id'")
+
+
+@dataclass(frozen=True)
+class ResultRequest(Request):
+    """Fetch a job's result, waiting up to ``wait`` seconds server-side.
+
+    An unfinished job answers with :class:`JobPending` (clients poll).
+    ``forget=True`` evicts the job from the live session *and* the on-disk
+    store after delivery.
+    """
+
+    TYPE: ClassVar[str] = "result"
+
+    job_id: str
+    wait: float = 0.0
+    forget: bool = False
+
+    def __post_init__(self) -> None:
+        _require_str(self.job_id, "'job_id'")
+        if isinstance(self.wait, bool) or not isinstance(self.wait, (int, float)) or self.wait < 0:
+            raise BadRequest(f"'wait' must be a non-negative number, got {self.wait!r}")
+        object.__setattr__(self, "wait", float(self.wait))
+        if not isinstance(self.forget, bool):
+            raise BadRequest("'forget' must be a boolean")
+
+
+@dataclass(frozen=True)
+class CancelRequest(Request):
+    TYPE: ClassVar[str] = "cancel"
+
+    job_id: str
+
+    def __post_init__(self) -> None:
+        _require_str(self.job_id, "'job_id'")
+
+
+@dataclass(frozen=True)
+class SpecsRequest(Request):
+    TYPE: ClassVar[str] = "specs"
+
+
+@dataclass(frozen=True)
+class HealthRequest(Request):
+    TYPE: ClassVar[str] = "health"
+
+
+_REQUEST_TYPES: Dict[str, Type[Request]] = {
+    request_class.TYPE: request_class
+    for request_class in (
+        SubmitMatrixRequest,
+        SubmitAnalyzeRequest,
+        StatusRequest,
+        ResultRequest,
+        CancelRequest,
+        SpecsRequest,
+        HealthRequest,
+    )
+}
+
+
+def parse_request(payload: Any) -> Request:
+    """Validate a wire object and build the typed request it names.
+
+    Raises :class:`BadRequest` for anything that is not a well-formed
+    mapping with a known ``type``, and :class:`UnsupportedVersion` when the
+    ``v`` field does not match :data:`PROTOCOL_VERSION` — version first, so
+    newer clients get the actionable error even if their message shape also
+    changed.
+    """
+    if not isinstance(payload, Mapping):
+        raise BadRequest(f"request must be a JSON object, got {type(payload).__name__}")
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise UnsupportedVersion(
+            f"protocol version {version!r} is not supported (this peer speaks v{PROTOCOL_VERSION})"
+        )
+    type_name = payload.get("type")
+    if not isinstance(type_name, str) or type_name not in _REQUEST_TYPES:
+        raise BadRequest(
+            f"unknown request type {type_name!r}; known types: {', '.join(sorted(_REQUEST_TYPES))}"
+        )
+    fields = {key: value for key, value in payload.items() if key not in ("v", "type")}
+    return _REQUEST_TYPES[type_name]._from_fields(fields)
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def ok_response(type_name: str, **fields: Any) -> Dict[str, Any]:
+    """A success response envelope."""
+    return {"v": PROTOCOL_VERSION, "ok": True, "type": type_name, **fields}
+
+
+def error_response(error: ServiceError) -> Dict[str, Any]:
+    """The failure envelope for a typed service error."""
+    return {"v": PROTOCOL_VERSION, "ok": False, "error": error.to_dict()}
+
+
+def http_status_for_response(payload: Mapping[str, Any]) -> int:
+    """The HTTP status a response envelope should travel with."""
+    if payload.get("ok"):
+        return 200
+    error = payload.get("error")
+    code = str(error.get("code", "internal")) if isinstance(error, Mapping) else "internal"
+    return _ERROR_CODES.get(code, ServiceError).http_status
+
+
+def check_response(payload: Any) -> Dict[str, Any]:
+    """Validate a response envelope; re-raise the server's typed error.
+
+    Returns the payload when ``ok`` is true; otherwise reconstructs the
+    :class:`ServiceError` subclass named by the error code and raises it,
+    so remote failures surface exactly like local ones.
+    """
+    if not isinstance(payload, Mapping):
+        raise ServiceError(f"response must be a JSON object, got {type(payload).__name__}")
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise UnsupportedVersion(
+            f"response protocol version {version!r} is not supported (this peer speaks v{PROTOCOL_VERSION})"
+        )
+    if payload.get("ok"):
+        return dict(payload)
+    error = payload.get("error")
+    raise ServiceError.from_dict(error if isinstance(error, Mapping) else {})
+
+
+# ----------------------------------------------------------------------
+# Line framing (stdio transport)
+# ----------------------------------------------------------------------
+def dump_message(payload: Mapping[str, Any]) -> str:
+    """Serialise one message as a single compact JSON line (no newlines)."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+def load_message(line: str) -> Any:
+    """Parse one framed line back into a payload (:class:`BadRequest` on junk)."""
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise BadRequest(f"message line is not valid JSON: {exc}") from exc

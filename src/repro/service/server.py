@@ -1,0 +1,573 @@
+"""The analysis server: one warm :class:`AnalysisSession` behind a transport.
+
+:class:`AnalysisServer` is transport-agnostic — :meth:`AnalysisServer.handle`
+maps one protocol request onto the session's ``submit()/result()/forget()``
+lifecycle and the on-disk :class:`~repro.service.jobstore.JobStore` — and
+two thin front ends drive it:
+
+* **HTTP** — a stdlib ``ThreadingHTTPServer`` accepting ``POST /v1`` with
+  one JSON request per call (plus ``GET /healthz`` for probes).  Threaded
+  handlers all talk to the same session, so every client shares the warm
+  engines and caches.
+* **stdio** — :func:`serve_stdio`, one JSON message per line over a pipe;
+  the single-host transport ``repro-iokast serve --stdio`` exposes.
+
+Block-sharded matrix jobs
+-------------------------
+A ``submit-matrix`` request with ``shards=k`` splits the corpus index range
+into ``k`` contiguous blocks (:func:`~repro.core.engine.plan_index_blocks`).
+Every unordered block pair becomes one engine task — one
+:meth:`~repro.core.engine.GramEngine.evaluate_pairs` call, scheduled over
+the engine's worker pool — and the per-block raw values merge through
+:meth:`~repro.core.engine.GramEngine.assemble_gram`, the same assembler the
+engine's incremental extension uses.  Because raw pair values are
+deterministic and assembly arithmetic is shared, the sharded matrix is
+bit-identical to the monolithic one; the shard plan is recorded in the job
+record for observability.
+
+Job persistence
+---------------
+Every job writes its lifecycle through the store *from inside the job
+callable* (queued on submit, running at start, the stamped payload plus
+``done`` — or ``error`` — at the end), so a finished job's result is
+answerable by a fresh server process pointed at the same state directory
+even after the original process is gone.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import tempfile
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Mapping, Optional, TextIO, Tuple
+
+from repro.api.session import AnalysisSession, JobError, JobTimeout
+from repro.api.spec import KernelSpec, KernelSpecError, coerce_spec, registered_kinds, registry_entry
+from repro.core.engine import block_index_pairs, plan_index_blocks
+from repro.core.matrix import KernelMatrix
+from repro.service.jobstore import JobRecord, JobStore, JobStoreError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    BadRequest,
+    CancelRequest,
+    CannotCancel,
+    HealthRequest,
+    JobFailed,
+    JobPending,
+    ResultRequest,
+    ServiceError,
+    SpecsRequest,
+    StatusRequest,
+    SubmitAnalyzeRequest,
+    SubmitMatrixRequest,
+    UnknownJob,
+    decode_corpus,
+    dump_message,
+    error_response,
+    http_status_for_response,
+    load_message,
+    ok_response,
+    parse_request,
+)
+from repro.strings.tokens import WeightedString
+
+__all__ = ["AnalysisServer", "serve_stdio"]
+
+logger = logging.getLogger(__name__)
+
+
+class AnalysisServer:
+    """Protocol front end owning a single session and a persistent job store.
+
+    Parameters
+    ----------
+    state_dir:
+        Directory for the job store (records, payloads, quarantine).  When
+        omitted a private temporary directory is used — jobs then survive
+        *server object* restarts only if the caller reuses the directory.
+    session:
+        An existing :class:`AnalysisSession` to serve.  When omitted the
+        server creates (and owns, and closes) one from *n_jobs* /
+        *executor* / *max_job_workers*.
+    default_shards:
+        Shard count applied to matrix jobs that do not ask for one
+        explicitly (1 = monolithic evaluation).
+    """
+
+    def __init__(
+        self,
+        state_dir: Optional[str] = None,
+        session: Optional[AnalysisSession] = None,
+        n_jobs: int = 1,
+        executor: str = "thread",
+        max_job_workers: int = 2,
+        default_shards: int = 1,
+    ) -> None:
+        if default_shards < 1:
+            raise ValueError(f"default_shards must be >= 1, got {default_shards}")
+        self._owns_session = session is None
+        self.session = session if session is not None else AnalysisSession(
+            n_jobs=n_jobs, executor=executor, max_job_workers=max_job_workers
+        )
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        if state_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-service-")
+            state_dir = self._tempdir.name
+        self.store = JobStore(state_dir)
+        self.default_shards = default_shards
+        self._session_jobs: Dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        if self.store.recovery.quarantined or self.store.recovery.interrupted:
+            logger.warning("%s", self.store.recovery.describe())
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(self, payload: Any) -> Dict[str, Any]:
+        """Answer one wire request; every failure becomes a typed error envelope."""
+        try:
+            request = parse_request(payload)
+            handler = self._handlers()[type(request)]
+            return handler(request)
+        except ServiceError as exc:
+            return error_response(exc)
+        except Exception as exc:  # noqa: BLE001 - the wire must always get an envelope
+            logger.exception("unhandled error serving request")
+            return error_response(ServiceError(f"internal error: {type(exc).__name__}: {exc}"))
+
+    def _handlers(self) -> Dict[type, Callable[[Any], Dict[str, Any]]]:
+        return {
+            SubmitMatrixRequest: self._handle_submit_matrix,
+            SubmitAnalyzeRequest: self._handle_submit_analyze,
+            StatusRequest: self._handle_status,
+            ResultRequest: self._handle_result,
+            CancelRequest: self._handle_cancel,
+            SpecsRequest: self._handle_specs,
+            HealthRequest: self._handle_health,
+        }
+
+    # ------------------------------------------------------------------
+    # Job submission
+    # ------------------------------------------------------------------
+    def _coerce_spec(self, raw: Any) -> KernelSpec:
+        try:
+            return coerce_spec(raw)
+        except KernelSpecError as exc:
+            raise BadRequest(f"invalid kernel spec: {exc}") from exc
+
+    def _enqueue(
+        self,
+        kind: str,
+        spec: KernelSpec,
+        options: Mapping[str, Any],
+        work: Callable[[str], Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Create the durable record, then queue the store-writing job."""
+        record = self.store.create(kind, spec=spec.to_dict(), options=options)
+        job_id = record.job_id
+
+        def run() -> None:
+            self.store.mark_running(job_id)
+            try:
+                payload = work(job_id)
+            except Exception as exc:
+                self.store.mark_error(job_id, f"{type(exc).__name__}: {exc}")
+                raise
+            self.store.store_result(job_id, payload)
+            # Deliberately return nothing: results are always answered from
+            # the store, and a returned payload would be pinned in session
+            # memory for jobs no client ever polls.
+
+        session_job = self.session.submit_work(f"service-{kind}", run)
+        with self._lock:
+            self._session_jobs[job_id] = session_job
+        return ok_response("job", job_id=job_id, status="queued", kind=kind)
+
+    def _handle_submit_matrix(self, request: SubmitMatrixRequest) -> Dict[str, Any]:
+        spec = self._coerce_spec(request.spec)
+        strings = decode_corpus(request.strings)
+        if not strings:
+            raise BadRequest("submit-matrix requires a non-empty corpus")
+        shards = request.shards if request.shards is not None else self.default_shards
+        options = {
+            "normalized": request.normalized,
+            "repair": request.repair,
+            "shards": shards,
+            "examples": len(strings),
+            "blocks": plan_index_blocks(len(strings), shards),
+        }
+        return self._enqueue(
+            "matrix",
+            spec,
+            options,
+            lambda job_id: self._matrix_payload(
+                spec, strings, request.normalized, request.repair, shards
+            ),
+        )
+
+    def _handle_submit_analyze(self, request: SubmitAnalyzeRequest) -> Dict[str, Any]:
+        from repro.pipeline.config import ExperimentConfig, config_from_spec
+
+        spec = self._coerce_spec(request.spec)
+        strings = decode_corpus(request.strings)
+        if not strings:
+            raise BadRequest("submit-analyze requires a non-empty corpus")
+        try:
+            config = config_from_spec(
+                spec,
+                base=ExperimentConfig(
+                    n_clusters=request.n_clusters,
+                    n_components=request.n_components,
+                    linkage=request.linkage,
+                ),
+            )
+        except ValueError as exc:
+            raise BadRequest(f"spec cannot drive the analysis pipeline: {exc}") from exc
+        options = {
+            "n_clusters": request.n_clusters,
+            "n_components": request.n_components,
+            "linkage": request.linkage,
+            "examples": len(strings),
+        }
+        return self._enqueue(
+            "analyze",
+            spec,
+            options,
+            lambda job_id: self._analyze_payload(config, strings),
+        )
+
+    # ------------------------------------------------------------------
+    # Job computation
+    # ------------------------------------------------------------------
+    def _matrix_payload(
+        self,
+        spec: KernelSpec,
+        strings: List[WeightedString],
+        normalized: bool,
+        repair: bool,
+        shards: int,
+    ) -> Dict[str, Any]:
+        """The stamped matrix payload, monolithic or block-sharded.
+
+        The sharded path issues one engine task per unordered index-block
+        pair and merges through the engine's assembler; values are
+        bit-identical to :meth:`AnalysisSession.matrix` because every raw
+        pair value comes from the same kernel code and caches.
+        """
+        engine = self.session.engine(spec)
+        if shards <= 1:
+            matrix = self.session.matrix(spec, strings, normalized=normalized, repair=repair)
+        else:
+            blocks = plan_index_blocks(len(strings), shards)
+            raw_by_pair: Dict[Tuple[int, int], float] = {}
+            for first_index, first in enumerate(blocks):
+                for second in blocks[first_index:]:
+                    pairs = block_index_pairs(first, second)
+                    if pairs:
+                        raw_by_pair.update(engine.evaluate_pairs(strings, pairs))
+            values = engine.assemble_gram(strings, raw_by_pair, normalized=normalized)
+            matrix = KernelMatrix(
+                values=values,
+                names=tuple(string.name for string in strings),
+                labels=tuple(string.label for string in strings),
+                kernel_name=engine.kernel.name,
+                normalized=normalized,
+            )
+            if repair and not matrix.is_positive_semidefinite():
+                matrix = matrix.repaired()
+        return engine.matrix_payload(matrix, strings)
+
+    def _analyze_payload(self, config: Any, strings: List[WeightedString]) -> Dict[str, Any]:
+        from repro.pipeline.report import summarise_result
+
+        result = self.session.analyze(config, strings=strings)
+        return {
+            "config": config.describe(),
+            "metrics": {name: float(value) for name, value in result.metrics.items()},
+            "assignments": [int(assignment) for assignment in result.assignments],
+            "names": [string.name for string in result.strings],
+            "labels": [label for label in result.labels],
+            "summary": summarise_result(result, title="service analyze"),
+        }
+
+    # ------------------------------------------------------------------
+    # Job queries
+    # ------------------------------------------------------------------
+    def _record(self, job_id: str) -> JobRecord:
+        try:
+            return self.store.get(job_id)
+        except KeyError:
+            raise UnknownJob(f"no job {job_id!r}", details={"job_id": job_id}) from None
+        except JobStoreError as exc:
+            raise ServiceError(f"job record {job_id!r} unreadable: {exc}", details={"job_id": job_id}) from exc
+
+    def _reap_session_job(self, job_id: str) -> None:
+        """Drop the finished session-side handle backing a store job."""
+        with self._lock:
+            session_job = self._session_jobs.get(job_id)
+        if session_job is None:
+            return
+        if self.session.forget(session_job):
+            with self._lock:
+                self._session_jobs.pop(job_id, None)
+
+    def _handle_status(self, request: StatusRequest) -> Dict[str, Any]:
+        record = self._record(request.job_id)
+        if record.finished:
+            self._reap_session_job(record.job_id)
+        return ok_response(
+            "status",
+            job_id=record.job_id,
+            kind=record.kind,
+            status=record.status,
+            error=record.error,
+        )
+
+    def _handle_result(self, request: ResultRequest) -> Dict[str, Any]:
+        record = self._record(request.job_id)
+        if not record.finished:
+            with self._lock:
+                session_job = self._session_jobs.get(request.job_id)
+            if session_job is not None:
+                try:
+                    self.session.result(session_job, timeout=request.wait)
+                except JobTimeout:
+                    pass
+                except (JobError, KeyError):
+                    pass  # the job callable already wrote the error to the store
+            record = self._record(request.job_id)
+        if record.status == "done":
+            try:
+                payload = self.store.load_result(record.job_id)
+            except JobStoreError as exc:
+                raise JobFailed(str(exc), details={"job_id": record.job_id}) from exc
+            response = ok_response(
+                "result", job_id=record.job_id, kind=record.kind, payload=payload
+            )
+            self._reap_session_job(record.job_id)
+            if request.forget:
+                self.store.forget(record.job_id)
+            return response
+        if record.status in ("error", "interrupted", "cancelled"):
+            self._reap_session_job(record.job_id)
+            raise JobFailed(
+                record.error or f"job {record.job_id!r} ended as {record.status}",
+                details={"job_id": record.job_id, "status": record.status},
+            )
+        raise JobPending(
+            f"job {record.job_id!r} is {record.status}",
+            details={"job_id": record.job_id, "status": record.status},
+        )
+
+    def _handle_cancel(self, request: CancelRequest) -> Dict[str, Any]:
+        record = self._record(request.job_id)
+        if record.finished:
+            raise CannotCancel(
+                f"job {record.job_id!r} already ended as {record.status}",
+                details={"job_id": record.job_id, "status": record.status},
+            )
+        with self._lock:
+            session_job = self._session_jobs.get(record.job_id)
+        cancelled = session_job is not None and self.session.cancel(session_job)
+        if not cancelled:
+            raise CannotCancel(
+                f"job {record.job_id!r} already started and cannot be cancelled",
+                details={"job_id": record.job_id, "status": record.status},
+            )
+        self.store.mark_cancelled(record.job_id)
+        self._reap_session_job(record.job_id)
+        return ok_response("cancel", job_id=record.job_id, status="cancelled")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _handle_specs(self, request: SpecsRequest) -> Dict[str, Any]:
+        kinds = []
+        for kind in registered_kinds():
+            entry = registry_entry(kind)
+            kinds.append(
+                {
+                    "kind": kind,
+                    "description": entry.description,
+                    "composite": entry.composite,
+                    "defaults": dict(entry.defaults),
+                }
+            )
+        return ok_response(
+            "specs",
+            kinds=kinds,
+            warm=[spec.to_dict() for spec in self.session.specs()],
+        )
+
+    def _handle_health(self, request: HealthRequest) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        for record in self.store.records():
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return ok_response(
+            "health",
+            status="ok",
+            protocol=PROTOCOL_VERSION,
+            uptime_seconds=time.time() - self._started,
+            state_dir=self.store.root,
+            jobs=counts,
+            warm_specs=len(self.session.specs()),
+            recovered_quarantined=len(self.store.recovery.quarantined),
+            recovered_interrupted=len(self.store.recovery.interrupted),
+        )
+
+    # ------------------------------------------------------------------
+    # HTTP front end
+    # ------------------------------------------------------------------
+    def start_http(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and serve HTTP on a background thread; returns (host, port).
+
+        ``port=0`` binds an ephemeral port — the returned port is the real
+        one, which tests and the CLI's ``--port-file`` rely on.
+        """
+        if self._httpd is not None:
+            raise RuntimeError("HTTP front end already started")
+        self._httpd = _build_http_server(self, host, port)
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service-http", daemon=True
+        )
+        self._http_thread.start()
+        return self.http_address()
+
+    def http_address(self) -> Tuple[str, int]:
+        """The bound (host, port) of the HTTP front end."""
+        if self._httpd is None:
+            raise RuntimeError("HTTP front end is not running")
+        address = self._httpd.server_address
+        return str(address[0]), int(address[1])
+
+    def serve_http_forever(self, host: str = "127.0.0.1", port: int = 0,
+                           ready: Optional[Callable[[str, int], None]] = None) -> None:
+        """Blocking HTTP serve loop (the CLI's ``serve`` command).
+
+        *ready* is called with the bound address after the socket exists but
+        before the first request is accepted — the hook the CLI uses to
+        write its ``--port-file``.
+        """
+        self._httpd = _build_http_server(self, host, port)
+        bound_host, bound_port = self.http_address()
+        if ready is not None:
+            ready(bound_host, bound_port)
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+            self._httpd = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the HTTP front end and (when owned) the session."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5)
+            self._http_thread = None
+        if self._owns_session:
+            self.session.shutdown()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> "AnalysisServer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"AnalysisServer(state_dir={self.store.root!r}, jobs={len(self.store.records())})"
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+class _ServiceHTTPHandler(BaseHTTPRequestHandler):
+    """One JSON request per POST; GET /healthz for load-balancer probes."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # Set by _build_http_server on the server class.
+    analysis_server: AnalysisServer
+
+    def _respond(self, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(http_status_for_response(payload))
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path.rstrip("/") not in ("", "/v1"):
+            self._respond(error_response(BadRequest(f"unknown endpoint {self.path!r}; POST /v1")))
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = self.rfile.read(length).decode("utf-8")
+            payload = load_message(body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._respond(error_response(BadRequest(f"request body is not JSON: {exc}")))
+            return
+        except BadRequest as exc:
+            self._respond(error_response(exc))
+            return
+        self._respond(self.analysis_server.handle(payload))
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path.rstrip("/") in ("/healthz", "/v1/health"):
+            self._respond(self.analysis_server.handle(HealthRequest().to_payload()))
+            return
+        self._respond(error_response(BadRequest(f"unknown endpoint {self.path!r}; POST /v1")))
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        logger.debug("http %s - %s", self.address_string(), format % args)
+
+
+def _build_http_server(analysis_server: AnalysisServer, host: str, port: int) -> ThreadingHTTPServer:
+    handler = type("BoundServiceHTTPHandler", (_ServiceHTTPHandler,), {"analysis_server": analysis_server})
+    httpd = ThreadingHTTPServer((host, port), handler)
+    httpd.daemon_threads = True
+    return httpd
+
+
+# ----------------------------------------------------------------------
+# stdio front end
+# ----------------------------------------------------------------------
+def serve_stdio(server: AnalysisServer, input_stream: TextIO, output_stream: TextIO) -> int:
+    """Serve line-framed protocol messages until *input_stream* hits EOF.
+
+    Every input line is one request, every output line one response —
+    including a typed error envelope for lines that are not valid JSON, so
+    a confused client always gets an answer.  Returns the number of
+    messages served.
+    """
+    served = 0
+    for line in input_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = load_message(line)
+        except BadRequest as exc:
+            response: Dict[str, Any] = error_response(exc)
+        else:
+            response = server.handle(payload)
+        output_stream.write(dump_message(response) + "\n")
+        output_stream.flush()
+        served += 1
+    return served

@@ -6,10 +6,12 @@
 * :mod:`repro.workloads.normal_io` — category C (sequential fixed-size IOR);
 * :mod:`repro.workloads.random_access` — category D (random-offset fixed-size
   IOR without explicit seeks);
+* :mod:`repro.workloads.mixed_phase` — category E (mixed read/write phases,
+  an extension beyond the paper's four categories);
 * :mod:`repro.workloads.ior` — general configurable IOR-like generator and
   the shared benchmark harness phases;
 * :mod:`repro.workloads.corpus` — the 110-example evaluation corpus of
-  section 4.1.
+  section 4.1 (plus the ``extended`` A–E variants).
 """
 
 from repro.workloads.base import OperationEmitter, WorkloadConfig, WorkloadGenerator
@@ -24,6 +26,7 @@ from repro.workloads.corpus import (
 )
 from repro.workloads.flash_io import FlashIOGenerator
 from repro.workloads.ior import IORGenerator, IORParameters, emit_harness_epilogue, emit_harness_prologue
+from repro.workloads.mixed_phase import MixedPhaseGenerator
 from repro.workloads.normal_io import NormalIOGenerator
 from repro.workloads.random_access import RandomAccessGenerator
 from repro.workloads.random_posix import RandomPosixGenerator
@@ -44,6 +47,7 @@ __all__ = [
     "IORParameters",
     "emit_harness_epilogue",
     "emit_harness_prologue",
+    "MixedPhaseGenerator",
     "NormalIOGenerator",
     "RandomAccessGenerator",
     "RandomPosixGenerator",

@@ -22,6 +22,7 @@ from repro.traces.model import IOTrace
 from repro.traces.mutation import MutationConfig, TraceMutator
 from repro.workloads.base import WorkloadGenerator
 from repro.workloads.flash_io import FlashIOGenerator
+from repro.workloads.mixed_phase import MixedPhaseGenerator
 from repro.workloads.normal_io import NormalIOGenerator
 from repro.workloads.random_access import RandomAccessGenerator
 from repro.workloads.random_posix import RandomPosixGenerator
@@ -82,6 +83,22 @@ class CorpusConfig:
             seed=seed,
         )
 
+    @classmethod
+    def extended(cls, seed: int = 2017) -> "CorpusConfig":
+        """The paper corpus plus the mixed-phase category E (4 originals ×5)."""
+        originals = dict(PAPER_ORIGINAL_COUNTS)
+        originals["E"] = 4
+        return cls(originals_per_class=originals, seed=seed)
+
+    @classmethod
+    def small_extended(cls, seed: int = 2017) -> "CorpusConfig":
+        """The reduced test corpus plus category E (2 originals, 1 copy each)."""
+        return cls(
+            originals_per_class={"A": 2, "B": 2, "C": 2, "D": 2, "E": 2},
+            copies_per_original=1,
+            seed=seed,
+        )
+
     def expected_total(self) -> int:
         """Total number of examples the corpus will contain."""
         return sum(self.originals_per_class.values()) * (1 + self.copies_per_original)
@@ -103,6 +120,7 @@ def _generator_for(label: str) -> WorkloadGenerator:
         "B": RandomPosixGenerator,
         "C": NormalIOGenerator,
         "D": RandomAccessGenerator,
+        "E": MixedPhaseGenerator,
     }
     try:
         return generators[label]()

@@ -1,0 +1,69 @@
+"""Category E — mixed read/write phase I/O (beyond the paper's four).
+
+The paper's corpus covers write-dominated patterns (A, C, D) and a
+seek-heavy random pattern (B).  Real applications with checkpoint/restart
+or out-of-core solvers interleave the two: they run *phases* that update a
+working file in place — read a region, write it back — separated by flush
+barriers.  This generator adds that fifth shape to the corpus:
+
+* it shares the IOR harness phases with B/C/D (same benchmark binary
+  story), so short-substring baselines see it as part of the IOR family;
+* its data phase is a signature no other category produces: long runs of
+  strictly alternating ``read[t] write[t]`` pairs at the *same* offset
+  (read-modify-write), with the transfer size flipping between two values
+  from phase to phase and an ``fsync`` barrier after every phase;
+* category A is write-only, C writes then reads back in separate passes,
+  D writes at random offsets — none of them contains the alternating
+  read/write bigram, which is exactly the kind of shared-substring
+  evidence the Kast kernel keys on.
+
+Run-to-run variation comes from the number of phases and the per-phase
+burst length; the two transfer sizes are fixed per category member so the
+combined byte values stay characteristic (the same device the paper uses
+for category A).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import OperationEmitter, WorkloadConfig, WorkloadGenerator
+from repro.workloads.ior import emit_harness_epilogue, emit_harness_prologue
+
+__all__ = ["MixedPhaseGenerator"]
+
+#: The two transfer sizes phases alternate between (update vs. merge phase).
+_PHASE_TRANSFER_SIZES = (4096, 16384)
+
+
+class MixedPhaseGenerator(WorkloadGenerator):
+    """Synthetic mixed-phase (read-modify-write) workload — category E."""
+
+    label = "E"
+    description = "Mixed-phase I/O: alternating read/write bursts with flush barriers"
+
+    def __init__(self, config: WorkloadConfig = None) -> None:  # type: ignore[assignment]
+        super().__init__(config or WorkloadConfig(files=1, operations_per_file=24, base_request_size=4096))
+
+    def benchmark_name(self) -> str:
+        return "MixedPhase"
+
+    def _generate_operations(self, emitter: OperationEmitter, rng: random.Random) -> None:
+        emit_harness_prologue(emitter)
+        phases = max(2, 3 + rng.randint(-1, 2))
+        for file_index in range(self.config.files):
+            handle = f"work{file_index}"
+            emitter.emit("open", handle)
+            offset = 0
+            for phase_index in range(phases):
+                transfer = _PHASE_TRANSFER_SIZES[phase_index % len(_PHASE_TRANSFER_SIZES)]
+                bursts = max(2, self.config.operations_per_file // (2 * phases) + rng.randint(-1, 2))
+                for _ in range(bursts):
+                    # Read-modify-write: the same region is read and then
+                    # rewritten, producing the alternating bigram signature.
+                    emitter.emit("read", handle, transfer, offset=offset)
+                    emitter.emit("write", handle, transfer, offset=offset)
+                    offset += transfer
+                emitter.emit("fsync", handle)
+            emitter.emit("close", handle)
+        emit_harness_epilogue(emitter)

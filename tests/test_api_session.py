@@ -192,3 +192,66 @@ class TestJobEviction:
         with pytest.raises(JobError):
             session.result(job, timeout=120, forget=True)
         assert job not in session.jobs()
+
+
+class TestJobTimeout:
+    def test_timeout_raises_job_timeout_with_id(self, session):
+        import threading
+
+        from repro.api import JobTimeout
+
+        release = threading.Event()
+        try:
+            job = session.submit_work("blocker", release.wait)
+            with pytest.raises(JobTimeout) as caught:
+                session.result(job, timeout=0.05)
+            assert caught.value.job_id == job
+            assert caught.value.timeout == 0.05
+            # JobTimeout stays catchable as the builtin TimeoutError.
+            assert isinstance(caught.value, TimeoutError)
+        finally:
+            release.set()
+        assert session.result(job, timeout=30) is True  # Event.wait's return
+
+    def test_timed_out_job_still_collectable(self, session, strings):
+        from repro.api import JobTimeout
+
+        job = session.submit(make_spec("kast"), strings)
+        try:
+            session.result(job, timeout=0.0)
+        except JobTimeout:
+            pass
+        result = session.result(job, timeout=120)
+        assert len(result) == len(strings)
+
+
+class TestSubmitWork:
+    def test_submit_work_runs_arbitrary_callables(self, session):
+        job = session.submit_work("custom", lambda: 41 + 1)
+        assert job.startswith("custom-")
+        assert session.result(job, timeout=30) == 42
+
+    def test_submit_work_rejects_non_callables(self, session):
+        with pytest.raises(TypeError):
+            session.submit_work("custom", 42)
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, session):
+        import threading
+
+        release = threading.Event()
+        try:
+            # Fill the default two job workers, then queue a third job.
+            for _ in range(2):
+                session.submit_work("blocker", release.wait)
+            job = session.submit_work("victim", lambda: None)
+            assert session.cancel(job) is True
+            assert session.status(job) == "cancelled"
+        finally:
+            release.set()
+
+    def test_cancel_finished_job_returns_false(self, session):
+        job = session.submit_work("quick", lambda: 1)
+        session.result(job, timeout=30)
+        assert session.cancel(job) is False

@@ -430,3 +430,69 @@ class TestExplicitSpecShorthand:
         counting = CountingKernel(cut_weight=2)
         GramEngine(counting, spec='{"kind": "kast"}').compute(corpus, cache_path=path)
         assert counting.value_calls == 0 and counting.row_values == 0
+
+
+class TestBlockSharding:
+    """The block seam the service layer's sharded Gram jobs are built on."""
+
+    def test_plan_index_blocks_partitions_the_range(self):
+        from repro.core.engine import plan_index_blocks
+
+        for count in (0, 1, 2, 7, 10, 110):
+            for shards in (1, 2, 3, 5, 200):
+                blocks = plan_index_blocks(count, shards)
+                covered = [i for start, stop in blocks for i in range(start, stop)]
+                assert covered == list(range(count))
+                if count:
+                    assert len(blocks) == min(shards, count)
+                    sizes = [stop - start for start, stop in blocks]
+                    assert max(sizes) - min(sizes) <= 1
+
+    def test_plan_index_blocks_rejects_bad_arguments(self):
+        from repro.core.engine import plan_index_blocks
+
+        with pytest.raises(ValueError):
+            plan_index_blocks(-1, 2)
+        with pytest.raises(ValueError):
+            plan_index_blocks(4, 0)
+
+    def test_block_index_pairs_cover_upper_triangle_once(self):
+        from repro.core.engine import block_index_pairs, plan_index_blocks
+
+        count = 11
+        blocks = plan_index_blocks(count, 3)
+        seen = []
+        for first_index, first in enumerate(blocks):
+            for second in blocks[first_index:]:
+                seen.extend(block_index_pairs(first, second))
+        expected = [(i, j) for i in range(count) for j in range(i + 1, count)]
+        assert sorted(seen) == expected
+        assert len(seen) == len(set(seen))
+
+    def test_block_index_pairs_rejects_overlap(self):
+        from repro.core.engine import block_index_pairs
+
+        with pytest.raises(ValueError):
+            block_index_pairs((0, 4), (2, 6))
+
+    def test_sharded_assembly_is_bit_identical_to_gram(self, corpus):
+        from repro.core.engine import block_index_pairs, plan_index_blocks
+
+        reference = GramEngine(KastSpectrumKernel(cut_weight=2)).gram(corpus)
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2))
+        blocks = plan_index_blocks(len(corpus), 3)
+        raw = {}
+        for first_index, first in enumerate(blocks):
+            for second in blocks[first_index:]:
+                pairs = block_index_pairs(first, second)
+                if pairs:
+                    raw.update(engine.evaluate_pairs(corpus, pairs))
+        assembled = engine.assemble_gram(corpus, raw)
+        assert np.array_equal(reference, assembled)
+
+    def test_assemble_gram_rejects_missing_pairs(self, corpus):
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2))
+        subset = corpus[:4]
+        raw = engine.evaluate_pairs(subset, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        with pytest.raises(ValueError, match="does not cover"):
+            engine.assemble_gram(subset, raw)

@@ -20,6 +20,7 @@ EXAMPLES = {
     "compare_kernels.py": ["--small"],
     "classify_custom_workload.py": [],
     "cut_weight_study.py": ["--small", "--cut-weights", "2", "8"],
+    "service_roundtrip.py": ["--small"],
 }
 
 
@@ -57,3 +58,10 @@ def test_compare_kernels_lists_all_kernels(monkeypatch, capsys):
 def test_classification_example_prefers_sequential_categories(monkeypatch, capsys):
     output = run_example("classify_custom_workload.py", [], monkeypatch, capsys)
     assert "closest: C" in output or "closest: D" in output
+
+
+def test_service_roundtrip_reports_identical_matrices(monkeypatch, capsys):
+    output = run_example("service_roundtrip.py", ["--small"], monkeypatch, capsys)
+    assert output.count("identical") >= 3
+    assert "False" not in output
+    assert "status after restart             : done" in output

@@ -1,0 +1,180 @@
+"""Tests for the on-disk job store (repro.service.jobstore)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.service.jobstore import JobRecord, JobStore, JobStoreError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(str(tmp_path / "state"))
+
+
+class TestLifecycle:
+    def test_create_get_round_trip(self, store):
+        record = store.create("matrix", spec={"kind": "kast"}, options={"shards": 2})
+        loaded = store.get(record.job_id)
+        assert loaded == record
+        assert loaded.status == "queued"
+        assert loaded.spec == {"kind": "kast"}
+        assert loaded.options == {"shards": 2}
+        assert not loaded.finished
+
+    def test_job_ids_are_unique_and_kind_prefixed(self, store):
+        ids = {store.create("matrix").job_id for _ in range(20)}
+        assert len(ids) == 20
+        assert all(job_id.startswith("matrix-") for job_id in ids)
+
+    def test_status_transitions(self, store):
+        record = store.create("matrix")
+        assert store.mark_running(record.job_id).status == "running"
+        done = store.store_result(record.job_id, {"answer": 42})
+        assert done.status == "done"
+        assert done.payload_sha256
+
+    def test_terminal_statuses_are_final(self, store):
+        record = store.create("matrix")
+        store.mark_error(record.job_id, "boom")
+        with pytest.raises(JobStoreError):
+            store.mark_running(record.job_id)
+
+    def test_unknown_job_raises_key_error(self, store):
+        with pytest.raises(KeyError):
+            store.get("matrix-missing")
+
+    def test_records_sorted_oldest_first(self, store):
+        first = store.create("matrix")
+        second = store.create("analyze")
+        assert [record.job_id for record in store.records()] == [first.job_id, second.job_id]
+
+    def test_forget_only_finished_jobs(self, store):
+        record = store.create("matrix")
+        assert store.forget(record.job_id) is False
+        store.store_result(record.job_id, {"x": 1})
+        assert store.forget(record.job_id) is True
+        assert store.forget(record.job_id) is False
+        with pytest.raises(KeyError):
+            store.get(record.job_id)
+
+    def test_record_validation(self):
+        with pytest.raises(JobStoreError):
+            JobRecord(job_id="x", kind="matrix", status="exploded")
+        with pytest.raises(JobStoreError):
+            JobRecord.from_dict({"job_id": "x", "kind": "m", "surprise": 1})
+
+
+class TestResults:
+    def test_store_and_load_result(self, store):
+        record = store.create("matrix")
+        payload = {"values": [[1.0, 0.5], [0.5, 1.0]], "names": ["a", "b"]}
+        store.store_result(record.job_id, payload)
+        assert store.load_result(record.job_id) == payload
+
+    def test_load_result_requires_done(self, store):
+        record = store.create("matrix")
+        with pytest.raises(JobStoreError, match="not done"):
+            store.load_result(record.job_id)
+
+    def test_tampered_payload_is_quarantined_on_load(self, store):
+        record = store.create("matrix")
+        store.store_result(record.job_id, {"x": 1})
+        payload_path = os.path.join(store.payloads_dir, f"{record.job_id}.json")
+        with open(payload_path, "w", encoding="utf-8") as handle:
+            handle.write('{"x": 2}')  # valid JSON, wrong checksum
+        with pytest.raises(JobStoreError, match="checksum"):
+            store.load_result(record.job_id)
+        assert not os.path.exists(payload_path)
+        assert os.listdir(store.quarantine_dir)
+        assert store.get(record.job_id).status == "error"
+
+
+class TestCrashRecovery:
+    """Restarting on the same state dir must keep results and quarantine damage."""
+
+    def test_done_results_survive_restart(self, store):
+        record = store.create("matrix")
+        payload = {"values": [[1.0]], "names": ["a"]}
+        store.store_result(record.job_id, payload)
+        reopened = JobStore(store.root)
+        assert reopened.recovery.quarantined == ()
+        assert reopened.get(record.job_id).status == "done"
+        assert reopened.load_result(record.job_id) == payload
+
+    def test_queued_and_running_jobs_marked_interrupted(self, store):
+        queued = store.create("matrix")
+        running = store.create("analyze")
+        store.mark_running(running.job_id)
+        reopened = JobStore(store.root)
+        assert set(reopened.recovery.interrupted) == {queued.job_id, running.job_id}
+        for job_id in (queued.job_id, running.job_id):
+            record = reopened.get(job_id)
+            assert record.status == "interrupted"
+            assert "restart" in (record.error or "")
+
+    def test_half_written_payload_quarantined(self, store):
+        record = store.create("matrix")
+        store.store_result(record.job_id, {"values": [[1.0]], "names": ["a"]})
+        payload_path = os.path.join(store.payloads_dir, f"{record.job_id}.json")
+        with open(payload_path, "w", encoding="utf-8") as handle:
+            handle.write('{"values": [[1.0')  # torn mid-write
+        reopened = JobStore(store.root)
+        assert any(name.startswith(record.job_id) for name, _ in reopened.recovery.quarantined)
+        assert not os.path.exists(payload_path)
+        assert reopened.get(record.job_id).status == "error"
+        with pytest.raises(JobStoreError):
+            reopened.load_result(record.job_id)
+
+    def test_done_record_with_missing_payload_flipped_to_error(self, store):
+        record = store.create("matrix")
+        store.store_result(record.job_id, {"x": 1})
+        os.remove(os.path.join(store.payloads_dir, f"{record.job_id}.json"))
+        reopened = JobStore(store.root)
+        assert reopened.get(record.job_id).status == "error"
+
+    def test_unreadable_record_quarantined_with_payload(self, store):
+        record = store.create("matrix")
+        store.store_result(record.job_id, {"x": 1})
+        with open(os.path.join(store.jobs_dir, f"{record.job_id}.json"), "w") as handle:
+            handle.write("{torn")
+        reopened = JobStore(store.root)
+        assert len(reopened.recovery.quarantined) == 2  # record + its payload
+        with pytest.raises(KeyError):
+            reopened.get(record.job_id)
+
+    def test_orphan_and_temporary_payloads_quarantined(self, store):
+        with open(os.path.join(store.payloads_dir, "ghost-1.json"), "w") as handle:
+            json.dump({"x": 1}, handle)
+        with open(os.path.join(store.payloads_dir, "half.json.tmp"), "w") as handle:
+            handle.write('{"x"')
+        reopened = JobStore(store.root)
+        reasons = dict(reopened.recovery.quarantined)
+        assert "ghost-1.json" in reasons
+        assert "half.json.tmp" in reasons
+        assert os.listdir(reopened.payloads_dir) == []
+
+    def test_record_with_malformed_fields_quarantined_not_crashing(self, store):
+        # Regression: a record that is valid JSON but has e.g. a non-numeric
+        # timestamp must be quarantined at start-up, not crash the server.
+        record = store.create("matrix")
+        path = os.path.join(store.jobs_dir, f"{record.job_id}.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["created_at"] = "yesterday"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        reopened = JobStore(store.root)
+        assert any(name.startswith(record.job_id) for name, _ in reopened.recovery.quarantined)
+        with pytest.raises(KeyError):
+            reopened.get(record.job_id)
+
+    def test_quarantine_names_do_not_collide(self, store):
+        for _ in range(2):
+            with open(os.path.join(store.payloads_dir, "ghost.json"), "w") as handle:
+                json.dump({"x": 1}, handle)
+            store.recovery = store.recover()
+        assert len(os.listdir(store.quarantine_dir)) == 2

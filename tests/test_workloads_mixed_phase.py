@@ -1,0 +1,93 @@
+"""Tests for the mixed-phase category E workload (repro.workloads.mixed_phase)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import AnalysisSession, make_spec
+from repro.traces.model import validate_trace
+from repro.workloads.corpus import CorpusConfig, build_corpus, summarise_corpus_counts
+from repro.workloads.flash_io import FlashIOGenerator
+from repro.workloads.mixed_phase import MixedPhaseGenerator
+from repro.workloads.normal_io import NormalIOGenerator
+from repro.workloads.random_access import RandomAccessGenerator
+from repro.workloads.random_posix import RandomPosixGenerator
+
+
+class TestGenerator:
+    def test_traces_are_valid_and_labelled(self):
+        trace = MixedPhaseGenerator().generate(seed=1)
+        assert validate_trace(trace) == []
+        assert trace.label == "E"
+        assert len(trace) > 10
+
+    def test_deterministic_given_seed(self):
+        assert MixedPhaseGenerator().generate(seed=5).operations == MixedPhaseGenerator().generate(seed=5).operations
+        assert MixedPhaseGenerator().generate(seed=1).operations != MixedPhaseGenerator().generate(seed=2).operations
+
+    def test_shares_the_ior_harness(self):
+        handles = MixedPhaseGenerator().generate(seed=3).handles()
+        assert "ior_config" in handles
+        assert "ior_log" in handles
+
+    def test_alternating_read_write_signature(self):
+        # The category's defining bigram: a read immediately followed by a
+        # write of the same size at the same offset (read-modify-write).
+        trace = MixedPhaseGenerator().generate(seed=4)
+        operations = [op for op in trace if op.handle.startswith("work")]
+        bigrams = sum(
+            1
+            for first, second in zip(operations, operations[1:])
+            if first.name == "read" and second.name == "write"
+            and first.nbytes == second.nbytes and first.offset == second.offset
+        )
+        assert bigrams > 5
+
+    @pytest.mark.parametrize(
+        "generator_class",
+        [FlashIOGenerator, RandomPosixGenerator, NormalIOGenerator, RandomAccessGenerator],
+    )
+    def test_signature_absent_from_other_categories(self, generator_class):
+        trace = generator_class().generate(seed=4)
+        operations = list(trace)
+        assert not any(
+            first.name == "read" and second.name == "write"
+            and first.nbytes == second.nbytes and first.offset == second.offset
+            and first.offset is not None
+            for first, second in zip(operations, operations[1:])
+        )
+
+
+class TestCorpusRegistration:
+    def test_extended_corpus_includes_category_e(self):
+        config = CorpusConfig.small_extended(seed=7)
+        counts = summarise_corpus_counts(build_corpus(config))
+        assert counts.per_label == {"A": 4, "B": 4, "C": 4, "D": 4, "E": 4}
+        assert counts.total == config.expected_total()
+
+    def test_extended_paper_corpus_shape(self):
+        config = CorpusConfig.extended(seed=7)
+        assert config.expected_total() == 110 + 20
+
+    def test_paper_corpus_unchanged(self):
+        # Registering E must not alter the default (paper) construction.
+        counts = summarise_corpus_counts(build_corpus(CorpusConfig.paper(seed=7)))
+        assert counts.per_label == {"A": 50, "B": 20, "C": 20, "D": 20}
+
+
+class TestKernelSeparation:
+    def test_kast_separates_mixed_phase_from_the_four_categories(self):
+        with AnalysisSession() as session:
+            strings = session.corpus(config=CorpusConfig.small_extended(seed=7))
+            gram = session.gram(make_spec("kast", cut_weight=2), strings)
+        labels = np.array([string.label for string in strings])
+        e_mask = labels == "E"
+        within = gram[np.ix_(e_mask, e_mask)]
+        count = int(e_mask.sum())
+        within_mean = (within.sum() - np.trace(within)) / (count * count - count)
+        for other in "ABCD":
+            cross_mean = gram[np.ix_(e_mask, labels == other)].mean()
+            # E examples must look far more like each other than like any
+            # existing category (a wide margin, not a statistical accident).
+            assert within_mean > 3 * cross_mean, (other, within_mean, cross_mean)
