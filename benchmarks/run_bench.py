@@ -16,7 +16,11 @@ Measures, with the paper's 110-example corpus:
 * **E10c** — local vs service overhead: the same warm matrix request
   through :meth:`AnalysisSession.matrix` in-process and through a
   :class:`~repro.service.ServiceClient` against a local HTTP server (the
-  per-call cost of the wire protocol, job store and transport).
+  per-call cost of the wire protocol, job store and transport);
+* **E10d** — distributed worker scaling: one cold `distributed=True`
+  sharded matrix job drained by 1 vs 2 external ``repro-iokast worker``
+  processes (fresh state dir and workers per point, so caches are cold
+  and the wall clock measures real block execution).
 
 The result is written as JSON so future PRs can diff their numbers against
 the recorded trajectory (see ``benchmarks/README.md``).  Timings are the
@@ -138,6 +142,68 @@ def bench_service_overhead(repeats: int, corpus_size: int = 40) -> Dict[str, flo
     }
 
 
+def bench_distributed_workers(
+    corpus_size: int = 40, shards: int = 4, worker_counts=(1, 2)
+) -> Dict[str, object]:
+    """E10d: wall clock of one cold distributed matrix job per worker count.
+
+    The server runs with ``inline_blocks=False`` so every block task is
+    executed by the external worker processes; each point uses a fresh
+    state dir and fresh workers (cold kernel caches), so the measured time
+    is block execution plus coordination — the honest scaling number for
+    this machine (on a single hardware thread, 2 workers buy nothing).
+    """
+    import os
+    import subprocess
+    import sys
+    import tempfile
+
+    from repro.api import make_spec
+    from repro.service import AnalysisServer, ServiceClient
+
+    spec = make_spec("kast", cut_weight=2)
+    strings = list(paper_strings(DEFAULT_SEED, True))[:corpus_size]
+    wall_seconds: Dict[str, float] = {}
+    for count in worker_counts:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-dist-") as state_dir:
+            server = AnalysisServer(state_dir=state_dir, inline_blocks=False)
+            workers: List[subprocess.Popen] = []
+            try:
+                host, port = server.start_http()
+                command = [
+                    sys.executable, "-m", "repro", "worker",
+                    "--state-dir", state_dir,
+                    "--poll-interval", "0.05",
+                    "--idle-exit", "3",
+                ]
+                for _ in range(count):
+                    workers.append(
+                        subprocess.Popen(
+                            command,
+                            env=dict(os.environ),
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL,
+                        )
+                    )
+                time.sleep(2.0)  # let the workers finish importing and start polling
+                with ServiceClient(f"http://{host}:{port}") as client:
+                    start = time.perf_counter()
+                    client.matrix(spec, strings, shards=shards, distributed=True, timeout=600)
+                    wall_seconds[str(count)] = time.perf_counter() - start
+            finally:
+                for worker in workers:
+                    try:
+                        worker.wait(timeout=60)
+                    except subprocess.TimeoutExpired:
+                        worker.kill()
+                server.close()
+    return {
+        "corpus_size": float(corpus_size),
+        "shards": float(shards),
+        "wall_seconds": wall_seconds,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="benchmarks/BENCH_scaling.json", help="where to write the JSON report")
@@ -173,6 +239,11 @@ def main() -> int:
         f"ratio {service['overhead_ratio']:.2f}x)"
     )
 
+    print("E10d: distributed matrix wall clock, 1 vs 2 worker processes (s)")
+    distributed = bench_distributed_workers(corpus_size=20 if args.quick else 40)
+    for count, seconds in distributed["wall_seconds"].items():
+        print(f"  {count} worker(s): {seconds:.2f}s")
+
     report = {
         "benchmark": "E10 scaling",
         "repeats": args.repeats,
@@ -184,6 +255,7 @@ def main() -> int:
         "gram_seconds": gram,
         "gram_speedup_numpy_vs_python": speedup,
         "service_overhead": service,
+        "distributed_workers": distributed,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError  # == builtin TimeoutError only from 3.11
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -80,12 +81,19 @@ class JobTimeout(TimeoutError):
 class _Job:
     """Internal handle pairing a future with its description."""
 
-    __slots__ = ("job_id", "kind", "future")
+    __slots__ = ("job_id", "kind", "future", "created_at", "finished_at")
 
     def __init__(self, job_id: str, kind: str, future: "Future") -> None:
         self.job_id = job_id
         self.kind = kind
         self.future = future
+        self.created_at = time.time()
+        #: Stamped by the future's done-callback; None while in flight.
+        self.finished_at: Optional[float] = None
+        future.add_done_callback(self._stamp_finished)
+
+    def _stamp_finished(self, _future: "Future") -> None:
+        self.finished_at = time.time()
 
     def status(self) -> str:
         if self.future.cancelled():
@@ -113,6 +121,15 @@ class AnalysisSession:
         Forwarded to every engine.
     max_job_workers:
         Size of the background pool serving :meth:`submit` jobs.
+    job_ttl:
+        Seconds a *finished* job handle (and its retained result) is kept
+        for collection before the session's sweep evicts it.  ``None``
+        (the default) keeps finished jobs until :meth:`forget` — but see
+        *max_retained_jobs*, which bounds retention either way.
+    max_retained_jobs:
+        Hard cap on retained *finished* jobs: when exceeded, the
+        oldest-finished are evicted first.  Protects long-lived servers
+        whose clients submit but never fetch from unbounded growth.
     """
 
     def __init__(
@@ -123,6 +140,8 @@ class AnalysisSession:
         pair_cache_size: Optional[int] = None,
         chunk_size: Optional[int] = None,
         max_job_workers: int = 2,
+        job_ttl: Optional[float] = None,
+        max_retained_jobs: int = 1024,
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -130,6 +149,10 @@ class AnalysisSession:
             raise ValueError(f"executor must be one of {ENGINE_EXECUTORS}, got {executor!r}")
         if max_job_workers < 1:
             raise ValueError(f"max_job_workers must be >= 1, got {max_job_workers}")
+        if job_ttl is not None and job_ttl < 0:
+            raise ValueError(f"job_ttl must be >= 0 or None, got {job_ttl}")
+        if max_retained_jobs < 1:
+            raise ValueError(f"max_retained_jobs must be >= 1, got {max_retained_jobs}")
         self.n_jobs = n_jobs
         self.executor = executor
         self.interner = interner if interner is not None else TokenInterner()
@@ -145,6 +168,8 @@ class AnalysisSession:
         self._job_ids = itertools.count(1)
         self._job_pool: Optional[ThreadPoolExecutor] = None
         self._max_job_workers = max_job_workers
+        self.job_ttl = job_ttl
+        self.max_retained_jobs = max_retained_jobs
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -367,6 +392,7 @@ class AnalysisSession:
         with self._lock:
             if self._closed:
                 raise RuntimeError("session is closed")
+            self._sweep_jobs_locked()
             if self._job_pool is None:
                 self._job_pool = ThreadPoolExecutor(
                     max_workers=self._max_job_workers, thread_name_prefix="repro-session"
@@ -375,6 +401,38 @@ class AnalysisSession:
             self._jobs[job_id] = _Job(job_id, kind, self._job_pool.submit(work))
             return job_id
 
+    def _sweep_jobs_locked(self, now: Optional[float] = None) -> List[str]:
+        """Evict expired / excess finished jobs (caller holds ``self._lock``)."""
+        moment = time.time() if now is None else now
+        evicted: List[str] = []
+        if self.job_ttl is not None:
+            for job_id, job in list(self._jobs.items()):
+                if job.finished_at is not None and moment - job.finished_at >= self.job_ttl:
+                    del self._jobs[job_id]
+                    evicted.append(job_id)
+        finished = sorted(
+            ((job.finished_at, job_id) for job_id, job in self._jobs.items()
+             if job.finished_at is not None),
+        )
+        excess = len(finished) - self.max_retained_jobs
+        for _, job_id in finished[:max(0, excess)]:
+            del self._jobs[job_id]
+            evicted.append(job_id)
+        return evicted
+
+    def sweep_jobs(self) -> List[str]:
+        """Drop finished jobs past their TTL (and beyond the retention cap).
+
+        The session-side twin of :meth:`JobStore.sweep
+        <repro.service.jobstore.JobStore.sweep>`: a server maintenance
+        loop calls both so neither the state dir nor the in-memory future
+        map grows without bound when clients never fetch results.  A swept
+        job's id stops resolving — :meth:`status` / :meth:`result` raise
+        :class:`KeyError` for it.  Returns the evicted job ids.
+        """
+        with self._lock:
+            return self._sweep_jobs_locked()
+
     def _job(self, job_id: str) -> _Job:
         job = self._jobs.get(job_id)
         if job is None:
@@ -382,7 +440,13 @@ class AnalysisSession:
         return job
 
     def status(self, job_id: str) -> str:
-        """``"pending" | "running" | "done" | "error" | "cancelled"``."""
+        """``"pending" | "running" | "done" | "error" | "cancelled"``.
+
+        Raises :class:`KeyError` for unknown ids — including finished jobs
+        already evicted by the TTL/retention sweep (:meth:`sweep_jobs`).
+        """
+        if self.job_ttl is not None:
+            self.sweep_jobs()
         return self._job(job_id).status()
 
     def result(self, job_id: str, timeout: Optional[float] = None, forget: bool = False) -> Any:
@@ -447,8 +511,11 @@ class AnalysisSession:
             return True
 
     def jobs(self) -> Dict[str, str]:
-        """Status of every job submitted to this session."""
-        return {job_id: job.status() for job_id, job in self._jobs.items()}
+        """Status of every retained job submitted to this session."""
+        if self.job_ttl is not None:
+            self.sweep_jobs()
+        with self._lock:
+            return {job_id: job.status() for job_id, job in self._jobs.items()}
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle

@@ -11,6 +11,9 @@
 * ``sweep`` — run the cut-weight sweep and print the table;
 * ``serve`` — run the analysis service (HTTP or stdio) over a persistent
   state directory;
+* ``worker`` — run a pull-loop worker against a server's state directory,
+  claiming and executing leased block tasks (scale out by starting more);
+* ``gc`` — sweep expired terminal jobs out of a state directory;
 * ``remote`` — talk to a running analysis service (submit matrix jobs,
   query status/results, health).
 
@@ -140,6 +143,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine worker-pool implementation (default: thread)",
     )
     serve.add_argument("--job-workers", type=int, default=2, help="concurrent service jobs (default: 2)")
+    serve.add_argument(
+        "--no-inline-blocks",
+        action="store_true",
+        help="leave distributed block tasks entirely to external workers (default: the server also executes blocks)",
+    )
+    serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=900.0,
+        help="lease stamped on jobs this server claims (default: 900)",
+    )
+    serve.add_argument(
+        "--job-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="garbage-collect terminal jobs older than this (default: keep forever)",
+    )
+    serve.add_argument(
+        "--gc-interval",
+        type=float,
+        default=30.0,
+        help="seconds between maintenance passes (lease requeue, adoption, TTL sweep; default: 30)",
+    )
+
+    worker = subparsers.add_parser(
+        "worker", help="run a pull-loop worker over a server's state directory"
+    )
+    worker.add_argument("--state-dir", required=True, help="the job-store directory shared with the server")
+    worker.add_argument("--worker-id", default=None, help="stable worker identity (default: host/pid-derived)")
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.5, help="seconds between queue scans when idle (default: 0.5)"
+    )
+    worker.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="lease stamped on claimed tasks, renewed while running (default: 30)",
+    )
+    worker.add_argument("--n-jobs", type=int, default=1, help="engine workers (default: 1)")
+    worker.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="engine worker-pool implementation (default: thread)",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None, help="exit after executing this many tasks (default: unbounded)"
+    )
+    worker.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after the queue stays dry this long (default: run forever)",
+    )
+    worker.add_argument(
+        "--throttle",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep between claiming and executing each task (rate limit; default: 0)",
+    )
+
+    gc = subparsers.add_parser("gc", help="sweep expired terminal jobs out of a state directory")
+    gc.add_argument("--state-dir", required=True, help="the job-store directory to sweep")
+    gc.add_argument(
+        "--ttl",
+        type=float,
+        required=True,
+        metavar="SECONDS",
+        help="drop terminal jobs whose last update is older than this (0 = every terminal job)",
+    )
+    gc.add_argument("--dry-run", action="store_true", help="print what would be swept without removing it")
 
     remote = subparsers.add_parser("remote", help="talk to a running analysis service")
     remote.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8123")
@@ -163,6 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="block-shard count for the job (1 = monolithic; default: the server's default)",
+    )
+    remote_matrix.add_argument(
+        "--distributed",
+        action="store_true",
+        help="persist the shard blocks as leasable tasks for external `repro-iokast worker` processes",
     )
     remote_matrix.add_argument("--no-wait", action="store_true", help="print the job id instead of waiting")
     remote_matrix.add_argument("--output", default=None, help="write the JSON payload here instead of stdout")
@@ -344,6 +426,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         max_job_workers=args.job_workers,
         default_shards=args.shards,
+        inline_blocks=not args.no_inline_blocks,
+        lease_seconds=args.lease_seconds,
+        job_ttl=args.job_ttl,
+        gc_interval=args.gc_interval,
     )
     try:
         if args.stdio:
@@ -367,6 +453,55 @@ def _command_serve(args: argparse.Namespace) -> int:
         return 0
     finally:
         server.close()
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service.worker import Worker
+
+    worker = Worker(
+        state_dir=args.state_dir,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        lease_seconds=args.lease_seconds,
+        n_jobs=args.n_jobs,
+        executor=args.executor,
+        throttle=args.throttle,
+    )
+    # Drain the current task, then exit cleanly on SIGTERM/SIGINT; SIGKILL
+    # needs no handling — the lease expires and the task is reclaimed.
+    signal.signal(signal.SIGTERM, lambda signum, frame: worker.stop())
+    print(
+        f"worker {worker.worker_id} pulling from {worker.store.root} "
+        f"(poll {worker.poll_interval}s, lease {worker.lease_seconds}s)",
+        file=sys.stderr,
+    )
+    try:
+        worker.run_forever(max_tasks=args.max_tasks, idle_exit=args.idle_exit)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.close()
+    print(
+        f"worker {worker.worker_id} exiting: {worker.completed} task(s) done, {worker.failed} failed",
+        file=sys.stderr,
+    )
+    # Batch pipelines key off the exit status: a worker that failed tasks
+    # and completed none must not report success.
+    return 1 if worker.failed and not worker.completed else 0
+
+
+def _command_gc(args: argparse.Namespace) -> int:
+    from repro.service import JobStore
+
+    store = JobStore(args.state_dir, recover=False)
+    swept = store.sweep(args.ttl, dry_run=args.dry_run)
+    verb = "would sweep" if args.dry_run else "swept"
+    print(f"{verb} {len(swept)} job(s) from {store.root}")
+    for job_id in swept:
+        print(f"  {job_id}")
+    return 0
 
 
 def _command_remote(args: argparse.Namespace) -> int:
@@ -406,13 +541,22 @@ def _command_remote(args: argparse.Namespace) -> int:
         session = AnalysisSession()
         strings = session.corpus_from_directory(args.corpus, use_byte_information=not args.no_bytes)
         if args.no_wait:
-            job_id = client.submit(spec, strings, normalized=not args.raw, shards=args.shards)
+            job_id = client.submit(
+                spec, strings, normalized=not args.raw, shards=args.shards, distributed=args.distributed
+            )
             print(job_id)
             return 0
         payload = client.matrix_payload(
-            spec, strings, normalized=not args.raw, shards=args.shards, timeout=args.timeout
+            spec,
+            strings,
+            normalized=not args.raw,
+            shards=args.shards,
+            distributed=args.distributed,
+            timeout=args.timeout,
         )
         shard_text = "server-default shards" if args.shards is None else f"{args.shards} shard(s)"
+        if args.distributed:
+            shard_text += ", distributed"
         _emit_payload(
             payload,
             args.output,
@@ -433,6 +577,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _command_experiment,
         "sweep": _command_sweep,
         "serve": _command_serve,
+        "worker": _command_worker,
+        "gc": _command_gc,
         "remote": _command_remote,
     }
     return handlers[args.command](args)

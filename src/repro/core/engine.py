@@ -48,6 +48,8 @@ __all__ = [
     "string_fingerprint",
     "plan_index_blocks",
     "block_index_pairs",
+    "encode_pair_values",
+    "decode_pair_values",
     "ENGINE_EXECUTORS",
 ]
 
@@ -194,6 +196,32 @@ def block_index_pairs(first: Tuple[int, int], second: Tuple[int, int]) -> List[T
     if a_stop > b_start:
         raise ValueError(f"blocks {first} and {second} overlap")
     return [(i, j) for i in range(a_start, a_stop) for j in range(b_start, b_stop)]
+
+
+def encode_pair_values(raw_by_pair: Dict[Tuple[int, int], float]) -> List[List[float]]:
+    """Serialise raw pair values as sorted ``[i, j, value]`` JSON rows.
+
+    The wire/persistence form of one block task's result: Python's JSON
+    float representation is the shortest round-tripping one, so values
+    decoded by :func:`decode_pair_values` are bit-identical to the floats
+    the evaluating worker computed — the property the sharded Gram
+    assembly relies on.
+    """
+    return [
+        [int(i), int(j), float(value)]
+        for (i, j), value in sorted(raw_by_pair.items())
+    ]
+
+
+def decode_pair_values(rows: Sequence[Sequence[Any]]) -> Dict[Tuple[int, int], float]:
+    """Rebuild the ``{(i, j): value}`` mapping of :func:`encode_pair_values`."""
+    decoded: Dict[Tuple[int, int], float] = {}
+    for position, row in enumerate(rows):
+        if isinstance(row, (str, bytes)) or len(row) != 3:
+            raise ValueError(f"pair-value row {position} must be [i, j, value], got {row!r}")
+        i, j, value = row
+        decoded[(int(i), int(j))] = float(value)
+    return decoded
 
 
 class GramEngine:

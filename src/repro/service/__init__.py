@@ -12,23 +12,33 @@ share one warm session, and jobs survive the server process.
   messages travel over HTTP and over stdio.
 * :mod:`repro.service.jobstore` — the on-disk job store: one JSON record
   plus one payload file per job under a state directory, written via atomic
-  renames and checksum-stamped, so finished results are retrievable after a
-  crash and damaged files are quarantined instead of trusted.
+  renames, checksum-stamped, and guarded by per-record advisory *file
+  locks*, so several processes (servers and workers) safely share one
+  state dir.  Jobs are **leased** (``claim``/``renew_lease``/``release``);
+  recovery requeues queued and expired-lease work instead of dead-ending
+  it, and ``sweep`` garbage-collects terminal records past a TTL.
 * :mod:`repro.service.server` — :class:`AnalysisServer`, a stdlib
   ``ThreadingHTTPServer`` front end owning a single session and a job
   store.  Matrix jobs may be **block-sharded**: the index range is split
   into symmetric blocks, each block-pair is one engine task, and the blocks
   merge through :meth:`~repro.core.engine.GramEngine.assemble_gram` into a
-  matrix bit-identical to the monolithic computation.
+  matrix bit-identical to the monolithic computation.  With
+  ``distributed=True`` the blocks become individually leasable records
+  that pull-loop workers execute.
+* :mod:`repro.service.worker` — :class:`Worker`, the pull loop: claims
+  block tasks from a shared state dir under the store's cross-process
+  locks, executes them with a warm session, and renews its leases; a
+  SIGKILLed worker's blocks are reclaimed when the lease expires.
 * :mod:`repro.service.client` — :class:`ServiceClient`, mirroring the
   ``AnalysisSession`` surface (``matrix()/analyze()/submit()/result()``)
   over an HTTP or stdio transport.
 
-The CLI wires this up as ``repro-iokast serve`` and ``repro-iokast remote``.
+The CLI wires this up as ``repro-iokast serve``, ``repro-iokast worker``,
+``repro-iokast remote`` and ``repro-iokast gc``.
 """
 
 from repro.service.client import HTTPTransport, ServiceClient, StdioTransport
-from repro.service.jobstore import JobRecord, JobStore, RecoveryReport
+from repro.service.jobstore import JobRecord, JobStore, LeaseError, RecoveryReport
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     BadRequest,
@@ -40,6 +50,7 @@ from repro.service.protocol import (
     encode_corpus,
 )
 from repro.service.server import AnalysisServer, serve_stdio
+from repro.service.worker import Worker, execute_block_task
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -50,12 +61,15 @@ __all__ = [
     "JobPending",
     "JobRecord",
     "JobStore",
+    "LeaseError",
     "RecoveryReport",
     "ServiceClient",
     "ServiceError",
     "StdioTransport",
     "UnknownJob",
+    "Worker",
     "decode_corpus",
     "encode_corpus",
+    "execute_block_task",
     "serve_stdio",
 ]

@@ -66,8 +66,14 @@ __all__ = ["HTTPTransport", "ServiceClient", "StdioTransport", "spawn_stdio_serv
 #: Spec shorthands the client accepts (mirrors the session's SpecLike).
 SpecLike = Union[KernelSpec, Mapping[str, Any], str]
 
-#: Per-request server-side wait used while polling for a result.
+#: Default per-request server-side wait used while polling for a result.
 _POLL_WAIT_SECONDS = 2.0
+
+#: Fraction of the transport's socket timeout a server-side wait hint may
+#: use.  The rest is headroom for the server to answer and the payload to
+#: travel — a wait hint at (or beyond) the socket timeout would make every
+#: slow poll die as a transport error instead of a clean job-pending.
+_POLL_WAIT_TIMEOUT_FRACTION = 0.5
 
 
 class HTTPTransport:
@@ -197,12 +203,41 @@ class ServiceClient:
     transport:
         An :class:`HTTPTransport`, a :class:`StdioTransport`, or a bare
         ``http(s)://`` URL string (wrapped in an HTTP transport).
+    poll_wait:
+        Seconds of *server-side* wait requested per result poll.  The
+        effective wait is clamped well below the transport's socket
+        timeout (when it has one), so an unbounded
+        ``result_payload(timeout=None)`` keeps politely polling instead of
+        surfacing a transport timeout mid-wait.
     """
 
-    def __init__(self, transport: Union[str, HTTPTransport, StdioTransport]) -> None:
+    def __init__(
+        self,
+        transport: Union[str, HTTPTransport, StdioTransport],
+        poll_wait: float = _POLL_WAIT_SECONDS,
+    ) -> None:
         if isinstance(transport, str):
             transport = HTTPTransport(transport)
+        if poll_wait <= 0:
+            raise ValueError(f"poll_wait must be > 0, got {poll_wait}")
         self.transport = transport
+        self.poll_wait = float(poll_wait)
+
+    def _clamped_poll_wait(self) -> float:
+        """The per-poll server-side wait hint, kept under the socket timeout.
+
+        A transport with a finite request timeout (HTTP) cannot sit in one
+        request longer than that timeout: a wait hint at or above it would
+        turn every quiet poll into a spurious ``URLError`` even though the
+        job is healthy.  Capping the hint at half the socket timeout keeps
+        each poll comfortably answerable; the *caller's* deadline is still
+        honoured by the polling loop in :meth:`result_payload`.
+        """
+        wait = self.poll_wait
+        transport_timeout = getattr(self.transport, "timeout", None)
+        if transport_timeout is not None:
+            wait = min(wait, max(0.05, float(transport_timeout) * _POLL_WAIT_TIMEOUT_FRACTION))
+        return wait
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -235,8 +270,15 @@ class ServiceClient:
         normalized: bool = True,
         repair: bool = True,
         shards: Optional[int] = None,
+        distributed: bool = False,
     ) -> str:
-        """Queue a matrix job (``shards > 1`` → block-sharded); returns its id."""
+        """Queue a matrix job; returns its id.
+
+        ``shards > 1`` block-shards the evaluation; ``distributed=True``
+        additionally persists the blocks as leasable worker tasks, so
+        ``repro-iokast worker`` processes sharing the server's state dir
+        execute them (values stay bit-identical either way).
+        """
         response = self._call(
             SubmitMatrixRequest(
                 spec=self._spec_payload(spec),
@@ -244,6 +286,7 @@ class ServiceClient:
                 normalized=normalized,
                 repair=repair,
                 shards=shards,
+                distributed=distributed,
             )
         )
         return str(response["job_id"])
@@ -282,11 +325,12 @@ class ServiceClient:
         raises :class:`~repro.api.session.JobTimeout` carrying the job id.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        poll_wait = self._clamped_poll_wait()
         while True:
             remaining = None if deadline is None else deadline - time.monotonic()
             if remaining is not None and remaining <= 0:
                 raise JobTimeout(job_id, timeout)
-            wait = _POLL_WAIT_SECONDS if remaining is None else max(0.0, min(_POLL_WAIT_SECONDS, remaining))
+            wait = poll_wait if remaining is None else max(0.0, min(poll_wait, remaining))
             try:
                 response = self._call(ResultRequest(job_id=job_id, wait=wait, forget=forget))
             except JobPending:
@@ -319,6 +363,7 @@ class ServiceClient:
         normalized: bool = True,
         repair: bool = True,
         shards: Optional[int] = None,
+        distributed: bool = False,
         timeout: Optional[float] = None,
     ) -> KernelMatrix:
         """Compute a labelled kernel matrix remotely (submit + wait + decode).
@@ -326,7 +371,9 @@ class ServiceClient:
         The finished job is forgotten server-side after delivery, matching
         the one-shot semantics of :meth:`AnalysisSession.matrix`.
         """
-        job_id = self.submit(spec, strings, normalized=normalized, repair=repair, shards=shards)
+        job_id = self.submit(
+            spec, strings, normalized=normalized, repair=repair, shards=shards, distributed=distributed
+        )
         payload = self.result_payload(job_id, timeout=timeout, forget=True)
         return KernelMatrix.from_dict(payload)
 
@@ -337,10 +384,13 @@ class ServiceClient:
         normalized: bool = True,
         repair: bool = True,
         shards: Optional[int] = None,
+        distributed: bool = False,
         timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Like :meth:`matrix` but returning the stamped wire payload."""
-        job_id = self.submit(spec, strings, normalized=normalized, repair=repair, shards=shards)
+        job_id = self.submit(
+            spec, strings, normalized=normalized, repair=repair, shards=shards, distributed=distributed
+        )
         return self.result_payload(job_id, timeout=timeout, forget=True)
 
     def analyze(

@@ -1,10 +1,11 @@
-"""Crash-safe on-disk job store backing the analysis server.
+"""Crash-safe, multi-process on-disk job store backing the analysis service.
 
-Each job owns two files under the server's state directory::
+Each job owns files under the service's state directory::
 
     state_dir/
-        jobs/<job_id>.json        # small record: kind, status, spec, error
+        jobs/<job_id>.json        # small record: kind, status, spec, lease, error
         payloads/<job_id>.json    # the stamped result payload (written once)
+        locks/<job_id>.lock       # per-record advisory file lock
         quarantine/               # damaged files moved here, never trusted
 
 Every write goes through an atomic temp-file + ``os.replace`` dance, so a
@@ -14,15 +15,51 @@ result payloads are checksum-stamped into their record
 older, non-atomic tool, or truncated by a full disk) is detected on the
 next start-up, moved to ``quarantine/`` and reported instead of served.
 
-Start-up recovery (:meth:`JobStore.recover`, run by the constructor):
+Cross-process safety
+--------------------
+Several processes — servers and pull-loop workers — may share one state
+directory.  Every read-modify-write (``update``, ``mutate``, ``claim``,
+``store_result``, ``forget``, recovery, the sweep) runs under a
+*per-record advisory file lock* (``flock`` on ``locks/<job_id>.lock``,
+with an ``O_EXCL`` sidecar fallback on platforms without ``fcntl``), so
+two stores interleaving a read → replace → write on the same record can
+never drop each other's changes.  ``flock`` locks die with their holder,
+so a SIGKILLed process never wedges the store.
 
-* unparseable record files are quarantined (with their payload);
-* ``done`` records whose payload is missing or fails its checksum have the
-  damaged payload quarantined and the record flipped to ``error``;
-* orphan payload files without a record are quarantined;
-* jobs still ``queued``/``running`` from a previous process are marked
-  ``interrupted`` — the work died with the old server, but the record (and
-  its error message) remains answerable.
+Job leasing
+-----------
+Work is distributed by *pull*: an executor calls :meth:`JobStore.claim`
+with its ``worker_id`` and a lease duration; the store atomically moves
+the oldest claimable record to ``running`` stamped with the worker id and
+``lease_expires_at``.  The owner extends the lease with
+:meth:`renew_lease` while computing and either stores a result or gives
+the job back to the queue with :meth:`release`.  A job whose lease expired
+(its worker was killed or lost) is claimable again — by :meth:`claim`,
+:meth:`requeue_expired`, or the next start-up recovery — so a dead worker
+only ever *delays* a job, never loses it.
+
+State machine (also enforced by :meth:`JobRecord.__post_init__` /
+:meth:`update`)::
+
+    queued ──claim──▶ running ──store_result──▶ done
+      ▲                  │  │
+      │   release /      │  └─mark_error──▶ error
+      └── lease expiry ──┘
+    queued ──cancel──▶ cancelled
+    running (no lease, owner process died) ──recovery──▶ interrupted
+
+``interrupted`` is terminal and reserved for *non-resumable* in-flight
+work: a ``running`` record with no lease stamp belonged to an in-process
+job whose callable died with its server.  Queued jobs and expired leases
+are requeued by recovery instead — rerunning work that never completed is
+always safe because results are written atomically and exactly once.
+
+Garbage collection
+------------------
+:meth:`sweep` removes terminal records (and their payloads and lock
+files) older than a TTL, so long-lived state directories stop growing
+without bound; the server's maintenance loop and the ``repro-iokast gc``
+command both call it.
 
 The store is transport- and session-agnostic: it never imports the server
 or the protocol, so it can be reused by other front ends (and tested in
@@ -31,27 +68,48 @@ isolation).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
-import threading
 import time
 import uuid
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["JOB_STATUSES", "JobRecord", "JobStore", "JobStoreError", "RecoveryReport"]
+try:  # pragma: no cover - fcntl exists everywhere the tests run
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
-#: Every status a stored job can be in.  ``queued → running → done|error|
-#: cancelled`` in one server life; ``interrupted`` is stamped by recovery.
+__all__ = [
+    "JOB_STATUSES",
+    "JobRecord",
+    "JobStore",
+    "JobStoreError",
+    "LeaseError",
+    "RecoveryReport",
+]
+
+#: Every status a stored job can be in.  See the module docstring for the
+#: full state machine; ``interrupted`` is stamped by recovery for
+#: non-resumable in-flight work only.
 JOB_STATUSES = ("queued", "running", "done", "error", "cancelled", "interrupted")
 
 #: Statuses a job can never leave.
 TERMINAL_STATUSES = frozenset({"done", "error", "cancelled", "interrupted"})
 
+#: Age after which an ``O_EXCL`` sidecar lock (fallback path only) is
+#: presumed orphaned by a dead process and broken.
+_SIDECAR_STALE_SECONDS = 60.0
+
 
 class JobStoreError(RuntimeError):
     """Raised for invalid store operations or damaged stored state."""
+
+
+class LeaseError(JobStoreError):
+    """Raised when a lease operation loses to another owner (renew/release)."""
 
 
 def _payload_checksum(text: str) -> str:
@@ -59,7 +117,7 @@ def _payload_checksum(text: str) -> str:
 
 
 def _write_text_atomic(path: str, text: str) -> None:
-    temporary = f"{path}.tmp"
+    temporary = f"{path}.tmp.{os.getpid()}"
     with open(temporary, "w", encoding="utf-8") as handle:
         handle.write(text)
         handle.flush()
@@ -76,8 +134,12 @@ class JobRecord:
     status: str = "queued"
     spec: Optional[Dict[str, Any]] = None
     options: Dict[str, Any] = field(default_factory=dict)
+    input: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     payload_sha256: Optional[str] = None
+    worker_id: Optional[str] = None
+    lease_expires_at: Optional[float] = None
+    attempts: int = 0
     created_at: float = 0.0
     updated_at: float = 0.0
 
@@ -92,6 +154,23 @@ class JobRecord:
         """Whether the job reached a terminal status."""
         return self.status in TERMINAL_STATUSES
 
+    def lease_expired(self, now: Optional[float] = None) -> bool:
+        """Whether this is a leased ``running`` job whose lease has lapsed."""
+        return (
+            self.status == "running"
+            and self.lease_expires_at is not None
+            and self.lease_expires_at <= (time.time() if now is None else now)
+        )
+
+    def claimable(self, now: Optional[float] = None) -> bool:
+        """Whether :meth:`JobStore.claim` may hand this record to a worker.
+
+        ``queued`` records and ``running`` records with an expired lease
+        are claimable; a ``running`` record *without* a lease belongs to an
+        in-process job and is never reassigned.
+        """
+        return self.status == "queued" or self.lease_expired(now)
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "job_id": self.job_id,
@@ -99,8 +178,12 @@ class JobRecord:
             "status": self.status,
             "spec": self.spec,
             "options": dict(self.options),
+            "input": self.input,
             "error": self.error,
             "payload_sha256": self.payload_sha256,
+            "worker_id": self.worker_id,
+            "lease_expires_at": self.lease_expires_at,
+            "attempts": self.attempts,
             "created_at": self.created_at,
             "updated_at": self.updated_at,
         }
@@ -110,8 +193,9 @@ class JobRecord:
         if not isinstance(payload, Mapping):
             raise JobStoreError(f"job record must be a mapping, got {type(payload).__name__}")
         unknown = set(payload) - {
-            "job_id", "kind", "status", "spec", "options", "error",
-            "payload_sha256", "created_at", "updated_at",
+            "job_id", "kind", "status", "spec", "options", "input", "error",
+            "payload_sha256", "worker_id", "lease_expires_at", "attempts",
+            "created_at", "updated_at",
         }
         if unknown:
             raise JobStoreError(f"job record has unknown keys {sorted(unknown)}")
@@ -121,6 +205,10 @@ class JobRecord:
         options = payload.get("options", {})
         if not isinstance(options, Mapping):
             raise JobStoreError("job record 'options' must be an object")
+        stored_input = payload.get("input")
+        if stored_input is not None and not isinstance(stored_input, Mapping):
+            raise JobStoreError("job record 'input' must be an object or null")
+        lease = payload.get("lease_expires_at")
         try:
             return cls(
                 job_id=str(payload.get("job_id", "")),
@@ -128,10 +216,14 @@ class JobRecord:
                 status=str(payload.get("status", "queued")),
                 spec=dict(spec) if spec is not None else None,
                 options=dict(options),
+                input=dict(stored_input) if stored_input is not None else None,
                 error=str(payload["error"]) if payload.get("error") is not None else None,
                 payload_sha256=(
                     str(payload["payload_sha256"]) if payload.get("payload_sha256") is not None else None
                 ),
+                worker_id=str(payload["worker_id"]) if payload.get("worker_id") is not None else None,
+                lease_expires_at=float(lease) if lease is not None else None,
+                attempts=int(payload.get("attempts", 0)),
                 created_at=float(payload.get("created_at", 0.0)),
                 updated_at=float(payload.get("updated_at", 0.0)),
             )
@@ -143,40 +235,107 @@ class JobRecord:
 
 @dataclass(frozen=True)
 class RecoveryReport:
-    """What start-up recovery found: quarantined files and interrupted jobs."""
+    """What start-up recovery found and did.
+
+    ``requeued`` are queued / expired-lease jobs put back on the queue;
+    ``interrupted`` are non-resumable in-flight jobs (running, no lease)
+    dead-ended because their callable died with its process.
+    """
 
     quarantined: Tuple[Tuple[str, str], ...] = ()
     interrupted: Tuple[str, ...] = ()
+    requeued: Tuple[str, ...] = ()
 
     def describe(self) -> str:
         return (
             f"recovered state dir: {len(self.quarantined)} file(s) quarantined, "
+            f"{len(self.requeued)} job(s) requeued, "
             f"{len(self.interrupted)} job(s) interrupted"
         )
 
 
 class JobStore:
-    """Directory-backed store of job records and result payloads."""
+    """Directory-backed store of job records and result payloads.
 
-    def __init__(self, root: str) -> None:
+    Parameters
+    ----------
+    root:
+        The state directory (created if missing).
+    recover:
+        Whether to run the start-up recovery pass (quarantine damage,
+        requeue abandoned work).  Servers recover; pull-loop *workers*
+        joining a live state dir must pass ``False`` — recovery is the
+        owner's job, and a worker must not requeue records the serving
+        process is legitimately running.
+    """
+
+    def __init__(self, root: str, recover: bool = True) -> None:
         self.root = os.path.abspath(root)
         self.jobs_dir = os.path.join(self.root, "jobs")
         self.payloads_dir = os.path.join(self.root, "payloads")
+        self.locks_dir = os.path.join(self.root, "locks")
         self.quarantine_dir = os.path.join(self.root, "quarantine")
-        for directory in (self.jobs_dir, self.payloads_dir, self.quarantine_dir):
+        for directory in (self.jobs_dir, self.payloads_dir, self.locks_dir, self.quarantine_dir):
             os.makedirs(directory, exist_ok=True)
-        self._lock = threading.Lock()
         #: Report of the recovery pass run over pre-existing state.
-        self.recovery = self.recover()
+        self.recovery = self.recover() if recover else RecoveryReport()
 
     # ------------------------------------------------------------------
-    # Paths
+    # Paths and locking
     # ------------------------------------------------------------------
     def _record_path(self, job_id: str) -> str:
         return os.path.join(self.jobs_dir, f"{job_id}.json")
 
     def _payload_path(self, job_id: str) -> str:
         return os.path.join(self.payloads_dir, f"{job_id}.json")
+
+    def _lock_path(self, job_id: str) -> str:
+        return os.path.join(self.locks_dir, f"{job_id}.lock")
+
+    @contextlib.contextmanager
+    def _record_lock(self, job_id: str) -> Iterator[None]:
+        """Exclusive advisory lock serialising read-modify-writes on one record.
+
+        Guards *every* mutation path (update/mutate/claim/store_result/
+        forget/recovery/sweep) against concurrent stores in other threads
+        *and other processes* sharing the state dir.  ``flock`` treats
+        descriptors from separate ``open`` calls independently, so two
+        threads of one process exclude each other exactly like two
+        processes do, and the lock evaporates when its holder dies.
+        """
+        path = self._lock_path(job_id)
+        if fcntl is not None:
+            descriptor = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(descriptor, fcntl.LOCK_EX)
+                yield
+            finally:
+                try:
+                    fcntl.flock(descriptor, fcntl.LOCK_UN)
+                finally:
+                    os.close(descriptor)
+            return
+        # O_EXCL sidecar fallback: spin until we create the sidecar, breaking
+        # locks whose holder died (their mtime stops advancing).
+        sidecar = f"{path}.excl"  # pragma: no cover - exercised on non-POSIX only
+        while True:  # pragma: no cover
+            try:
+                descriptor = os.open(sidecar, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+                os.close(descriptor)
+                break
+            except FileExistsError:
+                try:
+                    if time.time() - os.path.getmtime(sidecar) > _SIDECAR_STALE_SECONDS:
+                        os.remove(sidecar)
+                        continue
+                except OSError:
+                    pass
+                time.sleep(0.002)
+        try:  # pragma: no cover
+            yield
+        finally:  # pragma: no cover
+            with contextlib.suppress(OSError):
+                os.remove(sidecar)
 
     def _quarantine(self, path: str, reason: str) -> Optional[Tuple[str, str]]:
         """Move *path* into the quarantine directory (collision-safe)."""
@@ -204,8 +363,15 @@ class JobStore:
         spec: Optional[Mapping[str, Any]] = None,
         options: Optional[Mapping[str, Any]] = None,
         job_id: Optional[str] = None,
+        input: Optional[Mapping[str, Any]] = None,
     ) -> JobRecord:
-        """Persist a new ``queued`` record and return it."""
+        """Persist a new ``queued`` record and return it.
+
+        *input* is the job's JSON-representable work description (spec,
+        encoded corpus, evaluation options).  A record carrying its input
+        is *resumable*: recovery requeues it and any process sharing the
+        state dir can claim and execute it.
+        """
         now = time.time()
         record = JobRecord(
             job_id=job_id or self.new_job_id(kind),
@@ -213,10 +379,11 @@ class JobStore:
             status="queued",
             spec=dict(spec) if spec is not None else None,
             options=dict(options or {}),
+            input=dict(input) if input is not None else None,
             created_at=now,
             updated_at=now,
         )
-        with self._lock:
+        with self._record_lock(record.job_id):
             if os.path.exists(self._record_path(record.job_id)):
                 raise JobStoreError(f"job {record.job_id!r} already exists")
             self._write_record(record)
@@ -240,41 +407,59 @@ class JobStore:
             raise JobStoreError(f"job record {job_id!r} is unreadable: {exc}") from exc
         return JobRecord.from_dict(payload)
 
-    def update(self, job_id: str, **changes: Any) -> JobRecord:
-        """Apply field changes to a record (terminal statuses are final)."""
-        with self._lock:
+    def mutate(self, job_id: str, mutator: Callable[[JobRecord], Mapping[str, Any]]) -> JobRecord:
+        """Apply *mutator* (record → field changes) atomically under the lock.
+
+        The record is read, the mutator computes the changes *while the
+        per-record file lock is held*, and the result is written back —
+        the one safe shape for read-modify-write against a shared state
+        dir.  An empty change set writes nothing.  Terminal statuses are
+        final: a status change away from one raises.
+        """
+        with self._record_lock(job_id):
             record = self.get(job_id)
+            changes = dict(mutator(record))
+            if not changes:
+                return record
             if record.finished and changes.get("status") not in (None, record.status):
                 raise JobStoreError(
                     f"job {job_id!r} is {record.status} and cannot move to {changes['status']!r}"
                 )
-            record = replace(record, updated_at=time.time(), **changes)
+            record = replace(record, **{"updated_at": time.time(), **changes})
             self._write_record(record)
         return record
+
+    def update(self, job_id: str, **changes: Any) -> JobRecord:
+        """Apply field changes to a record (terminal statuses are final)."""
+        return self.mutate(job_id, lambda record: changes)
 
     def mark_running(self, job_id: str) -> JobRecord:
         return self.update(job_id, status="running")
 
     def mark_error(self, job_id: str, error: str) -> JobRecord:
-        return self.update(job_id, status="error", error=str(error))
+        return self.update(
+            job_id, status="error", error=str(error), worker_id=None, lease_expires_at=None
+        )
 
     def mark_cancelled(self, job_id: str) -> JobRecord:
-        return self.update(job_id, status="cancelled")
+        return self.update(job_id, status="cancelled", worker_id=None, lease_expires_at=None)
 
-    def records(self) -> List[JobRecord]:
-        """Every stored record, oldest first."""
+    def records(self, kind: Optional[str] = None) -> List[JobRecord]:
+        """Every stored record (optionally of one *kind*), oldest first."""
         records: List[JobRecord] = []
         for name in os.listdir(self.jobs_dir):
             if name.endswith(".json"):
                 try:
-                    records.append(self.get(name[: -len(".json")]))
+                    record = self.get(name[: -len(".json")])
                 except (KeyError, JobStoreError):
                     continue
+                if kind is None or record.kind == kind:
+                    records.append(record)
         return sorted(records, key=lambda record: (record.created_at, record.job_id))
 
     def forget(self, job_id: str) -> bool:
         """Drop a finished job's record and payload; returns whether dropped."""
-        with self._lock:
+        with self._record_lock(job_id):
             try:
                 record = self.get(job_id)
             except KeyError:
@@ -286,22 +471,190 @@ class JobStore:
                     os.remove(path)
                 except FileNotFoundError:
                     pass
+        with contextlib.suppress(OSError):
+            os.remove(self._lock_path(job_id))
         return True
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+    def claim_job(self, job_id: str, worker_id: str, lease_seconds: float) -> Optional[JobRecord]:
+        """Atomically claim one specific job; ``None`` when not claimable.
+
+        Claimable means ``queued`` or ``running`` with an expired lease
+        (see :meth:`JobRecord.claimable`).  On success the record is
+        ``running``, owned by *worker_id*, with ``lease_expires_at`` set
+        ``lease_seconds`` in the future and ``attempts`` incremented.
+        """
+        if not worker_id:
+            raise JobStoreError("worker_id must be non-empty")
+        if lease_seconds <= 0:
+            raise JobStoreError(f"lease_seconds must be > 0, got {lease_seconds}")
+        with self._record_lock(job_id):
+            try:
+                record = self.get(job_id)
+            except (KeyError, JobStoreError):
+                return None
+            now = time.time()
+            if not record.claimable(now):
+                return None
+            record = replace(
+                record,
+                status="running",
+                worker_id=str(worker_id),
+                lease_expires_at=now + float(lease_seconds),
+                attempts=record.attempts + 1,
+                error=None,
+                updated_at=now,
+            )
+            self._write_record(record)
+        return record
+
+    def claim(
+        self,
+        worker_id: str,
+        lease_seconds: float,
+        kinds: Optional[Sequence[str]] = None,
+        parent: Optional[str] = None,
+    ) -> Optional[JobRecord]:
+        """Claim the oldest claimable job, or ``None`` when the queue is dry.
+
+        *kinds* restricts the scan to those record kinds (e.g. a block
+        worker claims only ``("block",)``); *parent* restricts it to block
+        tasks of one parent job.  Candidates are screened without the lock
+        and re-verified under it, so racing claimants (threads or
+        processes) each walk away with distinct jobs.
+        """
+        wanted = set(kinds) if kinds is not None else None
+        now = time.time()
+        for record in self.records():
+            if wanted is not None and record.kind not in wanted:
+                continue
+            if parent is not None and record.options.get("parent") != parent:
+                continue
+            if not record.claimable(now):
+                continue
+            claimed = self.claim_job(record.job_id, worker_id, lease_seconds)
+            if claimed is not None:
+                return claimed
+        return None
+
+    def renew_lease(self, job_id: str, worker_id: str, lease_seconds: float) -> JobRecord:
+        """Extend the caller's lease; :class:`LeaseError` if it lost the job.
+
+        Only the ``running`` record's current owner may renew — a worker
+        whose lease already expired *and was reclaimed* learns it here and
+        must abandon the work (the reclaiming owner's result wins).
+        """
+
+        def extend(record: JobRecord) -> Dict[str, Any]:
+            if record.status != "running" or record.worker_id != worker_id:
+                raise LeaseError(
+                    f"job {job_id!r} is no longer leased to {worker_id!r} "
+                    f"(status {record.status!r}, owner {record.worker_id!r})"
+                )
+            return {"lease_expires_at": time.time() + float(lease_seconds)}
+
+        try:
+            return self.mutate(job_id, extend)
+        except KeyError:
+            raise LeaseError(f"job {job_id!r} vanished while leased to {worker_id!r}") from None
+
+    def release(self, job_id: str, worker_id: str) -> JobRecord:
+        """Give the caller's claimed job back to the queue (graceful retry).
+
+        The record returns to ``queued`` with the worker and lease fields
+        cleared; ``attempts`` is kept, so executors can cap retries.
+        Raises :class:`LeaseError` when the caller no longer owns the job.
+        """
+
+        def requeue(record: JobRecord) -> Dict[str, Any]:
+            if record.status != "running" or record.worker_id != worker_id:
+                raise LeaseError(
+                    f"job {job_id!r} is not leased to {worker_id!r} "
+                    f"(status {record.status!r}, owner {record.worker_id!r})"
+                )
+            return {"status": "queued", "worker_id": None, "lease_expires_at": None}
+
+        try:
+            return self.mutate(job_id, requeue)
+        except KeyError:
+            raise LeaseError(f"job {job_id!r} vanished while leased to {worker_id!r}") from None
+
+    def requeue_expired(self, now: Optional[float] = None) -> List[str]:
+        """Requeue every ``running`` job whose lease has expired.
+
+        The complement of :meth:`claim`'s opportunistic reclaim: a
+        maintenance loop calls this so abandoned work becomes visible as
+        ``queued`` even when no claimant is scanning.  Returns the
+        requeued job ids.
+        """
+        moment = time.time() if now is None else now
+        requeued: List[str] = []
+        for record in self.records():
+            if not record.lease_expired(moment):
+                continue
+
+            def requeue(current: JobRecord) -> Dict[str, Any]:
+                if not current.lease_expired(moment):
+                    return {}
+                return {"status": "queued", "worker_id": None, "lease_expires_at": None}
+
+            try:
+                fresh = self.mutate(record.job_id, requeue)
+            except (KeyError, JobStoreError):
+                continue
+            if fresh.status == "queued" and fresh.worker_id is None:
+                requeued.append(record.job_id)
+        return requeued
 
     # ------------------------------------------------------------------
     # Result payloads
     # ------------------------------------------------------------------
-    def store_result(self, job_id: str, payload: Mapping[str, Any]) -> JobRecord:
+    def store_result(
+        self, job_id: str, payload: Mapping[str, Any], worker_id: Optional[str] = None
+    ) -> JobRecord:
         """Persist a job's result payload and flip the record to ``done``.
 
         The payload file lands first (atomically), then the record is
         updated with the payload checksum and the ``done`` status — so a
         crash between the two writes leaves a ``running`` record recovery
-        will mark interrupted, never a ``done`` record without its payload.
+        will requeue (leased) or mark interrupted (in-process), never a
+        ``done`` record without its payload.
+
+        When *worker_id* is given, the write is refused with
+        :class:`LeaseError` if the record is ``running`` under a
+        *different* owner — the enforcement of "the reclaiming owner's
+        result wins": a zombie whose lease was reclaimed cannot mark the
+        job done out from under the current executor.
         """
+
+        def verify_owner(record: JobRecord) -> None:
+            if (
+                worker_id is not None
+                and record.status == "running"
+                and record.worker_id is not None
+                and record.worker_id != worker_id
+            ):
+                raise LeaseError(
+                    f"job {job_id!r} is no longer leased to {worker_id!r} "
+                    f"(owner {record.worker_id!r}); its result wins"
+                )
+
+        verify_owner(self.get(job_id))  # refuse before writing the payload file
         text = json.dumps(dict(payload), sort_keys=True)
         _write_text_atomic(self._payload_path(job_id), text)
-        return self.update(job_id, status="done", payload_sha256=_payload_checksum(text), error=None)
+
+        def finish(record: JobRecord) -> Dict[str, Any]:
+            verify_owner(record)
+            return {
+                "status": "done",
+                "payload_sha256": _payload_checksum(text),
+                "error": None,
+                "lease_expires_at": None,
+            }
+
+        return self.mutate(job_id, finish)
 
     def load_result(self, job_id: str) -> Dict[str, Any]:
         """Load (and checksum-verify) the stored result of a ``done`` job."""
@@ -331,10 +684,16 @@ class JobStore:
 
     def mark_damaged(self, job_id: str, error: str) -> JobRecord:
         """Force a record to ``error`` after its payload proved unusable."""
-        with self._lock:
+        with self._record_lock(job_id):
             record = self.get(job_id)
             record = replace(
-                record, status="error", error=str(error), payload_sha256=None, updated_at=time.time()
+                record,
+                status="error",
+                error=str(error),
+                payload_sha256=None,
+                worker_id=None,
+                lease_expires_at=None,
+                updated_at=time.time(),
             )
             self._write_record(record)
         return record
@@ -343,10 +702,24 @@ class JobStore:
     # Recovery
     # ------------------------------------------------------------------
     def recover(self) -> RecoveryReport:
-        """Scan the state dir, quarantine damage, mark interrupted jobs."""
+        """Scan the state dir: quarantine damage, requeue abandoned work.
+
+        * unparseable records are quarantined (with their payloads);
+        * ``done`` records without a verifiable payload flip to ``error``;
+        * ``queued`` jobs and ``running`` jobs with an *expired* lease are
+          requeued — work that never completed is always safe to rerun;
+        * ``running`` jobs with a *live* lease are left untouched (another
+          process legitimately owns them);
+        * ``running`` jobs with *no* lease are marked ``interrupted`` —
+          their callable lived in a process that is gone, and nothing on
+          disk can resume it;
+        * orphan / torn payload files are quarantined.
+        """
         quarantined: List[Tuple[str, str]] = []
         interrupted: List[str] = []
+        requeued: List[str] = []
         known_ids = set()
+        now = time.time()
         for name in sorted(os.listdir(self.jobs_dir)):
             if not name.endswith(".json"):
                 continue
@@ -370,15 +743,34 @@ class JobStore:
                     if moved:
                         quarantined.append(moved)
                     self.mark_damaged(job_id, f"recovery: {damage}")
-            elif record.status in ("queued", "running"):
-                self.update(
-                    job_id,
-                    status="interrupted",
-                    error="interrupted by server restart before completion",
-                )
+            elif record.status == "queued" or record.lease_expired(now):
+                try:
+                    fresh = self.mutate(
+                        job_id,
+                        lambda current: (
+                            {"status": "queued", "worker_id": None, "lease_expires_at": None}
+                            if current.claimable(now)
+                            else {}
+                        ),
+                    )
+                except (KeyError, JobStoreError):  # pragma: no cover - racing process
+                    continue
+                # Report only what actually ended up queued — a racing
+                # claimant may have legitimately taken the job in between.
+                if fresh.status == "queued" and fresh.worker_id is None:
+                    requeued.append(job_id)
+            elif record.status == "running" and record.lease_expires_at is None:
+                try:
+                    self.update(
+                        job_id,
+                        status="interrupted",
+                        error="interrupted by server restart before completion",
+                    )
+                except (KeyError, JobStoreError):  # pragma: no cover - racing process
+                    continue
                 interrupted.append(job_id)
         for name in sorted(os.listdir(self.payloads_dir)):
-            if name.endswith(".tmp"):
+            if ".tmp" in name:
                 moved = self._quarantine(
                     os.path.join(self.payloads_dir, name), "torn temporary payload"
                 )
@@ -391,7 +783,11 @@ class JobStore:
                 moved = self._quarantine(os.path.join(self.payloads_dir, name), "payload without a record")
                 if moved:
                     quarantined.append(moved)
-        return RecoveryReport(quarantined=tuple(quarantined), interrupted=tuple(interrupted))
+        return RecoveryReport(
+            quarantined=tuple(quarantined),
+            interrupted=tuple(interrupted),
+            requeued=tuple(requeued),
+        )
 
     def _verify_payload(self, record: JobRecord) -> Optional[str]:
         """Reason the record's payload is unusable, or None when it is fine."""
@@ -401,7 +797,7 @@ class JobStore:
                 text = handle.read()
         except FileNotFoundError:
             return "done record has no payload file"
-        except OSError as exc:
+        except OSError as exc:  # pragma: no cover - exotic I/O failure
             return f"payload unreadable: {exc}"
         if record.payload_sha256 is not None and _payload_checksum(text) != record.payload_sha256:
             return "payload checksum mismatch (half-written file?)"
@@ -410,6 +806,61 @@ class JobStore:
         except json.JSONDecodeError as exc:
             return f"payload is not valid JSON: {exc}"
         return None
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def sweep(self, ttl_seconds: float, now: Optional[float] = None, dry_run: bool = False) -> List[str]:
+        """Drop terminal jobs idle for longer than *ttl_seconds*.
+
+        A record whose terminal status was reached (``updated_at``) at
+        least *ttl_seconds* ago is removed together with its payload and
+        lock file; queued/running jobs are never touched.  Returns the
+        swept job ids (with ``dry_run=True``: what *would* be swept,
+        without removing anything).  The server's maintenance loop and the
+        ``repro-iokast gc`` command are the two callers.
+        """
+        if ttl_seconds < 0:
+            raise JobStoreError(f"ttl_seconds must be >= 0, got {ttl_seconds}")
+        moment = time.time() if now is None else now
+        swept: List[str] = []
+        for record in self.records():
+            if not record.finished or moment - record.updated_at < ttl_seconds:
+                continue
+            parent_id = record.options.get("parent")
+            if parent_id is not None:
+                # A finished block task is input to its parent's assembly:
+                # it only becomes garbage once the parent itself is done
+                # (or gone).  Sweeping it earlier would destroy completed
+                # work out from under a live coordinator.
+                try:
+                    if not self.get(str(parent_id)).finished:
+                        continue
+                except KeyError:
+                    pass  # parent already forgotten/swept: the block is garbage
+                except JobStoreError:
+                    continue  # unreadable parent: leave the block for recovery
+            if dry_run:
+                swept.append(record.job_id)
+                continue
+
+            def expired(current: JobRecord) -> bool:
+                return current.finished and moment - current.updated_at >= ttl_seconds
+
+            with self._record_lock(record.job_id):
+                try:
+                    current = self.get(record.job_id)
+                except (KeyError, JobStoreError):
+                    continue
+                if not expired(current):
+                    continue
+                for path in (self._payload_path(record.job_id), self._record_path(record.job_id)):
+                    with contextlib.suppress(FileNotFoundError):
+                        os.remove(path)
+            with contextlib.suppress(OSError):
+                os.remove(self._lock_path(record.job_id))
+            swept.append(record.job_id)
+        return swept
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"JobStore(root={self.root!r}, jobs={len(self.records())})"

@@ -251,6 +251,14 @@ class SubmitMatrixRequest(Request):
     bit-identical to an unsharded run.  ``shards=1`` explicitly requests
     the monolithic evaluation; ``shards=None`` (the default) leaves the
     choice to the server's configured default.
+
+    ``distributed=True`` additionally persists each index-block pair as an
+    individually *leasable* block-task record in the server's job store,
+    so pull-loop workers (``repro-iokast worker``) in other processes — or
+    on other hosts sharing the state dir — can claim and execute them; the
+    server assembles the finished blocks into the same bit-identical
+    matrix.  With ``distributed=False`` (the default) the sharded blocks
+    are evaluated in-process, as before.
     """
 
     TYPE: ClassVar[str] = "submit-matrix"
@@ -260,11 +268,14 @@ class SubmitMatrixRequest(Request):
     normalized: bool = True
     repair: bool = True
     shards: Optional[int] = None
+    distributed: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "strings", tuple(self.strings))
         if not isinstance(self.normalized, bool) or not isinstance(self.repair, bool):
             raise BadRequest("'normalized' and 'repair' must be booleans")
+        if not isinstance(self.distributed, bool):
+            raise BadRequest("'distributed' must be a boolean")
         if self.shards is not None and (
             not isinstance(self.shards, int) or isinstance(self.shards, bool) or self.shards < 1
         ):

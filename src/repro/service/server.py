@@ -17,38 +17,53 @@ Block-sharded matrix jobs
 A ``submit-matrix`` request with ``shards=k`` splits the corpus index range
 into ``k`` contiguous blocks (:func:`~repro.core.engine.plan_index_blocks`).
 Every unordered block pair becomes one engine task — one
-:meth:`~repro.core.engine.GramEngine.evaluate_pairs` call, scheduled over
-the engine's worker pool — and the per-block raw values merge through
+:meth:`~repro.core.engine.GramEngine.evaluate_pairs` call — and the
+per-block raw values merge through
 :meth:`~repro.core.engine.GramEngine.assemble_gram`, the same assembler the
 engine's incremental extension uses.  Because raw pair values are
 deterministic and assembly arithmetic is shared, the sharded matrix is
-bit-identical to the monolithic one; the shard plan is recorded in the job
-record for observability.
+bit-identical to the monolithic one.
 
-Job persistence
----------------
-Every job writes its lifecycle through the store *from inside the job
-callable* (queued on submit, running at start, the stamped payload plus
-``done`` — or ``error`` — at the end), so a finished job's result is
-answerable by a fresh server process pointed at the same state directory
-even after the original process is gone.
+With ``distributed=True`` the blocks additionally become individually
+*leasable* ``block`` records in the job store: pull-loop workers
+(:class:`~repro.service.worker.Worker`, ``repro-iokast worker``) in other
+processes or on other hosts claim them under the store's cross-process
+file locks, and the server assembles the finished blocks — reclaiming any
+block whose worker died and its lease expired — into the same
+bit-identical payload.  When ``inline_blocks`` is on (the default) the
+coordinating job also executes blocks itself, so a distributed job
+completes even with zero external workers.
+
+Job persistence and recovery
+----------------------------
+Every service job record carries its *input* (spec, encoded corpus,
+evaluation options), so it is resumable: start-up recovery requeues
+queued / expired-lease jobs and the server re-adopts them — a restart
+re-runs interrupted work instead of dead-ending it.  Execution always
+passes through :meth:`JobStore.claim_job`, so two servers sharing one
+state dir never compute the same job twice.  A background maintenance
+thread requeues expired leases, adopts orphaned queued jobs, and (when a
+``job_ttl`` is set) garbage-collects terminal records so long-lived state
+dirs stop growing without bound.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import tempfile
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Mapping, Optional, TextIO, Tuple
 
 from repro.api.session import AnalysisSession, JobError, JobTimeout
 from repro.api.spec import KernelSpec, KernelSpecError, coerce_spec, registered_kinds, registry_entry
-from repro.core.engine import block_index_pairs, plan_index_blocks
+from repro.core.engine import decode_pair_values, plan_index_blocks
 from repro.core.matrix import KernelMatrix
-from repro.service.jobstore import JobRecord, JobStore, JobStoreError
+from repro.service.jobstore import JobRecord, JobStore, JobStoreError, LeaseError
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     BadRequest,
@@ -72,11 +87,19 @@ from repro.service.protocol import (
     ok_response,
     parse_request,
 )
+from repro.service.worker import _LeaseKeeper, execute_block_task
 from repro.strings.tokens import WeightedString
 
 __all__ = ["AnalysisServer", "serve_stdio"]
 
 logger = logging.getLogger(__name__)
+
+#: Sleep between coordinator polls while waiting on externally-leased blocks.
+_BLOCK_POLL_SECONDS = 0.1
+
+
+class _ServerClosing(Exception):
+    """Internal: a coordinating job observed the server shutting down."""
 
 
 class AnalysisServer:
@@ -85,9 +108,10 @@ class AnalysisServer:
     Parameters
     ----------
     state_dir:
-        Directory for the job store (records, payloads, quarantine).  When
-        omitted a private temporary directory is used — jobs then survive
-        *server object* restarts only if the caller reuses the directory.
+        Directory for the job store (records, payloads, locks,
+        quarantine).  When omitted a private temporary directory is used —
+        jobs then survive *server object* restarts only if the caller
+        reuses the directory.
     session:
         An existing :class:`AnalysisSession` to serve.  When omitted the
         server creates (and owns, and closes) one from *n_jobs* /
@@ -95,6 +119,23 @@ class AnalysisServer:
     default_shards:
         Shard count applied to matrix jobs that do not ask for one
         explicitly (1 = monolithic evaluation).
+    inline_blocks:
+        Whether distributed jobs' coordinators also execute block tasks
+        in-process.  On (the default), a distributed job completes with
+        zero workers; off, block execution is left entirely to external
+        ``repro-iokast worker`` processes (a dedicated-coordinator
+        deployment).
+    lease_seconds:
+        Lease stamped on jobs this server claims (and on its inline block
+        claims); renewed while coordinating.  Other processes may reclaim
+        this server's work only after it dies and the lease lapses.
+    job_ttl:
+        When set, terminal store records (and retained session results)
+        older than this many seconds are garbage-collected by the
+        maintenance thread.
+    gc_interval:
+        Seconds between maintenance passes (lease requeue, orphan-job
+        adoption, TTL sweep).
     """
 
     def __init__(
@@ -105,12 +146,22 @@ class AnalysisServer:
         executor: str = "thread",
         max_job_workers: int = 2,
         default_shards: int = 1,
+        inline_blocks: bool = True,
+        lease_seconds: float = 900.0,
+        job_ttl: Optional[float] = None,
+        gc_interval: float = 30.0,
     ) -> None:
         if default_shards < 1:
             raise ValueError(f"default_shards must be >= 1, got {default_shards}")
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be > 0, got {lease_seconds}")
+        if job_ttl is not None and job_ttl < 0:
+            raise ValueError(f"job_ttl must be >= 0 or None, got {job_ttl}")
+        if gc_interval <= 0:
+            raise ValueError(f"gc_interval must be > 0, got {gc_interval}")
         self._owns_session = session is None
         self.session = session if session is not None else AnalysisSession(
-            n_jobs=n_jobs, executor=executor, max_job_workers=max_job_workers
+            n_jobs=n_jobs, executor=executor, max_job_workers=max_job_workers, job_ttl=job_ttl
         )
         self._tempdir: Optional[tempfile.TemporaryDirectory] = None
         if state_dir is None:
@@ -118,13 +169,27 @@ class AnalysisServer:
             state_dir = self._tempdir.name
         self.store = JobStore(state_dir)
         self.default_shards = default_shards
+        self.inline_blocks = inline_blocks
+        self.lease_seconds = float(lease_seconds)
+        self.job_ttl = job_ttl
+        self.gc_interval = float(gc_interval)
+        #: Identity stamped into records this server claims.
+        self.worker_id = f"server-{uuid.uuid4().hex[:8]}"
         self._session_jobs: Dict[str, str] = {}
         self._lock = threading.Lock()
         self._started = time.time()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
-        if self.store.recovery.quarantined or self.store.recovery.interrupted:
+        if self.store.recovery.quarantined or self.store.recovery.interrupted or self.store.recovery.requeued:
             logger.warning("%s", self.store.recovery.describe())
+        # Resume whatever recovery put back on the queue, then keep the
+        # store healthy in the background.
+        self._adopt_queued_jobs()
+        self._maintenance_stop = threading.Event()
+        self._maintenance_thread = threading.Thread(
+            target=self._maintenance_loop, name="repro-service-maintenance", daemon=True
+        )
+        self._maintenance_thread.start()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -161,34 +226,6 @@ class AnalysisServer:
         except KernelSpecError as exc:
             raise BadRequest(f"invalid kernel spec: {exc}") from exc
 
-    def _enqueue(
-        self,
-        kind: str,
-        spec: KernelSpec,
-        options: Mapping[str, Any],
-        work: Callable[[str], Dict[str, Any]],
-    ) -> Dict[str, Any]:
-        """Create the durable record, then queue the store-writing job."""
-        record = self.store.create(kind, spec=spec.to_dict(), options=options)
-        job_id = record.job_id
-
-        def run() -> None:
-            self.store.mark_running(job_id)
-            try:
-                payload = work(job_id)
-            except Exception as exc:
-                self.store.mark_error(job_id, f"{type(exc).__name__}: {exc}")
-                raise
-            self.store.store_result(job_id, payload)
-            # Deliberately return nothing: results are always answered from
-            # the store, and a returned payload would be pinned in session
-            # memory for jobs no client ever polls.
-
-        session_job = self.session.submit_work(f"service-{kind}", run)
-        with self._lock:
-            self._session_jobs[job_id] = session_job
-        return ok_response("job", job_id=job_id, status="queued", kind=kind)
-
     def _handle_submit_matrix(self, request: SubmitMatrixRequest) -> Dict[str, Any]:
         spec = self._coerce_spec(request.spec)
         strings = decode_corpus(request.strings)
@@ -199,52 +236,158 @@ class AnalysisServer:
             "normalized": request.normalized,
             "repair": request.repair,
             "shards": shards,
+            "distributed": request.distributed,
             "examples": len(strings),
             "blocks": plan_index_blocks(len(strings), shards),
         }
-        return self._enqueue(
+        record = self.store.create(
             "matrix",
-            spec,
-            options,
-            lambda job_id: self._matrix_payload(
-                spec, strings, request.normalized, request.repair, shards
-            ),
+            spec=spec.to_dict(),
+            options=options,
+            input={
+                "spec": spec.to_dict(),
+                "strings": list(request.strings),
+                "normalized": request.normalized,
+                "repair": request.repair,
+                "shards": shards,
+                "distributed": request.distributed,
+            },
         )
+        self._start_record(record)
+        return ok_response("job", job_id=record.job_id, status="queued", kind="matrix")
 
     def _handle_submit_analyze(self, request: SubmitAnalyzeRequest) -> Dict[str, Any]:
-        from repro.pipeline.config import ExperimentConfig, config_from_spec
-
         spec = self._coerce_spec(request.spec)
         strings = decode_corpus(request.strings)
         if not strings:
             raise BadRequest("submit-analyze requires a non-empty corpus")
-        try:
-            config = config_from_spec(
-                spec,
-                base=ExperimentConfig(
-                    n_clusters=request.n_clusters,
-                    n_components=request.n_components,
-                    linkage=request.linkage,
-                ),
-            )
-        except ValueError as exc:
-            raise BadRequest(f"spec cannot drive the analysis pipeline: {exc}") from exc
+        # Fail fast on specs the pipeline cannot drive (typed bad-request
+        # at submit time instead of a failed job later).
+        self._analyze_config(spec, request.n_clusters, request.n_components, request.linkage)
         options = {
             "n_clusters": request.n_clusters,
             "n_components": request.n_components,
             "linkage": request.linkage,
             "examples": len(strings),
         }
-        return self._enqueue(
+        record = self.store.create(
             "analyze",
-            spec,
-            options,
-            lambda job_id: self._analyze_payload(config, strings),
+            spec=spec.to_dict(),
+            options=options,
+            input={
+                "spec": spec.to_dict(),
+                "strings": list(request.strings),
+                "n_clusters": request.n_clusters,
+                "n_components": request.n_components,
+                "linkage": request.linkage,
+            },
         )
+        self._start_record(record)
+        return ok_response("job", job_id=record.job_id, status="queued", kind="analyze")
+
+    def _analyze_config(self, spec: KernelSpec, n_clusters: int, n_components: int, linkage: str) -> Any:
+        from repro.pipeline.config import ExperimentConfig, config_from_spec
+
+        try:
+            return config_from_spec(
+                spec,
+                base=ExperimentConfig(
+                    n_clusters=n_clusters, n_components=n_components, linkage=linkage
+                ),
+            )
+        except ValueError as exc:
+            raise BadRequest(f"spec cannot drive the analysis pipeline: {exc}") from exc
+
+    def _start_record(self, record: JobRecord) -> str:
+        """Queue execution of a stored record on the session's job pool.
+
+        The queued callable *claims* the record before computing, so a
+        record adopted by several servers sharing one state dir (or
+        re-adopted after a restart) runs exactly once; the loser of the
+        claim race simply returns.
+        """
+        job_id = record.job_id
+
+        def run() -> None:
+            claimed = self.store.claim_job(job_id, self.worker_id, self.lease_seconds)
+            if claimed is None:
+                return  # finished, cancelled, or legitimately owned elsewhere
+            # Renew the lease for as long as the computation runs — without
+            # this a job slower than lease_seconds would be requeued (and
+            # double-computed by a sibling server) while still executing.
+            keeper = _LeaseKeeper(self.store, job_id, self.worker_id, self.lease_seconds)
+            keeper.start()
+            try:
+                payload = self._payload_for_record(claimed)
+                self.store.store_result(job_id, payload, worker_id=self.worker_id)
+            except _ServerClosing:
+                # Shutdown mid-coordination: hand the job back so the next
+                # server (or this one, restarted) resumes it.
+                with contextlib.suppress(JobStoreError, KeyError):
+                    self.store.release(job_id, self.worker_id)
+                return
+            except LeaseError:
+                # The claim was reclaimed while we computed; the current
+                # owner's result wins — do not clobber its record.
+                logger.warning("job %s lost its lease mid-run; dropping this result", job_id)
+                return
+            except Exception as exc:
+                with contextlib.suppress(JobStoreError, KeyError):
+                    self.store.mark_error(job_id, f"{type(exc).__name__}: {exc}")
+                raise
+            finally:
+                keeper.stop()
+                keeper.join(timeout=1.0)
+            # Deliberately return nothing: results are always answered from
+            # the store, and a returned payload would be pinned in session
+            # memory for jobs no client ever polls.
+
+        session_job = self.session.submit_work(f"service-{record.kind}", run)
+        with self._lock:
+            self._session_jobs[job_id] = session_job
+        return session_job
 
     # ------------------------------------------------------------------
     # Job computation
     # ------------------------------------------------------------------
+    def _payload_for_record(self, record: JobRecord) -> Dict[str, Any]:
+        """Compute the stamped payload a claimed record describes.
+
+        Everything needed comes from the record's persisted ``input``, so
+        this works identically for freshly submitted jobs and for jobs
+        requeued by recovery in a later server process.
+        """
+        if record.input is None:
+            raise JobStoreError(f"job {record.job_id!r} carries no stored input")
+        spec = self._coerce_spec(record.input["spec"])
+        strings = decode_corpus(record.input["strings"])
+        if record.kind == "matrix":
+            if bool(record.input.get("distributed")):
+                return self._distributed_matrix_payload(
+                    record.job_id,
+                    spec,
+                    strings,
+                    normalized=bool(record.input.get("normalized", True)),
+                    repair=bool(record.input.get("repair", True)),
+                    shards=int(record.input.get("shards", 1)),
+                )
+            return self._matrix_payload(
+                spec,
+                strings,
+                normalized=bool(record.input.get("normalized", True)),
+                repair=bool(record.input.get("repair", True)),
+                shards=int(record.input.get("shards", 1)),
+            )
+        if record.kind == "analyze":
+            config = self._analyze_config(
+                spec,
+                int(record.input.get("n_clusters", 3)),
+                int(record.input.get("n_components", 2)),
+                str(record.input.get("linkage", "single")),
+            )
+            return self._analyze_payload(config, strings)
+        raise JobStoreError(f"job {record.job_id!r} has unexecutable kind {record.kind!r}")
+
     def _matrix_payload(
         self,
         spec: KernelSpec,
@@ -253,7 +396,7 @@ class AnalysisServer:
         repair: bool,
         shards: int,
     ) -> Dict[str, Any]:
-        """The stamped matrix payload, monolithic or block-sharded.
+        """The stamped matrix payload, monolithic or block-sharded in-process.
 
         The sharded path issues one engine task per unordered index-block
         pair and merges through the engine's assembler; values are
@@ -264,6 +407,8 @@ class AnalysisServer:
         if shards <= 1:
             matrix = self.session.matrix(spec, strings, normalized=normalized, repair=repair)
         else:
+            from repro.core.engine import block_index_pairs
+
             blocks = plan_index_blocks(len(strings), shards)
             raw_by_pair: Dict[Tuple[int, int], float] = {}
             for first_index, first in enumerate(blocks):
@@ -271,17 +416,147 @@ class AnalysisServer:
                     pairs = block_index_pairs(first, second)
                     if pairs:
                         raw_by_pair.update(engine.evaluate_pairs(strings, pairs))
-            values = engine.assemble_gram(strings, raw_by_pair, normalized=normalized)
-            matrix = KernelMatrix(
-                values=values,
-                names=tuple(string.name for string in strings),
-                labels=tuple(string.label for string in strings),
-                kernel_name=engine.kernel.name,
-                normalized=normalized,
-            )
-            if repair and not matrix.is_positive_semidefinite():
-                matrix = matrix.repaired()
+            matrix = self._assembled_matrix(engine, strings, raw_by_pair, normalized, repair)
         return engine.matrix_payload(matrix, strings)
+
+    def _assembled_matrix(
+        self,
+        engine: Any,
+        strings: List[WeightedString],
+        raw_by_pair: Dict[Tuple[int, int], float],
+        normalized: bool,
+        repair: bool,
+    ) -> KernelMatrix:
+        values = engine.assemble_gram(strings, raw_by_pair, normalized=normalized)
+        matrix = KernelMatrix(
+            values=values,
+            names=tuple(string.name for string in strings),
+            labels=tuple(string.label for string in strings),
+            kernel_name=engine.kernel.name,
+            normalized=normalized,
+        )
+        if repair and not matrix.is_positive_semidefinite():
+            matrix = matrix.repaired()
+        return matrix
+
+    def _distributed_matrix_payload(
+        self,
+        job_id: str,
+        spec: KernelSpec,
+        strings: List[WeightedString],
+        normalized: bool,
+        repair: bool,
+        shards: int,
+    ) -> Dict[str, Any]:
+        """Coordinate a worker-pull sharded matrix job and assemble its result.
+
+        One leasable ``block`` record is persisted per unordered
+        index-block pair (idempotently — a requeued coordination reuses
+        the children that already exist, including finished ones).  The
+        coordinator then drains the queue: claiming and executing blocks
+        inline (when ``inline_blocks``), requeueing blocks whose worker's
+        lease expired, and waiting on blocks leased to live external
+        workers — until every block is ``done`` — then merges the raw pair
+        values through the engine assembler.  Raw values are deterministic
+        and JSON floats round-trip exactly, so the payload is
+        bit-identical to the in-process path no matter who computed which
+        block.
+        """
+        blocks = plan_index_blocks(len(strings), shards)
+        spec_dict = spec.to_dict()
+        existing: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], JobRecord] = {}
+        for child in self.store.records(kind="block"):
+            if child.options.get("parent") == job_id:
+                key = (tuple(child.options["first"]), tuple(child.options["second"]))
+                existing[key] = child
+        child_ids: List[str] = []
+        for first_index, first in enumerate(blocks):
+            for second in blocks[first_index:]:
+                key = (tuple(first), tuple(second))
+                child = existing.get(key)
+                if child is None:
+                    child = self.store.create(
+                        "block",
+                        spec=spec_dict,
+                        options={"parent": job_id, "first": list(first), "second": list(second)},
+                    )
+                child_ids.append(child.job_id)
+        corpus_cache = {job_id: strings}
+        done_ids: set = set()
+        try:
+            while True:
+                if self._maintenance_stop.is_set():
+                    # The wait could otherwise outlive close() forever when
+                    # no worker ever drains the queue.
+                    raise _ServerClosing()
+                # Only unfinished children are re-read — done is terminal,
+                # so finished blocks never need another disk round trip.
+                pending = [
+                    self.store.get(child_id) for child_id in child_ids if child_id not in done_ids
+                ]
+                failed = [
+                    child for child in pending if child.status in ("error", "cancelled", "interrupted")
+                ]
+                if failed:
+                    raise JobStoreError(
+                        f"block task {failed[0].job_id!r} ended as {failed[0].status}: {failed[0].error}"
+                    )
+                done_ids.update(child.job_id for child in pending if child.status == "done")
+                if len(done_ids) == len(child_ids):
+                    break
+                progressed = False
+                if self.inline_blocks:
+                    # Claim directly from the known child list (queued
+                    # children and expired leases of dead workers alike) —
+                    # no full store scan per iteration.
+                    now = time.time()
+                    candidate = next((child for child in pending if child.claimable(now)), None)
+                    if candidate is not None:
+                        task = self.store.claim_job(candidate.job_id, self.worker_id, self.lease_seconds)
+                        if task is not None:
+                            execute_block_task(self.store, task, self.session, corpus_cache=corpus_cache)
+                            progressed = True
+                if not progressed:
+                    # Every remaining block is leased to a live worker (or
+                    # inline execution is off): wait for their results;
+                    # expired leases are reclaimed by the workers' own
+                    # claim scans and the maintenance tick.
+                    time.sleep(_BLOCK_POLL_SECONDS)
+        except _ServerClosing:
+            raise  # shutdown: blocks stay claimable for the next server
+        except Exception:
+            # The job cannot finish: stop workers from burning time on the
+            # surviving blocks and keep the state dir free of orphans.
+            self._abandon_blocks(child_ids)
+            raise
+        raw_by_pair: Dict[Tuple[int, int], float] = {}
+        block_workers = set()
+        for child_id in child_ids:
+            child = self.store.get(child_id)
+            if child.worker_id:
+                block_workers.add(child.worker_id)
+            raw_by_pair.update(decode_pair_values(self.store.load_result(child_id)["pairs"]))
+        engine = self.session.engine(spec)
+        matrix = self._assembled_matrix(engine, strings, raw_by_pair, normalized, repair)
+        payload = engine.matrix_payload(matrix, strings)
+        # Record who computed the blocks (observability), then drop the
+        # finished children — their values live on inside the payload.
+        with contextlib.suppress(JobStoreError, KeyError):
+            self.store.mutate(
+                job_id,
+                lambda current: {"options": {**current.options, "workers": sorted(block_workers)}},
+            )
+        for child_id in child_ids:
+            self.store.forget(child_id)
+        return payload
+
+    def _abandon_blocks(self, child_ids: List[str]) -> None:
+        """Best-effort cancel + drop of a failed job's surviving block tasks."""
+        for child_id in child_ids:
+            with contextlib.suppress(JobStoreError, KeyError):
+                self.store.mark_cancelled(child_id)
+            with contextlib.suppress(JobStoreError, KeyError):
+                self.store.forget(child_id)
 
     def _analyze_payload(self, config: Any, strings: List[WeightedString]) -> Dict[str, Any]:
         from repro.pipeline.report import summarise_result
@@ -295,6 +570,60 @@ class AnalysisServer:
             "labels": [label for label in result.labels],
             "summary": summarise_result(result, title="service analyze"),
         }
+
+    # ------------------------------------------------------------------
+    # Maintenance: lease requeue, orphan adoption, TTL garbage collection
+    # ------------------------------------------------------------------
+    def _adopt_queued_jobs(self) -> List[str]:
+        """Schedule queued store records this server is not already running.
+
+        Covers jobs requeued by recovery and jobs orphaned by another
+        (dead) server sharing the state dir.  Block tasks are skipped —
+        they are executed through the claim path by coordinators and
+        workers, never adopted into the session pool.  Queued jobs with no
+        stored input predate input persistence and cannot be resumed; they
+        are dead-ended as ``interrupted`` so clients get a definite answer
+        instead of an eternal ``queued``.
+        """
+        adopted: List[str] = []
+        for record in self.store.records():
+            if record.status != "queued" or record.kind == "block":
+                continue
+            with self._lock:
+                if record.job_id in self._session_jobs:
+                    continue
+            if record.input is None:
+                with contextlib.suppress(JobStoreError, KeyError):
+                    self.store.update(
+                        record.job_id,
+                        status="interrupted",
+                        error="interrupted: queued job carries no stored input to resume from",
+                    )
+                continue
+            self._start_record(record)
+            adopted.append(record.job_id)
+        return adopted
+
+    def _maintenance_tick(self) -> None:
+        requeued = self.store.requeue_expired()
+        if requeued:
+            logger.info("requeued %d expired-lease job(s): %s", len(requeued), requeued)
+        self._adopt_queued_jobs()
+        if self.job_ttl is not None:
+            swept = self.store.sweep(self.job_ttl)
+            if swept:
+                logger.info("swept %d expired job(s) from the state dir", len(swept))
+                with self._lock:
+                    for job_id in swept:
+                        self._session_jobs.pop(job_id, None)
+        self.session.sweep_jobs()
+
+    def _maintenance_loop(self) -> None:
+        while not self._maintenance_stop.wait(self.gc_interval):
+            try:
+                self._maintenance_tick()
+            except Exception:  # noqa: BLE001 - maintenance must never die
+                logger.exception("maintenance pass failed")
 
     # ------------------------------------------------------------------
     # Job queries
@@ -329,19 +658,40 @@ class AnalysisServer:
             error=record.error,
         )
 
+    def _wait_for_record(self, job_id: str, wait: float) -> JobRecord:
+        """Wait (bounded) for a record to finish, session-side or store-side.
+
+        Jobs running in this process finish through their session future;
+        jobs owned by another process (a worker or a second server on the
+        same state dir) are polled in the store until the wait elapses.
+        """
+        deadline = time.monotonic() + max(0.0, wait)
+        record = self._record(job_id)
+        if record.finished:
+            return record
+        with self._lock:
+            session_job = self._session_jobs.get(job_id)
+        if session_job is not None:
+            try:
+                self.session.result(session_job, timeout=wait)
+            except JobTimeout:
+                pass
+            except (JobError, KeyError):
+                pass  # the job callable already wrote the error to the store
+        # Poll the store for whatever wait remains.  This covers jobs owned
+        # by another process outright, and the claim-race case where this
+        # server's session future resolved instantly as a no-op while a
+        # sibling server is still computing — returning early there would
+        # turn the client's bounded wait into a zero-delay busy loop.
+        while True:
+            record = self._record(job_id)
+            remaining = deadline - time.monotonic()
+            if record.finished or remaining <= 0:
+                return record
+            time.sleep(min(_BLOCK_POLL_SECONDS, max(0.01, remaining)))
+
     def _handle_result(self, request: ResultRequest) -> Dict[str, Any]:
-        record = self._record(request.job_id)
-        if not record.finished:
-            with self._lock:
-                session_job = self._session_jobs.get(request.job_id)
-            if session_job is not None:
-                try:
-                    self.session.result(session_job, timeout=request.wait)
-                except JobTimeout:
-                    pass
-                except (JobError, KeyError):
-                    pass  # the job callable already wrote the error to the store
-            record = self._record(request.job_id)
+        record = self._wait_for_record(request.job_id, request.wait)
         if record.status == "done":
             try:
                 payload = self.store.load_result(record.job_id)
@@ -374,13 +724,33 @@ class AnalysisServer:
             )
         with self._lock:
             session_job = self._session_jobs.get(record.job_id)
-        cancelled = session_job is not None and self.session.cancel(session_job)
-        if not cancelled:
-            raise CannotCancel(
-                f"job {record.job_id!r} already started and cannot be cancelled",
-                details={"job_id": record.job_id, "status": record.status},
-            )
-        self.store.mark_cancelled(record.job_id)
+        if session_job is not None:
+            if not self.session.cancel(session_job):
+                raise CannotCancel(
+                    f"job {record.job_id!r} already started and cannot be cancelled",
+                    details={"job_id": record.job_id, "status": record.status},
+                )
+            try:
+                self.store.mark_cancelled(record.job_id)
+            except JobStoreError as exc:
+                raise CannotCancel(str(exc), details={"job_id": record.job_id}) from exc
+        else:
+            # No local future (e.g. the record belongs to a dead sibling
+            # server).  Cancel store-side in one atomic mutate: the
+            # queued-check and the flip happen under the record lock, so a
+            # claimant racing us either loses (sees cancelled) or wins
+            # (we report cannot-cancel) — never both.
+            def cancel_if_still_queued(current: JobRecord) -> Dict[str, Any]:
+                if current.status != "queued":
+                    raise JobStoreError(
+                        f"job {current.job_id!r} already started and cannot be cancelled"
+                    )
+                return {"status": "cancelled", "worker_id": None, "lease_expires_at": None}
+
+            try:
+                self.store.mutate(record.job_id, cancel_if_still_queued)
+            except (JobStoreError, KeyError) as exc:
+                raise CannotCancel(str(exc), details={"job_id": record.job_id}) from exc
         self._reap_session_job(record.job_id)
         return ok_response("cancel", job_id=record.job_id, status="cancelled")
 
@@ -417,8 +787,10 @@ class AnalysisServer:
             state_dir=self.store.root,
             jobs=counts,
             warm_specs=len(self.session.specs()),
+            worker_id=self.worker_id,
             recovered_quarantined=len(self.store.recovery.quarantined),
             recovered_interrupted=len(self.store.recovery.interrupted),
+            recovered_requeued=len(self.store.recovery.requeued),
         )
 
     # ------------------------------------------------------------------
@@ -468,7 +840,8 @@ class AnalysisServer:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the HTTP front end and (when owned) the session."""
+        """Stop the front ends, the maintenance thread and (when owned) the session."""
+        self._maintenance_stop.set()
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -476,6 +849,7 @@ class AnalysisServer:
         if self._http_thread is not None:
             self._http_thread.join(timeout=5)
             self._http_thread = None
+        self._maintenance_thread.join(timeout=5)
         if self._owns_session:
             self.session.shutdown()
         if self._tempdir is not None:

@@ -1,0 +1,317 @@
+"""Pull-loop worker executing leased jobs from a shared state directory.
+
+:class:`Worker` is the distribution seam the block-sharded matrix jobs
+were built for: a ``submit-matrix`` request with ``distributed=True``
+makes the server persist one *block-task* record per symmetric index-block
+pair, and any number of workers — threads, processes on the same host, or
+hosts mounting the same state dir — drain that queue by *pulling*::
+
+    repro-iokast serve  --state-dir /srv/repro-state --port 8123 &
+    repro-iokast worker --state-dir /srv/repro-state &
+    repro-iokast worker --state-dir /srv/repro-state &
+
+Each loop iteration claims the oldest claimable task through
+:meth:`JobStore.claim <repro.service.jobstore.JobStore.claim>` under the
+store's cross-process file locks, so racing workers always walk away with
+distinct tasks.  While a task runs, a background :class:`_LeaseKeeper`
+thread renews the worker's lease; if the worker is SIGKILLed mid-block the
+renewals stop, the lease expires, and the block is reclaimed by another
+worker (or the server's own inline execution) — a dead worker delays a
+job, never corrupts or loses it.
+
+A worker owns a warm :class:`~repro.api.session.AnalysisSession`, so
+repeated blocks under one spec share kernel caches exactly like the
+server's in-process evaluation.  Raw pair values are serialised through
+:func:`~repro.core.engine.encode_pair_values`, whose JSON floats
+round-trip bit-identically — the assembled distributed Gram matrix equals
+the monolithic one byte for byte.
+
+Workers never run the store's start-up recovery (that is the serving
+process's job) and claim only ``block`` records by default.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+import uuid
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.session import AnalysisSession
+from repro.api.spec import coerce_spec
+from repro.core.engine import block_index_pairs, encode_pair_values
+from repro.service.jobstore import JobRecord, JobStore, JobStoreError, LeaseError
+from repro.service.protocol import decode_corpus
+from repro.strings.tokens import WeightedString
+
+__all__ = ["Worker", "execute_block_task", "DEFAULT_LEASE_SECONDS", "DEFAULT_POLL_INTERVAL"]
+
+logger = logging.getLogger(__name__)
+
+#: Default seconds between queue scans when the queue is dry.
+DEFAULT_POLL_INTERVAL = 0.5
+
+#: Default lease duration stamped on claimed tasks (renewed while running).
+DEFAULT_LEASE_SECONDS = 30.0
+
+#: Claim attempts after which a repeatedly failing task is marked ``error``
+#: instead of being released back to the queue.
+MAX_TASK_ATTEMPTS = 3
+
+
+def execute_block_task(
+    store: JobStore,
+    record: JobRecord,
+    session: AnalysisSession,
+    corpus_cache: Optional[Dict[str, List[WeightedString]]] = None,
+) -> None:
+    """Evaluate one claimed block-task record and store its raw pair values.
+
+    The task's parent matrix record carries the work description
+    (``input``: spec, encoded corpus); the task's options name the two
+    index blocks.  The payload is ``{"parent", "first", "second",
+    "pairs"}`` with ``pairs`` in :func:`encode_pair_values` form — *raw*
+    kernel values only, because normalisation denominators and the
+    diagonal are applied once, by the assembling server.  Used identically
+    by external workers and the server's inline block execution.
+
+    *corpus_cache* (parent id → decoded strings) lets a caller executing
+    many blocks of one job skip re-decoding the corpus per block.
+    """
+    parent_id = record.options.get("parent")
+    if not parent_id:
+        raise JobStoreError(f"block task {record.job_id!r} names no parent job")
+    parent = store.get(str(parent_id))
+    if parent.input is None:
+        raise JobStoreError(f"parent job {parent.job_id!r} carries no stored input")
+    strings: Optional[List[WeightedString]] = None
+    if corpus_cache is not None:
+        strings = corpus_cache.get(parent.job_id)
+    if strings is None:
+        strings = decode_corpus(parent.input["strings"])
+        if corpus_cache is not None:
+            corpus_cache.clear()  # one warm corpus at a time is enough
+            corpus_cache[parent.job_id] = strings
+    spec = coerce_spec(parent.input["spec"])
+    first = tuple(int(index) for index in record.options["first"])
+    second = tuple(int(index) for index in record.options["second"])
+    pairs = block_index_pairs(first, second)
+    raw_by_pair = session.engine(spec).evaluate_pairs(strings, pairs)
+    store.store_result(
+        record.job_id,
+        {
+            "parent": parent.job_id,
+            "first": list(first),
+            "second": list(second),
+            "pairs": encode_pair_values(raw_by_pair),
+        },
+        # Refused with LeaseError if this claim was reclaimed meanwhile —
+        # the reclaiming owner's result wins.
+        worker_id=record.worker_id,
+    )
+
+
+class _LeaseKeeper(threading.Thread):
+    """Background renewal of one claimed task's lease while it executes.
+
+    Renews at a third of the lease period; stops silently when the task
+    ends or when renewal fails (the lease was lost — the executing code
+    discovers that when it tries to write its result).
+    """
+
+    def __init__(self, store: JobStore, job_id: str, worker_id: str, lease_seconds: float) -> None:
+        super().__init__(name=f"repro-lease-{job_id}", daemon=True)
+        self._store = store
+        self._job_id = job_id
+        self._worker_id = worker_id
+        self._lease_seconds = lease_seconds
+        # NB: not named _stop — threading.Thread.join() calls an internal
+        # method of that name.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        interval = max(0.05, self._lease_seconds / 3.0)
+        while not self._halt.wait(interval):
+            try:
+                self._store.renew_lease(self._job_id, self._worker_id, self._lease_seconds)
+            except (LeaseError, JobStoreError):
+                return
+
+    def stop(self) -> None:
+        self._halt.set()
+
+
+class Worker:
+    """A pull-loop executor over one shared state directory.
+
+    Parameters
+    ----------
+    state_dir:
+        The job store directory shared with the server (and other
+        workers).  Opened *without* recovery — joining workers must not
+        second-guess records the serving process owns.
+    worker_id:
+        Stable identity stamped into claimed records; defaults to a
+        host/pid-qualified unique id.
+    poll_interval / lease_seconds:
+        Queue-scan sleep when idle, and the lease stamped on claims
+        (renewed automatically while a task runs).
+    kinds:
+        Record kinds this worker claims (default: block tasks only).
+    throttle:
+        Seconds to sleep between claiming a task and executing it.  An
+        operational rate-limit knob — also what the kill-a-worker tests
+        use to hold a worker mid-block deterministically.
+    session:
+        Existing :class:`AnalysisSession` to evaluate with; when omitted
+        the worker creates (and owns, and closes) one from *n_jobs* /
+        *executor*.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        worker_id: Optional[str] = None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        kinds: Sequence[str] = ("block",),
+        throttle: float = 0.0,
+        session: Optional[AnalysisSession] = None,
+        n_jobs: int = 1,
+        executor: str = "thread",
+        max_attempts: int = MAX_TASK_ATTEMPTS,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be > 0, got {lease_seconds}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.store = JobStore(state_dir, recover=False)
+        self.worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self.poll_interval = float(poll_interval)
+        self.lease_seconds = float(lease_seconds)
+        self.kinds = tuple(kinds)
+        self.throttle = float(throttle)
+        self.max_attempts = max_attempts
+        self._owns_session = session is None
+        self.session = session if session is not None else AnalysisSession(
+            n_jobs=n_jobs, executor=executor
+        )
+        self._corpus_cache: Dict[str, List[WeightedString]] = {}
+        self._stop = threading.Event()
+        #: Tasks completed / failed by this worker (observability).
+        self.completed = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_once(self) -> Optional[str]:
+        """Claim and execute one task; its job id, or ``None`` when idle.
+
+        A failing task is released back to the queue while its claim
+        count is under ``max_attempts`` (transient failures retry,
+        possibly on another worker) and marked ``error`` after that
+        (deterministic failures must not ping-pong forever).
+        """
+        record = self.store.claim(self.worker_id, self.lease_seconds, kinds=self.kinds)
+        if record is None:
+            return None
+        logger.info("worker %s claimed %s (attempt %d)", self.worker_id, record.job_id, record.attempts)
+        # The keeper starts before any throttle sleep: a live-but-slow
+        # worker keeps renewing, so only a *dead* worker's lease expires.
+        keeper = _LeaseKeeper(self.store, record.job_id, self.worker_id, self.lease_seconds)
+        keeper.start()
+        try:
+            if self.throttle > 0:
+                time.sleep(self.throttle)
+            self._execute(record)
+        except LeaseError:
+            # The lease was reclaimed under us; the new owner's result wins.
+            logger.warning("worker %s lost the lease on %s", self.worker_id, record.job_id)
+            self.failed += 1
+        except Exception as exc:  # noqa: BLE001 - the queue must keep moving
+            self.failed += 1
+            self._handle_failure(record, exc)
+        else:
+            self.completed += 1
+        finally:
+            keeper.stop()
+            keeper.join(timeout=1.0)
+        return record.job_id
+
+    def _execute(self, record: JobRecord) -> None:
+        if record.kind == "block":
+            execute_block_task(self.store, record, self.session, corpus_cache=self._corpus_cache)
+        else:
+            raise JobStoreError(f"worker cannot execute {record.kind!r} tasks")
+
+    def _handle_failure(self, record: JobRecord, exc: Exception) -> None:
+        message = f"{type(exc).__name__}: {exc}"
+        logger.warning("worker %s failed %s: %s", self.worker_id, record.job_id, message)
+        try:
+            if record.attempts < self.max_attempts:
+                self.store.release(record.job_id, self.worker_id)
+            else:
+                self.store.mark_error(
+                    record.job_id, f"failed after {record.attempts} attempts: {message}"
+                )
+        except (LeaseError, JobStoreError, KeyError):
+            pass  # the job moved on without us; nothing left to record
+
+    def run_forever(
+        self,
+        max_tasks: Optional[int] = None,
+        idle_exit: Optional[float] = None,
+    ) -> int:
+        """Pull tasks until stopped; returns how many tasks were executed.
+
+        *max_tasks* bounds the number of executed tasks; *idle_exit* exits
+        after the queue has stayed dry for that many seconds (both are how
+        tests and batch deployments get a terminating worker).
+        :meth:`stop` (e.g. from a signal handler) ends the loop too.
+        """
+        executed = 0
+        idle_since: Optional[float] = None
+        while not self._stop.is_set():
+            job_id = self.run_once()
+            if job_id is not None:
+                executed += 1
+                idle_since = None
+                if max_tasks is not None and executed >= max_tasks:
+                    break
+                continue
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if idle_exit is not None and now - idle_since >= idle_exit:
+                break
+            self._stop.wait(self.poll_interval)
+        return executed
+
+    def stop(self) -> None:
+        """Ask :meth:`run_forever` to exit after the current task."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.stop()
+        if self._owns_session:
+            self.session.shutdown()
+
+    def __enter__(self) -> "Worker":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"Worker(id={self.worker_id!r}, state_dir={self.store.root!r}, "
+            f"completed={self.completed}, failed={self.failed})"
+        )

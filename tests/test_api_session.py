@@ -255,3 +255,54 @@ class TestCancel:
         job = session.submit_work("quick", lambda: 1)
         session.result(job, timeout=30)
         assert session.cancel(job) is False
+
+
+class TestJobTTLSweep:
+    """Finished jobs must not be retained forever when clients never fetch."""
+
+    def test_swept_jobs_stop_reporting(self):
+        import time
+
+        with AnalysisSession(job_ttl=0.05) as session:
+            job = session.submit_work("noop", lambda: 42)
+            assert session.result(job) == 42  # finished (and retained)
+            time.sleep(0.08)
+            evicted = session.sweep_jobs()
+            assert job in evicted
+            assert job not in session.jobs()
+            with pytest.raises(KeyError):
+                session.status(job)
+
+    def test_ttl_never_evicts_unfinished_jobs(self):
+        import threading
+        import time
+
+        release = threading.Event()
+        with AnalysisSession(job_ttl=0.0) as session:
+            try:
+                job = session.submit_work("blocker", release.wait)
+                time.sleep(0.05)
+                assert session.sweep_jobs() == []
+                assert session.status(job) in ("pending", "running")
+            finally:
+                release.set()
+
+    def test_max_retained_evicts_oldest_finished_first(self):
+        with AnalysisSession(max_retained_jobs=2) as session:
+            jobs = []
+            for value in range(4):
+                job = session.submit_work("noop", lambda value=value: value)
+                assert session.result(job) == value
+                jobs.append(job)
+            session.sweep_jobs()
+            retained = session.jobs()
+            assert len(retained) == 2
+            assert jobs[-1] in retained and jobs[-2] in retained  # newest survive
+            with pytest.raises(KeyError):
+                session.status(jobs[0])
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            AnalysisSession(job_ttl=-1)
+        with pytest.raises(ValueError):
+            AnalysisSession(max_retained_jobs=0)

@@ -190,3 +190,69 @@ class TestCompareSpec:
         via_flags = last_value(["compare", str(first), str(second), "--cut-weight", "2"])
         via_spec = last_value(["compare", str(first), str(second), "--spec", str(spec_path)])
         assert via_flags == via_spec
+
+
+class TestWorkerAndGcCommands:
+    def test_worker_and_gc_subcommands_parse(self):
+        parser = build_parser()
+        worker = parser.parse_args(
+            ["worker", "--state-dir", "/tmp/x", "--lease-seconds", "5", "--idle-exit", "1"]
+        )
+        assert worker.command == "worker"
+        assert worker.lease_seconds == 5.0 and worker.idle_exit == 1.0
+        gc = parser.parse_args(["gc", "--state-dir", "/tmp/x", "--ttl", "0", "--dry-run"])
+        assert gc.command == "gc" and gc.ttl == 0.0 and gc.dry_run
+
+    def test_remote_matrix_accepts_distributed_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["remote", "--url", "http://x", "matrix", "corpus", "--shards", "2", "--distributed"]
+        )
+        assert args.distributed is True
+
+    def test_gc_sweeps_expired_terminal_jobs(self, tmp_path, capsys):
+        import time as _time
+
+        from repro.service import JobStore
+
+        state_dir = str(tmp_path / "state")
+        store = JobStore(state_dir)
+        done = store.create("matrix")
+        store.store_result(done.job_id, {"x": 1})
+        store.update(done.job_id, updated_at=_time.time() - 100)
+        queued = store.create("matrix")
+        assert main(["gc", "--state-dir", state_dir, "--ttl", "50", "--dry-run"]) == 0
+        assert done.job_id in capsys.readouterr().out
+        assert store.get(done.job_id).status == "done"  # dry run removed nothing
+        assert main(["gc", "--state-dir", state_dir, "--ttl", "50"]) == 0
+        assert done.job_id in capsys.readouterr().out
+        with pytest.raises(KeyError):
+            store.get(done.job_id)
+        assert store.get(queued.job_id).status == "queued"
+
+    def test_worker_command_drains_queue_and_exits(self, tmp_path, capsys):
+        # End-to-end through the CLI handler: one block task, one worker
+        # run with --max-tasks 1 (no server involved).
+        from repro.api import AnalysisSession, make_spec
+        from repro.service import JobStore
+        from repro.service.protocol import encode_corpus
+
+        spec = make_spec("kast", cut_weight=2)
+        with AnalysisSession() as session:
+            strings = session.corpus(small=True, seed=7)[:4]
+        state_dir = str(tmp_path / "state")
+        store = JobStore(state_dir)
+        parent = store.create(
+            "matrix",
+            spec=spec.to_dict(),
+            input={"spec": spec.to_dict(), "strings": list(encode_corpus(strings))},
+        )
+        store.create(
+            "block",
+            spec=spec.to_dict(),
+            options={"parent": parent.job_id, "first": [0, 2], "second": [2, 4]},
+        )
+        assert main(["worker", "--state-dir", state_dir, "--max-tasks", "1"]) == 0
+        block = store.records(kind="block")[0]
+        assert block.status == "done"
+        assert len(store.load_result(block.job_id)["pairs"]) == 4

@@ -496,3 +496,25 @@ class TestBlockSharding:
         raw = engine.evaluate_pairs(subset, [(0, 1), (0, 2), (0, 3), (1, 2)])
         with pytest.raises(ValueError, match="does not cover"):
             engine.assemble_gram(subset, raw)
+
+    def test_pair_value_codec_round_trips_exact_floats(self, corpus):
+        from repro.core.engine import decode_pair_values, encode_pair_values
+
+        engine = GramEngine(KastSpectrumKernel(cut_weight=2))
+        subset = corpus[:5]
+        pairs = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        raw = engine.evaluate_pairs(subset, pairs)
+        # The JSON wire trip (what a worker writes and the server reads)
+        # must preserve every float bit-for-bit.
+        import json
+
+        rows = json.loads(json.dumps(encode_pair_values(raw)))
+        assert decode_pair_values(rows) == raw
+
+    def test_decode_pair_values_rejects_malformed_rows(self):
+        from repro.core.engine import decode_pair_values
+
+        with pytest.raises(ValueError):
+            decode_pair_values([[0, 1]])
+        with pytest.raises(ValueError):
+            decode_pair_values(["0,1,2.0"])

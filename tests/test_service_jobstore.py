@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 import pytest
 
-from repro.service.jobstore import JobRecord, JobStore, JobStoreError
+from repro.service.jobstore import JobRecord, JobStore, JobStoreError, LeaseError
 
 
 @pytest.fixture
@@ -105,16 +106,44 @@ class TestCrashRecovery:
         assert reopened.get(record.job_id).status == "done"
         assert reopened.load_result(record.job_id) == payload
 
-    def test_queued_and_running_jobs_marked_interrupted(self, store):
+    def test_queued_jobs_requeued_and_leaseless_running_interrupted(self, store):
+        # The recovery bugfix: work that never started (queued) is safe to
+        # rerun and must be requeued; only non-resumable in-flight work —
+        # a running record with no lease, whose callable died with its
+        # process — dead-ends as interrupted.
         queued = store.create("matrix")
         running = store.create("analyze")
         store.mark_running(running.job_id)
         reopened = JobStore(store.root)
-        assert set(reopened.recovery.interrupted) == {queued.job_id, running.job_id}
-        for job_id in (queued.job_id, running.job_id):
-            record = reopened.get(job_id)
-            assert record.status == "interrupted"
-            assert "restart" in (record.error or "")
+        assert set(reopened.recovery.requeued) == {queued.job_id}
+        assert set(reopened.recovery.interrupted) == {running.job_id}
+        assert reopened.get(queued.job_id).status == "queued"
+        interrupted = reopened.get(running.job_id)
+        assert interrupted.status == "interrupted"
+        assert "restart" in (interrupted.error or "")
+
+    def test_expired_lease_requeued_and_live_lease_untouched(self, store):
+        expired = store.create("block")
+        live = store.create("block")
+        assert store.claim_job(expired.job_id, "w1", lease_seconds=0.001)
+        assert store.claim_job(live.job_id, "w2", lease_seconds=3600)
+        time.sleep(0.01)
+        reopened = JobStore(store.root)
+        assert set(reopened.recovery.requeued) == {expired.job_id}
+        assert reopened.recovery.interrupted == ()
+        requeued = reopened.get(expired.job_id)
+        assert requeued.status == "queued"
+        assert requeued.worker_id is None and requeued.lease_expires_at is None
+        assert requeued.attempts == 1  # retry accounting survives the requeue
+        untouched = reopened.get(live.job_id)
+        assert untouched.status == "running" and untouched.worker_id == "w2"
+
+    def test_worker_store_skips_recovery(self, store):
+        running = store.create("matrix")
+        store.mark_running(running.job_id)
+        joined = JobStore(store.root, recover=False)
+        assert joined.recovery.interrupted == ()
+        assert joined.get(running.job_id).status == "running"
 
     def test_half_written_payload_quarantined(self, store):
         record = store.create("matrix")
@@ -178,3 +207,252 @@ class TestCrashRecovery:
                 json.dump({"x": 1}, handle)
             store.recovery = store.recover()
         assert len(os.listdir(store.quarantine_dir)) == 2
+
+
+class TestLeasing:
+    def test_claim_takes_oldest_queued_and_stamps_lease(self, store):
+        first = store.create("block")
+        store.create("block")
+        claimed = store.claim("w1", lease_seconds=30)
+        assert claimed is not None and claimed.job_id == first.job_id
+        assert claimed.status == "running"
+        assert claimed.worker_id == "w1"
+        assert claimed.attempts == 1
+        assert claimed.lease_expires_at is not None
+        assert claimed.lease_expires_at > time.time() + 25
+
+    def test_claim_skips_live_leases_and_reclaims_expired(self, store):
+        record = store.create("block")
+        assert store.claim_job(record.job_id, "w1", lease_seconds=0.05) is not None
+        assert store.claim("w2", lease_seconds=30) is None  # lease still live
+        time.sleep(0.06)
+        reclaimed = store.claim("w2", lease_seconds=30)
+        assert reclaimed is not None and reclaimed.job_id == record.job_id
+        assert reclaimed.worker_id == "w2"
+        assert reclaimed.attempts == 2
+
+    def test_claim_never_touches_terminal_or_leaseless_running(self, store):
+        done = store.create("block")
+        store.store_result(done.job_id, {"x": 1})
+        inprocess = store.create("matrix")
+        store.mark_running(inprocess.job_id)  # no lease: in-process job
+        assert store.claim("w1", lease_seconds=30) is None
+
+    def test_claim_kind_and_parent_filters(self, store):
+        store.create("matrix")
+        mine = store.create("block", options={"parent": "matrix-a"})
+        store.create("block", options={"parent": "matrix-b"})
+        claimed = store.claim("w1", lease_seconds=30, kinds=("block",), parent="matrix-a")
+        assert claimed is not None and claimed.job_id == mine.job_id
+        assert store.claim("w1", lease_seconds=30, kinds=("block",), parent="matrix-a") is None
+
+    def test_renew_extends_only_for_the_owner(self, store):
+        record = store.create("block")
+        store.claim_job(record.job_id, "w1", lease_seconds=1)
+        renewed = store.renew_lease(record.job_id, "w1", lease_seconds=60)
+        assert renewed.lease_expires_at > time.time() + 55
+        with pytest.raises(LeaseError):
+            store.renew_lease(record.job_id, "imposter", lease_seconds=60)
+
+    def test_release_requeues_and_keeps_attempts(self, store):
+        record = store.create("block")
+        store.claim_job(record.job_id, "w1", lease_seconds=30)
+        with pytest.raises(LeaseError):
+            store.release(record.job_id, "imposter")
+        released = store.release(record.job_id, "w1")
+        assert released.status == "queued"
+        assert released.worker_id is None and released.lease_expires_at is None
+        assert released.attempts == 1
+        again = store.claim("w2", lease_seconds=30)
+        assert again is not None and again.attempts == 2
+
+    def test_requeue_expired_moves_only_lapsed_leases(self, store):
+        lapsed = store.create("block")
+        live = store.create("block")
+        store.claim_job(lapsed.job_id, "w1", lease_seconds=0.01)
+        store.claim_job(live.job_id, "w2", lease_seconds=3600)
+        time.sleep(0.02)
+        assert store.requeue_expired() == [lapsed.job_id]
+        assert store.get(lapsed.job_id).status == "queued"
+        assert store.get(live.job_id).status == "running"
+
+    def test_store_result_clears_the_lease(self, store):
+        record = store.create("block")
+        store.claim_job(record.job_id, "w1", lease_seconds=30)
+        done = store.store_result(record.job_id, {"pairs": []})
+        assert done.status == "done"
+        assert done.lease_expires_at is None
+        assert done.worker_id == "w1"  # kept for observability
+
+
+class TestSweep:
+    def test_sweep_drops_only_expired_terminal_jobs(self, store):
+        old_done = store.create("matrix")
+        store.store_result(old_done.job_id, {"x": 1})
+        old_error = store.create("matrix")
+        store.mark_error(old_error.job_id, "boom")
+        fresh_done = store.create("matrix")
+        store.store_result(fresh_done.job_id, {"x": 2})
+        queued = store.create("matrix")
+        running = store.create("matrix")
+        store.mark_running(running.job_id)
+        # Backdate the two old terminal records past the TTL.
+        for job_id in (old_done.job_id, old_error.job_id):
+            store.update(job_id, updated_at=time.time() - 100.0)
+        swept = store.sweep(ttl_seconds=50.0)
+        assert set(swept) == {old_done.job_id, old_error.job_id}
+        survivors = {record.job_id for record in store.records()}
+        assert survivors == {fresh_done.job_id, queued.job_id, running.job_id}
+        # Payload and lock files of the swept jobs are gone too.
+        assert not os.path.exists(os.path.join(store.payloads_dir, f"{old_done.job_id}.json"))
+        assert not os.path.exists(os.path.join(store.locks_dir, f"{old_done.job_id}.lock"))
+
+    def test_sweep_zero_ttl_drops_every_terminal_job(self, store):
+        done = store.create("matrix")
+        store.store_result(done.job_id, {"x": 1})
+        queued = store.create("matrix")
+        assert store.sweep(0) == [done.job_id]
+        assert [record.job_id for record in store.records()] == [queued.job_id]
+
+    def test_sweep_dry_run_removes_nothing(self, store):
+        done = store.create("matrix")
+        store.store_result(done.job_id, {"x": 1})
+        assert store.sweep(0, dry_run=True) == [done.job_id]
+        assert store.get(done.job_id).status == "done"
+        assert store.load_result(done.job_id) == {"x": 1}
+
+    def test_sweep_rejects_negative_ttl(self, store):
+        with pytest.raises(JobStoreError):
+            store.sweep(-1)
+
+
+# ----------------------------------------------------------------------
+# Cross-process safety (module-level helpers so multiprocessing can spawn)
+# ----------------------------------------------------------------------
+def _increment_counter(root: str, job_id: str, repeats: int) -> None:
+    """One contender in the lost-update race: repeats read-modify-writes."""
+    contender = JobStore(root, recover=False)
+    for _ in range(repeats):
+        contender.mutate(
+            job_id,
+            lambda record: {"options": {**record.options, "count": record.options.get("count", 0) + 1}},
+        )
+
+
+def _drain_claims(root: str, worker_id: str, output_path: str) -> None:
+    """One contender in the claim race: claims until the queue is dry."""
+    contender = JobStore(root, recover=False)
+    claimed = []
+    while True:
+        record = contender.claim(worker_id, lease_seconds=60)
+        if record is None:
+            break
+        claimed.append(record.job_id)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        json.dump(claimed, handle)
+
+
+class TestCrossProcessSafety:
+    """Two stores on one dir must never lose each other's updates.
+
+    Regression for the cross-process lost-update bug: JobStore.update()
+    used to guard its read→replace→write with an in-process lock only, so
+    a second process could interleave and silently drop a transition.
+    The per-record file lock must serialise every read-modify-write, for
+    threads and for separate processes alike.
+    """
+
+    REPEATS = 40
+
+    def test_threaded_stores_do_not_lose_updates(self, store):
+        import threading
+
+        record = store.create("matrix", options={"count": 0})
+        contenders = [
+            threading.Thread(target=_increment_counter, args=(store.root, record.job_id, self.REPEATS))
+            for _ in range(4)
+        ]
+        for thread in contenders:
+            thread.start()
+        for thread in contenders:
+            thread.join()
+        assert store.get(record.job_id).options["count"] == 4 * self.REPEATS
+
+    def test_multiprocess_stores_do_not_lose_updates(self, store):
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        record = store.create("matrix", options={"count": 0})
+        contenders = [
+            context.Process(target=_increment_counter, args=(store.root, record.job_id, self.REPEATS))
+            for _ in range(2)
+        ]
+        for process in contenders:
+            process.start()
+        for process in contenders:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        assert store.get(record.job_id).options["count"] == 2 * self.REPEATS
+
+    def test_racing_processes_claim_disjoint_jobs(self, store, tmp_path):
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        jobs = {store.create("block").job_id for _ in range(12)}
+        outputs = [str(tmp_path / f"claims-{index}.json") for index in range(2)]
+        contenders = [
+            context.Process(target=_drain_claims, args=(store.root, f"w{index}", output))
+            for index, output in enumerate(outputs)
+        ]
+        for process in contenders:
+            process.start()
+        for process in contenders:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        claims = []
+        for output in outputs:
+            with open(output, "r", encoding="utf-8") as handle:
+                claims.append(set(json.load(handle)))
+        assert claims[0] | claims[1] == jobs      # every job claimed...
+        assert claims[0] & claims[1] == set()     # ...by exactly one worker
+
+
+class TestSweepBlockGuard:
+    def test_sweep_keeps_done_blocks_of_in_flight_parents(self, store):
+        # A finished block task is input to its parent's assembly: the TTL
+        # sweep must not collect it while the parent is still running.
+        parent = store.create("matrix", input={"spec": {"kind": "kast"}, "strings": []})
+        store.claim_job(parent.job_id, "server-1", lease_seconds=3600)
+        child = store.create("block", options={"parent": parent.job_id, "first": [0, 1], "second": [0, 1]})
+        store.store_result(child.job_id, {"pairs": []})
+        store.update(child.job_id, updated_at=time.time() - 1000)
+        assert store.sweep(ttl_seconds=50) == []
+        assert store.get(child.job_id).status == "done"
+        # Once the parent finishes, the block becomes sweepable garbage.
+        store.store_result(parent.job_id, {"values": []})
+        store.update(parent.job_id, updated_at=time.time() - 1000)
+        assert set(store.sweep(ttl_seconds=50)) == {parent.job_id, child.job_id}
+
+    def test_sweep_drops_blocks_whose_parent_is_gone(self, store):
+        orphan = store.create("block", options={"parent": "matrix-vanished", "first": [0, 1], "second": [0, 1]})
+        store.store_result(orphan.job_id, {"pairs": []})
+        store.update(orphan.job_id, updated_at=time.time() - 1000)
+        assert store.sweep(ttl_seconds=50) == [orphan.job_id]
+
+
+class TestResultOwnership:
+    def test_zombie_worker_cannot_store_over_a_reclaimed_lease(self, store):
+        record = store.create("block")
+        store.claim_job(record.job_id, "zombie", lease_seconds=0.01)
+        time.sleep(0.02)
+        store.claim_job(record.job_id, "owner", lease_seconds=3600)  # reclaim
+        with pytest.raises(LeaseError):
+            store.store_result(record.job_id, {"pairs": []}, worker_id="zombie")
+        assert store.get(record.job_id).status == "running"  # owner undisturbed
+        done = store.store_result(record.job_id, {"pairs": []}, worker_id="owner")
+        assert done.status == "done"
+
+    def test_store_result_without_worker_id_keeps_legacy_behavior(self, store):
+        record = store.create("matrix")
+        store.mark_running(record.job_id)
+        assert store.store_result(record.job_id, {"x": 1}).status == "done"

@@ -91,6 +91,7 @@ _requests = st.one_of(
         normalized=st.booleans(),
         repair=st.booleans(),
         shards=st.one_of(st.none(), st.integers(min_value=1, max_value=16)),
+        distributed=st.booleans(),
     ),
     st.builds(
         SubmitAnalyzeRequest,
@@ -148,6 +149,7 @@ class TestRequestRoundTrip:
             {"type": "submit-matrix", "spec": "kast", "shards": 0},
             {"type": "submit-matrix", "spec": "kast", "shards": True},
             {"type": "submit-matrix", "spec": "kast", "normalized": "yes"},
+            {"type": "submit-matrix", "spec": "kast", "distributed": "yes"},
             {"type": "result", "job_id": "x", "wait": -1},
             {"type": "result", "job_id": ""},
             {"type": "status"},

@@ -187,17 +187,47 @@ class TestRestartRecovery:
             matrix = KernelMatrix.from_dict(wait_result(second, job_id))
             assert np.array_equal(matrix.values, local_matrix.values)
 
-    def test_mid_queue_job_marked_interrupted_after_restart(self, tmp_path):
+    def test_mid_queue_jobs_recovered_after_restart(self, tmp_path, strings, local_matrix):
         # Simulate a server killed mid-queue: its store holds a queued and a
-        # running record, but the process (and its futures) are gone.
+        # running record, but the process (and its futures) are gone.  The
+        # queued job carries its input, so the next server requeues and
+        # *re-runs* it; the running one (in-flight, no lease — its callable
+        # died with the process) is the only one dead-ended as interrupted.
         state_dir = str(tmp_path / "state")
         dead = JobStore(state_dir)
-        queued = dead.create("matrix", spec=SPEC.to_dict())
+        queued = dead.create(
+            "matrix",
+            spec=SPEC.to_dict(),
+            input={
+                "spec": SPEC.to_dict(),
+                "strings": list(encode_corpus(strings)),
+                "normalized": True,
+                "repair": True,
+                "shards": 2,
+                "distributed": False,
+            },
+        )
         running = dead.create("matrix", spec=SPEC.to_dict())
         dead.mark_running(running.job_id)
         with AnalysisServer(state_dir=state_dir) as second:
-            assert set(second.store.recovery.interrupted) == {queued.job_id, running.job_id}
-            response = second.handle(ResultRequest(job_id=queued.job_id).to_payload())
+            assert set(second.store.recovery.requeued) == {queued.job_id}
+            assert set(second.store.recovery.interrupted) == {running.job_id}
+            matrix = KernelMatrix.from_dict(wait_result(second, queued.job_id))
+            assert np.array_equal(matrix.values, local_matrix.values)
+            response = second.handle(ResultRequest(job_id=running.job_id).to_payload())
+            assert response["error"]["code"] == "job-failed"
+            assert "interrupted" in response["error"]["message"]
+
+    def test_queued_job_without_input_is_dead_ended(self, tmp_path):
+        # Records predating input persistence cannot be resumed: the
+        # adopting server must answer clients definitively instead of
+        # leaving them queued forever.
+        state_dir = str(tmp_path / "state")
+        dead = JobStore(state_dir)
+        legacy = dead.create("matrix", spec=SPEC.to_dict())
+        with AnalysisServer(state_dir=state_dir) as second:
+            assert legacy.job_id in second.store.recovery.requeued
+            response = second.handle(ResultRequest(job_id=legacy.job_id).to_payload())
             assert response["error"]["code"] == "job-failed"
             assert "interrupted" in response["error"]["message"]
 
@@ -259,6 +289,31 @@ class TestHTTPTransport:
             assert caught.value.job_id == job_id
         finally:
             release.set()
+
+    def test_slow_job_survives_short_transport_timeout(self, server, strings, local_matrix):
+        # Regression: the per-poll server-side wait hint used to be a flat
+        # 2 s, so a transport whose socket timeout is shorter surfaced a
+        # raw URLError mid-wait even though the job was healthy.  The hint
+        # must be clamped below the socket timeout and the client must
+        # keep polling to the *caller's* deadline.
+        from repro.service import HTTPTransport, ServiceClient
+
+        host, port = server.start_http()
+        release = threading.Event()
+        with ServiceClient(HTTPTransport(f"http://{host}:{port}", timeout=1.0)) as client:
+            assert client._clamped_poll_wait() < 1.0
+            try:
+                # Saturate both job workers so the matrix job stays queued
+                # for ~2.5 s — several polls, each longer than the socket
+                # timeout would allow un-clamped.
+                for _ in range(2):
+                    server.session.submit_work("blocker", release.wait)
+                job_id = client.submit(SPEC, strings)
+                threading.Timer(2.5, release.set).start()
+                result = client.result(job_id, timeout=120)
+            finally:
+                release.set()
+        assert np.array_equal(result.values, local_matrix.values)
 
     def test_analyze_reports_metrics(self, client, strings):
         report = client.analyze(SPEC, strings, n_clusters=4, timeout=240)
