@@ -20,7 +20,12 @@ Measures, with the paper's 110-example corpus:
 * **E10d** — distributed worker scaling: one cold `distributed=True`
   sharded matrix job drained by 1 vs 2 external ``repro-iokast worker``
   processes (fresh state dir and workers per point, so caches are cold
-  and the wall clock measures real block execution).
+  and the wall clock measures real block execution);
+* **E10e** — result-cache reuse: the same remote matrix submitted to a
+  fresh server cold, resubmitted (persistent-cache hit), resubmitted
+  against a *restarted* server on the same state dir (hit with a cold
+  engine), and grown by 10 examples (prefix extension) — the
+  speedups the ``MatrixCache`` buys repeat and grown-corpus traffic.
 
 The result is written as JSON so future PRs can diff their numbers against
 the recorded trajectory (see ``benchmarks/README.md``).  Timings are the
@@ -204,6 +209,61 @@ def bench_distributed_workers(
     }
 
 
+def bench_result_cache(corpus_size: int = 40, extend_by: int = 10) -> Dict[str, object]:
+    """E10e: cold vs warm-cache service matrix calls.
+
+    One fresh state dir: a cold submission (every kernel pair evaluated),
+    an identical resubmission (served from the persistent result cache),
+    the same resubmission after a server restart (cache hit with a
+    completely cold engine), and a grown corpus (cached prefix reused,
+    only the appended rows computed).  Single-shot wall clocks — cache
+    hits are one-time events per state, so medians would lie.
+    """
+    import tempfile
+
+    from repro.api import make_spec
+    from repro.service import AnalysisServer, ServiceClient
+
+    spec = make_spec("kast", cut_weight=2)
+    strings = list(paper_strings(DEFAULT_SEED, True))
+    corpus = strings[:corpus_size]
+    grown = strings[: corpus_size + extend_by]
+    seconds: Dict[str, float] = {}
+    outcomes: Dict[str, str] = {}
+
+    def timed(label: str, client: ServiceClient, request: List[WeightedString]) -> None:
+        start = time.perf_counter()
+        job = client.matrix_job(spec, request, timeout=600)
+        seconds[label] = time.perf_counter() - start
+        outcomes[label] = str(job.get("cache"))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as state_dir:
+        server = AnalysisServer(state_dir=state_dir)
+        try:
+            host, port = server.start_http()
+            with ServiceClient(f"http://{host}:{port}") as client:
+                timed("cold", client, corpus)
+                timed("warm_hit", client, corpus)
+        finally:
+            server.close()
+        # Restart on the same state dir: the hit must survive the process.
+        server = AnalysisServer(state_dir=state_dir)
+        try:
+            host, port = server.start_http()
+            with ServiceClient(f"http://{host}:{port}") as client:
+                timed("restart_hit", client, corpus)
+                timed("extended", client, grown)
+        finally:
+            server.close()
+    return {
+        "corpus_size": float(corpus_size),
+        "extended_size": float(corpus_size + extend_by),
+        "seconds": seconds,
+        "cache_outcomes": outcomes,
+        "hit_speedup": seconds["cold"] / seconds["warm_hit"] if seconds["warm_hit"] > 0 else float("inf"),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="benchmarks/BENCH_scaling.json", help="where to write the JSON report")
@@ -244,6 +304,12 @@ def main() -> int:
     for count, seconds in distributed["wall_seconds"].items():
         print(f"  {count} worker(s): {seconds:.2f}s")
 
+    print("E10e: result-cache reuse, cold vs warm service matrix calls (s)")
+    result_cache = bench_result_cache(corpus_size=20 if args.quick else 40)
+    for label, seconds in result_cache["seconds"].items():
+        print(f"  {label:>11}: {seconds:.4f}s (cache={result_cache['cache_outcomes'][label]})")
+    print(f"  identical resubmission is {result_cache['hit_speedup']:.1f}x faster than the cold run")
+
     report = {
         "benchmark": "E10 scaling",
         "repeats": args.repeats,
@@ -256,6 +322,7 @@ def main() -> int:
         "gram_speedup_numpy_vs_python": speedup,
         "service_overhead": service,
         "distributed_workers": distributed,
+        "result_cache": result_cache,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

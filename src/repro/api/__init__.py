@@ -18,6 +18,7 @@ module importing it — at package-import time.
 """
 
 from repro.api.session import AnalysisSession, JobError, JobTimeout
+from repro.core.cachestore import MatrixCache
 from repro.api.spec import (
     KernelSpec,
     KernelSpecError,
@@ -38,6 +39,7 @@ __all__ = [
     "JobTimeout",
     "KernelSpec",
     "KernelSpecError",
+    "MatrixCache",
     "ServiceClient",
     "canonicalize_spec",
     "coerce_spec",

@@ -35,14 +35,15 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError  # == builtin TimeoutError only from 3.11
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.api.spec import KernelSpec, coerce_spec, kernel_from_spec
-from repro.core.engine import ENGINE_EXECUTORS, GramEngine
+from repro.core.cachestore import CacheLookup, MatrixCache
+from repro.core.engine import ENGINE_EXECUTORS, GramEngine, string_fingerprint
 from repro.core.matrix import KernelMatrix
 from repro.kernels.base import StringKernel
 from repro.strings.encoder import StringEncoder
@@ -130,6 +131,13 @@ class AnalysisSession:
         Hard cap on retained *finished* jobs: when exceeded, the
         oldest-finished are evicted first.  Protects long-lived servers
         whose clients submit but never fetch from unbounded growth.
+    matrix_cache:
+        Optional persistent Gram-result cache
+        (:class:`~repro.core.cachestore.MatrixCache`, or a directory path
+        one is opened at).  When set, :meth:`matrix` serves identical
+        ``(spec, corpus)`` requests from disk bit-identically — across
+        sessions and processes sharing the directory — and extends cached
+        prefixes instead of recomputing them.
     """
 
     def __init__(
@@ -142,6 +150,7 @@ class AnalysisSession:
         max_job_workers: int = 2,
         job_ttl: Optional[float] = None,
         max_retained_jobs: int = 1024,
+        matrix_cache: Optional[Union[MatrixCache, str]] = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -161,8 +170,14 @@ class AnalysisSession:
             self._engine_options["pair_cache_size"] = pair_cache_size
         if chunk_size is not None:
             self._engine_options["chunk_size"] = chunk_size
+        if isinstance(matrix_cache, str):
+            matrix_cache = MatrixCache(matrix_cache)
+        self.matrix_cache = matrix_cache
         self._kernels: Dict[KernelSpec, StringKernel] = {}
-        self._engines: Dict[KernelSpec, GramEngine] = {}
+        # Engines are keyed by the *value-relevant* kernel signature, not
+        # the full spec: specs differing only in value-irrelevant params
+        # (e.g. the Kast backend) share one warm engine and pair cache.
+        self._engines: Dict[str, GramEngine] = {}
         self._lock = threading.Lock()
         self._jobs: Dict[str, _Job] = {}
         self._job_ids = itertools.count(1)
@@ -199,11 +214,17 @@ class AnalysisSession:
         The engine (and its pair/self-value caches) persists for the session
         lifetime: a sweep revisiting a spec, or an interactive client asking
         for an extended corpus, hits the warm caches instead of recomputing.
+        Engines are shared between specs whose :func:`kernel signatures
+        <repro.api.spec.spec_signature>` agree — the signature strips
+        value-irrelevant parameters (e.g. Kast ``backend="numpy"`` vs
+        ``"python"``), so equivalent specs warm one pair cache instead of
+        fragmenting it.
         """
         resolved = self.spec(spec)
         kernel = self.kernel(resolved)
+        signature = resolved.signature()
         with self._lock:
-            engine = self._engines.get(resolved)
+            engine = self._engines.get(signature)
             if engine is None:
                 engine = GramEngine(
                     kernel,
@@ -213,7 +234,7 @@ class AnalysisSession:
                     executor=self.executor,
                     **self._engine_options,
                 )
-                self._engines[resolved] = engine
+                self._engines[signature] = engine
             return engine
 
     # ------------------------------------------------------------------
@@ -300,16 +321,111 @@ class AnalysisSession:
         normalized: bool = True,
         repair: bool = True,
         cache_path: Optional[str] = None,
+        use_cache: bool = True,
     ) -> KernelMatrix:
         """Labelled kernel matrix over *strings* under *spec*.
 
-        Goes through the spec's warm engine; *cache_path* enables the
-        engine's stamped on-disk persistence (always carrying corpus
-        fingerprints and the spec-derived kernel signature).
+        Goes through the spec's warm engine.  When the session has a
+        :class:`~repro.core.cachestore.MatrixCache` (and *use_cache* is
+        left on), the result cache is consulted first: an identical
+        cached corpus is served bit-identically with zero kernel
+        evaluations, and a cached prefix is extended (only the appended
+        rows are computed).  *cache_path* enables the engine's per-file
+        stamped persistence instead (the two are mutually exclusive; a
+        given *cache_path* wins).
         """
-        return self.engine(spec).compute(
-            strings, normalized=normalized, repair=repair, cache_path=cache_path
+        matrix, _ = self.matrix_cached(
+            spec, strings, normalized=normalized, repair=repair,
+            cache_path=cache_path, use_cache=use_cache,
         )
+        return matrix
+
+    def matrix_cached(
+        self,
+        spec: SpecLike,
+        strings: Sequence[WeightedString],
+        normalized: bool = True,
+        repair: bool = True,
+        cache_path: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> Tuple[KernelMatrix, str]:
+        """:meth:`matrix` plus the result-cache outcome.
+
+        Returns ``(matrix, status)`` where *status* is ``"hit"`` (served
+        verbatim from the cache), ``"extended"`` (cached prefix reused,
+        appended rows computed), ``"miss"`` (computed cold and stored) or
+        ``"bypass"`` (no cache, *use_cache* off, or *cache_path* given).
+        """
+        string_list = list(strings)
+        cache = self.matrix_cache if (use_cache and cache_path is None and string_list) else None
+        if cache is None:
+            matrix = self.engine(spec).compute(
+                string_list, normalized=normalized, repair=repair, cache_path=cache_path
+            )
+            return matrix, "bypass"
+        engine = self.engine(spec)
+        found = self.matrix_cache_lookup(spec, string_list, normalized=normalized)
+        if found.status == "hit":
+            matrix = KernelMatrix.from_dict(found.payload)
+            status = "hit"
+        else:
+            base: Optional[KernelMatrix] = None
+            base_fingerprints: Optional[List[str]] = None
+            if found.status == "prefix":
+                base = KernelMatrix.from_dict(found.payload)
+                base_fingerprints = [str(item) for item in found.payload["fingerprints"]]
+            matrix = engine.matrix(
+                string_list,
+                normalized=normalized,
+                base=base,
+                base_fingerprints=base_fingerprints,
+                base_signature=engine.kernel_signature() if base is not None else None,
+            )
+            self.matrix_cache_store(spec, string_list, matrix)
+            status = "extended" if base is not None else "miss"
+        if repair and not matrix.is_positive_semidefinite():
+            matrix = matrix.repaired()
+        return matrix, status
+
+    # ------------------------------------------------------------------
+    # Persistent result cache (shared with servers/workers via the state dir)
+    # ------------------------------------------------------------------
+    def matrix_cache_lookup(
+        self, spec: SpecLike, strings: Sequence[WeightedString], normalized: bool = True
+    ) -> CacheLookup:
+        """Result-cache probe for ``(spec, strings)``; a miss when disabled.
+
+        Service front ends use this directly when they need the raw
+        lookup — e.g. to skip distributed block tasks already covered by
+        a cached prefix — while plain callers go through
+        :meth:`matrix_cached`.
+        """
+        if self.matrix_cache is None:
+            return CacheLookup("miss")
+        string_list = list(strings)
+        return self.matrix_cache.lookup(
+            self.engine(spec).kernel_signature(),
+            bool(normalized),
+            [string_fingerprint(string) for string in string_list],
+            [string.name for string in string_list],
+            [string.label for string in string_list],
+        )
+
+    def matrix_cache_store(
+        self, spec: SpecLike, strings: Sequence[WeightedString], matrix: KernelMatrix
+    ) -> bool:
+        """Store a *pre-repair* matrix in the result cache; whether stored.
+
+        The stored payload is the engine's stamped
+        :meth:`~repro.core.engine.GramEngine.matrix_payload` form, so the
+        entry is self-describing and every layer (session, server, CLI)
+        can serve it bit-identically.
+        """
+        if self.matrix_cache is None or not len(matrix):
+            return False
+        engine = self.engine(spec)
+        self.matrix_cache.store(engine.matrix_payload(matrix, list(strings)))
+        return True
 
     # ------------------------------------------------------------------
     # Pipeline-level entry points
@@ -472,14 +588,23 @@ class AnalysisSession:
             forgotten (it has not finished).
 
         Raises :class:`JobError` wrapping the original exception when the
-        job failed, so callers can distinguish job failure from lookup
-        errors.
+        job failed — including a *cancelled* job, whose
+        :class:`~concurrent.futures.CancelledError` is a
+        :class:`BaseException` since Python 3.8 and would otherwise escape
+        the error contract entirely — so callers can distinguish job
+        failure from lookup errors.
         """
         job = self._job(job_id)
         try:
             value = job.future.result(timeout=timeout)
         except (TimeoutError, FuturesTimeoutError) as exc:
             raise JobTimeout(job_id, timeout) from exc
+        except CancelledError as exc:
+            # A BaseException: without this clause it would bypass both the
+            # JobError wrapping and the forget=True eviction below.
+            if forget:
+                self.forget(job_id)
+            raise JobError(f"job {job_id!r} was cancelled") from exc
         except Exception as exc:
             if forget:
                 self.forget(job_id)
@@ -521,15 +646,20 @@ class AnalysisSession:
     # Introspection and lifecycle
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, Dict[str, int]]:
-        """Per-spec engine cache counters (keyed by canonical spec)."""
+        """Per-engine cache counters, keyed by the engine's canonical spec.
+
+        One entry per warm engine: specs deduplicated onto a shared engine
+        (equal kernel signatures) report as the spec that first created it.
+        """
         with self._lock:
-            engines = list(self._engines.items())
-        return {spec.canonical(): engine.cache_info() for spec, engine in engines}
+            engines = list(self._engines.values())
+        return {engine.spec.canonical(): engine.cache_info() for engine in engines}
 
     def specs(self) -> Tuple[KernelSpec, ...]:
         """Every spec the session has warmed an engine or kernel for."""
         with self._lock:
-            return tuple(dict.fromkeys(list(self._kernels) + list(self._engines)))
+            engine_specs = [engine.spec for engine in self._engines.values()]
+            return tuple(dict.fromkeys(list(self._kernels) + engine_specs))
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the background job pool (idempotent)."""

@@ -167,6 +167,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds between maintenance passes (lease requeue, adoption, TTL sweep; default: 30)",
     )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent matrix result cache (default: cache under <state-dir>/matrix-cache)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=64,
+        metavar="N",
+        help="LRU bound on result-cache entries (default: 64)",
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict result-cache entries idle longer than this (default: LRU eviction only)",
+    )
 
     worker = subparsers.add_parser(
         "worker", help="run a pull-loop worker over a server's state directory"
@@ -217,6 +236,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop terminal jobs whose last update is older than this (0 = every terminal job)",
     )
     gc.add_argument("--dry-run", action="store_true", help="print what would be swept without removing it")
+    gc.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also evict matrix result-cache entries idle longer than this (0 = every entry; "
+        "default: leave the cache alone)",
+    )
+    gc.add_argument(
+        "--max-cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --cache-ttl: also enforce this LRU bound on the result cache",
+    )
 
     remote = subparsers.add_parser("remote", help="talk to a running analysis service")
     remote.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8123")
@@ -225,6 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     remote_actions.add_parser("health", help="print the server health snapshot")
     remote_actions.add_parser("specs", help="list the server's kernel kinds and warm specs")
+    remote_actions.add_parser(
+        "cache-stats", help="print the server's matrix result-cache counters"
+    )
 
     remote_matrix = remote_actions.add_parser(
         "matrix", help="compute a Gram matrix remotely from a directory of trace files"
@@ -245,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--distributed",
         action="store_true",
         help="persist the shard blocks as leasable tasks for external `repro-iokast worker` processes",
+    )
+    remote_matrix.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the server's matrix result cache (always re-evaluate kernel pairs)",
     )
     remote_matrix.add_argument("--no-wait", action="store_true", help="print the job id instead of waiting")
     remote_matrix.add_argument("--output", default=None, help="write the JSON payload here instead of stdout")
@@ -430,6 +472,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         lease_seconds=args.lease_seconds,
         job_ttl=args.job_ttl,
         gc_interval=args.gc_interval,
+        result_cache=not args.no_cache,
+        max_cache_entries=args.cache_entries,
+        cache_ttl=args.cache_ttl,
     )
     try:
         if args.stdio:
@@ -501,6 +546,22 @@ def _command_gc(args: argparse.Namespace) -> int:
     print(f"{verb} {len(swept)} job(s) from {store.root}")
     for job_id in swept:
         print(f"  {job_id}")
+    if args.cache_ttl is not None:
+        from repro.core.cachestore import MatrixCache
+
+        cache = MatrixCache(os.path.join(store.root, "matrix-cache"))
+        if args.dry_run:
+            entries = cache.stats()["entries"]
+            print(f"would sweep up to {entries} result-cache entr(ies) from {cache.root}")
+        else:
+            # Without --max-cache-entries this is a TTL-only sweep: the
+            # serving process owns the LRU bound (it may be configured far
+            # above this offline tool's construction default).
+            evicted = cache.sweep(
+                ttl=args.cache_ttl,
+                max_entries=args.max_cache_entries if args.max_cache_entries is not None else sys.maxsize,
+            )
+            print(f"evicted {len(evicted)} result-cache entr(ies) from {cache.root}")
     return 0
 
 
@@ -513,6 +574,9 @@ def _command_remote(args: argparse.Namespace) -> int:
             return 0
         if args.remote_command == "specs":
             print(json.dumps(client.specs(), indent=2, sort_keys=True))
+            return 0
+        if args.remote_command == "cache-stats":
+            print(json.dumps(client.cache_stats(), indent=2, sort_keys=True))
             return 0
         if args.remote_command == "status":
             print(client.status(args.job_id))
@@ -542,23 +606,31 @@ def _command_remote(args: argparse.Namespace) -> int:
         strings = session.corpus_from_directory(args.corpus, use_byte_information=not args.no_bytes)
         if args.no_wait:
             job_id = client.submit(
-                spec, strings, normalized=not args.raw, shards=args.shards, distributed=args.distributed
+                spec,
+                strings,
+                normalized=not args.raw,
+                shards=args.shards,
+                distributed=args.distributed,
+                use_cache=not args.no_cache,
             )
             print(job_id)
             return 0
-        payload = client.matrix_payload(
+        job = client.matrix_job(
             spec,
             strings,
             normalized=not args.raw,
             shards=args.shards,
             distributed=args.distributed,
+            use_cache=not args.no_cache,
             timeout=args.timeout,
         )
         shard_text = "server-default shards" if args.shards is None else f"{args.shards} shard(s)"
         if args.distributed:
             shard_text += ", distributed"
+        if job.get("cache"):
+            shard_text += f", cache {job['cache']}"
         _emit_payload(
-            payload,
+            job["payload"],
             args.output,
             f"wrote {len(strings)}x{len(strings)} {spec.kind} matrix ({shard_text}) to {args.output}",
         )

@@ -98,6 +98,14 @@ def _process_evaluate_chunk(
     return [(key, float(kernel.value(strings[i], strings[j]))) for key, (i, j) in chunk]
 
 
+#: id-keyed fingerprint memo (object pinned to keep ids stable), mirroring
+#: the engine's object-key memo.  One service request fingerprints the same
+#: decoded corpus several times (submission identity, cache lookup, payload
+#: stamp); the memo collapses that to one hash pass per string object.
+_FINGERPRINT_MEMO: Dict[int, Tuple[WeightedString, str]] = {}
+_FINGERPRINT_MEMO_LIMIT = 65_536
+
+
 def string_fingerprint(string: WeightedString) -> str:
     """Content digest of a weighted string (name and label excluded).
 
@@ -105,13 +113,20 @@ def string_fingerprint(string: WeightedString) -> str:
     *names* match a stored matrix but whose token content changed (e.g.
     the same trace corpus re-encoded with different options).
     """
+    memo = _FINGERPRINT_MEMO.get(id(string))
+    if memo is not None and memo[0] is string:
+        return memo[1]
     digest = hashlib.sha1()
     for token in string:
         digest.update(token.literal.encode("utf-8"))
         digest.update(b"\x00")
         digest.update(str(token.weight).encode("ascii"))
         digest.update(b"\x01")
-    return digest.hexdigest()
+    value = digest.hexdigest()
+    if len(_FINGERPRINT_MEMO) > _FINGERPRINT_MEMO_LIMIT:
+        _FINGERPRINT_MEMO.clear()
+    _FINGERPRINT_MEMO[id(string)] = (string, value)
+    return value
 
 
 def _write_json_atomic(payload: Dict[str, Any], path: str) -> None:
@@ -421,6 +436,7 @@ class GramEngine:
         strings: Sequence[WeightedString],
         raw_by_pair: Dict[Tuple[int, int], float],
         normalized: bool = True,
+        base: Optional[KernelMatrix] = None,
     ) -> np.ndarray:
         """Assemble a full Gram array from raw off-diagonal pair values.
 
@@ -431,11 +447,30 @@ class GramEngine:
         denominators come from the engine's cached self values, so merging
         separately computed blocks yields bit-identical values to a
         monolithic :meth:`gram` call.
+
+        When *base* is a previously assembled matrix covering a leading
+        prefix of *strings* (the caller vouches for the content match —
+        e.g. a result-cache entry verified by corpus fingerprints), its
+        block is copied verbatim and *raw_by_pair* only needs to cover
+        pairs involving an appended index — the assembly arithmetic of the
+        engine's incremental extension, so an extended matrix stays
+        bit-identical to a cold full computation.
         """
         string_list = list(strings)
         count = len(string_list)
         gram = np.zeros((count, count), dtype=float)
         filled = np.zeros((count, count), dtype=bool)
+        covered = 0
+        if base is not None:
+            if base.normalized != normalized:
+                raise ValueError(
+                    f"base matrix normalized={base.normalized} does not match normalized={normalized}"
+                )
+            covered = len(base)
+            if covered > count:
+                raise ValueError(f"base matrix ({covered}) is larger than the corpus ({count})")
+            gram[:covered, :covered] = base.values
+            filled[:covered, :covered] = True
         self_values = [self.self_value(string) for string in string_list]
         for (i, j), raw in raw_by_pair.items():
             entry = normalize_kernel_value(raw, self_values[i], self_values[j]) if normalized else raw
@@ -447,7 +482,7 @@ class GramEngine:
         if not filled.all():
             missing = int(np.argwhere(~filled)[0][0]), int(np.argwhere(~filled)[0][1])
             raise ValueError(f"raw_by_pair does not cover pair {missing} of a {count}-string corpus")
-        for i in range(count):
+        for i in range(covered, count):
             gram[i, i] = 1.0 if normalized and self_values[i] > 0 else self_values[i]
         return gram
 

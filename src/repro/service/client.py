@@ -44,6 +44,7 @@ from repro.api.session import JobTimeout
 from repro.api.spec import KernelSpec, coerce_spec
 from repro.core.matrix import KernelMatrix
 from repro.service.protocol import (
+    CacheStatsRequest,
     CancelRequest,
     HealthRequest,
     JobPending,
@@ -260,6 +261,17 @@ class ServiceClient:
         """Registered kernel kinds and the server session's warm specs."""
         return self._call(SpecsRequest())
 
+    def cache_stats(self) -> Dict[str, Any]:
+        """The server's matrix result-cache state and counters.
+
+        ``{"enabled": False}`` when the server runs without a result
+        cache; otherwise entry counts, payload bytes and the
+        hit/extension/miss/store/eviction counters of
+        :meth:`MatrixCache.stats <repro.core.cachestore.MatrixCache.stats>`.
+        """
+        response = self._call(CacheStatsRequest())
+        return {key: value for key, value in response.items() if key not in ("v", "ok", "type")}
+
     # ------------------------------------------------------------------
     # Job handles
     # ------------------------------------------------------------------
@@ -271,6 +283,7 @@ class ServiceClient:
         repair: bool = True,
         shards: Optional[int] = None,
         distributed: bool = False,
+        use_cache: bool = True,
     ) -> str:
         """Queue a matrix job; returns its id.
 
@@ -278,6 +291,10 @@ class ServiceClient:
         additionally persists the blocks as leasable worker tasks, so
         ``repro-iokast worker`` processes sharing the server's state dir
         execute them (values stay bit-identical either way).
+        ``use_cache=False`` makes the server bypass its persistent result
+        cache and re-evaluate every kernel pair.  An identical submission
+        already in flight is *coalesced*: the returned id names the job
+        the equal submissions share.
         """
         response = self._call(
             SubmitMatrixRequest(
@@ -287,6 +304,7 @@ class ServiceClient:
                 repair=repair,
                 shards=shards,
                 distributed=distributed,
+                use_cache=use_cache,
             )
         )
         return str(response["job_id"])
@@ -315,15 +333,10 @@ class ServiceClient:
         """The job's store status (``queued``/``running``/``done``/...)."""
         return str(self._call(StatusRequest(job_id=job_id))["status"])
 
-    def result_payload(
+    def _result_response(
         self, job_id: str, timeout: Optional[float] = None, forget: bool = False
     ) -> Dict[str, Any]:
-        """Block (poll) for a job's raw payload dict.
-
-        Each poll asks the server to wait a short interval server-side, so
-        the client does not busy-loop; *timeout* bounds the total wait and
-        raises :class:`~repro.api.session.JobTimeout` carrying the job id.
-        """
+        """Poll for a job's full result envelope (payload + metadata)."""
         deadline = None if timeout is None else time.monotonic() + timeout
         poll_wait = self._clamped_poll_wait()
         while True:
@@ -338,7 +351,18 @@ class ServiceClient:
             payload = response.get("payload")
             if not isinstance(payload, dict):
                 raise ServiceError(f"job {job_id!r} returned a malformed result payload")
-            return payload
+            return response
+
+    def result_payload(
+        self, job_id: str, timeout: Optional[float] = None, forget: bool = False
+    ) -> Dict[str, Any]:
+        """Block (poll) for a job's raw payload dict.
+
+        Each poll asks the server to wait a short interval server-side, so
+        the client does not busy-loop; *timeout* bounds the total wait and
+        raises :class:`~repro.api.session.JobTimeout` carrying the job id.
+        """
+        return self._result_response(job_id, timeout=timeout, forget=forget)["payload"]
 
     def result(
         self, job_id: str, timeout: Optional[float] = None, forget: bool = False
@@ -364,6 +388,7 @@ class ServiceClient:
         repair: bool = True,
         shards: Optional[int] = None,
         distributed: bool = False,
+        use_cache: bool = True,
         timeout: Optional[float] = None,
     ) -> KernelMatrix:
         """Compute a labelled kernel matrix remotely (submit + wait + decode).
@@ -371,11 +396,12 @@ class ServiceClient:
         The finished job is forgotten server-side after delivery, matching
         the one-shot semantics of :meth:`AnalysisSession.matrix`.
         """
-        job_id = self.submit(
-            spec, strings, normalized=normalized, repair=repair, shards=shards, distributed=distributed
+        return KernelMatrix.from_dict(
+            self.matrix_job(
+                spec, strings, normalized=normalized, repair=repair, shards=shards,
+                distributed=distributed, use_cache=use_cache, timeout=timeout,
+            )["payload"]
         )
-        payload = self.result_payload(job_id, timeout=timeout, forget=True)
-        return KernelMatrix.from_dict(payload)
 
     def matrix_payload(
         self,
@@ -385,13 +411,43 @@ class ServiceClient:
         repair: bool = True,
         shards: Optional[int] = None,
         distributed: bool = False,
+        use_cache: bool = True,
         timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Like :meth:`matrix` but returning the stamped wire payload."""
+        return self.matrix_job(
+            spec, strings, normalized=normalized, repair=repair, shards=shards,
+            distributed=distributed, use_cache=use_cache, timeout=timeout,
+        )["payload"]
+
+    def matrix_job(
+        self,
+        spec: SpecLike,
+        strings: Sequence[WeightedString],
+        normalized: bool = True,
+        repair: bool = True,
+        shards: Optional[int] = None,
+        distributed: bool = False,
+        use_cache: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit + wait, returning ``{"job_id", "payload", "cache"}``.
+
+        ``cache`` is the server's result-cache outcome for the job —
+        ``"hit"``, ``"extended"``, ``"miss"`` or ``"bypass"`` (``None``
+        when talking to a server predating the cache).  The payload is
+        bit-identical across all outcomes.
+        """
         job_id = self.submit(
-            spec, strings, normalized=normalized, repair=repair, shards=shards, distributed=distributed
+            spec, strings, normalized=normalized, repair=repair, shards=shards,
+            distributed=distributed, use_cache=use_cache,
         )
-        return self.result_payload(job_id, timeout=timeout, forget=True)
+        response = self._result_response(job_id, timeout=timeout, forget=True)
+        return {
+            "job_id": job_id,
+            "payload": response["payload"],
+            "cache": response.get("cache"),
+        }
 
     def analyze(
         self,

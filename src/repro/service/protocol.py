@@ -22,6 +22,7 @@ The types are:
 ``cancel``          cancel a queued job
 ``specs``           registered kernel kinds and the session's warm specs
 ``health``          liveness / protocol / job-count snapshot
+``cache-stats``     the server's persistent matrix result-cache counters
 ==================  ====================================================
 
 Responses are ``{"v": 1, "ok": true, "type": ..., ...}`` on success and
@@ -56,6 +57,7 @@ __all__ = [
     "CancelRequest",
     "SpecsRequest",
     "HealthRequest",
+    "CacheStatsRequest",
     "parse_request",
     "ok_response",
     "error_response",
@@ -259,6 +261,11 @@ class SubmitMatrixRequest(Request):
     server assembles the finished blocks into the same bit-identical
     matrix.  With ``distributed=False`` (the default) the sharded blocks
     are evaluated in-process, as before.
+
+    ``use_cache=False`` bypasses the server's persistent matrix result
+    cache entirely (no lookup, no store-back): the job always re-evaluates
+    its kernel pairs.  The payload is bit-identical either way — the cache
+    only ever changes *where* values come from, never what they are.
     """
 
     TYPE: ClassVar[str] = "submit-matrix"
@@ -269,6 +276,7 @@ class SubmitMatrixRequest(Request):
     repair: bool = True
     shards: Optional[int] = None
     distributed: bool = False
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "strings", tuple(self.strings))
@@ -276,6 +284,8 @@ class SubmitMatrixRequest(Request):
             raise BadRequest("'normalized' and 'repair' must be booleans")
         if not isinstance(self.distributed, bool):
             raise BadRequest("'distributed' must be a boolean")
+        if not isinstance(self.use_cache, bool):
+            raise BadRequest("'use_cache' must be a boolean")
         if self.shards is not None and (
             not isinstance(self.shards, int) or isinstance(self.shards, bool) or self.shards < 1
         ):
@@ -356,6 +366,19 @@ class HealthRequest(Request):
     TYPE: ClassVar[str] = "health"
 
 
+@dataclass(frozen=True)
+class CacheStatsRequest(Request):
+    """Probe the server's persistent matrix result cache.
+
+    Answers with ``enabled`` plus, when a cache is configured, its
+    counters and on-disk state (entries, bytes, hits/extensions/misses,
+    stores, evictions) — the observability hook behind
+    ``repro-iokast remote cache-stats``.
+    """
+
+    TYPE: ClassVar[str] = "cache-stats"
+
+
 _REQUEST_TYPES: Dict[str, Type[Request]] = {
     request_class.TYPE: request_class
     for request_class in (
@@ -366,6 +389,7 @@ _REQUEST_TYPES: Dict[str, Type[Request]] = {
         CancelRequest,
         SpecsRequest,
         HealthRequest,
+        CacheStatsRequest,
     )
 }
 

@@ -45,13 +45,31 @@ state dir never compute the same job twice.  A background maintenance
 thread requeues expired leases, adopts orphaned queued jobs, and (when a
 ``job_ttl`` is set) garbage-collects terminal records so long-lived state
 dirs stop growing without bound.
+
+Result caching and request coalescing
+-------------------------------------
+The server keeps a persistent, signature-keyed
+:class:`~repro.core.cachestore.MatrixCache` under
+``state_dir/matrix-cache`` (shared with the session, and with any sibling
+server on the same state dir).  Matrix jobs consult it before evaluating
+anything: an identical ``(spec, corpus, normalized)`` request — to this
+server, a restarted one, or a sibling — is served bit-identically with
+zero kernel evaluations (``cache="hit"`` in the result envelope); a
+corpus extending a cached one computes only the appended rows/blocks
+(``cache="extended"``), and distributed jobs skip every block pair the
+cached prefix already covers.  Identical *in-flight* submissions coalesce
+onto the already-queued job (the submit response carries
+``coalesced=true``), so a thundering herd of equal requests costs one
+engine run.  ``use_cache=False`` opts a submission out entirely.
 """
 
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import logging
+import os
 import tempfile
 import threading
 import time
@@ -61,12 +79,14 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, TextIO, Tuple
 
 from repro.api.session import AnalysisSession, JobError, JobTimeout
 from repro.api.spec import KernelSpec, KernelSpecError, coerce_spec, registered_kinds, registry_entry
-from repro.core.engine import decode_pair_values, plan_index_blocks
+from repro.core.cachestore import MatrixCache
+from repro.core.engine import decode_pair_values, plan_index_blocks, string_fingerprint
 from repro.core.matrix import KernelMatrix
 from repro.service.jobstore import JobRecord, JobStore, JobStoreError, LeaseError
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     BadRequest,
+    CacheStatsRequest,
     CancelRequest,
     CannotCancel,
     HealthRequest,
@@ -135,7 +155,15 @@ class AnalysisServer:
         maintenance thread.
     gc_interval:
         Seconds between maintenance passes (lease requeue, orphan-job
-        adoption, TTL sweep).
+        adoption, TTL sweep, result-cache sweep).
+    result_cache:
+        Whether to keep the persistent matrix result cache under
+        ``state_dir/matrix-cache`` (on by default).  When a *session* with
+        its own :class:`~repro.core.cachestore.MatrixCache` is passed in,
+        that cache is used instead.
+    max_cache_entries / cache_ttl:
+        LRU bound and optional idle TTL of the result cache, enforced by
+        the maintenance loop (and on every store).
     """
 
     def __init__(
@@ -150,6 +178,9 @@ class AnalysisServer:
         lease_seconds: float = 900.0,
         job_ttl: Optional[float] = None,
         gc_interval: float = 30.0,
+        result_cache: bool = True,
+        max_cache_entries: int = 64,
+        cache_ttl: Optional[float] = None,
     ) -> None:
         if default_shards < 1:
             raise ValueError(f"default_shards must be >= 1, got {default_shards}")
@@ -168,6 +199,12 @@ class AnalysisServer:
             self._tempdir = tempfile.TemporaryDirectory(prefix="repro-service-")
             state_dir = self._tempdir.name
         self.store = JobStore(state_dir)
+        if result_cache and self.session.matrix_cache is None:
+            self.session.matrix_cache = MatrixCache(
+                os.path.join(self.store.root, "matrix-cache"),
+                max_entries=max_cache_entries,
+                ttl=cache_ttl,
+            )
         self.default_shards = default_shards
         self.inline_blocks = inline_blocks
         self.lease_seconds = float(lease_seconds)
@@ -176,6 +213,14 @@ class AnalysisServer:
         #: Identity stamped into records this server claims.
         self.worker_id = f"server-{uuid.uuid4().hex[:8]}"
         self._session_jobs: Dict[str, str] = {}
+        #: In-flight coalescing: submission identity → job id of the one
+        #: job equal submissions share (validated lazily against the store).
+        self._inflight: Dict[str, str] = {}
+        #: How many submissions were answered with each job id (1 for the
+        #: creator, +1 per coalesced duplicate).  A ``forget=True`` result
+        #: fetch only drops the record once the *last* waiter collected it,
+        #: so coalesced clients cannot forget it out from under each other.
+        self._result_waiters: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._started = time.time()
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -215,7 +260,13 @@ class AnalysisServer:
             CancelRequest: self._handle_cancel,
             SpecsRequest: self._handle_specs,
             HealthRequest: self._handle_health,
+            CacheStatsRequest: self._handle_cache_stats,
         }
+
+    @property
+    def matrix_cache(self) -> Optional[MatrixCache]:
+        """The persistent result cache the session serves matrix jobs from."""
+        return self.session.matrix_cache
 
     # ------------------------------------------------------------------
     # Job submission
@@ -226,35 +277,106 @@ class AnalysisServer:
         except KernelSpecError as exc:
             raise BadRequest(f"invalid kernel spec: {exc}") from exc
 
+    def _submission_key(
+        self, spec: KernelSpec, strings: List[WeightedString], **options: Any
+    ) -> str:
+        """Content identity of one matrix submission (spec values + corpus + options)."""
+        identity = {
+            "signature": self.session.engine(spec).kernel_signature(),
+            "fingerprints": [string_fingerprint(string) for string in strings],
+            "names": [string.name for string in strings],
+            "labels": [string.label for string in strings],
+            **options,
+        }
+        return hashlib.sha256(
+            json.dumps(identity, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        ).hexdigest()
+
     def _handle_submit_matrix(self, request: SubmitMatrixRequest) -> Dict[str, Any]:
         spec = self._coerce_spec(request.spec)
         strings = decode_corpus(request.strings)
         if not strings:
             raise BadRequest("submit-matrix requires a non-empty corpus")
         shards = request.shards if request.shards is not None else self.default_shards
+        submission_key = self._submission_key(
+            spec,
+            strings,
+            normalized=request.normalized,
+            repair=request.repair,
+            shards=shards,
+            distributed=request.distributed,
+            use_cache=request.use_cache,
+        )
         options = {
             "normalized": request.normalized,
             "repair": request.repair,
             "shards": shards,
             "distributed": request.distributed,
+            "use_cache": request.use_cache,
             "examples": len(strings),
             "blocks": plan_index_blocks(len(strings), shards),
+            "submission_key": submission_key,
         }
-        record = self.store.create(
-            "matrix",
-            spec=spec.to_dict(),
-            options=options,
-            input={
-                "spec": spec.to_dict(),
-                "strings": list(request.strings),
-                "normalized": request.normalized,
-                "repair": request.repair,
-                "shards": shards,
-                "distributed": request.distributed,
-            },
-        )
+        # Coalesce identical in-flight submissions onto the job already
+        # queued for them: the whole check-and-create runs under the lock,
+        # so two racing equal submissions get one record and one engine run.
+        with self._lock:
+            existing_id = self._inflight.get(submission_key)
+            if existing_id is not None:
+                existing = self._unfinished_record(existing_id)
+                if existing is not None:
+                    self._result_waiters[existing.job_id] = (
+                        self._result_waiters.get(existing.job_id, 1) + 1
+                    )
+                    return ok_response(
+                        "job",
+                        job_id=existing.job_id,
+                        status=existing.status,
+                        kind="matrix",
+                        coalesced=True,
+                    )
+                # The finished job's _result_waiters entry (if any) stays:
+                # its uncollected waiters still hold the old job id.
+                del self._inflight[submission_key]
+            record = self.store.create(
+                "matrix",
+                spec=spec.to_dict(),
+                options=options,
+                input={
+                    "spec": spec.to_dict(),
+                    "strings": list(request.strings),
+                    "normalized": request.normalized,
+                    "repair": request.repair,
+                    "shards": shards,
+                    "distributed": request.distributed,
+                    "use_cache": request.use_cache,
+                },
+            )
+            self._inflight[submission_key] = record.job_id
         self._start_record(record)
         return ok_response("job", job_id=record.job_id, status="queued", kind="matrix")
+
+    def _unfinished_record(self, job_id: str) -> Optional[JobRecord]:
+        """The live (non-terminal) record for *job_id*, else ``None``."""
+        try:
+            record = self.store.get(job_id)
+        except (KeyError, JobStoreError):
+            return None
+        return None if record.finished else record
+
+    def _release_result_waiter(self, job_id: str) -> bool:
+        """One waiter collected the result; whether the record may be dropped.
+
+        Jobs with no waiter entry (analyze jobs, records adopted after a
+        restart) behave as single-waiter: forget applies immediately.
+        """
+        with self._lock:
+            remaining = self._result_waiters.get(job_id, 1) - 1
+            if remaining > 0:
+                self._result_waiters[job_id] = remaining
+                return False
+            self._result_waiters.pop(job_id, None)
+            return True
 
     def _handle_submit_analyze(self, request: SubmitAnalyzeRequest) -> Dict[str, Any]:
         spec = self._coerce_spec(request.spec)
@@ -370,13 +492,16 @@ class AnalysisServer:
                     normalized=bool(record.input.get("normalized", True)),
                     repair=bool(record.input.get("repair", True)),
                     shards=int(record.input.get("shards", 1)),
+                    use_cache=bool(record.input.get("use_cache", True)),
                 )
             return self._matrix_payload(
+                record.job_id,
                 spec,
                 strings,
                 normalized=bool(record.input.get("normalized", True)),
                 repair=bool(record.input.get("repair", True)),
                 shards=int(record.input.get("shards", 1)),
+                use_cache=bool(record.input.get("use_cache", True)),
             )
         if record.kind == "analyze":
             config = self._analyze_config(
@@ -390,54 +515,127 @@ class AnalysisServer:
 
     def _matrix_payload(
         self,
+        job_id: str,
         spec: KernelSpec,
         strings: List[WeightedString],
         normalized: bool,
         repair: bool,
         shards: int,
+        use_cache: bool = True,
     ) -> Dict[str, Any]:
         """The stamped matrix payload, monolithic or block-sharded in-process.
 
-        The sharded path issues one engine task per unordered index-block
-        pair and merges through the engine's assembler; values are
-        bit-identical to :meth:`AnalysisSession.matrix` because every raw
-        pair value comes from the same kernel code and caches.
+        Both paths consult the persistent result cache first (unless
+        *use_cache* is off): an exact corpus hit is served with zero
+        kernel evaluations, a cached prefix restricts the evaluation to
+        block pairs touching an appended index, and the outcome is stamped
+        into the record (``options["cache"]``).  The sharded path issues
+        one engine task per remaining unordered index-block pair and
+        merges through the engine's assembler; values are bit-identical to
+        :meth:`AnalysisSession.matrix` because every raw pair value comes
+        from the same kernel code and caches.
         """
         engine = self.session.engine(spec)
         if shards <= 1:
-            matrix = self.session.matrix(spec, strings, normalized=normalized, repair=repair)
+            matrix, status = self.session.matrix_cached(
+                spec, strings, normalized=normalized, repair=repair, use_cache=use_cache
+            )
         else:
-            from repro.core.engine import block_index_pairs
-
-            blocks = plan_index_blocks(len(strings), shards)
-            raw_by_pair: Dict[Tuple[int, int], float] = {}
-            for first_index, first in enumerate(blocks):
-                for second in blocks[first_index:]:
-                    pairs = block_index_pairs(first, second)
-                    if pairs:
-                        raw_by_pair.update(engine.evaluate_pairs(strings, pairs))
-            matrix = self._assembled_matrix(engine, strings, raw_by_pair, normalized, repair)
+            matrix, status = self._sharded_matrix(
+                spec, strings, normalized, repair, shards, use_cache,
+                evaluate=lambda pairs: engine.evaluate_pairs(strings, pairs),
+            )
+        self._stamp_cache_status(job_id, status)
         return engine.matrix_payload(matrix, strings)
+
+    def _cache_base(
+        self, spec: KernelSpec, strings: List[WeightedString], normalized: bool, use_cache: bool
+    ) -> Tuple[str, Optional[KernelMatrix]]:
+        """Result-cache probe: ``(status, base)`` for a sharded evaluation.
+
+        ``("hit", full matrix)`` on an exact corpus match, ``("extended",
+        prefix matrix)`` when a cached prefix can seed the assembly,
+        ``("miss"|"bypass", None)`` otherwise.
+        """
+        if not use_cache or self.matrix_cache is None:
+            return "bypass", None
+        found = self.session.matrix_cache_lookup(spec, strings, normalized=normalized)
+        if found.status == "hit":
+            return "hit", KernelMatrix.from_dict(found.payload)
+        if found.status == "prefix":
+            return "extended", KernelMatrix.from_dict(found.payload)
+        return "miss", None
+
+    def _sharded_matrix(
+        self,
+        spec: KernelSpec,
+        strings: List[WeightedString],
+        normalized: bool,
+        repair: bool,
+        shards: int,
+        use_cache: bool,
+        evaluate: Callable[[List[Tuple[int, int]]], Dict[Tuple[int, int], float]],
+    ) -> Tuple[KernelMatrix, str]:
+        """Cache-aware block-sharded evaluation through *evaluate*.
+
+        *evaluate* receives the index pairs of one block pair and returns
+        their raw kernel values — the in-process path hands them straight
+        to the engine, and block pairs fully inside a cached prefix are
+        skipped before *evaluate* ever sees them.
+        """
+        from repro.core.engine import block_index_pairs
+
+        status, base = self._cache_base(spec, strings, normalized, use_cache)
+        if status == "hit":
+            assert base is not None
+            return self._repaired(base, repair), status
+        covered = len(base) if base is not None else 0
+        raw_by_pair: Dict[Tuple[int, int], float] = {}
+        blocks = plan_index_blocks(len(strings), shards)
+        for first_index, first in enumerate(blocks):
+            for second in blocks[first_index:]:
+                if first[1] <= covered and second[1] <= covered:
+                    continue  # the cached prefix already covers this block pair
+                pairs = block_index_pairs(first, second)
+                if pairs:
+                    raw_by_pair.update(evaluate(pairs))
+        matrix = self._assembled_matrix(spec, strings, raw_by_pair, normalized, base=base)
+        if status != "bypass":
+            self.session.matrix_cache_store(spec, strings, matrix)
+        return self._repaired(matrix, repair), status
+
+    @staticmethod
+    def _repaired(matrix: KernelMatrix, repair: bool) -> KernelMatrix:
+        if repair and not matrix.is_positive_semidefinite():
+            return matrix.repaired()
+        return matrix
 
     def _assembled_matrix(
         self,
-        engine: Any,
+        spec: KernelSpec,
         strings: List[WeightedString],
         raw_by_pair: Dict[Tuple[int, int], float],
         normalized: bool,
-        repair: bool,
+        base: Optional[KernelMatrix] = None,
     ) -> KernelMatrix:
-        values = engine.assemble_gram(strings, raw_by_pair, normalized=normalized)
-        matrix = KernelMatrix(
+        """The *pre-repair* matrix assembled from raw block results."""
+        engine = self.session.engine(spec)
+        values = engine.assemble_gram(strings, raw_by_pair, normalized=normalized, base=base)
+        return KernelMatrix(
             values=values,
             names=tuple(string.name for string in strings),
             labels=tuple(string.label for string in strings),
             kernel_name=engine.kernel.name,
             normalized=normalized,
         )
-        if repair and not matrix.is_positive_semidefinite():
-            matrix = matrix.repaired()
-        return matrix
+
+    def _stamp_cache_status(self, job_id: str, status: str) -> None:
+        """Record the cache outcome in the job's options (best effort)."""
+        with contextlib.suppress(JobStoreError, KeyError):
+            self.store.mutate(
+                job_id,
+                lambda current: {"options": {**current.options, "cache": status}},
+            )
 
     def _distributed_matrix_payload(
         self,
@@ -447,6 +645,7 @@ class AnalysisServer:
         normalized: bool,
         repair: bool,
         shards: int,
+        use_cache: bool = True,
     ) -> Dict[str, Any]:
         """Coordinate a worker-pull sharded matrix job and assemble its result.
 
@@ -461,7 +660,19 @@ class AnalysisServer:
         and JSON floats round-trip exactly, so the payload is
         bit-identical to the in-process path no matter who computed which
         block.
+
+        The result cache short-circuits the coordination: an exact corpus
+        hit returns the cached payload without creating a single block
+        record, and a cached prefix drops every block pair both of whose
+        blocks lie inside it — workers only ever see the appended work.
         """
+        engine = self.session.engine(spec)
+        status, base = self._cache_base(spec, strings, normalized, use_cache)
+        if status == "hit":
+            assert base is not None
+            self._stamp_cache_status(job_id, status)
+            return engine.matrix_payload(self._repaired(base, repair), strings)
+        covered = len(base) if base is not None else 0
         blocks = plan_index_blocks(len(strings), shards)
         spec_dict = spec.to_dict()
         existing: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], JobRecord] = {}
@@ -472,6 +683,8 @@ class AnalysisServer:
         child_ids: List[str] = []
         for first_index, first in enumerate(blocks):
             for second in blocks[first_index:]:
+                if first[1] <= covered and second[1] <= covered:
+                    continue  # the cached prefix already covers this block pair
                 key = (tuple(first), tuple(second))
                 child = existing.get(key)
                 if child is None:
@@ -536,9 +749,11 @@ class AnalysisServer:
             if child.worker_id:
                 block_workers.add(child.worker_id)
             raw_by_pair.update(decode_pair_values(self.store.load_result(child_id)["pairs"]))
-        engine = self.session.engine(spec)
-        matrix = self._assembled_matrix(engine, strings, raw_by_pair, normalized, repair)
-        payload = engine.matrix_payload(matrix, strings)
+        matrix = self._assembled_matrix(spec, strings, raw_by_pair, normalized, base=base)
+        if status != "bypass":
+            self.session.matrix_cache_store(spec, strings, matrix)
+        self._stamp_cache_status(job_id, status)
+        payload = engine.matrix_payload(self._repaired(matrix, repair), strings)
         # Record who computed the blocks (observability), then drop the
         # finished children — their values live on inside the payload.
         with contextlib.suppress(JobStoreError, KeyError):
@@ -616,7 +831,32 @@ class AnalysisServer:
                 with self._lock:
                     for job_id in swept:
                         self._session_jobs.pop(job_id, None)
+                        self._result_waiters.pop(job_id, None)
         self.session.sweep_jobs()
+        if self.matrix_cache is not None:
+            evicted = self.matrix_cache.sweep()
+            if evicted:
+                logger.info("evicted %d result-cache entr(ies)", len(evicted))
+        # Drop coalescing entries whose job finished or vanished — a later
+        # identical submission must get a fresh job (usually a cache hit) —
+        # and waiter counts whose record no longer exists at all.
+        with self._lock:
+            stale = [
+                key for key, job_id in self._inflight.items()
+                if self._unfinished_record(job_id) is None
+            ]
+            for key in stale:
+                del self._inflight[key]
+            orphaned = []
+            for job_id in self._result_waiters:
+                try:
+                    self.store.get(job_id)
+                except KeyError:
+                    orphaned.append(job_id)
+                except JobStoreError:
+                    pass  # unreadable, not gone: keep the count
+            for job_id in orphaned:
+                del self._result_waiters[job_id]
 
     def _maintenance_loop(self) -> None:
         while not self._maintenance_stop.wait(self.gc_interval):
@@ -650,13 +890,16 @@ class AnalysisServer:
         record = self._record(request.job_id)
         if record.finished:
             self._reap_session_job(record.job_id)
-        return ok_response(
+        response = ok_response(
             "status",
             job_id=record.job_id,
             kind=record.kind,
             status=record.status,
             error=record.error,
         )
+        if "cache" in record.options:
+            response["cache"] = record.options["cache"]
+        return response
 
     def _wait_for_record(self, job_id: str, wait: float) -> JobRecord:
         """Wait (bounded) for a record to finish, session-side or store-side.
@@ -700,8 +943,12 @@ class AnalysisServer:
             response = ok_response(
                 "result", job_id=record.job_id, kind=record.kind, payload=payload
             )
+            if "cache" in record.options:
+                # Envelope-level stamp: the payload itself stays bit-identical
+                # whether it was computed cold or served from the cache.
+                response["cache"] = record.options["cache"]
             self._reap_session_job(record.job_id)
-            if request.forget:
+            if request.forget and self._release_result_waiter(record.job_id):
                 self.store.forget(record.job_id)
             return response
         if record.status in ("error", "interrupted", "cancelled"):
@@ -788,10 +1035,16 @@ class AnalysisServer:
             jobs=counts,
             warm_specs=len(self.session.specs()),
             worker_id=self.worker_id,
+            result_cache=self.matrix_cache is not None,
             recovered_quarantined=len(self.store.recovery.quarantined),
             recovered_interrupted=len(self.store.recovery.interrupted),
             recovered_requeued=len(self.store.recovery.requeued),
         )
+
+    def _handle_cache_stats(self, request: CacheStatsRequest) -> Dict[str, Any]:
+        if self.matrix_cache is None:
+            return ok_response("cache-stats", enabled=False)
+        return ok_response("cache-stats", enabled=True, **self.matrix_cache.stats())
 
     # ------------------------------------------------------------------
     # HTTP front end

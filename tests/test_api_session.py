@@ -306,3 +306,155 @@ class TestJobTTLSweep:
             AnalysisSession(job_ttl=-1)
         with pytest.raises(ValueError):
             AnalysisSession(max_retained_jobs=0)
+
+
+class TestEngineSignatureDedupe:
+    """Specs differing only in value-irrelevant params share one engine."""
+
+    def test_backend_variants_share_one_engine_and_pair_cache(self, session):
+        numpy_spec = make_spec("kast", cut_weight=2, backend="numpy")
+        python_spec = make_spec("kast", cut_weight=2, backend="python")
+        assert numpy_spec != python_spec  # distinct specs...
+        assert session.engine(numpy_spec) is session.engine(python_spec)  # ...one engine
+
+    def test_value_relevant_params_still_get_distinct_engines(self, session):
+        assert session.engine(make_spec("kast", cut_weight=2)) is not session.engine(
+            make_spec("kast", cut_weight=8)
+        )
+
+    def test_shared_engine_reuses_pair_cache_across_backends(self, session, strings):
+        subset = strings[:5]
+        session.matrix(make_spec("kast", backend="numpy"), subset)
+        info = session.engine(make_spec("kast", backend="numpy")).cache_info()
+        session.matrix(make_spec("kast", backend="python"), subset)
+        after = session.engine(make_spec("kast", backend="python")).cache_info()
+        # The second backend's matrix came entirely from the warm cache.
+        assert after["pair_misses"] == info["pair_misses"]
+
+    def test_specs_and_cache_info_stay_consistent(self, session, strings):
+        numpy_spec = make_spec("kast", backend="numpy")
+        python_spec = make_spec("kast", backend="python")
+        session.matrix(numpy_spec, strings[:3])
+        session.matrix(python_spec, strings[:3])
+        # Both specs are reported as warmed; the shared engine reports once.
+        assert numpy_spec in session.specs()
+        assert python_spec in session.specs()
+        assert list(session.cache_info()) == [numpy_spec.canonical()]
+
+
+class TestCancelledJobResult:
+    """Regression: Future.result() on a cancelled job raises the
+    BaseException CancelledError, which used to escape both except clauses
+    of AnalysisSession.result() — violating the JobError contract and
+    skipping forget=True."""
+
+    def _cancelled_job(self, session):
+        import threading
+
+        release = threading.Event()
+        for _ in range(2):  # saturate the default two job workers
+            session.submit_work("blocker", release.wait)
+        job = session.submit_work("victim", lambda: None)
+        assert session.cancel(job) is True
+        return job, release
+
+    def test_result_of_cancelled_job_raises_job_error(self, session):
+        job, release = self._cancelled_job(session)
+        try:
+            with pytest.raises(JobError, match="cancelled"):
+                session.result(job, timeout=5)
+            assert session.status(job) == "cancelled"
+        finally:
+            release.set()
+
+    def test_forget_true_drops_cancelled_job(self, session):
+        job, release = self._cancelled_job(session)
+        try:
+            with pytest.raises(JobError):
+                session.result(job, timeout=5, forget=True)
+            assert job not in session.jobs()
+        finally:
+            release.set()
+
+
+class TestResultCache:
+    """The persistent signature-keyed matrix result cache (matrix_cache=)."""
+
+    @pytest.fixture
+    def cache_dir(self, tmp_path):
+        return str(tmp_path / "matrix-cache")
+
+    @pytest.fixture
+    def cached_session(self, cache_dir):
+        with AnalysisSession(matrix_cache=cache_dir) as live:
+            yield live
+
+    def test_identical_request_is_a_bit_identical_hit(self, cached_session):
+        spec = make_spec("kast", cut_weight=2)
+        strings = cached_session.corpus(small=True, seed=7)[:6]
+        first, status_first = cached_session.matrix_cached(spec, strings)
+        info = cached_session.engine(spec).cache_info()
+        second, status_second = cached_session.matrix_cached(spec, strings)
+        after = cached_session.engine(spec).cache_info()
+        assert (status_first, status_second) == ("miss", "hit")
+        assert np.array_equal(first.values, second.values)
+        # Zero kernel-pair work for the hit: neither hits nor misses moved.
+        assert (after["pair_hits"], after["pair_misses"]) == (info["pair_hits"], info["pair_misses"])
+
+    def test_extension_reuses_prefix_across_sessions(self, cache_dir):
+        spec = make_spec("kast", cut_weight=2)
+        with AnalysisSession(matrix_cache=cache_dir) as warm:
+            strings = warm.corpus(small=True, seed=7)
+            warm.matrix(spec, strings[:6])
+        # A brand-new session (cold engine) sharing only the cache dir.
+        with AnalysisSession(matrix_cache=cache_dir) as fresh:
+            strings = fresh.corpus(small=True, seed=7)
+            extended, status = fresh.matrix_cached(spec, strings[:8])
+            info = fresh.engine(spec).cache_info()
+        assert status == "extended"
+        # Only pairs involving the two appended strings were evaluated.
+        appended_pairs = 6 + 7
+        assert info["pair_misses"] + info["pair_hits"] <= appended_pairs
+        with AnalysisSession() as cold:
+            cold_strings = cold.corpus(small=True, seed=7)
+            reference = cold.matrix(spec, cold_strings[:8])
+        assert np.array_equal(extended.values, reference.values)  # bit-identical
+
+    def test_restart_hit_served_with_cold_engine(self, cache_dir):
+        spec = make_spec("kast", cut_weight=2)
+        with AnalysisSession(matrix_cache=cache_dir) as warm:
+            strings = warm.corpus(small=True, seed=7)[:6]
+            original = warm.matrix(spec, strings)
+        with AnalysisSession(matrix_cache=cache_dir) as fresh:
+            strings = fresh.corpus(small=True, seed=7)[:6]
+            matrix, status = fresh.matrix_cached(spec, strings)
+            info = fresh.engine(spec).cache_info()
+        assert status == "hit"
+        assert (info["pair_hits"], info["pair_misses"]) == (0, 0)
+        assert np.array_equal(matrix.values, original.values)
+
+    def test_use_cache_false_bypasses(self, cached_session):
+        spec = make_spec("kast", cut_weight=2)
+        strings = cached_session.corpus(small=True, seed=7)[:5]
+        cached_session.matrix(spec, strings)
+        matrix, status = cached_session.matrix_cached(spec, strings, use_cache=False)
+        assert status == "bypass"
+        assert cached_session.matrix_cache.stats()["hits"] == 0
+
+    def test_cache_path_wins_over_result_cache(self, cached_session, tmp_path):
+        spec = make_spec("kast", cut_weight=2)
+        strings = cached_session.corpus(small=True, seed=7)[:4]
+        path = str(tmp_path / "gram.json")
+        _, status = cached_session.matrix_cached(spec, strings, cache_path=path)
+        assert status == "bypass"
+        assert os.path.exists(path)
+
+    def test_signature_keyed_sharing_across_backends(self, cached_session):
+        strings = cached_session.corpus(small=True, seed=7)[:5]
+        cached_session.matrix(make_spec("kast", backend="numpy"), strings)
+        _, status = cached_session.matrix_cached(make_spec("kast", backend="python"), strings)
+        assert status == "hit"  # backend is value-irrelevant: same cache key
+
+    def test_sessions_without_cache_bypass(self, session, strings):
+        _, status = session.matrix_cached(make_spec("kast"), strings[:3])
+        assert status == "bypass"

@@ -1,0 +1,203 @@
+"""Tests for the persistent Gram-result cache (repro.core.cachestore)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.cachestore import MatrixCache, MatrixCacheError, payload_identity
+
+
+def make_payload(signature="sig-a", count=3, normalized=True, start=0, salt=""):
+    """A synthetic stamped matrix payload covering examples [start, start+count)."""
+    indices = list(range(start, start + count))
+    return {
+        "kernel": "kast(cut=2)",
+        "normalized": normalized,
+        "names": [f"trace{i}" for i in indices],
+        "labels": ["A" if i % 2 == 0 else None for i in indices],
+        "values": [[float(i == j) for j in indices] for i in indices],
+        "fingerprints": [f"fp{salt}{i}" for i in indices],
+        "kernel_signature": signature,
+    }
+
+
+def identity_args(payload):
+    """lookup() arguments matching *payload* exactly."""
+    return (
+        payload["kernel_signature"],
+        payload["normalized"],
+        payload["fingerprints"],
+        payload["names"],
+        payload["labels"],
+    )
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return MatrixCache(str(tmp_path / "cache"))
+
+
+class TestStoreAndLookup:
+    def test_exact_hit_round_trips_the_payload(self, cache):
+        payload = make_payload()
+        cache.store(payload)
+        found = cache.lookup(*identity_args(payload))
+        assert found.status == "hit"
+        assert found.payload == payload
+        assert found.covered == 3
+
+    def test_miss_on_empty_cache(self, cache):
+        assert cache.lookup("sig-a", True, ["fp0"], ["trace0"], ["A"]).status == "miss"
+
+    def test_prefix_lookup_finds_longest_cached_prefix(self, cache):
+        cache.store(make_payload(count=2))
+        cache.store(make_payload(count=4))
+        request = make_payload(count=6)
+        found = cache.lookup(*identity_args(request))
+        assert found.status == "prefix"
+        assert found.covered == 4
+        assert found.payload == make_payload(count=4)
+
+    def test_exact_match_wins_over_shorter_prefixes(self, cache):
+        cache.store(make_payload(count=2))
+        exact = make_payload(count=4)
+        cache.store(exact)
+        found = cache.lookup(*identity_args(exact))
+        assert found.status == "hit"
+        assert found.covered == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"signature": "sig-b"},
+            {"normalized": False},
+            {"salt": "x"},  # same names, different content fingerprints
+        ],
+    )
+    def test_value_relevant_mismatches_miss(self, cache, kwargs):
+        cache.store(make_payload())
+        request = make_payload(**kwargs)
+        assert cache.lookup(*identity_args(request)).status == "miss"
+
+    def test_name_and_label_mismatches_miss(self, cache):
+        cache.store(make_payload())
+        payload = make_payload()
+        renamed = dict(payload, names=["other0"] + payload["names"][1:])
+        assert cache.lookup(*identity_args(renamed)).status == "miss"
+        relabeled = dict(payload, labels=["Z"] + payload["labels"][1:])
+        assert cache.lookup(*identity_args(relabeled)).status == "miss"
+
+    def test_unstamped_payload_is_refused(self, cache):
+        with pytest.raises(MatrixCacheError):
+            cache.store({"values": [[1.0]], "names": ["a"], "labels": [None]})
+        with pytest.raises(MatrixCacheError):
+            payload_identity({"kernel_signature": "s"})
+
+    def test_empty_corpus_payload_is_refused(self, cache):
+        with pytest.raises(MatrixCacheError):
+            cache.store(make_payload(count=0))
+
+    def test_restore_same_entry_is_idempotent(self, cache):
+        payload = make_payload()
+        assert cache.store(payload) == cache.store(payload)
+        assert cache.stats()["entries"] == 1
+
+
+class TestDamageHandling:
+    def _entry_files(self, cache):
+        files = []
+        for bucket in os.listdir(cache.root):
+            for name in os.listdir(os.path.join(cache.root, bucket)):
+                files.append(os.path.join(cache.root, bucket, name))
+        return sorted(files)
+
+    def test_corrupt_payload_checksum_invalidates_entry(self, cache):
+        payload = make_payload()
+        cache.store(payload)
+        [payload_file] = [f for f in self._entry_files(cache) if f.endswith(".payload.json")]
+        with open(payload_file, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(dict(payload, values=[[9.0] * 3] * 3)))
+        found = cache.lookup(*identity_args(payload))
+        assert found.status == "miss"
+        assert cache.stats()["invalid"] == 1
+        assert self._entry_files(cache) == []  # damage self-heals by removal
+
+    def test_torn_payload_invalidates_entry(self, cache):
+        payload = make_payload()
+        cache.store(payload)
+        [payload_file] = [f for f in self._entry_files(cache) if f.endswith(".payload.json")]
+        with open(payload_file, "w", encoding="utf-8") as handle:
+            handle.write('{"truncated": ')
+        assert cache.lookup(*identity_args(payload)).status == "miss"
+
+    def test_damaged_meta_invalidates_entry(self, cache):
+        payload = make_payload()
+        cache.store(payload)
+        [meta_file] = [f for f in self._entry_files(cache) if f.endswith(".meta.json")]
+        with open(meta_file, "w", encoding="utf-8") as handle:
+            handle.write("not json")
+        assert cache.lookup(*identity_args(payload)).status == "miss"
+        assert self._entry_files(cache) == []
+
+    def test_meta_without_payload_is_a_miss(self, cache):
+        payload = make_payload()
+        cache.store(payload)
+        [payload_file] = [f for f in self._entry_files(cache) if f.endswith(".payload.json")]
+        os.remove(payload_file)
+        assert cache.lookup(*identity_args(payload)).status == "miss"
+
+
+class TestEviction:
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        cache = MatrixCache(str(tmp_path), max_entries=2)
+        first = make_payload(signature="sig-1")
+        second = make_payload(signature="sig-2")
+        cache.store(first)
+        cache.store(second)
+        # Serve `first` so it becomes the most recently used entry.
+        assert cache.lookup(*identity_args(first)).status == "hit"
+        cache.store(make_payload(signature="sig-3"))
+        assert cache.lookup(*identity_args(first)).status == "hit"
+        assert cache.lookup(*identity_args(second)).status == "miss"
+        assert cache.stats()["entries"] == 2
+        assert cache.stats()["evictions"] == 1
+
+    def test_ttl_sweep_drops_idle_entries(self, cache):
+        payload = make_payload()
+        cache.store(payload)
+        assert cache.sweep(ttl=3600) == []
+        evicted = cache.sweep(ttl=0)
+        assert len(evicted) == 1
+        assert cache.lookup(*identity_args(payload)).status == "miss"
+
+    def test_clear_removes_everything(self, cache):
+        cache.store(make_payload(signature="sig-1"))
+        cache.store(make_payload(signature="sig-2"))
+        assert cache.clear() == 2
+        assert cache.stats()["entries"] == 0
+
+    def test_constructor_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            MatrixCache(str(tmp_path), max_entries=0)
+        with pytest.raises(ValueError):
+            MatrixCache(str(tmp_path), ttl=-1)
+
+
+class TestStats:
+    def test_counters_track_outcomes(self, cache):
+        payload = make_payload()
+        cache.lookup(*identity_args(payload))
+        cache.store(payload)
+        cache.lookup(*identity_args(payload))
+        extended = make_payload(count=5)
+        cache.lookup(*identity_args(extended))
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["prefix_hits"] == 1
+        assert stats["stores"] == 1
+        assert stats["entries"] == 1
+        assert stats["payload_bytes"] > 0

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     BadRequest,
+    CacheStatsRequest,
     CancelRequest,
     CannotCancel,
     HealthRequest,
@@ -92,6 +93,7 @@ _requests = st.one_of(
         repair=st.booleans(),
         shards=st.one_of(st.none(), st.integers(min_value=1, max_value=16)),
         distributed=st.booleans(),
+        use_cache=st.booleans(),
     ),
     st.builds(
         SubmitAnalyzeRequest,
@@ -111,6 +113,7 @@ _requests = st.one_of(
     st.builds(CancelRequest, job_id=st.text(min_size=1, max_size=24)),
     st.builds(SpecsRequest),
     st.builds(HealthRequest),
+    st.builds(CacheStatsRequest),
 )
 
 
