@@ -27,6 +27,12 @@ Measures, with the paper's 110-example corpus:
   engine), and grown by 10 examples (prefix extension) — the
   speedups the ``MatrixCache`` buys repeat and grown-corpus traffic.
 
+* **E10f** — pair-store reuse: reordered, subset, and interleaved
+  resubmits of a previously computed corpus, cold (fresh state dir)
+  vs warm (state dir primed with the full corpus, server restarted).
+  These variants all miss the matrix-level cache; the speedup is what
+  the pair-level ``PairStore`` buys traffic the ``MatrixCache`` cannot.
+
 The result is written as JSON so future PRs can diff their numbers against
 the recorded trajectory (see ``benchmarks/README.md``).  Timings are the
 median over ``--repeats`` runs to damp scheduler noise.
@@ -264,6 +270,81 @@ def bench_result_cache(corpus_size: int = 40, extend_by: int = 10) -> Dict[str, 
     }
 
 
+def bench_pair_store(corpus_size: int = 40) -> Dict[str, object]:
+    """E10f: cold vs pair-store-warm service calls for matrix-cache misses.
+
+    Three corpus variants that defeat the matrix-level cache — a seeded
+    reordering, the middle half, and an even/odd interleaving — each run
+    cold on a fresh state dir, then warm against a state dir primed with
+    the full corpus.  The server restarts before every warm call so the
+    engine memory is cold and any speedup comes from the persistent pair
+    store alone.  Single-shot wall clocks, as in E10e.
+    """
+    import tempfile
+
+    from repro.api import make_spec
+    from repro.service import AnalysisServer, ServiceClient
+
+    spec = make_spec("kast", cut_weight=2)
+    strings = list(paper_strings(DEFAULT_SEED, True))
+    corpus = strings[:corpus_size]
+    reordered = list(corpus)
+    random.Random(13).shuffle(reordered)
+    quarter = corpus_size // 4
+    variants = {
+        "reordered": reordered,
+        "subset": corpus[quarter : corpus_size - quarter],
+        "interleaved": corpus[0::2] + corpus[1::2],
+    }
+    seconds: Dict[str, Dict[str, float]] = {"cold": {}, "warm": {}}
+    outcomes: Dict[str, Dict[str, str]] = {"cold": {}, "warm": {}}
+
+    def timed(phase: str, label: str, client: ServiceClient, request: List[WeightedString]) -> None:
+        start = time.perf_counter()
+        job = client.matrix_job(spec, request, timeout=600)
+        seconds[phase][label] = time.perf_counter() - start
+        outcomes[phase][label] = str(job.get("cache"))
+
+    for label, variant in variants.items():
+        with tempfile.TemporaryDirectory(prefix="repro-bench-pairs-") as state_dir:
+            server = AnalysisServer(state_dir=state_dir)
+            try:
+                host, port = server.start_http()
+                with ServiceClient(f"http://{host}:{port}") as client:
+                    timed("cold", label, client, variant)
+            finally:
+                server.close()
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-pairs-") as state_dir:
+        server = AnalysisServer(state_dir=state_dir)
+        try:
+            host, port = server.start_http()
+            with ServiceClient(f"http://{host}:{port}") as client:
+                client.matrix_job(spec, corpus, timeout=600)  # prime the store
+        finally:
+            server.close()
+        for label, variant in variants.items():
+            server = AnalysisServer(state_dir=state_dir)
+            try:
+                host, port = server.start_http()
+                with ServiceClient(f"http://{host}:{port}") as client:
+                    timed("warm", label, client, variant)
+            finally:
+                server.close()
+
+    return {
+        "corpus_size": float(corpus_size),
+        "seconds": seconds,
+        "cache_outcomes": outcomes,
+        "warm_speedup": {
+            label: seconds["cold"][label] / seconds["warm"][label]
+            if seconds["warm"][label] > 0
+            else float("inf")
+            for label in variants
+        },
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="benchmarks/BENCH_scaling.json", help="where to write the JSON report")
@@ -310,6 +391,16 @@ def main() -> int:
         print(f"  {label:>11}: {seconds:.4f}s (cache={result_cache['cache_outcomes'][label]})")
     print(f"  identical resubmission is {result_cache['hit_speedup']:.1f}x faster than the cold run")
 
+    print("E10f: pair-store reuse on matrix-cache misses, cold vs warm (s)")
+    pair_store = bench_pair_store(corpus_size=20 if args.quick else 40)
+    for label, cold_seconds in pair_store["seconds"]["cold"].items():
+        warm_seconds = pair_store["seconds"]["warm"][label]
+        print(
+            f"  {label:>11}: cold={cold_seconds:.2f}s  warm={warm_seconds:.4f}s  "
+            f"({pair_store['warm_speedup'][label]:.1f}x, "
+            f"cache={pair_store['cache_outcomes']['warm'][label]})"
+        )
+
     report = {
         "benchmark": "E10 scaling",
         "repeats": args.repeats,
@@ -323,6 +414,7 @@ def main() -> int:
         "service_overhead": service,
         "distributed_workers": distributed,
         "result_cache": result_cache,
+        "pair_store": pair_store,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

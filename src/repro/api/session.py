@@ -44,6 +44,7 @@ import numpy as np
 from repro.api.spec import KernelSpec, coerce_spec, kernel_from_spec
 from repro.core.cachestore import CacheLookup, MatrixCache
 from repro.core.engine import ENGINE_EXECUTORS, GramEngine, string_fingerprint
+from repro.core.pairstore import PairStore
 from repro.core.matrix import KernelMatrix
 from repro.kernels.base import StringKernel
 from repro.strings.encoder import StringEncoder
@@ -138,6 +139,15 @@ class AnalysisSession:
         ``(spec, corpus)`` requests from disk bit-identically — across
         sessions and processes sharing the directory — and extends cached
         prefixes instead of recomputing them.
+    pair_store:
+        Optional persistent pair-value store
+        (:class:`~repro.core.pairstore.PairStore`, or a directory path one
+        is opened at).  Threaded into every engine the session builds:
+        kernel values missing from the in-memory caches are fetched by
+        content fingerprint before any kernel evaluation, so *any* overlap
+        with previously computed corpora — reorderings, subsets,
+        interleavings, across sessions and processes — pays only for its
+        novel pairs.
     """
 
     def __init__(
@@ -151,6 +161,7 @@ class AnalysisSession:
         job_ttl: Optional[float] = None,
         max_retained_jobs: int = 1024,
         matrix_cache: Optional[Union[MatrixCache, str]] = None,
+        pair_store: Optional[Union[PairStore, str]] = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -173,6 +184,9 @@ class AnalysisSession:
         if isinstance(matrix_cache, str):
             matrix_cache = MatrixCache(matrix_cache)
         self.matrix_cache = matrix_cache
+        if isinstance(pair_store, str):
+            pair_store = PairStore(pair_store)
+        self.pair_store = pair_store
         self._kernels: Dict[KernelSpec, StringKernel] = {}
         # Engines are keyed by the *value-relevant* kernel signature, not
         # the full spec: specs differing only in value-irrelevant params
@@ -232,10 +246,28 @@ class AnalysisSession:
                     interner=self.interner if hasattr(kernel, "interner") else None,
                     spec=resolved,
                     executor=self.executor,
+                    pair_store=self.pair_store,
                     **self._engine_options,
                 )
                 self._engines[signature] = engine
             return engine
+
+    def set_pair_store(self, pair_store: Optional[Union[PairStore, str]]) -> Optional[PairStore]:
+        """Attach (or detach) the persistent pair store, warm engines included.
+
+        Service front ends open the store after constructing the session
+        (it lives under their state dir), mirroring how the server attaches
+        ``matrix_cache``; engines already built get the store retrofitted.
+        Accepts a :class:`~repro.core.pairstore.PairStore`, a directory
+        path, or ``None`` to detach.  Returns the attached store.
+        """
+        if isinstance(pair_store, str):
+            pair_store = PairStore(pair_store)
+        with self._lock:
+            self.pair_store = pair_store
+            for engine in self._engines.values():
+                engine.pair_store = pair_store
+        return pair_store
 
     # ------------------------------------------------------------------
     # Corpus construction
@@ -650,10 +682,17 @@ class AnalysisSession:
 
         One entry per warm engine: specs deduplicated onto a shared engine
         (equal kernel signatures) report as the spec that first created it.
+        When a persistent pair store is attached its aggregate counters are
+        reported under the reserved ``"pair-store"`` key (engine entries
+        already include their per-engine ``store_hits``/``store_misses``).
         """
         with self._lock:
             engines = list(self._engines.values())
-        return {engine.spec.canonical(): engine.cache_info() for engine in engines}
+            pair_store = self.pair_store
+        info = {engine.spec.canonical(): engine.cache_info() for engine in engines}
+        if pair_store is not None:
+            info["pair-store"] = pair_store.counters()
+        return info
 
     def specs(self) -> Tuple[KernelSpec, ...]:
         """Every spec the session has warmed an engine or kernel for."""

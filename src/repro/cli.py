@@ -186,6 +186,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="evict result-cache entries idle longer than this (default: LRU eviction only)",
     )
+    serve.add_argument(
+        "--no-pair-store",
+        action="store_true",
+        help="disable the persistent pair-value store (default: store under <state-dir>/pair-store)",
+    )
+    serve.add_argument(
+        "--max-pair-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="size bound on pair-store segments (default: 256 MiB)",
+    )
+    serve.add_argument(
+        "--pair-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict pair-store segments idle longer than this (default: LRU eviction only)",
+    )
 
     worker = subparsers.add_parser(
         "worker", help="run a pull-loop worker over a server's state directory"
@@ -225,6 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="sleep between claiming and executing each task (rate limit; default: 0)",
     )
+    worker.add_argument(
+        "--no-pair-store",
+        action="store_true",
+        help="do not share the pair-value store under <state-dir>/pair-store",
+    )
 
     gc = subparsers.add_parser("gc", help="sweep expired terminal jobs out of a state directory")
     gc.add_argument("--state-dir", required=True, help="the job-store directory to sweep")
@@ -251,6 +275,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="with --cache-ttl: also enforce this LRU bound on the result cache",
     )
+    gc.add_argument(
+        "--pair-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also evict pair-store segments idle longer than this (0 = every segment; "
+        "default: leave the pair store alone)",
+    )
+    gc.add_argument(
+        "--max-pair-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="also shrink the pair store to this many segment bytes (LRU), "
+        "usable with or without --pair-ttl",
+    )
 
     remote = subparsers.add_parser("remote", help="talk to a running analysis service")
     remote.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8123")
@@ -260,7 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     remote_actions.add_parser("health", help="print the server health snapshot")
     remote_actions.add_parser("specs", help="list the server's kernel kinds and warm specs")
     remote_actions.add_parser(
-        "cache-stats", help="print the server's matrix result-cache counters"
+        "cache-stats", help="print the server's matrix result-cache and pair-store counters"
     )
 
     remote_matrix = remote_actions.add_parser(
@@ -475,6 +515,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         result_cache=not args.no_cache,
         max_cache_entries=args.cache_entries,
         cache_ttl=args.cache_ttl,
+        pair_store=not args.no_pair_store,
+        max_pair_bytes=args.max_pair_bytes,
+        pair_ttl=args.pair_ttl,
     )
     try:
         if args.stdio:
@@ -513,6 +556,7 @@ def _command_worker(args: argparse.Namespace) -> int:
         n_jobs=args.n_jobs,
         executor=args.executor,
         throttle=args.throttle,
+        pair_store=not args.no_pair_store,
     )
     # Drain the current task, then exit cleanly on SIGTERM/SIGINT; SIGKILL
     # needs no handling — the lease expires and the task is reclaimed.
@@ -562,6 +606,22 @@ def _command_gc(args: argparse.Namespace) -> int:
                 max_entries=args.max_cache_entries if args.max_cache_entries is not None else sys.maxsize,
             )
             print(f"evicted {len(evicted)} result-cache entr(ies) from {cache.root}")
+    if args.pair_ttl is not None or args.max_pair_bytes is not None:
+        from repro.core.pairstore import PairStore
+
+        pair_store = PairStore(os.path.join(store.root, "pair-store"))
+        if args.dry_run:
+            segments = pair_store.stats()["segments"]
+            print(f"would sweep up to {segments} pair-store segment(s) from {pair_store.root}")
+        else:
+            # Like the matrix-cache sweep above, unset bounds stay with the
+            # serving process: a TTL-only or size-only sweep must not apply
+            # this offline tool's construction defaults for the other knob.
+            dropped = pair_store.sweep(
+                ttl=args.pair_ttl,
+                max_bytes=args.max_pair_bytes if args.max_pair_bytes is not None else sys.maxsize,
+            )
+            print(f"evicted {len(dropped)} pair-store segment(s) from {pair_store.root}")
     return 0
 
 

@@ -5,6 +5,8 @@
 * :mod:`repro.core.matrix` — labelled kernel matrices over corpora;
 * :mod:`repro.core.engine` — the Gram-matrix evaluation engine (pair
   caching, parallel workers, on-disk persistence);
+* :mod:`repro.core.pairstore` — the persistent content-addressed store of
+  individual kernel pair values shared across sessions and processes;
 * :mod:`repro.core.normalization` — cosine normalisation, centring and the
   negative-eigenvalue repair used in section 4.1 of the paper.
 """
@@ -13,6 +15,7 @@ from repro.core.engine import GramEngine, load_matrix, save_matrix
 from repro.core.features import KastEmbedding, KastFeature, Occurrence
 from repro.core.kast import KAST_BACKENDS, KastSpectrumKernel, kast_kernel_value
 from repro.core.matrix import KernelMatrix, compute_kernel_matrix
+from repro.core.pairstore import PairStore
 from repro.core.normalization import (
     center_kernel_matrix,
     clip_negative_eigenvalues,
@@ -33,6 +36,7 @@ __all__ = [
     "kast_kernel_value",
     "KernelMatrix",
     "compute_kernel_matrix",
+    "PairStore",
     "center_kernel_matrix",
     "clip_negative_eigenvalues",
     "cosine_normalize",

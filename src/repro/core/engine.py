@@ -286,6 +286,7 @@ class GramEngine:
         interner: Optional[TokenInterner] = None,
         spec: Optional[Any] = None,
         executor: str = "thread",
+        pair_store: Optional[Any] = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -340,13 +341,26 @@ class GramEngine:
         # every token, so it is done once per distinct string *object* (the
         # id-keyed memo pins the object to keep ids stable) and once per
         # distinct *content* (the registry); pair keys are then int pairs.
-        self._key_registry: Dict[Tuple[Token, ...], int] = {}
+        self._key_registry: "OrderedDict[Tuple[Token, ...], int]" = OrderedDict()
         self._object_keys: Dict[int, Tuple[WeightedString, int]] = {}
         self._next_key = 0
         self._lock = threading.Lock()
+        #: Optional persistent pair-value store
+        #: (:class:`~repro.core.pairstore.PairStore`): values missing from
+        #: the in-memory caches are fetched by content fingerprint before
+        #: any kernel evaluation, and freshly computed values are written
+        #: back — the cross-session / cross-process reuse layer.
+        self.pair_store = pair_store
         #: Cache observability (used by tests and benchmarks).
+        #: ``pair_hits``/``pair_misses`` count the in-memory layer;
+        #: ``store_hits``/``store_misses`` the persistent pair store;
+        #: ``kernel_evals`` the values actually computed by the kernel —
+        #: the number that must stay flat on a fully covered resubmission.
         self.pair_hits = 0
         self.pair_misses = 0
+        self.store_hits = 0
+        self.store_misses = 0
+        self.kernel_evals = 0
 
     # ------------------------------------------------------------------
     # Single-value entry points (cached)
@@ -361,7 +375,9 @@ class GramEngine:
         with self._lock:
             tokens = string.tokens
             key = self._key_registry.get(tokens)
-            if key is None:
+            if key is not None:
+                self._key_registry.move_to_end(tokens)
+            else:
                 # Keys are drawn from a monotonic counter and NEVER reused:
                 # an in-flight computation may still hold keys handed out
                 # before an eviction, and reusing their ints would alias
@@ -369,14 +385,15 @@ class GramEngine:
                 key = self._next_key
                 self._next_key += 1
                 self._key_registry[tokens] = key
-                # The registry itself is bounded by dropping the dependent
-                # caches with it; stale cache entries under retired keys
-                # are unreachable and age out of the pair-cache LRU.
-                if len(self._key_registry) > self.pair_cache_size:
-                    self._key_registry = {tokens: key}
-                    self._object_keys.clear()
-                    self._pair_cache.clear()
-                    self._self_cache.clear()
+                # The registry is an LRU bounded by evicting only its
+                # oldest entry (plus that key's self value).  Pair-cache
+                # entries under a retired key stay valid for objects that
+                # still memoise it and are unreachable for new lookups, so
+                # they age out of the pair-cache LRU on their own — one
+                # string past the bound must not wipe every warm cache.
+                while len(self._key_registry) > self.pair_cache_size:
+                    _, retired = self._key_registry.popitem(last=False)
+                    self._self_cache.pop(retired, None)
             if len(self._object_keys) > self._OBJECT_MEMO_LIMIT:
                 self._object_keys.clear()
             self._object_keys[id(string)] = (string, key)
@@ -386,8 +403,20 @@ class GramEngine:
         first, second = self._string_key(a), self._string_key(b)
         return (first, second) if first <= second else (second, first)
 
+    @staticmethod
+    def _fingerprint_pair(a: WeightedString, b: WeightedString) -> Tuple[str, str]:
+        """The canonical (sorted) content-fingerprint pair — the store key."""
+        first, second = string_fingerprint(a), string_fingerprint(b)
+        return (first, second) if first <= second else (second, first)
+
     def pair_value(self, a: WeightedString, b: WeightedString) -> float:
-        """Raw ``k(a, b)`` through the symmetric content-keyed cache."""
+        """Raw ``k(a, b)`` through the symmetric content-keyed cache.
+
+        Misses consult the persistent pair store (when attached) before
+        falling back to a kernel evaluation; either way the value lands in
+        the in-memory cache, and computed values are written back to the
+        store.
+        """
         key = self._pair_key(a, b)
         with self._lock:
             cached = self._pair_cache.get(key)
@@ -396,25 +425,92 @@ class GramEngine:
                 self.pair_hits += 1
                 return cached
             self.pair_misses += 1
+        fingerprints: Optional[Tuple[str, str]] = None
+        if self.pair_store is not None:
+            fingerprints = self._fingerprint_pair(a, b)
+            found = self.pair_store.get_many(self.kernel_signature(), [fingerprints])
+            stored = found.get(fingerprints)
+            if stored is not None:
+                with self._lock:
+                    self.store_hits += 1
+                    self._fill_pair_cache({key: stored})
+                return stored
+            with self._lock:
+                self.store_misses += 1
         value = float(self.kernel.value(a, b))
         with self._lock:
+            self.kernel_evals += 1
+            self._fill_pair_cache({key: value})
+        if fingerprints is not None:
+            self.pair_store.put_many(self.kernel_signature(), {fingerprints: value})
+        return value
+
+    def _fill_pair_cache(self, values: Dict[PairKey, float]) -> None:
+        """Insert values into the bounded in-memory LRU (lock held by caller)."""
+        for key, value in values.items():
             self._pair_cache[key] = value
             self._pair_cache.move_to_end(key)
-            while len(self._pair_cache) > self.pair_cache_size:
-                self._pair_cache.popitem(last=False)
-        return value
+        while len(self._pair_cache) > self.pair_cache_size:
+            self._pair_cache.popitem(last=False)
 
     def self_value(self, string: WeightedString) -> float:
         """Cached ``k(a, a)``."""
-        key = self._string_key(string)
+        return self.self_values([string])[0]
+
+    def self_values(self, strings: Sequence[WeightedString]) -> List[float]:
+        """Cached ``k(a, a)`` for every string, in order (batched).
+
+        Self values flow through the same two cache layers as pair values:
+        the in-memory content-keyed cache first, then the persistent pair
+        store under the degenerate key ``(fp, fp)`` — so normalisation
+        denominators of previously seen traces cost zero kernel
+        evaluations, which is what lets a fully covered resubmission skip
+        the kernel entirely.  Store misses are batched into one
+        ``get_many``/``put_many`` round trip.
+        """
+        string_list = list(strings)
+        keys = [self._string_key(string) for string in string_list]
+        sample: Dict[int, WeightedString] = {}
+        for key, string in zip(keys, string_list):
+            sample.setdefault(key, string)
+        values: Dict[int, float] = {}
         with self._lock:
-            cached = self._self_cache.get(key)
-        if cached is not None:
-            return cached
-        value = float(self.kernel.self_value(string))
-        with self._lock:
-            self._self_cache[key] = value
-        return value
+            for key in sample:
+                cached = self._self_cache.get(key)
+                if cached is not None:
+                    values[key] = cached
+        missing = [key for key in sample if key not in values]
+        fingerprints: Dict[int, str] = {}
+        if missing and self.pair_store is not None:
+            signature = self.kernel_signature()
+            fingerprints = {key: string_fingerprint(sample[key]) for key in missing}
+            found = self.pair_store.get_many(
+                signature, [(fingerprints[key], fingerprints[key]) for key in missing]
+            )
+            still: List[int] = []
+            with self._lock:
+                for key in missing:
+                    stored = found.get((fingerprints[key], fingerprints[key]))
+                    if stored is None:
+                        still.append(key)
+                        self.store_misses += 1
+                    else:
+                        values[key] = stored
+                        self._self_cache[key] = stored
+                        self.store_hits += 1
+            missing = still
+        if missing:
+            computed = {key: float(self.kernel.self_value(sample[key])) for key in missing}
+            with self._lock:
+                self.kernel_evals += len(computed)
+                self._self_cache.update(computed)
+            values.update(computed)
+            if self.pair_store is not None:
+                self.pair_store.put_many(
+                    self.kernel_signature(),
+                    {(fingerprints[key], fingerprints[key]): value for key, value in computed.items()},
+                )
+        return [values[key] for key in keys]
 
     def normalized_pair_value(self, a: WeightedString, b: WeightedString) -> float:
         """Cosine-normalised ``k(a, b)`` through the caches."""
@@ -471,7 +567,7 @@ class GramEngine:
                 raise ValueError(f"base matrix ({covered}) is larger than the corpus ({count})")
             gram[:covered, :covered] = base.values
             filled[:covered, :covered] = True
-        self_values = [self.self_value(string) for string in string_list]
+        self_values = self.self_values(string_list)
         for (i, j), raw in raw_by_pair.items():
             entry = normalize_kernel_value(raw, self_values[i], self_values[j]) if normalized else raw
             gram[i, j] = entry
@@ -521,17 +617,45 @@ class GramEngine:
                     pending.append((key, positions[0]))
                     self.pair_misses += 1
 
+        # Second cache layer: fetch in-memory misses from the persistent
+        # pair store by content fingerprint (one batched round trip), then
+        # compute only what neither layer holds.
+        store_keys: Dict[PairKey, Tuple[str, str]] = {}
+        if pending and self.pair_store is not None:
+            signature = self.kernel_signature()
+            for key, (i, j) in pending:
+                store_keys[key] = self._fingerprint_pair(strings[i], strings[j])
+            found = self.pair_store.get_many(signature, store_keys.values())
+            still: List[Tuple[PairKey, Tuple[int, int]]] = []
+            fetched: Dict[PairKey, float] = {}
+            with self._lock:
+                for key, position in pending:
+                    stored = found.get(store_keys[key])
+                    if stored is None:
+                        still.append((key, position))
+                        self.store_misses += 1
+                    else:
+                        raw_by_key[key] = stored
+                        fetched[key] = stored
+                        self.store_hits += 1
+                self._fill_pair_cache(fetched)
+            pending = still
+
         if pending:
             if self.executor == "process" and self.n_jobs > 1 and len(pending) > 1:
                 computed = self._evaluate_pending_in_processes(strings, pending)
             else:
                 computed = self._evaluate_pending_in_threads(strings, pending)
             with self._lock:
+                self.kernel_evals += len(computed)
+                self._fill_pair_cache(dict(computed))
                 for key, value in computed:
                     raw_by_key[key] = value
-                    self._pair_cache[key] = value
-                while len(self._pair_cache) > self.pair_cache_size:
-                    self._pair_cache.popitem(last=False)
+            if self.pair_store is not None:
+                self.pair_store.put_many(
+                    self.kernel_signature(),
+                    {store_keys[key]: value for key, value in computed},
+                )
 
         results: Dict[Tuple[int, int], float] = {}
         for key, positions in tasks.items():
@@ -743,7 +867,7 @@ class GramEngine:
         values[:existing, :existing] = base.values
         if existing == count:
             return values
-        self_values = [self.self_value(string) for string in strings]
+        self_values = self.self_values(strings)
         pairs = [(i, j) for j in range(existing, count) for i in range(j)]
         raw_by_pair = self.evaluate_pairs(strings, pairs)
         for (i, j), raw in raw_by_pair.items():
@@ -838,13 +962,22 @@ class GramEngine:
     # Introspection
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
-        """Sizes and hit counters of the engine caches."""
+        """Sizes and hit counters of the engine caches.
+
+        ``pair_hits``/``pair_misses`` describe the in-memory layer,
+        ``store_hits``/``store_misses`` the persistent pair store, and
+        ``kernel_evals`` counts values the kernel actually computed (pair
+        and self values alike) — zero on a fully store-covered corpus.
+        """
         with self._lock:
             return {
                 "pair_entries": len(self._pair_cache),
                 "self_entries": len(self._self_cache),
                 "pair_hits": self.pair_hits,
                 "pair_misses": self.pair_misses,
+                "store_hits": self.store_hits,
+                "store_misses": self.store_misses,
+                "kernel_evals": self.kernel_evals,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience

@@ -254,7 +254,12 @@ class ServiceClient:
     # Introspection
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
-        """The server's health snapshot (uptime, job counts, recovery info)."""
+        """The server's health snapshot (uptime, job counts, recovery info).
+
+        Includes the warm-routing fields: ``queue_depth`` plus the
+        ``matrix_cache`` / ``pair_store`` hit-rate summaries (``None``
+        for a disabled layer).
+        """
         return self._call(HealthRequest())
 
     def specs(self) -> Dict[str, Any]:
@@ -262,12 +267,16 @@ class ServiceClient:
         return self._call(SpecsRequest())
 
     def cache_stats(self) -> Dict[str, Any]:
-        """The server's matrix result-cache state and counters.
+        """The server's persistent cache state and counters.
 
-        ``{"enabled": False}`` when the server runs without a result
-        cache; otherwise entry counts, payload bytes and the
-        hit/extension/miss/store/eviction counters of
-        :meth:`MatrixCache.stats <repro.core.cachestore.MatrixCache.stats>`.
+        ``enabled`` is ``False`` when the server runs without a matrix
+        result cache; otherwise the top level carries entry counts,
+        payload bytes and the hit/extension/miss/store/eviction counters
+        of :meth:`MatrixCache.stats
+        <repro.core.cachestore.MatrixCache.stats>`.  The ``pair_store``
+        key reports the pair-value store the same way (its own
+        ``enabled`` flag plus :meth:`PairStore.stats
+        <repro.core.pairstore.PairStore.stats>`).
         """
         response = self._call(CacheStatsRequest())
         return {key: value for key, value in response.items() if key not in ("v", "ok", "type")}

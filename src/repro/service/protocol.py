@@ -363,17 +363,27 @@ class SpecsRequest(Request):
 
 @dataclass(frozen=True)
 class HealthRequest(Request):
+    """Probe the server's liveness and warmth (also ``GET /healthz``).
+
+    Besides uptime, job counts and recovery info, the answer carries the
+    load-balancer warm-routing signals: ``queue_depth`` (queued records)
+    and the hit-rate summaries of both persistent cache layers
+    (``matrix_cache`` and ``pair_store``, each ``None`` when disabled).
+    """
+
     TYPE: ClassVar[str] = "health"
 
 
 @dataclass(frozen=True)
 class CacheStatsRequest(Request):
-    """Probe the server's persistent matrix result cache.
+    """Probe the server's persistent caches.
 
-    Answers with ``enabled`` plus, when a cache is configured, its
-    counters and on-disk state (entries, bytes, hits/extensions/misses,
-    stores, evictions) — the observability hook behind
-    ``repro-iokast remote cache-stats``.
+    Answers with ``enabled`` plus, when the matrix result cache is
+    configured, its counters and on-disk state (entries, bytes,
+    hits/extensions/misses, stores, evictions), and a ``pair_store``
+    section carrying the pair-value store's own ``enabled`` flag and
+    :meth:`PairStore.stats <repro.core.pairstore.PairStore.stats>` —
+    the observability hook behind ``repro-iokast remote cache-stats``.
     """
 
     TYPE: ClassVar[str] = "cache-stats"

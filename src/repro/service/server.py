@@ -81,6 +81,7 @@ from repro.api.session import AnalysisSession, JobError, JobTimeout
 from repro.api.spec import KernelSpec, KernelSpecError, coerce_spec, registered_kinds, registry_entry
 from repro.core.cachestore import MatrixCache
 from repro.core.engine import decode_pair_values, plan_index_blocks, string_fingerprint
+from repro.core.pairstore import PairStore
 from repro.core.matrix import KernelMatrix
 from repro.service.jobstore import JobRecord, JobStore, JobStoreError, LeaseError
 from repro.service.protocol import (
@@ -164,6 +165,19 @@ class AnalysisServer:
     max_cache_entries / cache_ttl:
         LRU bound and optional idle TTL of the result cache, enforced by
         the maintenance loop (and on every store).
+    pair_store:
+        Whether to keep the persistent pair-value store
+        (:class:`~repro.core.pairstore.PairStore`) under
+        ``state_dir/pair-store`` (on by default).  It memoises *individual*
+        kernel values by content fingerprint, so reordered / subset /
+        interleaved resubmissions of previously computed traces — which
+        miss the matrix cache — skip every already-known kernel
+        evaluation, on the monolithic, sharded and distributed paths alike
+        (external workers share the same directory).  When a *session*
+        with its own store is passed in, that store is used instead.
+    max_pair_bytes / pair_ttl:
+        Size bound and optional idle TTL of the pair store, enforced by
+        the maintenance loop.
     """
 
     def __init__(
@@ -181,6 +195,9 @@ class AnalysisServer:
         result_cache: bool = True,
         max_cache_entries: int = 64,
         cache_ttl: Optional[float] = None,
+        pair_store: bool = True,
+        max_pair_bytes: Optional[int] = None,
+        pair_ttl: Optional[float] = None,
     ) -> None:
         if default_shards < 1:
             raise ValueError(f"default_shards must be >= 1, got {default_shards}")
@@ -204,6 +221,13 @@ class AnalysisServer:
                 os.path.join(self.store.root, "matrix-cache"),
                 max_entries=max_cache_entries,
                 ttl=cache_ttl,
+            )
+        if pair_store and self.session.pair_store is None:
+            store_options: Dict[str, Any] = {"ttl": pair_ttl}
+            if max_pair_bytes is not None:
+                store_options["max_bytes"] = max_pair_bytes
+            self.session.set_pair_store(
+                PairStore(os.path.join(self.store.root, "pair-store"), **store_options)
             )
         self.default_shards = default_shards
         self.inline_blocks = inline_blocks
@@ -267,6 +291,11 @@ class AnalysisServer:
     def matrix_cache(self) -> Optional[MatrixCache]:
         """The persistent result cache the session serves matrix jobs from."""
         return self.session.matrix_cache
+
+    @property
+    def pair_store(self) -> Optional[PairStore]:
+        """The persistent pair-value store the session's engines consult."""
+        return self.session.pair_store
 
     # ------------------------------------------------------------------
     # Job submission
@@ -837,6 +866,10 @@ class AnalysisServer:
             evicted = self.matrix_cache.sweep()
             if evicted:
                 logger.info("evicted %d result-cache entr(ies)", len(evicted))
+        if self.pair_store is not None:
+            dropped = self.pair_store.sweep()
+            if dropped:
+                logger.info("evicted %d pair-store segment(s)", len(dropped))
         # Drop coalescing entries whose job finished or vanished — a later
         # identical submission must get a fresh job (usually a cache hit) —
         # and waiter counts whose record no longer exists at all.
@@ -1022,10 +1055,35 @@ class AnalysisServer:
             warm=[spec.to_dict() for spec in self.session.specs()],
         )
 
+    @staticmethod
+    def _hit_rate(hits: int, misses: int) -> Optional[float]:
+        total = hits + misses
+        return hits / total if total else None
+
     def _handle_health(self, request: HealthRequest) -> Dict[str, Any]:
         counts: Dict[str, int] = {}
         for record in self.store.records():
             counts[record.status] = counts.get(record.status, 0) + 1
+        # Warm-routing signals for load balancers: how deep the queue is
+        # and how warm each persistent cache layer runs on this replica.
+        matrix_health: Optional[Dict[str, Any]] = None
+        if self.matrix_cache is not None:
+            stats = self.matrix_cache.stats()
+            matrix_health = {
+                "hits": stats["hits"],
+                "prefix_hits": stats["prefix_hits"],
+                "misses": stats["misses"],
+                "entries": stats["entries"],
+                "hit_rate": self._hit_rate(stats["hits"] + stats["prefix_hits"], stats["misses"]),
+            }
+        pair_health: Optional[Dict[str, Any]] = None
+        if self.pair_store is not None:
+            counters = self.pair_store.counters()
+            pair_health = {
+                "hits": counters["hits"],
+                "misses": counters["misses"],
+                "hit_rate": self._hit_rate(counters["hits"], counters["misses"]),
+            }
         return ok_response(
             "health",
             status="ok",
@@ -1033,18 +1091,28 @@ class AnalysisServer:
             uptime_seconds=time.time() - self._started,
             state_dir=self.store.root,
             jobs=counts,
+            queue_depth=counts.get("queued", 0),
             warm_specs=len(self.session.specs()),
             worker_id=self.worker_id,
             result_cache=self.matrix_cache is not None,
+            matrix_cache=matrix_health,
+            pair_store=pair_health,
             recovered_quarantined=len(self.store.recovery.quarantined),
             recovered_interrupted=len(self.store.recovery.interrupted),
             recovered_requeued=len(self.store.recovery.requeued),
         )
 
     def _handle_cache_stats(self, request: CacheStatsRequest) -> Dict[str, Any]:
+        pair_section = (
+            {"enabled": True, **self.pair_store.stats()}
+            if self.pair_store is not None
+            else {"enabled": False}
+        )
         if self.matrix_cache is None:
-            return ok_response("cache-stats", enabled=False)
-        return ok_response("cache-stats", enabled=True, **self.matrix_cache.stats())
+            return ok_response("cache-stats", enabled=False, pair_store=pair_section)
+        return ok_response(
+            "cache-stats", enabled=True, pair_store=pair_section, **self.matrix_cache.stats()
+        )
 
     # ------------------------------------------------------------------
     # HTTP front end

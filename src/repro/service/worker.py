@@ -168,6 +168,12 @@ class Worker:
         Existing :class:`AnalysisSession` to evaluate with; when omitted
         the worker creates (and owns, and closes) one from *n_jobs* /
         *executor*.
+    pair_store:
+        Whether to share the persistent pair-value store under
+        ``state_dir/pair-store`` (on by default — the same directory the
+        server opens).  Two workers computing overlapping corpora then
+        each pay only for their novel pairs, and a restarted worker starts
+        warm.  A session that already carries a store keeps it.
     """
 
     def __init__(
@@ -182,6 +188,7 @@ class Worker:
         n_jobs: int = 1,
         executor: str = "thread",
         max_attempts: int = MAX_TASK_ATTEMPTS,
+        pair_store: bool = True,
     ) -> None:
         if poll_interval <= 0:
             raise ValueError(f"poll_interval must be > 0, got {poll_interval}")
@@ -200,6 +207,8 @@ class Worker:
         self.session = session if session is not None else AnalysisSession(
             n_jobs=n_jobs, executor=executor
         )
+        if pair_store and self.session.pair_store is None:
+            self.session.set_pair_store(os.path.join(self.store.root, "pair-store"))
         self._corpus_cache: Dict[str, List[WeightedString]] = {}
         self._stop = threading.Event()
         #: Tasks completed / failed by this worker (observability).

@@ -518,3 +518,43 @@ class TestBlockSharding:
             decode_pair_values([[0, 1]])
         with pytest.raises(ValueError):
             decode_pair_values(["0,1,2.0"])
+
+
+class TestKeyRegistryEviction:
+    def test_interning_past_the_bound_does_not_wipe_warm_caches(self):
+        # Regression: interning one string past pair_cache_size distinct
+        # token tuples used to clear the ENTIRE pair/self cache.  Eviction
+        # must be incremental — warm entries keep serving hits and the
+        # kernel-eval counter must not spike across the boundary.
+        kernel = CountingKernel(cut_weight=2)
+        engine = GramEngine(kernel, pair_cache_size=8)
+        corpus = [synthetic(10 + index, seed=100 + index) for index in range(8)]
+        engine.gram(corpus)
+        warm_pair_evaluations = kernel.value_calls + kernel.row_values
+        warm_evaluations = engine.kernel_evals  # 28 pairs + 8 self values
+        assert engine.cache_info()["pair_entries"] == 8  # LRU-bounded
+
+        # One novel string pushes the registry past its bound...
+        engine.self_value(synthetic(9, seed=999))
+        # ...and the warm entries must still be there: re-evaluating cached
+        # pairs and self values costs zero kernel work.
+        engine.pair_value(corpus[4], corpus[5])
+        engine.self_value(corpus[6])
+        assert kernel.value_calls + kernel.row_values == warm_pair_evaluations
+        assert engine.kernel_evals == warm_evaluations + 1  # the novel self value only
+
+    def test_evicted_key_recomputes_only_itself(self):
+        kernel = CountingKernel(cut_weight=2)
+        engine = GramEngine(kernel, pair_cache_size=4)
+        corpus = [synthetic(10 + index, seed=200 + index) for index in range(4)]
+        for string in corpus:
+            engine.self_value(string)
+        # Four more strings retire the four original registry entries.
+        for index in range(4):
+            engine.self_value(synthetic(10 + index, seed=300 + index))
+        before = engine.kernel_evals
+        # A fresh object with the oldest content re-registers and recomputes
+        # exactly one self value — not the whole corpus.
+        revived = WeightedString(corpus[0].tokens, name="revived")
+        engine.self_value(revived)
+        assert engine.kernel_evals == before + 1

@@ -1,0 +1,216 @@
+"""Unit tests for the persistent pair-value store (repro.core.pairstore)."""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.core.engine import GramEngine, string_fingerprint
+from repro.core.kast import KastSpectrumKernel
+from repro.core.pairstore import PairStore, PairStoreError
+from repro.strings.tokens import Token, WeightedString
+
+SIG = "kast|cut_weight=2"
+
+
+def synthetic(length: int, seed: int, alphabet: int = 6) -> WeightedString:
+    rng = random.Random(seed)
+    tokens = [Token(f"op{rng.randrange(alphabet)}", rng.randint(1, 40)) for _ in range(length)]
+    return WeightedString(tokens, name=f"synthetic_{seed}", label="A")
+
+
+def fp(index: int) -> str:
+    return f"{index:040x}"
+
+
+def segment_paths(store: PairStore):
+    found = []
+    for root, _, names in os.walk(store.root):
+        found.extend(os.path.join(root, name) for name in names if name.startswith("seg-"))
+    return sorted(found)
+
+
+class TestRoundTrip:
+    def test_put_then_get_returns_exact_floats(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        values = {(fp(1), fp(2)): 0.1 + 0.2, (fp(3), fp(4)): 1e-17, (fp(5), fp(6)): 123456.75}
+        assert store.put_many(SIG, values) == 3
+        found = store.get_many(SIG, list(values))
+        assert found == values  # bit-identical floats, not approximately equal
+
+    def test_symmetric_canonical_ordering(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        store.put_many(SIG, {(fp(9), fp(1)): 2.5})
+        # Either orientation finds the value; the result is keyed canonically.
+        assert store.get_many(SIG, [(fp(1), fp(9))]) == {(fp(1), fp(9)): 2.5}
+        assert store.get_many(SIG, [(fp(9), fp(1))]) == {(fp(1), fp(9)): 2.5}
+
+    def test_missing_pairs_are_absent_and_counted(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        store.put_many(SIG, {(fp(1), fp(2)): 1.0})
+        found = store.get_many(SIG, [(fp(1), fp(2)), (fp(3), fp(4))])
+        assert found == {(fp(1), fp(2)): 1.0}
+        counters = store.counters()
+        assert counters["hits"] == 1 and counters["misses"] == 1
+
+    def test_signatures_are_isolated(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        store.put_many(SIG, {(fp(1), fp(2)): 1.0})
+        assert store.get_many("other-kernel", [(fp(1), fp(2))]) == {}
+
+    def test_values_survive_reopening(self, tmp_path):
+        PairStore(str(tmp_path / "pairs")).put_many(SIG, {(fp(1), fp(2)): 7.5})
+        reopened = PairStore(str(tmp_path / "pairs"))
+        assert reopened.get_many(SIG, [(fp(1), fp(2))]) == {(fp(1), fp(2)): 7.5}
+
+    def test_empty_fingerprints_rejected(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        with pytest.raises(PairStoreError):
+            store.put_many(SIG, {("", fp(1)): 1.0})
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            PairStore(str(tmp_path / "a"), max_bytes=0)
+        with pytest.raises(ValueError):
+            PairStore(str(tmp_path / "b"), ttl=-1)
+        with pytest.raises(ValueError):
+            PairStore(str(tmp_path / "c"), compact_segments=1)
+
+
+class TestSegments:
+    def test_one_batch_writes_at_most_one_segment_per_bucket(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        store.put_many(SIG, {(fp(i), fp(i + 1000)): float(i) for i in range(200)})
+        # 200 pairs land in <= 16 bucket segments, never one file per pair.
+        assert 1 <= len(segment_paths(store)) <= 16
+
+    def test_torn_segment_is_healed_not_served(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        store.put_many(SIG, {(fp(1), fp(2)): 1.0})
+        (path,) = segment_paths(store)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "pairs": [["')  # torn mid-write
+        assert store.get_many(SIG, [(fp(1), fp(2))]) == {}
+        assert not os.path.exists(path)  # self-healed
+        assert store.counters()["invalid"] == 1
+
+    def test_checksum_mismatch_is_treated_as_damage(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        store.put_many(SIG, {(fp(1), fp(2)): 1.0})
+        (path,) = segment_paths(store)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["pairs"][0][2] = 99.0  # flipped value, stale checksum
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert store.get_many(SIG, [(fp(1), fp(2))]) == {}
+        assert store.counters()["invalid"] == 1
+
+    def test_compaction_merges_a_bucket_and_keeps_every_value(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"), compact_segments=3)
+        # Pairs picked to share one digest bucket: each put adds a segment
+        # there until the threshold triggers a merge.
+        values = {}
+        index = 0
+        while len(values) < 8:
+            pair = (fp(index), fp(index))
+            index += 1
+            if PairStore._bucket_of(pair) != "0":
+                continue
+            values[pair] = float(index)
+            store.put_many(SIG, {pair: float(index)})
+        assert store.counters()["compactions"] >= 1
+        assert store.get_many(SIG, list(values)) == values
+        # Compacted to at most the threshold per bucket.
+        buckets = {os.path.dirname(path) for path in segment_paths(store)}
+        for bucket in buckets:
+            assert len(os.listdir(bucket)) <= 3
+
+
+class TestSweep:
+    def test_ttl_sweep_drops_idle_segments(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"), ttl=100.0)
+        store.put_many(SIG, {(fp(1), fp(2)): 1.0})
+        (path,) = segment_paths(store)
+        now = os.path.getmtime(path)
+        assert store.sweep(now=now + 50) == []
+        removed = store.sweep(now=now + 200)
+        assert removed == [path]
+        assert store.get_many(SIG, [(fp(1), fp(2))]) == {}
+
+    def test_size_sweep_evicts_least_recently_used_first(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        store.put_many(SIG, {(fp(1), fp(2)): 1.0})
+        (old_path,) = segment_paths(store)
+        os.utime(old_path, (1, 1))  # ancient
+        store.put_many(SIG, {(fp(3), fp(4)): 2.0})
+        removed = store.sweep(max_bytes=os.path.getsize(old_path))
+        assert old_path in removed
+        assert store.get_many(SIG, [(fp(3), fp(4))]) == {(fp(3), fp(4)): 2.0}
+
+    def test_read_hits_refresh_the_lru_order(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        store.put_many(SIG, {(fp(1), fp(2)): 1.0})
+        (path,) = segment_paths(store)
+        os.utime(path, (1, 1))
+        store.get_many(SIG, [(fp(1), fp(2))])  # hit touches the segment
+        assert os.path.getmtime(path) > 1
+
+    def test_clear_empties_the_store(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        store.put_many(SIG, {(fp(i), fp(i + 7)): float(i) for i in range(20)})
+        before = len(segment_paths(store))
+        assert store.clear() == before
+        assert segment_paths(store) == []
+        assert store.clear() == 0  # idempotent
+        assert store.stats()["entries"] == 0
+
+
+class TestStats:
+    def test_stats_report_entries_segments_and_counters(self, tmp_path):
+        store = PairStore(str(tmp_path / "pairs"))
+        store.put_many(SIG, {(fp(1), fp(2)): 1.0, (fp(3), fp(4)): 2.0})
+        store.get_many(SIG, [(fp(1), fp(2))])
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["segments"] == len(segment_paths(store))
+        assert stats["payload_bytes"] > 0
+        assert stats["hits"] == 1 and stats["puts"] == 2
+
+
+class TestEngineSeam:
+    def test_engine_populates_and_reuses_the_store(self, tmp_path):
+        corpus = [synthetic(12 + index, seed=index) for index in range(6)]
+        store = PairStore(str(tmp_path / "pairs"))
+        warm = GramEngine(KastSpectrumKernel(cut_weight=2), pair_store=store)
+        first = warm.gram(corpus)
+        assert warm.kernel_evals == 15 + 6  # every pair and self value computed
+
+        # A cold engine sharing the store computes NOTHING.
+        cold = GramEngine(KastSpectrumKernel(cut_weight=2), pair_store=store)
+        second = cold.gram(corpus)
+        assert cold.kernel_evals == 0
+        assert cold.store_misses == 0
+        assert (first == second).all()
+
+    def test_pair_value_round_trips_through_the_store(self, tmp_path):
+        corpus = [synthetic(12, seed=1), synthetic(13, seed=2)]
+        store = PairStore(str(tmp_path / "pairs"))
+        warm = GramEngine(KastSpectrumKernel(cut_weight=2), pair_store=store)
+        value = warm.pair_value(corpus[0], corpus[1])
+        cold = GramEngine(KastSpectrumKernel(cut_weight=2), pair_store=store)
+        assert cold.pair_value(corpus[1], corpus[0]) == value
+        assert cold.kernel_evals == 0 and cold.store_hits == 1
+
+    def test_store_key_is_content_not_identity(self, tmp_path):
+        corpus = [synthetic(12, seed=1), synthetic(13, seed=2)]
+        store = PairStore(str(tmp_path / "pairs"))
+        GramEngine(KastSpectrumKernel(cut_weight=2), pair_store=store).pair_value(*corpus)
+        twins = [WeightedString(s.tokens, name=f"twin-{i}") for i, s in enumerate(corpus)]
+        assert string_fingerprint(twins[0]) == string_fingerprint(corpus[0])
+        cold = GramEngine(KastSpectrumKernel(cut_weight=2), pair_store=store)
+        cold.pair_value(*twins)
+        assert cold.kernel_evals == 0

@@ -250,12 +250,30 @@ class TestCacheStats:
         assert stats["hits"] == 1
 
     def test_disabled_cache_reports_disabled(self, tmp_path, strings):
-        with AnalysisServer(state_dir=str(tmp_path / "state"), result_cache=False) as server:
+        with AnalysisServer(
+            state_dir=str(tmp_path / "state"), result_cache=False, pair_store=False
+        ) as server:
             stats = check_response(server.handle(CacheStatsRequest().to_payload()))
-            assert stats == {"v": 1, "ok": True, "type": "cache-stats", "enabled": False}
+            assert stats == {
+                "v": 1,
+                "ok": True,
+                "type": "cache-stats",
+                "enabled": False,
+                "pair_store": {"enabled": False},
+            }
             # Jobs still run, stamped as bypass.
             done = wait_result(server, submit(server, strings[:5])["job_id"])
             assert done.get("cache") is None or done.get("cache") == "bypass"
+
+    def test_stats_report_the_pair_store_section(self, server, strings):
+        wait_result(server, submit(server, strings[:5])["job_id"])
+        stats = check_response(server.handle(CacheStatsRequest().to_payload()))
+        section = stats["pair_store"]
+        assert section["enabled"] is True
+        # 10 off-diagonal pairs + 5 self values, all novel on a cold store.
+        assert section["entries"] == 15
+        assert section["puts"] == 15
+        assert section["invalid"] == 0
 
     def test_maintenance_sweep_enforces_the_lru_bound(self, tmp_path, strings):
         with AnalysisServer(
