@@ -345,6 +345,81 @@ def bench_pair_store(corpus_size: int = 40) -> Dict[str, object]:
     }
 
 
+def bench_streaming_classify(
+    sizes=(50, 110, 200), landmarks: int = 16, queries: int = 4, token_length: int = 24
+) -> Dict[str, object]:
+    """E10g: per-request classify latency vs corpus size, batch vs streaming.
+
+    The *full-Gram* path answers an arriving trace the only way the batch
+    pipeline can: evaluate the Gram covering corpus + query with a cold
+    session and read the query row off the matrix — O(n²) kernel work per
+    request, so latency grows superlinearly with corpus size.  The
+    *streaming* path fits an m-landmark model once (the one O(n²) cost,
+    reported separately and amortised over every request) and then serves
+    each novel trace through a :class:`StreamingScorer` in exactly ``m``
+    kernel evaluations — per-request latency independent of n.
+    """
+    from repro.api import AnalysisSession, make_spec
+
+    spec = make_spec("kast", cut_weight=2)
+    full_seconds: Dict[str, float] = {}
+    fit_seconds: Dict[str, float] = {}
+    stream_seconds: Dict[str, float] = {}
+    stream_evals: Dict[str, float] = {}
+    for size in sizes:
+        corpus = [
+            synthetic_string(token_length, seed=index).with_label(f"class-{index % 4}")
+            for index in range(size)
+        ]
+        query_strings = [
+            synthetic_string(token_length, seed=100_000 + index) for index in range(queries)
+        ]
+
+        # Full path, one shot (it is the expensive side): cold Gram over
+        # corpus + query, nearest-centroid read-off from the query row.
+        start = time.perf_counter()
+        with AnalysisSession() as session:
+            matrix = session.matrix(spec, [*corpus, query_strings[0]], repair=False)
+            row = matrix.values[-1][:-1]
+            totals: Dict[str, float] = {}
+            counts: Dict[str, int] = {}
+            for value, string in zip(row, corpus):
+                totals[string.label] = totals.get(string.label, 0.0) + float(value)
+                counts[string.label] = counts.get(string.label, 0) + 1
+            max(totals, key=lambda label: totals[label] / counts[label])
+        full_seconds[str(size)] = time.perf_counter() - start
+
+        # Streaming path: fit once, then serve novel traces from a fresh
+        # session (cold engine, so every request honestly pays its m evals).
+        with AnalysisSession() as fit_session:
+            start = time.perf_counter()
+            model, _ = fit_session.fit_landmark_model(
+                spec, corpus, name=f"bench-{size}", landmarks=landmarks
+            )
+            fit_seconds[str(size)] = time.perf_counter() - start
+        with AnalysisSession() as serve_session:
+            scorer = serve_session.streaming_scorer(model)
+            engine = scorer.engine
+            evals_before = engine.cache_info()["kernel_evals"]
+            per_request: List[float] = []
+            for query in query_strings:
+                start = time.perf_counter()
+                scorer.classify(query)
+                per_request.append(time.perf_counter() - start)
+            evals = engine.cache_info()["kernel_evals"] - evals_before
+            stream_seconds[str(size)] = statistics.median(per_request)
+            stream_evals[str(size)] = evals / len(query_strings)
+
+    return {
+        "landmarks": float(landmarks),
+        "queries_per_size": float(queries),
+        "full_request_seconds": full_seconds,
+        "fit_once_seconds": fit_seconds,
+        "stream_request_seconds": stream_seconds,
+        "stream_kernel_evals_per_request": stream_evals,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="benchmarks/BENCH_scaling.json", help="where to write the JSON report")
@@ -401,6 +476,19 @@ def main() -> int:
             f"cache={pair_store['cache_outcomes']['warm'][label]})"
         )
 
+    print("E10g: per-request classify latency, full Gram vs m-landmark streaming (s)")
+    streaming = bench_streaming_classify(
+        sizes=(20, 50) if args.quick else (50, 110, 200),
+        landmarks=8 if args.quick else 16,
+    )
+    for size, full in streaming["full_request_seconds"].items():
+        print(
+            f"  n={size:>3}: full={full:7.2f}s  "
+            f"stream={streaming['stream_request_seconds'][size]:.4f}s  "
+            f"(fit once: {streaming['fit_once_seconds'][size]:.2f}s, "
+            f"{streaming['stream_kernel_evals_per_request'][size]:.0f} evals/request)"
+        )
+
     report = {
         "benchmark": "E10 scaling",
         "repeats": args.repeats,
@@ -415,6 +503,7 @@ def main() -> int:
         "distributed_workers": distributed,
         "result_cache": result_cache,
         "pair_store": pair_store,
+        "streaming_classify": streaming,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

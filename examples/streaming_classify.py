@@ -1,0 +1,100 @@
+"""Streaming classification: fit a landmark model once, serve traces in O(m).
+
+This example walks the :mod:`repro.streaming` subsystem end to end:
+
+1. fit a frozen :class:`~repro.streaming.model.LandmarkModel` from a
+   labelled corpus — ``m`` k-center landmarks picked from the full Gram,
+   plus the Nyström/kPCA factorisation for out-of-sample embedding;
+2. serve *novel* traces through an in-process
+   :class:`~repro.streaming.scorer.StreamingScorer`, watching the engine
+   counters prove the serving contract: exactly ``m`` kernel evaluations
+   for a cold trace, zero for a repeated one;
+3. round-trip the model through JSON and a persistent
+   :class:`~repro.streaming.store.ModelStore`, then serve the same traces
+   over HTTP via ``fit-model`` / ``classify`` protocol messages — the
+   ``repro model fit/classify/list`` CLI path.
+
+Run with::
+
+    python examples/streaming_classify.py [--small]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+
+from repro.api import AnalysisSession, make_spec
+from repro.service import AnalysisServer, ServiceClient
+from repro.streaming.model import LandmarkModel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true", help="use the reduced 16-example corpus")
+    parser.add_argument("--landmarks", type=int, default=6, help="landmark budget m")
+    args = parser.parse_args()
+
+    spec = make_spec("kast", cut_weight=2)
+
+    with AnalysisSession() as session:
+        corpus = session.corpus(small=True, seed=7) if args.small else session.corpus(seed=2017)
+        # Traces from a different seed: the model has never seen them.
+        arrivals = session.corpus(small=True, seed=99)[:3]
+
+        # --- fit once (the only O(n^2) step, result-cache aware) ----------
+        model, cache = session.fit_landmark_model(
+            spec, corpus, name="example", landmarks=args.landmarks, strategy="kcenter"
+        )
+        print(
+            f"fitted {model.name!r}: {model.m} landmark(s) from {len(corpus)} trace(s), "
+            f"labels {model.summary()['labels']}, gram cache {cache}"
+        )
+
+        # --- serve in O(m), with the counters watching ---------------------
+        scorer = session.streaming_scorer(model)
+        engine = session.engine(spec)
+        for trace in arrivals:
+            before = engine.cache_info()["kernel_evals"]
+            result = scorer.classify(trace)
+            evals = engine.cache_info()["kernel_evals"] - before
+            print(f"  {trace.name}: {result.label}  ({evals} kernel eval(s) — cold)")
+        before = engine.cache_info()["kernel_evals"]
+        repeat = scorer.classify(arrivals[0])
+        warm_evals = engine.cache_info()["kernel_evals"] - before
+        print(f"  {arrivals[0].name} again: {repeat.label}  ({warm_evals} eval(s) — warm)")
+
+        # --- the model is a frozen, round-trippable artefact ---------------
+        clone = LandmarkModel.from_json(model.to_json())
+        print(f"JSON round trip preserves identity: {clone.model_id == model.model_id}")
+
+    # --- the same path over HTTP (the `repro model` CLI) -------------------
+    with tempfile.TemporaryDirectory(prefix="repro-streaming-example-") as state_dir:
+        server = AnalysisServer(state_dir=state_dir)
+        host, port = server.start_http()
+        try:
+            with ServiceClient(f"http://{host}:{port}") as client:
+                fitted = client.fit_model(
+                    spec, corpus, name="served", landmarks=args.landmarks, timeout=600
+                )
+                print(
+                    f"served model {fitted['payload']['name']!r} "
+                    f"({fitted['payload']['landmarks']} landmarks, cache {fitted['cache']})"
+                )
+                answer = client.classify("served", arrivals)
+                for entry in answer["results"]:
+                    print(
+                        f"  HTTP {entry['name']}: {entry['label']}  "
+                        f"({entry['kernel_evals']} eval(s), warm={entry['warm']})"
+                    )
+                counters = client.health()["models"]
+                print(
+                    f"health counters: {counters['requests']} request(s), "
+                    f"{counters['traces']} trace(s), warm rate {counters['warm_rate']}"
+                )
+        finally:
+            server.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -14,8 +14,10 @@
 * ``worker`` — run a pull-loop worker against a server's state directory,
   claiming and executing leased block tasks (scale out by starting more);
 * ``gc`` — sweep expired terminal jobs out of a state directory;
-* ``remote`` — talk to a running analysis service (submit matrix jobs,
-  query status/results, health).
+* ``remote`` — talk to a running analysis service (submit matrix and
+  analyze jobs, query status/results, health);
+* ``model`` — the streaming serving tier: fit landmark models server-side
+  and classify individual trace files against them in O(m) per request.
 
 The CLI is intentionally thin: every command is a few lines of glue around
 the :class:`~repro.api.session.AnalysisSession` facade and the declarative
@@ -47,6 +49,7 @@ from repro.pipeline.experiments import (
 )
 from repro.pipeline.report import summarise_result, summarise_sweep
 from repro.pipeline.sweep import cut_weight_sweep
+from repro.streaming.landmarks import LANDMARK_STRATEGIES
 from repro.strings.encoder import trace_to_string
 from repro.traces.parser import parse_trace_file
 from repro.traces.writer import write_trace
@@ -332,6 +335,24 @@ def build_parser() -> argparse.ArgumentParser:
     remote_matrix.add_argument("--output", default=None, help="write the JSON payload here instead of stdout")
     _add_spec_argument(remote_matrix)
 
+    remote_analyze = remote_actions.add_parser(
+        "analyze", help="run the full analysis pipeline remotely from a directory of trace files"
+    )
+    remote_analyze.add_argument("corpus", help="directory containing *.trace files")
+    remote_analyze.add_argument("--kernel", choices=list(kernel_choices()), default="kast", help="kernel kind")
+    remote_analyze.add_argument("--cut-weight", type=int, default=2, help="cut weight / minimum substring weight")
+    remote_analyze.add_argument("--spectrum-k", type=int, default=3, help="substring length bound (spectrum/blended)")
+    remote_analyze.add_argument("--no-bytes", action="store_true", help="ignore byte information")
+    remote_analyze.add_argument("--clusters", type=int, default=3, help="cluster count (default: 3)")
+    remote_analyze.add_argument("--components", type=int, default=2, help="kernel-PCA components (default: 2)")
+    remote_analyze.add_argument(
+        "--linkage", choices=["single", "complete", "average"], default="single",
+        help="hierarchical-clustering linkage (default: single)",
+    )
+    remote_analyze.add_argument("--no-wait", action="store_true", help="print the job id instead of waiting")
+    remote_analyze.add_argument("--output", default=None, help="write the JSON payload here instead of stdout")
+    _add_spec_argument(remote_analyze)
+
     remote_status = remote_actions.add_parser("status", help="print one job's status")
     remote_status.add_argument("job_id", help="job id returned by a submit")
 
@@ -342,6 +363,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     remote_cancel = remote_actions.add_parser("cancel", help="cancel a queued job")
     remote_cancel.add_argument("job_id", help="job id returned by a submit")
+
+    model = subparsers.add_parser(
+        "model", help="fit and serve streaming landmark models on a running analysis service"
+    )
+    model.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8123")
+    model.add_argument("--timeout", type=float, default=600.0, help="seconds to wait for fits (default: 600)")
+    model_actions = model.add_subparsers(dest="model_command", required=True)
+
+    model_fit = model_actions.add_parser(
+        "fit", help="fit a landmark model server-side from a directory of trace files"
+    )
+    model_fit.add_argument("corpus", help="directory containing *.trace files")
+    model_fit.add_argument("--name", required=True, help="model name (the store key)")
+    model_fit.add_argument("--kernel", choices=list(kernel_choices()), default="kast", help="kernel kind")
+    model_fit.add_argument("--cut-weight", type=int, default=2, help="cut weight / minimum substring weight")
+    model_fit.add_argument("--spectrum-k", type=int, default=3, help="substring length bound (spectrum/blended)")
+    model_fit.add_argument("--no-bytes", action="store_true", help="ignore byte information")
+    model_fit.add_argument("--landmarks", type=int, default=16, help="landmark count m (default: 16)")
+    model_fit.add_argument(
+        "--strategy", choices=list(LANDMARK_STRATEGIES), default="kcenter",
+        help="landmark selection strategy (default: kcenter)",
+    )
+    model_fit.add_argument("--seed", type=int, default=2017, help="selection seed (default: 2017)")
+    model_fit.add_argument("--components", type=int, default=2, help="Nyström/kPCA components (default: 2)")
+    model_fit.add_argument(
+        "--clusters", type=int, default=None,
+        help="fit kernel k-means pseudo-labels with this many clusters "
+        "(default: only when the corpus is unlabelled)",
+    )
+    model_fit.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the server's matrix result cache when computing the fitting Gram",
+    )
+    _add_spec_argument(model_fit)
+
+    model_classify = model_actions.add_parser(
+        "classify", help="classify trace files against a stored model"
+    )
+    model_classify.add_argument("traces", nargs="+", help="trace files to classify")
+    model_classify.add_argument("--name", required=True, help="stored model name")
+    model_classify.add_argument("--no-bytes", action="store_true", help="ignore byte information")
+    model_classify.add_argument(
+        "--embed", action="store_true", help="also return the Nyström/kPCA embedding per trace"
+    )
+    model_classify.add_argument("--output", default=None, help="write the JSON response here too")
+
+    model_actions.add_parser("list", help="list the server's stored models and serve counters")
 
     return parser
 
@@ -581,6 +649,35 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 1 if worker.failed and not worker.completed else 0
 
 
+def _gc_layer_summary(state_dir: str) -> None:
+    """One line per persistent layer, printed on every ``gc`` run.
+
+    Before this, a flagless ``gc`` said nothing about the cache layers at
+    all — operators had no way to see what a state dir holds without
+    opting into a sweep.
+    """
+    from repro.core.cachestore import MatrixCache
+    from repro.core.pairstore import PairStore
+    from repro.streaming.store import ModelStore
+
+    cache_stats = MatrixCache(os.path.join(state_dir, "matrix-cache")).stats()
+    print(
+        f"matrix cache: {cache_stats['entries']} entr(ies), "
+        f"{cache_stats['payload_bytes']} payload byte(s)"
+    )
+    pair_stats = PairStore(os.path.join(state_dir, "pair-store")).stats()
+    print(
+        f"pair store  : {pair_stats['entries']} value(s) in {pair_stats['segments']} "
+        f"segment(s), {pair_stats['payload_bytes']} payload byte(s)"
+    )
+    model_stats = ModelStore(os.path.join(state_dir, "models")).stats()
+    print(
+        f"models      : {model_stats['models']} model(s), "
+        f"{model_stats['payload_bytes']} byte(s), "
+        f"{model_stats['quarantined']} quarantined"
+    )
+
+
 def _command_gc(args: argparse.Namespace) -> int:
     from repro.service import JobStore
 
@@ -622,6 +719,7 @@ def _command_gc(args: argparse.Namespace) -> int:
                 max_bytes=args.max_pair_bytes if args.max_pair_bytes is not None else sys.maxsize,
             )
             print(f"evicted {len(dropped)} pair-store segment(s) from {pair_store.root}")
+    _gc_layer_summary(store.root)
     return 0
 
 
@@ -655,7 +753,7 @@ def _command_remote(args: argparse.Namespace) -> int:
                 return 1
             print("cancelled")
             return 0
-        # matrix
+        # matrix / analyze: both read a trace directory under a spec.
         if args.spec is not None:
             spec = _load_spec(args.spec)
         else:
@@ -664,6 +762,29 @@ def _command_remote(args: argparse.Namespace) -> int:
             ).kernel_spec()
         session = AnalysisSession()
         strings = session.corpus_from_directory(args.corpus, use_byte_information=not args.no_bytes)
+        if args.remote_command == "analyze":
+            if args.no_wait:
+                print(client.submit_analyze(
+                    spec, strings, n_clusters=args.clusters,
+                    n_components=args.components, linkage=args.linkage,
+                ))
+                return 0
+            job = client.analyze_job(
+                spec, strings, n_clusters=args.clusters, n_components=args.components,
+                linkage=args.linkage, timeout=args.timeout,
+            )
+            # Report the matrix-stage cache outcome exactly like `remote
+            # matrix` does — the analyze path went silent on it before.
+            cache_text = f", matrix cache {job['cache']}" if job.get("cache") else ""
+            _emit_payload(
+                job["payload"],
+                args.output,
+                f"wrote analysis of {len(strings)} trace(s) under {spec.kind}"
+                f"{cache_text} to {args.output}",
+            )
+            if not args.output and job.get("cache"):
+                print(f"# matrix cache: {job['cache']}", file=sys.stderr)
+            return 0
         if args.no_wait:
             job_id = client.submit(
                 spec,
@@ -697,6 +818,67 @@ def _command_remote(args: argparse.Namespace) -> int:
         return 0
 
 
+def _command_model(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.url) as client:
+        if args.model_command == "list":
+            print(json.dumps(client.models(), indent=2, sort_keys=True))
+            return 0
+        if args.model_command == "fit":
+            if args.spec is not None:
+                spec = _load_spec(args.spec)
+            else:
+                spec = ExperimentConfig(
+                    kernel=args.kernel, cut_weight=args.cut_weight, spectrum_k=args.spectrum_k
+                ).kernel_spec()
+            session = AnalysisSession()
+            strings = session.corpus_from_directory(
+                args.corpus, use_byte_information=not args.no_bytes
+            )
+            job = client.fit_model(
+                spec,
+                strings,
+                name=args.name,
+                landmarks=args.landmarks,
+                strategy=args.strategy,
+                seed=args.seed,
+                n_components=args.components,
+                n_clusters=args.clusters,
+                use_cache=not args.no_cache,
+                timeout=args.timeout,
+            )
+            summary = job["payload"]
+            cache_text = f", cache {job['cache']}" if job.get("cache") else ""
+            print(
+                f"fitted model {summary['name']}: {summary['landmarks']} landmark(s) "
+                f"from {len(strings)} trace(s), strategy {summary['strategy']}{cache_text}"
+            )
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        # classify
+        strings = [
+            trace_to_string(parse_trace_file(path), use_byte_information=not args.no_bytes)
+            for path in args.traces
+        ]
+        response = client.classify(args.name, strings, embed=args.embed)
+        for entry in response["results"]:
+            cost = "warm (0 evals)" if entry["warm"] else f"{entry['kernel_evals']} eval(s)"
+            print(f"{entry['name']}: {entry['label']} [{cost}]")
+        print(
+            f"# model {response['model']}: {response['kernel_evals']} kernel eval(s), "
+            f"{response['warm_traces']}/{len(strings)} warm, "
+            f"{response['elapsed_seconds'] * 1000.0:.2f} ms server-side",
+            file=sys.stderr,
+        )
+        if args.output:
+            _emit_payload(
+                response, args.output,
+                f"wrote classification of {len(strings)} trace(s) to {args.output}",
+            )
+        return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-iokast`` console script."""
     parser = build_parser()
@@ -712,6 +894,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "worker": _command_worker,
         "gc": _command_gc,
         "remote": _command_remote,
+        "model": _command_model,
     }
     return handlers[args.command](args)
 

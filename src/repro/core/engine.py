@@ -457,6 +457,65 @@ class GramEngine:
         """Cached ``k(a, a)``."""
         return self.self_values([string])[0]
 
+    def prime_self_values(self, strings: Sequence[WeightedString], values: Sequence[float]) -> int:
+        """Seed known raw self values into the caches; how many were new.
+
+        The streaming scorer calls this with the landmark self values a
+        :class:`~repro.streaming.model.LandmarkModel` carries, so serving
+        never re-evaluates ``k(l, l)``.  Values the persistent pair store
+        is missing are written through (one batched ``put_many``); values
+        it already holds are left alone so priming an unchanged model does
+        not grow the store.  Counters are untouched — priming is cache
+        *construction*, not traffic.
+        """
+        string_list = list(strings)
+        if len(string_list) != len(values):
+            raise ValueError(
+                f"got {len(string_list)} strings but {len(values)} self values"
+            )
+        keys = [self._string_key(string) for string in string_list]
+        primed: Dict[int, float] = {}
+        with self._lock:
+            for key, value in zip(keys, values):
+                if key not in self._self_cache:
+                    primed[key] = float(value)
+            self._self_cache.update(primed)
+        if self.pair_store is not None and string_list:
+            signature = self.kernel_signature()
+            store_keys = {
+                string_fingerprint(string): float(value)
+                for string, value in zip(string_list, values)
+            }
+            found = self.pair_store.get_many(
+                signature, [(fp, fp) for fp in store_keys]
+            )
+            missing = {
+                (fp, fp): value
+                for fp, value in store_keys.items()
+                if (fp, fp) not in found
+            }
+            if missing:
+                self.pair_store.put_many(signature, missing)
+        return len(primed)
+
+    def evaluate_row(
+        self, query: WeightedString, references: Sequence[WeightedString]
+    ) -> List[float]:
+        """Raw ``k(query, ref)`` for every reference — one batched row.
+
+        The landmark-row seam of the streaming serving path: all cross
+        pairs of one query go through :meth:`evaluate_pairs` as a single
+        task, so they share its content dedup, both cache layers, and the
+        kernel's ``value_row`` batch evaluation (one work item covers the
+        whole row).  A cold row against ``m`` novel references costs
+        exactly ``m`` kernel evaluations; a covered row costs zero.
+        """
+        reference_list = list(references)
+        strings = [query, *reference_list]
+        pairs = [(0, index + 1) for index in range(len(reference_list))]
+        values = self.evaluate_pairs(strings, pairs)
+        return [values[pair] for pair in pairs]
+
     def self_values(self, strings: Sequence[WeightedString]) -> List[float]:
         """Cached ``k(a, a)`` for every string, in order (batched).
 

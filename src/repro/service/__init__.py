@@ -44,13 +44,15 @@ from repro.service.protocol import (
     BadRequest,
     JobFailed,
     JobPending,
+    ModelDamaged,
+    ModelNotFound,
     ServiceError,
     UnknownJob,
     decode_corpus,
     encode_corpus,
 )
 from repro.service.server import AnalysisServer, serve_stdio
-from repro.service.worker import Worker, execute_block_task
+from repro.service.worker import Worker, execute_block_task, execute_fit_model_task
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -62,6 +64,8 @@ __all__ = [
     "JobRecord",
     "JobStore",
     "LeaseError",
+    "ModelDamaged",
+    "ModelNotFound",
     "RecoveryReport",
     "ServiceClient",
     "ServiceError",
@@ -71,5 +75,6 @@ __all__ = [
     "decode_corpus",
     "encode_corpus",
     "execute_block_task",
+    "execute_fit_model_task",
     "serve_stdio",
 ]

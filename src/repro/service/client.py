@@ -46,8 +46,11 @@ from repro.core.matrix import KernelMatrix
 from repro.service.protocol import (
     CacheStatsRequest,
     CancelRequest,
+    ClassifyRequest,
+    FitModelRequest,
     HealthRequest,
     JobPending,
+    ModelsRequest,
     Request,
     ResultRequest,
     ServiceError,
@@ -338,6 +341,34 @@ class ServiceClient:
         )
         return str(response["job_id"])
 
+    def submit_fit_model(
+        self,
+        spec: SpecLike,
+        strings: Sequence[WeightedString],
+        name: str,
+        landmarks: int = 16,
+        strategy: str = "kcenter",
+        seed: int = 2017,
+        n_components: int = 2,
+        n_clusters: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> str:
+        """Queue a streaming landmark-model fit; returns its job id."""
+        response = self._call(
+            FitModelRequest(
+                spec=self._spec_payload(spec),
+                strings=tuple(encode_corpus(strings)),
+                name=name,
+                landmarks=landmarks,
+                strategy=strategy,
+                seed=seed,
+                n_components=n_components,
+                n_clusters=n_clusters,
+                use_cache=use_cache,
+            )
+        )
+        return str(response["job_id"])
+
     def status(self, job_id: str) -> str:
         """The job's store status (``queued``/``running``/``done``/...)."""
         return str(self._call(StatusRequest(job_id=job_id))["status"])
@@ -468,10 +499,92 @@ class ServiceClient:
         timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Run the full pipeline remotely; returns the metrics/assignments report."""
+        return self.analyze_job(
+            spec, strings, n_clusters=n_clusters, n_components=n_components,
+            linkage=linkage, timeout=timeout,
+        )["payload"]
+
+    def analyze_job(
+        self,
+        spec: SpecLike,
+        strings: Sequence[WeightedString],
+        n_clusters: int = 3,
+        n_components: int = 2,
+        linkage: str = "single",
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit + wait a pipeline run: ``{"job_id", "payload", "cache"}``.
+
+        ``cache`` is the matrix-stage result-cache outcome (``"hit"`` /
+        ``"extended"`` / ``"miss"`` / ``"bypass"``, ``None`` from a server
+        predating the stamp) — the same envelope field :meth:`matrix_job`
+        reports, so remote analyses are auditable the same way.
+        """
         job_id = self.submit_analyze(
             spec, strings, n_clusters=n_clusters, n_components=n_components, linkage=linkage
         )
-        return self.result_payload(job_id, timeout=timeout, forget=True)
+        response = self._result_response(job_id, timeout=timeout, forget=True)
+        return {
+            "job_id": job_id,
+            "payload": response["payload"],
+            "cache": response.get("cache"),
+        }
+
+    # ------------------------------------------------------------------
+    # Streaming serving (landmark models)
+    # ------------------------------------------------------------------
+    def fit_model(
+        self,
+        spec: SpecLike,
+        strings: Sequence[WeightedString],
+        name: str,
+        landmarks: int = 16,
+        strategy: str = "kcenter",
+        seed: int = 2017,
+        n_components: int = 2,
+        n_clusters: Optional[int] = None,
+        use_cache: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Fit and persist a landmark model server-side (submit + wait).
+
+        Returns ``{"job_id", "payload", "cache"}`` where the payload is
+        the stored model's summary and ``cache`` the fitting Gram's
+        result-cache outcome.
+        """
+        job_id = self.submit_fit_model(
+            spec, strings, name=name, landmarks=landmarks, strategy=strategy,
+            seed=seed, n_components=n_components, n_clusters=n_clusters, use_cache=use_cache,
+        )
+        response = self._result_response(job_id, timeout=timeout, forget=True)
+        return {
+            "job_id": job_id,
+            "payload": response["payload"],
+            "cache": response.get("cache"),
+        }
+
+    def classify(
+        self,
+        name: str,
+        strings: Sequence[WeightedString],
+        embed: bool = False,
+    ) -> Dict[str, Any]:
+        """Classify traces against stored model *name* (synchronous).
+
+        The response dict carries ``results`` (one ``{"name", "label",
+        "scores", "kernel_evals", "warm"}`` entry per input trace, plus
+        ``"embedding"`` with ``embed=True``), the request's total
+        ``kernel_evals``/``warm_traces`` and its server-side latency.
+        """
+        response = self._call(
+            ClassifyRequest(name=name, strings=tuple(encode_corpus(strings)), embed=embed)
+        )
+        return {key: value for key, value in response.items() if key not in ("v", "ok", "type")}
+
+    def models(self) -> Dict[str, Any]:
+        """The server's stored landmark models with their serve counters."""
+        response = self._call(ModelsRequest())
+        return {key: value for key, value in response.items() if key not in ("v", "ok", "type")}
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -17,6 +17,9 @@ The types are:
 ==================  ====================================================
 ``submit-matrix``   queue a (possibly block-sharded) Gram-matrix job
 ``submit-analyze``  queue a full pipeline run (KPCA + clustering + metrics)
+``fit-model``       queue a landmark/Nyström model fit over a corpus
+``classify``        classify/embed traces against a fitted landmark model
+``models``          list the server's persisted landmark models
 ``status``          status of one job
 ``result``          result payload of one job (optionally waiting)
 ``cancel``          cancel a queued job
@@ -35,6 +38,7 @@ in-process caller would.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
@@ -49,9 +53,14 @@ __all__ = [
     "JobFailed",
     "JobPending",
     "CannotCancel",
+    "ModelNotFound",
+    "ModelDamaged",
     "Request",
     "SubmitMatrixRequest",
     "SubmitAnalyzeRequest",
+    "FitModelRequest",
+    "ClassifyRequest",
+    "ModelsRequest",
     "StatusRequest",
     "ResultRequest",
     "CancelRequest",
@@ -155,9 +164,32 @@ class CannotCancel(ServiceError):
     http_status = 409
 
 
+class ModelNotFound(ServiceError):
+    """No landmark model is stored under the requested name."""
+
+    code = "model-not-found"
+    http_status = 404
+
+
+class ModelDamaged(ServiceError):
+    """A stored landmark model failed verification and was quarantined.
+
+    Raised when the model file's checksum no longer matches, its payload
+    does not parse, or its kernel spec names a kind the registry no longer
+    knows — the store moves the file aside so the damage is never
+    re-served, and the details carry the reason and quarantine path.
+    """
+
+    code = "model-damaged"
+    http_status = 500
+
+
 _ERROR_CODES: Dict[str, Type[ServiceError]] = {
     error_class.code: error_class
-    for error_class in (ServiceError, BadRequest, UnsupportedVersion, UnknownJob, JobFailed, JobPending, CannotCancel)
+    for error_class in (
+        ServiceError, BadRequest, UnsupportedVersion, UnknownJob, JobFailed,
+        JobPending, CannotCancel, ModelNotFound, ModelDamaged,
+    )
 }
 
 
@@ -312,6 +344,102 @@ class SubmitAnalyzeRequest(Request):
         _require_str(self.linkage, "'linkage'")
 
 
+#: Strategies :class:`FitModelRequest` accepts (mirrors
+#: :data:`repro.streaming.landmarks.LANDMARK_STRATEGIES`, duplicated here so
+#: the wire layer validates without importing the streaming package).
+_LANDMARK_STRATEGIES = ("uniform", "kcenter", "leverage")
+
+#: Model names are path components in the store; same rule both sides.
+_MODEL_NAME = r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$"
+
+
+def _require_model_name(value: Any) -> str:
+    name = _require_str(value, "'name'")
+    if not re.match(_MODEL_NAME, name):
+        raise BadRequest(f"'name' must match {_MODEL_NAME}, got {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class FitModelRequest(Request):
+    """Queue a landmark/Nyström model fit over an inline corpus.
+
+    The server computes (or serves from its result cache) the full Gram
+    under ``spec``, selects ``landmarks`` representatives with
+    ``strategy``, freezes the model and persists it under
+    ``<state-dir>/models/<name>``.  ``n_clusters`` forces fitted kernel
+    k-means pseudo-labels even on a labelled corpus; an unlabelled corpus
+    gets them automatically.  Like ``submit-matrix``, the answer is a job
+    envelope — poll ``result`` for the model summary.
+    """
+
+    TYPE: ClassVar[str] = "fit-model"
+
+    spec: Any
+    strings: Tuple[Mapping[str, Any], ...] = ()
+    name: str = ""
+    landmarks: int = 16
+    strategy: str = "kcenter"
+    seed: int = 2017
+    n_components: int = 2
+    n_clusters: Optional[int] = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "strings", tuple(self.strings))
+        object.__setattr__(self, "name", _require_model_name(self.name))
+        for field_name, value in (
+            ("landmarks", self.landmarks),
+            ("seed", self.seed),
+            ("n_components", self.n_components),
+        ):
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise BadRequest(f"{field_name!r} must be a positive integer, got {value!r}")
+        if self.n_clusters is not None and (
+            not isinstance(self.n_clusters, int) or isinstance(self.n_clusters, bool) or self.n_clusters < 1
+        ):
+            raise BadRequest(f"'n_clusters' must be a positive integer or null, got {self.n_clusters!r}")
+        if self.strategy not in _LANDMARK_STRATEGIES:
+            raise BadRequest(
+                f"'strategy' must be one of {', '.join(_LANDMARK_STRATEGIES)}, got {self.strategy!r}"
+            )
+        if not isinstance(self.use_cache, bool):
+            raise BadRequest("'use_cache' must be a boolean")
+
+
+@dataclass(frozen=True)
+class ClassifyRequest(Request):
+    """Classify (and optionally embed) traces against a stored model.
+
+    Answered *synchronously* — this is the streaming fast path: each
+    string costs at most ``m`` kernel evaluations against the model's
+    landmarks, zero when the pair store already holds the row.  The
+    response carries one result per input string plus the request's
+    kernel-evaluation count and latency.
+    """
+
+    TYPE: ClassVar[str] = "classify"
+
+    name: str = ""
+    strings: Tuple[Mapping[str, Any], ...] = ()
+    embed: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", _require_model_name(self.name))
+        object.__setattr__(self, "strings", tuple(self.strings))
+        if not self.strings:
+            raise BadRequest("classify requires at least one string")
+        if not isinstance(self.embed, bool):
+            raise BadRequest("'embed' must be a boolean")
+
+
+@dataclass(frozen=True)
+class ModelsRequest(Request):
+    """List the server's persisted landmark models with their serve counters."""
+
+    TYPE: ClassVar[str] = "models"
+
+
 @dataclass(frozen=True)
 class StatusRequest(Request):
     TYPE: ClassVar[str] = "status"
@@ -394,6 +522,9 @@ _REQUEST_TYPES: Dict[str, Type[Request]] = {
     for request_class in (
         SubmitMatrixRequest,
         SubmitAnalyzeRequest,
+        FitModelRequest,
+        ClassifyRequest,
+        ModelsRequest,
         StatusRequest,
         ResultRequest,
         CancelRequest,

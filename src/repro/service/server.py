@@ -61,6 +61,21 @@ cached prefix already covers.  Identical *in-flight* submissions coalesce
 onto the already-queued job (the submit response carries
 ``coalesced=true``), so a thundering herd of equal requests costs one
 engine run.  ``use_cache=False`` opts a submission out entirely.
+
+Streaming serving tier
+----------------------
+Next to the batch job path the server keeps a
+:class:`~repro.streaming.store.ModelStore` under ``state_dir/models``:
+``fit-model`` jobs freeze a :class:`~repro.streaming.model.LandmarkModel`
+from an inline corpus (through the same result cache as matrix jobs) and
+persist it; synchronous ``classify`` requests then score arriving traces
+against only the model's ``m`` landmarks through a warm
+:class:`~repro.streaming.scorer.StreamingScorer` — at most ``m`` kernel
+evaluations per cold trace, zero per repeated one, because the scorer
+shares the session's engines and persistent pair store with the batch
+tier.  Per-model serve counters (requests, warm traces, kernel
+evaluations, latency) surface in ``health``/``/healthz`` and
+``cache-stats``.
 """
 
 from __future__ import annotations
@@ -90,9 +105,12 @@ from repro.service.protocol import (
     CacheStatsRequest,
     CancelRequest,
     CannotCancel,
+    ClassifyRequest,
+    FitModelRequest,
     HealthRequest,
     JobFailed,
     JobPending,
+    ModelsRequest,
     ResultRequest,
     ServiceError,
     SpecsRequest,
@@ -109,6 +127,8 @@ from repro.service.protocol import (
     parse_request,
 )
 from repro.service.worker import _LeaseKeeper, execute_block_task
+from repro.streaming.scorer import StreamingScorer
+from repro.streaming.store import ModelStore
 from repro.strings.tokens import WeightedString
 
 __all__ = ["AnalysisServer", "serve_stdio"]
@@ -229,6 +249,15 @@ class AnalysisServer:
             self.session.set_pair_store(
                 PairStore(os.path.join(self.store.root, "pair-store"), **store_options)
             )
+        #: Persistent landmark models (the streaming serving tier), shared
+        #: through the state dir with workers executing ``fit-model`` jobs.
+        self.model_store = ModelStore(os.path.join(self.store.root, "models"))
+        #: Warm scorers keyed by model name, invalidated when the model
+        #: file changes on disk (refit by this server, a sibling, or a worker).
+        self._scorers: Dict[str, Tuple[float, StreamingScorer]] = {}
+        #: Per-model serve counters (requests, traces, warm traces, kernel
+        #: evaluations, cumulative seconds) behind :meth:`_note_model_request`.
+        self._model_metrics: Dict[str, Dict[str, float]] = {}
         self.default_shards = default_shards
         self.inline_blocks = inline_blocks
         self.lease_seconds = float(lease_seconds)
@@ -279,6 +308,9 @@ class AnalysisServer:
         return {
             SubmitMatrixRequest: self._handle_submit_matrix,
             SubmitAnalyzeRequest: self._handle_submit_analyze,
+            FitModelRequest: self._handle_fit_model,
+            ClassifyRequest: self._handle_classify,
+            ModelsRequest: self._handle_models,
             StatusRequest: self._handle_status,
             ResultRequest: self._handle_result,
             CancelRequest: self._handle_cancel,
@@ -449,6 +481,36 @@ class AnalysisServer:
         except ValueError as exc:
             raise BadRequest(f"spec cannot drive the analysis pipeline: {exc}") from exc
 
+    def _handle_fit_model(self, request: FitModelRequest) -> Dict[str, Any]:
+        spec = self._coerce_spec(request.spec)
+        strings = decode_corpus(request.strings)
+        if not strings:
+            raise BadRequest("fit-model requires a non-empty corpus")
+        options = {
+            "model": request.name,
+            "landmarks": request.landmarks,
+            "strategy": request.strategy,
+            "examples": len(strings),
+        }
+        record = self.store.create(
+            "fit-model",
+            spec=spec.to_dict(),
+            options=options,
+            input={
+                "spec": spec.to_dict(),
+                "strings": list(request.strings),
+                "name": request.name,
+                "landmarks": request.landmarks,
+                "strategy": request.strategy,
+                "seed": request.seed,
+                "n_components": request.n_components,
+                "n_clusters": request.n_clusters,
+                "use_cache": request.use_cache,
+            },
+        )
+        self._start_record(record)
+        return ok_response("job", job_id=record.job_id, status="queued", kind="fit-model")
+
     def _start_record(self, record: JobRecord) -> str:
         """Queue execution of a stored record on the session's job pool.
 
@@ -539,7 +601,9 @@ class AnalysisServer:
                 int(record.input.get("n_components", 2)),
                 str(record.input.get("linkage", "single")),
             )
-            return self._analyze_payload(config, strings)
+            return self._analyze_payload(record.job_id, config, strings)
+        if record.kind == "fit-model":
+            return self._fit_model_payload(record, spec, strings)
         raise JobStoreError(f"job {record.job_id!r} has unexecutable kind {record.kind!r}")
 
     def _matrix_payload(
@@ -802,9 +866,55 @@ class AnalysisServer:
             with contextlib.suppress(JobStoreError, KeyError):
                 self.store.forget(child_id)
 
-    def _analyze_payload(self, config: Any, strings: List[WeightedString]) -> Dict[str, Any]:
+    def _fit_model_payload(
+        self, record: JobRecord, spec: KernelSpec, strings: List[WeightedString]
+    ) -> Dict[str, Any]:
+        """Fit, persist and summarise one landmark model (the ``fit-model`` body).
+
+        The full Gram goes through the session's result cache like any
+        matrix job (outcome stamped into the record); the frozen model is
+        written to the shared :class:`ModelStore` and any warm scorer for
+        the same name is dropped so the next ``classify`` serves the fresh
+        fit.  The job payload is the small model summary — clients load
+        the model itself through the store (or just classify against it).
+        """
+        model, status = self.session.fit_landmark_model(
+            spec,
+            strings,
+            name=str(record.input["name"]),
+            landmarks=int(record.input.get("landmarks", 16)),
+            strategy=str(record.input.get("strategy", "kcenter")),
+            seed=int(record.input.get("seed", 2017)),
+            n_components=int(record.input.get("n_components", 2)),
+            n_clusters=record.input.get("n_clusters"),
+            use_cache=bool(record.input.get("use_cache", True)),
+        )
+        path = self.model_store.save(model)
+        self._stamp_cache_status(record.job_id, status)
+        with self._lock:
+            self._scorers.pop(model.name, None)
+        summary = model.summary()
+        summary["path"] = path
+        summary["cache"] = status
+        return summary
+
+    def _analyze_payload(
+        self, job_id: str, config: Any, strings: List[WeightedString]
+    ) -> Dict[str, Any]:
         from repro.pipeline.report import summarise_result
 
+        # The matrix stage inside the pipeline goes through the session's
+        # result cache; probe it up front so the analyze record (and its
+        # result envelope) reports the same hit/extended/miss outcome the
+        # matrix path does.
+        if self.matrix_cache is None:
+            status = "bypass"
+        else:
+            found = self.session.matrix_cache_lookup(
+                config.kernel_spec(), strings, normalized=True
+            )
+            status = {"hit": "hit", "prefix": "extended"}.get(found.status, "miss")
+        self._stamp_cache_status(job_id, status)
         result = self.session.analyze(config, strings=strings)
         return {
             "config": config.describe(),
@@ -814,6 +924,124 @@ class AnalysisServer:
             "labels": [label for label in result.labels],
             "summary": summarise_result(result, title="service analyze"),
         }
+
+    # ------------------------------------------------------------------
+    # Streaming serving (landmark models)
+    # ------------------------------------------------------------------
+    def _scorer(self, name: str) -> StreamingScorer:
+        """The warm scorer for *name*, reloaded when its file changed on disk.
+
+        Raises the store's typed errors (``model-not-found`` when no such
+        model exists, ``model-damaged`` after quarantining a broken file);
+        a syntactically invalid name is a ``bad-request``.
+        """
+        try:
+            path = self.model_store.path(name)
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from exc
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            mtime = -1.0  # no file: let load() raise the typed not-found
+        with self._lock:
+            cached = self._scorers.get(name)
+            if cached is not None and cached[0] == mtime:
+                return cached[1]
+        scorer = StreamingScorer(self.model_store.load(name), self.session)
+        with self._lock:
+            self._scorers[name] = (mtime, scorer)
+        return scorer
+
+    def _handle_classify(self, request: ClassifyRequest) -> Dict[str, Any]:
+        strings = decode_corpus(request.strings)
+        if not strings:
+            raise BadRequest("classify requires at least one trace")
+        scorer = self._scorer(request.name)
+        engine = scorer.engine
+        started = time.perf_counter()
+        results: List[Dict[str, Any]] = []
+        evals_total = 0
+        warm_traces = 0
+        try:
+            for string in strings:
+                before = engine.cache_info()["kernel_evals"]
+                if request.embed:
+                    outcome, embedding = scorer.classify_with_embedding(string)
+                else:
+                    outcome, embedding = scorer.classify(string), None
+                evals = engine.cache_info()["kernel_evals"] - before
+                evals_total += evals
+                if evals == 0:
+                    warm_traces += 1
+                entry: Dict[str, Any] = {
+                    "name": string.name,
+                    "label": outcome.label,
+                    "scores": {label: float(score) for label, score in outcome.scores.items()},
+                    "kernel_evals": evals,
+                    "warm": evals == 0,
+                }
+                if embedding is not None:
+                    entry["embedding"] = [float(value) for value in embedding]
+                results.append(entry)
+        except ValueError as exc:  # e.g. a model with no labelled landmarks
+            raise BadRequest(str(exc)) from exc
+        elapsed = time.perf_counter() - started
+        self._note_model_request(
+            request.name, traces=len(strings), warm=warm_traces,
+            evals=evals_total, seconds=elapsed,
+        )
+        return ok_response(
+            "classify",
+            model=request.name,
+            model_id=scorer.model.model_id,
+            results=results,
+            kernel_evals=evals_total,
+            warm_traces=warm_traces,
+            elapsed_seconds=elapsed,
+        )
+
+    def _note_model_request(
+        self, name: str, traces: int, warm: int, evals: int, seconds: float
+    ) -> None:
+        with self._lock:
+            metrics = self._model_metrics.setdefault(
+                name,
+                {"requests": 0, "traces": 0, "warm_traces": 0,
+                 "kernel_evals": 0, "total_seconds": 0.0},
+            )
+            metrics["requests"] += 1
+            metrics["traces"] += traces
+            metrics["warm_traces"] += warm
+            metrics["kernel_evals"] += evals
+            metrics["total_seconds"] += seconds
+
+    @staticmethod
+    def _served_metrics(metrics: Optional[Dict[str, float]]) -> Dict[str, Any]:
+        """JSON-ready serve counters with derived rates (zeros when unserved)."""
+        if not metrics:
+            metrics = {}
+        requests = int(metrics.get("requests", 0))
+        traces = int(metrics.get("traces", 0))
+        warm = int(metrics.get("warm_traces", 0))
+        return {
+            "requests": requests,
+            "traces": traces,
+            "warm_traces": warm,
+            "kernel_evals": int(metrics.get("kernel_evals", 0)),
+            "warm_rate": warm / traces if traces else None,
+            "avg_latency_ms": (
+                float(metrics.get("total_seconds", 0.0)) / requests * 1000.0
+                if requests else None
+            ),
+        }
+
+    def _handle_models(self, request: ModelsRequest) -> Dict[str, Any]:
+        entries = self.model_store.entries()
+        with self._lock:
+            metrics = {name: dict(values) for name, values in self._model_metrics.items()}
+        for entry in entries:
+            entry["metrics"] = self._served_metrics(metrics.get(entry.get("name")))
+        return ok_response("models", models=entries, count=len(entries))
 
     # ------------------------------------------------------------------
     # Maintenance: lease requeue, orphan adoption, TTL garbage collection
@@ -1084,6 +1312,23 @@ class AnalysisServer:
                 "misses": counters["misses"],
                 "hit_rate": self._hit_rate(counters["hits"], counters["misses"]),
             }
+        # Streaming tier: stored models plus aggregate serve counters —
+        # warm_rate is the share of classified traces that cost zero
+        # kernel evaluations.
+        model_stats = self.model_store.stats()
+        with self._lock:
+            totals: Dict[str, float] = {
+                "requests": 0, "traces": 0, "warm_traces": 0,
+                "kernel_evals": 0, "total_seconds": 0.0,
+            }
+            for metrics in self._model_metrics.values():
+                for key in totals:
+                    totals[key] += metrics.get(key, 0)
+        models_health = {
+            "count": model_stats["models"],
+            "quarantined": model_stats["quarantined"],
+            **self._served_metrics(totals),
+        }
         return ok_response(
             "health",
             status="ok",
@@ -1097,6 +1342,7 @@ class AnalysisServer:
             result_cache=self.matrix_cache is not None,
             matrix_cache=matrix_health,
             pair_store=pair_health,
+            models=models_health,
             recovered_quarantined=len(self.store.recovery.quarantined),
             recovered_interrupted=len(self.store.recovery.interrupted),
             recovered_requeued=len(self.store.recovery.requeued),
@@ -1108,10 +1354,22 @@ class AnalysisServer:
             if self.pair_store is not None
             else {"enabled": False}
         )
+        with self._lock:
+            served = {
+                name: self._served_metrics(metrics)
+                for name, metrics in self._model_metrics.items()
+            }
+        models_section = {"enabled": True, **self.model_store.stats(), "served": served}
         if self.matrix_cache is None:
-            return ok_response("cache-stats", enabled=False, pair_store=pair_section)
+            return ok_response(
+                "cache-stats", enabled=False, pair_store=pair_section, models=models_section
+            )
         return ok_response(
-            "cache-stats", enabled=True, pair_store=pair_section, **self.matrix_cache.stats()
+            "cache-stats",
+            enabled=True,
+            pair_store=pair_section,
+            models=models_section,
+            **self.matrix_cache.stats(),
         )
 
     # ------------------------------------------------------------------

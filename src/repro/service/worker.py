@@ -27,7 +27,10 @@ round-trip bit-identically — the assembled distributed Gram matrix equals
 the monolithic one byte for byte.
 
 Workers never run the store's start-up recovery (that is the serving
-process's job) and claim only ``block`` records by default.
+process's job) and claim ``block`` and ``fit-model`` records by default —
+a fleet of workers drains streaming model fits exactly like matrix
+blocks, writing the frozen models into the shared
+``state_dir/models`` store the server serves ``classify`` from.
 """
 
 from __future__ import annotations
@@ -46,7 +49,13 @@ from repro.service.jobstore import JobRecord, JobStore, JobStoreError, LeaseErro
 from repro.service.protocol import decode_corpus
 from repro.strings.tokens import WeightedString
 
-__all__ = ["Worker", "execute_block_task", "DEFAULT_LEASE_SECONDS", "DEFAULT_POLL_INTERVAL"]
+__all__ = [
+    "Worker",
+    "execute_block_task",
+    "execute_fit_model_task",
+    "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_POLL_INTERVAL",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -113,6 +122,44 @@ def execute_block_task(
     )
 
 
+def execute_fit_model_task(
+    store: JobStore,
+    record: JobRecord,
+    session: AnalysisSession,
+) -> None:
+    """Fit one claimed ``fit-model`` record and persist the frozen model.
+
+    The record's ``input`` is self-contained (spec, encoded corpus, model
+    name and fit options), so any worker sharing the state dir can execute
+    it; the model lands in the shared ``<state-dir>/models`` store via an
+    atomic checksum-stamped write, and the job result is the small model
+    summary.  The server's per-name scorer cache keys on the model file's
+    mtime, so a worker-written fit is picked up on the next ``classify``.
+    """
+    from repro.streaming.store import ModelStore
+
+    if record.input is None:
+        raise JobStoreError(f"fit-model job {record.job_id!r} carries no stored input")
+    spec = coerce_spec(record.input["spec"])
+    strings = decode_corpus(record.input["strings"])
+    model, status = session.fit_landmark_model(
+        spec,
+        strings,
+        name=str(record.input["name"]),
+        landmarks=int(record.input.get("landmarks", 16)),
+        strategy=str(record.input.get("strategy", "kcenter")),
+        seed=int(record.input.get("seed", 2017)),
+        n_components=int(record.input.get("n_components", 2)),
+        n_clusters=record.input.get("n_clusters"),
+        use_cache=bool(record.input.get("use_cache", True)),
+    )
+    path = ModelStore(os.path.join(store.root, "models")).save(model)
+    summary = model.summary()
+    summary["path"] = path
+    summary["cache"] = status
+    store.store_result(record.job_id, summary, worker_id=record.worker_id)
+
+
 class _LeaseKeeper(threading.Thread):
     """Background renewal of one claimed task's lease while it executes.
 
@@ -159,7 +206,8 @@ class Worker:
         Queue-scan sleep when idle, and the lease stamped on claims
         (renewed automatically while a task runs).
     kinds:
-        Record kinds this worker claims (default: block tasks only).
+        Record kinds this worker claims (default: block tasks and
+        streaming model fits).
     throttle:
         Seconds to sleep between claiming a task and executing it.  An
         operational rate-limit knob — also what the kill-a-worker tests
@@ -182,7 +230,7 @@ class Worker:
         worker_id: Optional[str] = None,
         poll_interval: float = DEFAULT_POLL_INTERVAL,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
-        kinds: Sequence[str] = ("block",),
+        kinds: Sequence[str] = ("block", "fit-model"),
         throttle: float = 0.0,
         session: Optional[AnalysisSession] = None,
         n_jobs: int = 1,
@@ -255,6 +303,8 @@ class Worker:
     def _execute(self, record: JobRecord) -> None:
         if record.kind == "block":
             execute_block_task(self.store, record, self.session, corpus_cache=self._corpus_cache)
+        elif record.kind == "fit-model":
+            execute_fit_model_task(self.store, record, self.session)
         else:
             raise JobStoreError(f"worker cannot execute {record.kind!r} tasks")
 

@@ -1,0 +1,101 @@
+"""Landmark selection strategies over a cached full Gram matrix.
+
+All three strategies consume only the (normalised) Gram array — no feature
+vectors — so they work for every kernel the registry can build, and all are
+deterministic for a given ``(gram, count, seed)``: refitting a model from
+the same cached matrix selects the same landmarks, which keeps model ids
+and persisted payloads stable across sessions.
+
+* ``uniform`` — seeded uniform sample; the classical Nyström baseline.
+* ``kcenter`` — farthest-point greedy in the kernel-induced metric
+  ``d²(i, j) = k(i,i) + k(j,j) − 2·k(i,j)``; covers the corpus geometry
+  with a small ``m`` (2-approximation of the optimal k-center cover).
+* ``leverage`` — ranks examples by their subspace leverage scores (mass of
+  the leading ``m`` eigenvectors), the importance-sampling criterion of
+  the Nyström approximation literature.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Union
+
+import numpy as np
+
+__all__ = ["LANDMARK_STRATEGIES", "select_landmarks"]
+
+#: Strategy names accepted by :func:`select_landmarks` (and the wire protocol).
+LANDMARK_STRATEGIES = ("uniform", "kcenter", "leverage")
+
+
+def _as_gram(gram: Union[np.ndarray, Sequence[Sequence[float]]]) -> np.ndarray:
+    values = np.asarray(gram, dtype=float)
+    if values.ndim != 2 or values.shape[0] != values.shape[1]:
+        raise ValueError(f"gram must be a square matrix, got shape {values.shape}")
+    return values
+
+
+def _select_uniform(count: int, size: int, seed: int) -> List[int]:
+    return sorted(random.Random(seed).sample(range(size), count))
+
+
+def _select_kcenter(values: np.ndarray, count: int, seed: int) -> List[int]:
+    size = values.shape[0]
+    diagonal = np.diag(values)
+    start = random.Random(seed).randrange(size)
+    chosen = [start]
+    # Squared kernel-induced distance from every example to its nearest
+    # chosen landmark, updated incrementally as landmarks are added.
+    nearest = diagonal + diagonal[start] - 2.0 * values[start]
+    nearest[start] = -np.inf
+    for _ in range(count - 1):
+        farthest = int(np.argmax(nearest))
+        chosen.append(farthest)
+        candidate = diagonal + diagonal[farthest] - 2.0 * values[farthest]
+        nearest = np.minimum(nearest, candidate)
+        nearest[farthest] = -np.inf
+    return sorted(chosen)
+
+
+def _select_leverage(values: np.ndarray, count: int) -> List[int]:
+    # Leverage of example i w.r.t. the rank-m subspace: sum over the top-m
+    # eigenvectors u_k of u_k[i]².  Deterministic top-m selection (score
+    # descending, index ascending) keeps refits reproducible.
+    eigenvalues, eigenvectors = np.linalg.eigh(values)
+    order = np.argsort(eigenvalues)[::-1][:count]
+    scores = np.sum(eigenvectors[:, order] ** 2, axis=1)
+    ranked = sorted(range(values.shape[0]), key=lambda index: (-scores[index], index))
+    return sorted(ranked[:count])
+
+
+def select_landmarks(
+    gram: Union[np.ndarray, Sequence[Sequence[float]]],
+    count: int,
+    strategy: str = "kcenter",
+    seed: int = 2017,
+) -> List[int]:
+    """Indices of *count* landmark examples chosen from a full Gram matrix.
+
+    Returns a sorted index list (ascending); ``count`` larger than the
+    corpus is clamped to it, so ``count >= n`` always selects the whole
+    corpus — the degenerate case where the Nyström embedding reproduces
+    the full-Gram kernel PCA exactly.
+    """
+    if strategy not in LANDMARK_STRATEGIES:
+        raise ValueError(
+            f"unknown landmark strategy {strategy!r}; choose one of {', '.join(LANDMARK_STRATEGIES)}"
+        )
+    if count < 1:
+        raise ValueError(f"landmark count must be >= 1, got {count}")
+    values = _as_gram(gram)
+    size = values.shape[0]
+    if size == 0:
+        raise ValueError("cannot select landmarks from an empty gram matrix")
+    count = min(count, size)
+    if count == size:
+        return list(range(size))
+    if strategy == "uniform":
+        return _select_uniform(count, size, seed)
+    if strategy == "kcenter":
+        return _select_kcenter(values, count, seed)
+    return _select_leverage(values, count)

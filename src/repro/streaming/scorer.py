@@ -1,0 +1,137 @@
+"""The online scorer: O(m) classify/embed of one arriving trace.
+
+A :class:`StreamingScorer` binds a frozen :class:`LandmarkModel` to a live
+:class:`~repro.api.session.AnalysisSession`.  Construction primes the
+session's warm engine with the model's landmark self values (zero kernel
+evaluations, ever, for the denominators), and every request then reduces
+to one batched landmark-row evaluation through the engine's two cache
+layers:
+
+* a **cold** trace costs exactly ``m`` kernel evaluations (the cross row
+  against the landmarks — classification is scale-invariant in the
+  query's own self value, so it is never computed);
+* a **repeated** trace costs zero — the in-memory pair cache serves it in
+  session, and the shared persistent pair store serves it across
+  processes and restarts.
+
+That accounting is observable through
+:meth:`GramEngine.cache_info <repro.core.engine.GramEngine.cache_info>`,
+which is how the acceptance tests pin it down.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.learn.classify import ClassificationResult
+from repro.streaming.model import LandmarkModel
+from repro.strings.tokens import WeightedString
+
+__all__ = ["StreamingScorer"]
+
+
+class StreamingScorer:
+    """Serve classify/embed requests against only the model's landmarks.
+
+    Parameters
+    ----------
+    model:
+        The frozen landmark model to serve.
+    session:
+        The warm session whose engine (and pair store) evaluations go
+        through — typically the server's session, shared with the batch
+        matrix path so the two tiers warm each other's caches.
+    """
+
+    def __init__(self, model: LandmarkModel, session: Any) -> None:
+        self.model = model
+        self.session = session
+        self.spec = model.spec()
+        self.engine = session.engine(self.spec)
+        self.landmarks = model.landmark_strings()
+        # The model carries the raw landmark self values: prime the engine
+        # (and write any the shared pair store is missing) so serving never
+        # re-evaluates k(l, l).
+        self.engine.prime_self_values(self.landmarks, model.self_values)
+        self._inv_sqrt_self = np.asarray(
+            [1.0 / math.sqrt(value) if value > 0 else 0.0 for value in model.self_values],
+            dtype=float,
+        )
+        self._label_groups: Dict[str, List[int]] = {}
+        for index, label in enumerate(model.labels):
+            if label is not None:
+                self._label_groups.setdefault(label, []).append(index)
+        projection = model.projection
+        self._eigenvalues = np.asarray(projection["eigenvalues"], dtype=float)
+        self._eigenvectors = np.asarray(projection["eigenvectors"], dtype=float)
+        self._column_means = np.asarray(projection["column_means"], dtype=float)
+        self._total_mean = float(projection["total_mean"])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            self._inv_sqrt_eigenvalues = np.where(
+                self._eigenvalues > 0, 1.0 / np.sqrt(self._eigenvalues), 0.0
+            )
+
+    # ------------------------------------------------------------------
+    # Kernel plumbing
+    # ------------------------------------------------------------------
+    def cross_row(self, string: WeightedString) -> np.ndarray:
+        """Raw ``k(string, landmark_j)`` for every landmark (one batched row)."""
+        return np.asarray(self.engine.evaluate_row(string, self.landmarks), dtype=float)
+
+    def _normalized_row(self, string: WeightedString, raw: Optional[np.ndarray] = None) -> np.ndarray:
+        """Cosine-normalised cross row (needs the query's self value)."""
+        if raw is None:
+            raw = self.cross_row(string)
+        self_value = self.engine.self_value(string)
+        query_scale = 1.0 / math.sqrt(self_value) if self_value > 0 else 0.0
+        return raw * self._inv_sqrt_self * query_scale
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def embed(self, string: WeightedString) -> np.ndarray:
+        """Nyström/kPCA coordinates of one trace (``n_components`` floats).
+
+        Applies the model's frozen out-of-sample projection to the
+        normalised landmark cross row — with the landmark set equal to the
+        fitting corpus this reproduces the full-Gram kernel-PCA embedding
+        exactly (up to eigenvector sign).
+        """
+        row = self._normalized_row(string)[None, :]
+        centred = row - row.mean(axis=1, keepdims=True) - self._column_means[None, :] + self._total_mean
+        return (centred @ self._eigenvectors * self._inv_sqrt_eigenvalues[None, :])[0]
+
+    def classify(self, string: WeightedString) -> ClassificationResult:
+        """Nearest-centroid label of one trace, in exactly ``m`` evaluations.
+
+        Scores are the mean *query-scale-invariant* similarity per label:
+        ``mean_l raw(q, l) / sqrt(k(l, l))`` — the cosine score times the
+        constant ``sqrt(k(q, q))``, so the ranking (and the prediction) is
+        identical to :class:`~repro.learn.classify.KernelNearestCentroid`
+        while the query's own self value is never evaluated.
+        """
+        if not self._label_groups:
+            raise ValueError(f"model {self.model.name!r} carries no labelled landmarks")
+        raw = self.cross_row(string)
+        partial = raw * self._inv_sqrt_self
+        scores = {
+            label: float(np.mean(partial[indices]))
+            for label, indices in self._label_groups.items()
+        }
+        best = max(scores.items(), key=lambda item: (item[1], item[0]))
+        return ClassificationResult(label=best[0], scores=scores)
+
+    def classify_with_embedding(
+        self, string: WeightedString
+    ) -> Tuple[ClassificationResult, np.ndarray]:
+        """Classify and embed in one pass over a single shared cross row."""
+        result = self.classify(string)
+        # The cross row is warm in the engine cache now; the embedding pays
+        # only the query self value on top.
+        return result, self.embed(string)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"StreamingScorer(model={self.model.name!r}, m={self.model.m})"

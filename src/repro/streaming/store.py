@@ -1,0 +1,255 @@
+"""Persistent landmark-model store under ``<state-dir>/models/``.
+
+One model is one self-describing JSON file ``<name>.model.json`` holding a
+checksum-stamped envelope::
+
+    {"format": 1, "checksum": "<sha256 of the canonical model JSON>",
+     "model": {...}}
+
+Writes follow the :mod:`~repro.core.cachestore` discipline — unique-temp
+atomic rename with fsync, so servers and workers sharing one state dir
+never observe a torn model.  Loads verify the checksum and re-resolve the
+kernel spec against the live registry; anything that fails — damaged
+bytes, a stale checksum, a spec whose kernel kind was unregistered — is
+*quarantined* (moved aside, never re-served) and raised as a typed
+:class:`~repro.service.protocol.ServiceError` so clients get a structured
+``model-damaged`` answer instead of a bare traceback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import uuid
+from typing import Any, Dict, List, Optional
+
+from repro.streaming.model import LandmarkModel
+
+__all__ = ["ModelStore", "MODEL_NAME_PATTERN", "valid_model_name"]
+
+#: Names are path components: portable, no separators, no dotfiles.
+MODEL_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_SUFFIX = ".model.json"
+
+
+def valid_model_name(name: Any) -> bool:
+    """Whether *name* is usable as a model store key."""
+    return isinstance(name, str) and bool(MODEL_NAME_PATTERN.match(name))
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _write_text_atomic(path: str, text: str) -> None:
+    # Unique per *write* (not per process): two servers saving the same
+    # model concurrently must not share a temp file.
+    temporary = f"{path}.tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)
+
+
+def _model_errors():
+    """The typed service errors, imported lazily to avoid an import cycle.
+
+    ``repro.service`` imports the server, which constructs this store —
+    importing :mod:`repro.service.protocol` at module level here would
+    re-enter that package initialisation when ``repro.streaming`` is the
+    first import.
+    """
+    from repro.service.protocol import ModelDamaged, ModelNotFound
+
+    return ModelNotFound, ModelDamaged
+
+
+def _require_registered(spec: Any) -> None:
+    """Fail (KernelSpecError) unless every kind in the spec tree is registered.
+
+    ``coerce_spec`` is deliberately lazy about registration, so a model
+    fitted under a kernel kind that has since been unregistered would
+    otherwise load fine and blow up mid-request inside the scorer.
+    """
+    from repro.api.spec import registry_entry
+
+    registry_entry(spec.kind)
+    for child in spec.children:
+        _require_registered(child)
+
+
+class ModelStore:
+    """Directory of checksum-stamped landmark models, keyed by name."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._quarantine_dir = os.path.join(self.root, "quarantine")
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path(self, name: str) -> str:
+        if not valid_model_name(name):
+            raise ValueError(
+                f"invalid model name {name!r}: must match {MODEL_NAME_PATTERN.pattern}"
+            )
+        return os.path.join(self.root, f"{name}{_SUFFIX}")
+
+    def _quarantine(self, path: str) -> Optional[str]:
+        """Move a damaged file aside; its new path (None when already gone)."""
+        os.makedirs(self._quarantine_dir, exist_ok=True)
+        target = os.path.join(
+            self._quarantine_dir, f"{os.path.basename(path)}.{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        return target
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, model: LandmarkModel) -> str:
+        """Atomically persist *model* under its name; returns the file path."""
+        path = self.path(model.name)
+        body = model.to_json()
+        envelope = {
+            "format": 1,
+            "checksum": _digest(body),
+            "model": json.loads(body),
+        }
+        _write_text_atomic(path, json.dumps(envelope, sort_keys=True) + "\n")
+        return path
+
+    def load(self, name: str) -> LandmarkModel:
+        """Load one model, verifying its stamp and its kernel spec.
+
+        Raises :class:`~repro.service.protocol.ModelNotFound` when no such
+        model exists, and :class:`~repro.service.protocol.ModelDamaged`
+        (after quarantining the file) when the payload is unreadable, its
+        checksum does not match, or its kernel kind is no longer
+        registered.
+        """
+        model_not_found, model_damaged = _model_errors()
+        path = self.path(name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except FileNotFoundError:
+            raise model_not_found(
+                f"no model named {name!r}", details={"model": name}
+            ) from None
+        except OSError as exc:
+            raise model_damaged(
+                f"model {name!r} is unreadable: {exc}", details={"model": name}
+            ) from exc
+
+        def damaged(reason: str) -> Exception:
+            quarantined = self._quarantine(path)
+            return model_damaged(
+                f"model {name!r} is damaged and was quarantined: {reason}",
+                details={"model": name, "reason": reason, "quarantined": quarantined},
+            )
+
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise damaged(f"invalid JSON: {exc}") from exc
+        if not isinstance(envelope, dict) or "model" not in envelope or "checksum" not in envelope:
+            raise damaged("envelope is missing its 'model'/'checksum' stamp")
+        body = json.dumps(envelope["model"], sort_keys=True, separators=(",", ":"))
+        if _digest(body) != envelope["checksum"]:
+            raise damaged("checksum mismatch")
+        try:
+            model = LandmarkModel.from_dict(envelope["model"])
+        except ValueError as exc:
+            raise damaged(f"malformed payload: {exc}") from exc
+        try:
+            _require_registered(model.spec())
+        except Exception as exc:  # KernelSpecError, kept duck-typed on purpose
+            raise damaged(f"kernel spec no longer resolvable: {exc}") from exc
+        return model
+
+    def delete(self, name: str) -> bool:
+        """Remove one model; whether a file was removed."""
+        try:
+            os.remove(self.path(name))
+        except FileNotFoundError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Stored model names, sorted."""
+        found = []
+        try:
+            entries = os.listdir(self.root)
+        except OSError:
+            return []
+        for entry in entries:
+            if entry.endswith(_SUFFIX) and valid_model_name(entry[: -len(_SUFFIX)]):
+                found.append(entry[: -len(_SUFFIX)])
+        return sorted(found)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """One summary per stored model (damaged files flagged, not raised).
+
+        Listing is read-only: a damaged entry is reported with its error
+        but left in place — quarantine happens on :meth:`load`, where the
+        caller actually asked to *serve* the model.
+        """
+        _, model_damaged = _model_errors()
+        summaries: List[Dict[str, Any]] = []
+        for name in self.names():
+            path = self.path(name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    envelope = json.load(handle)
+                body = json.dumps(envelope["model"], sort_keys=True, separators=(",", ":"))
+                if _digest(body) != envelope.get("checksum"):
+                    raise ValueError("checksum mismatch")
+                model = LandmarkModel.from_dict(envelope["model"])
+            except Exception as exc:  # noqa: BLE001 - a listing must not fail
+                summaries.append({"name": name, "damaged": True, "error": str(exc)})
+                continue
+            summary = model.summary()
+            summary["damaged"] = False
+            try:
+                summary["payload_bytes"] = os.path.getsize(path)
+            except OSError:
+                pass
+            summaries.append(summary)
+        return summaries
+
+    def stats(self) -> Dict[str, Any]:
+        """Counts and on-disk footprint (the ``cache-stats`` section)."""
+        total_bytes = 0
+        count = 0
+        for name in self.names():
+            count += 1
+            try:
+                total_bytes += os.path.getsize(self.path(name))
+            except OSError:
+                pass
+        quarantined = 0
+        try:
+            quarantined = len(os.listdir(self._quarantine_dir))
+        except OSError:
+            pass
+        return {
+            "root": self.root,
+            "models": count,
+            "payload_bytes": total_bytes,
+            "quarantined": quarantined,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ModelStore(root={self.root!r}, models={len(self.names())})"

@@ -21,6 +21,7 @@ EXAMPLES = {
     "classify_custom_workload.py": [],
     "cut_weight_study.py": ["--small", "--cut-weights", "2", "8"],
     "service_roundtrip.py": ["--small"],
+    "streaming_classify.py": ["--small"],
 }
 
 
@@ -58,6 +59,14 @@ def test_compare_kernels_lists_all_kernels(monkeypatch, capsys):
 def test_classification_example_prefers_sequential_categories(monkeypatch, capsys):
     output = run_example("classify_custom_workload.py", [], monkeypatch, capsys)
     assert "closest: C" in output or "closest: D" in output
+
+
+def test_streaming_example_shows_cold_and_warm_serving(monkeypatch, capsys):
+    output = run_example("streaming_classify.py", ["--small"], monkeypatch, capsys)
+    assert "kernel eval(s) — cold" in output
+    assert "(0 eval(s) — warm)" in output
+    assert "JSON round trip preserves identity: True" in output
+    assert "warm rate" in output
 
 
 def test_service_roundtrip_reports_identical_matrices(monkeypatch, capsys):

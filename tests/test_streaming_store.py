@@ -1,0 +1,140 @@
+"""Persistence, verification and quarantine behaviour of the model store.
+
+A stored model must round-trip bit for bit; anything that fails
+verification at load time — torn bytes, a stale checksum, a kernel kind
+the registry no longer knows — must surface as a *typed* service error
+(``model-not-found`` / ``model-damaged``), with the damaged file moved to
+quarantine so it is never re-served.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import AnalysisSession, make_spec
+from repro.service.protocol import ModelDamaged, ModelNotFound
+from repro.streaming.store import ModelStore, valid_model_name
+
+SPEC = make_spec("kast", cut_weight=2)
+
+
+@pytest.fixture(scope="module")
+def model():
+    with AnalysisSession() as session:
+        strings = session.corpus(small=True, seed=7)
+        fitted, _ = session.fit_landmark_model(SPEC, strings, name="stored", landmarks=4)
+    return fitted
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ModelStore(str(tmp_path / "models"))
+
+
+def corrupt(path, mutate):
+    with open(path, "r", encoding="utf-8") as handle:
+        envelope = json.load(handle)
+    mutate(envelope)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle)
+
+
+def test_save_load_round_trip(store, model):
+    path = store.save(model)
+    assert path.endswith("stored.model.json") and os.path.exists(path)
+    loaded = store.load("stored")
+    assert loaded == model
+    assert loaded.model_id == model.model_id
+
+
+def test_names_entries_and_stats(store, model):
+    assert store.names() == []
+    store.save(model)
+    assert store.names() == ["stored"]
+    (entry,) = store.entries()
+    assert entry["name"] == "stored"
+    assert entry["damaged"] is False
+    assert entry["landmarks"] == model.m
+    stats = store.stats()
+    assert stats["models"] == 1
+    assert stats["payload_bytes"] > 0
+    assert stats["quarantined"] == 0
+
+
+def test_delete(store, model):
+    store.save(model)
+    assert store.delete("stored") is True
+    assert store.delete("stored") is False
+    assert store.names() == []
+
+
+def test_invalid_names_are_rejected(store):
+    for name in ("", "../evil", "a/b", ".hidden", "x" * 65):
+        assert not valid_model_name(name)
+        with pytest.raises(ValueError):
+            store.path(name)
+    assert valid_model_name("ok-model_1.2")
+
+
+def test_missing_model_raises_typed_not_found(store):
+    with pytest.raises(ModelNotFound) as excinfo:
+        store.load("absent")
+    assert excinfo.value.code == "model-not-found"
+
+
+def test_checksum_mismatch_quarantines_and_raises_typed_error(store, model):
+    path = store.save(model)
+    corrupt(path, lambda envelope: envelope.__setitem__("checksum", "0" * 64))
+    with pytest.raises(ModelDamaged) as excinfo:
+        store.load("stored")
+    assert excinfo.value.code == "model-damaged"
+    assert "checksum" in str(excinfo.value)
+    # The damaged file was moved aside, never to be re-served.
+    assert not os.path.exists(path)
+    assert store.names() == []
+    assert store.stats()["quarantined"] == 1
+    quarantined = excinfo.value.details["quarantined"]
+    assert quarantined and os.path.exists(quarantined)
+    with pytest.raises(ModelNotFound):
+        store.load("stored")
+
+
+def test_unregistered_kernel_kind_quarantines_and_raises(store, model):
+    path = store.save(model)
+
+    def swap_kind(envelope):
+        envelope["model"]["kernel_spec"] = {"kind": "no-such-kernel"}
+        # Keep the checksum honest so the failure is the spec resolution.
+        body = json.dumps(envelope["model"], sort_keys=True, separators=(",", ":"))
+        import hashlib
+
+        envelope["checksum"] = hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    corrupt(path, swap_kind)
+    with pytest.raises(ModelDamaged) as excinfo:
+        store.load("stored")
+    assert "no longer resolvable" in str(excinfo.value)
+    assert not os.path.exists(path)
+    assert store.stats()["quarantined"] == 1
+
+
+def test_torn_json_quarantines_and_raises(store, model):
+    path = store.save(model)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"format": 1, "checksum": "abc", "model": {tr')
+    with pytest.raises(ModelDamaged):
+        store.load("stored")
+    assert not os.path.exists(path)
+
+
+def test_entries_flag_damage_without_quarantining(store, model):
+    path = store.save(model)
+    corrupt(path, lambda envelope: envelope.__setitem__("checksum", "0" * 64))
+    (entry,) = store.entries()
+    assert entry["damaged"] is True and entry["name"] == "stored"
+    # Listing is read-only: the file stays put until a load tries to serve it.
+    assert os.path.exists(path)
+    assert store.stats()["quarantined"] == 0
