@@ -50,6 +50,7 @@ from typing import Callable, Dict, List
 
 from repro.core.kast import KastSpectrumKernel
 from repro.core.matrix import compute_kernel_matrix
+from repro.obs.metrics import MetricsRegistry
 from repro.pipeline.experiments import DEFAULT_SEED, paper_strings
 from repro.strings.tokens import Token, WeightedString
 
@@ -430,14 +431,26 @@ def main() -> int:
     pair_lengths = (16, 64) if args.quick else PAIR_LENGTHS
     corpus_sizes = (20, 40) if args.quick else CORPUS_SIZES
 
+    # Per-phase wall clock through the same registry the service exports:
+    # the report gains a phase_seconds breakdown for free, and the bench
+    # doubles as a smoke test of the obs instrument API.
+    registry = MetricsRegistry()
+
+    def phase_timer(phase: str):
+        return registry.histogram(
+            "bench_phase_seconds", "Wall clock of one benchmark phase.", phase=phase
+        ).time()
+
     print("E10a: single Kast pair evaluation (ms)")
-    pair_eval = bench_pair_eval(args.repeats, pair_lengths)
+    with phase_timer("E10a"):
+        pair_eval = bench_pair_eval(args.repeats, pair_lengths)
     for backend, series in pair_eval.items():
         row = "  ".join(f"{length}tok={value:7.2f}" for length, value in series.items())
         print(f"  {backend:>7}: {row}")
 
     print("E10b: Gram-matrix construction (s)")
-    gram = bench_gram(args.repeats, corpus_sizes)
+    with phase_timer("E10b"):
+        gram = bench_gram(args.repeats, corpus_sizes)
     for backend, series in gram.items():
         row = "  ".join(f"n={size}:{value:6.2f}" for size, value in series.items())
         print(f"  {backend:>7}: {row}")
@@ -447,7 +460,8 @@ def main() -> int:
     print(f"numpy engine vs python serial on the {largest}-example Gram: {speedup:.2f}x")
 
     print("E10c: local vs service warm matrix call (s)")
-    service = bench_service_overhead(args.repeats, corpus_size=20 if args.quick else 40)
+    with phase_timer("E10c"):
+        service = bench_service_overhead(args.repeats, corpus_size=20 if args.quick else 40)
     print(
         f"  n={int(service['corpus_size'])}: local={service['local_warm_seconds']:.4f}  "
         f"service={service['service_warm_seconds']:.4f}  "
@@ -456,18 +470,21 @@ def main() -> int:
     )
 
     print("E10d: distributed matrix wall clock, 1 vs 2 worker processes (s)")
-    distributed = bench_distributed_workers(corpus_size=20 if args.quick else 40)
+    with phase_timer("E10d"):
+        distributed = bench_distributed_workers(corpus_size=20 if args.quick else 40)
     for count, seconds in distributed["wall_seconds"].items():
         print(f"  {count} worker(s): {seconds:.2f}s")
 
     print("E10e: result-cache reuse, cold vs warm service matrix calls (s)")
-    result_cache = bench_result_cache(corpus_size=20 if args.quick else 40)
+    with phase_timer("E10e"):
+        result_cache = bench_result_cache(corpus_size=20 if args.quick else 40)
     for label, seconds in result_cache["seconds"].items():
         print(f"  {label:>11}: {seconds:.4f}s (cache={result_cache['cache_outcomes'][label]})")
     print(f"  identical resubmission is {result_cache['hit_speedup']:.1f}x faster than the cold run")
 
     print("E10f: pair-store reuse on matrix-cache misses, cold vs warm (s)")
-    pair_store = bench_pair_store(corpus_size=20 if args.quick else 40)
+    with phase_timer("E10f"):
+        pair_store = bench_pair_store(corpus_size=20 if args.quick else 40)
     for label, cold_seconds in pair_store["seconds"]["cold"].items():
         warm_seconds = pair_store["seconds"]["warm"][label]
         print(
@@ -477,10 +494,11 @@ def main() -> int:
         )
 
     print("E10g: per-request classify latency, full Gram vs m-landmark streaming (s)")
-    streaming = bench_streaming_classify(
-        sizes=(20, 50) if args.quick else (50, 110, 200),
-        landmarks=8 if args.quick else 16,
-    )
+    with phase_timer("E10g"):
+        streaming = bench_streaming_classify(
+            sizes=(20, 50) if args.quick else (50, 110, 200),
+            landmarks=8 if args.quick else 16,
+        )
     for size, full in streaming["full_request_seconds"].items():
         print(
             f"  n={size:>3}: full={full:7.2f}s  "
@@ -489,9 +507,20 @@ def main() -> int:
             f"{streaming['stream_kernel_evals_per_request'][size]:.0f} evals/request)"
         )
 
+    phase_seconds = {
+        sample["labels"]["phase"]: sample["sum"]
+        for family in registry.snapshot()
+        if family["name"] == "bench_phase_seconds"
+        for sample in family["samples"]
+    }
+    print("phase breakdown (s)")
+    for phase, seconds in sorted(phase_seconds.items()):
+        print(f"  {phase}: {seconds:7.2f}")
+
     report = {
         "benchmark": "E10 scaling",
         "repeats": args.repeats,
+        "phase_seconds": phase_seconds,
         "machine": {
             "platform": platform.platform(),
             "python": platform.python_version(),

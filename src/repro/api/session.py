@@ -729,6 +729,31 @@ class AnalysisSession:
             info["pair-store"] = pair_store.counters()
         return info
 
+    def engine_counters(self) -> Dict[str, int]:
+        """Engine cache counters summed across every warm engine.
+
+        The flat fleet-observability view of :meth:`cache_info`: one total
+        per counter (``kernel_evals``, ``pair_hits``, ``store_hits``, …)
+        regardless of how many specs are warm — what the service layers
+        mirror into their metrics registries.
+        """
+        with self._lock:
+            engines = list(self._engines.values())
+        totals: Dict[str, int] = {
+            "kernel_evals": 0,
+            "pair_hits": 0,
+            "pair_misses": 0,
+            "store_hits": 0,
+            "store_misses": 0,
+            "pair_entries": 0,
+            "self_entries": 0,
+        }
+        for engine in engines:
+            info = engine.cache_info()
+            for key in totals:
+                totals[key] += int(info.get(key, 0))
+        return totals
+
     def specs(self) -> Tuple[KernelSpec, ...]:
         """Every spec the session has warmed an engine or kernel for."""
         with self._lock:

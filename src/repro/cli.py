@@ -305,6 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
     remote_actions.add_parser(
         "cache-stats", help="print the server's matrix result-cache and pair-store counters"
     )
+    remote_actions.add_parser(
+        "metrics", help="fetch and print the server's Prometheus /metrics page"
+    )
 
     remote_matrix = remote_actions.add_parser(
         "matrix", help="compute a Gram matrix remotely from a directory of trace files"
@@ -568,8 +571,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from repro.obs.logging import configure_logging
     from repro.service import AnalysisServer, serve_stdio
 
+    # Long-running process: honour REPRO_LOG_JSON / REPRO_LOG_LEVEL so the
+    # structured trace-carrying log lines are one env var away.
+    configure_logging()
     server = AnalysisServer(
         state_dir=args.state_dir,
         n_jobs=args.n_jobs,
@@ -614,8 +621,10 @@ def _command_serve(args: argparse.Namespace) -> int:
 def _command_worker(args: argparse.Namespace) -> int:
     import signal
 
+    from repro.obs.logging import configure_logging
     from repro.service.worker import Worker
 
+    configure_logging()
     worker = Worker(
         state_dir=args.state_dir,
         worker_id=args.worker_id,
@@ -728,13 +737,27 @@ def _command_remote(args: argparse.Namespace) -> int:
 
     with ServiceClient(args.url) as client:
         if args.remote_command == "health":
-            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            health = client.health()
+            print(json.dumps(health, indent=2, sort_keys=True))
+            # One human-readable line for operators eyeballing a fleet;
+            # older servers predate the uptime fields, so guard each one.
+            if health.get("uptime_seconds") is not None:
+                print(
+                    f"# up {health['uptime_seconds']:.1f}s"
+                    f" (started_at {health.get('started_at')}, pid {health.get('pid')})",
+                    file=sys.stderr,
+                )
             return 0
         if args.remote_command == "specs":
             print(json.dumps(client.specs(), indent=2, sort_keys=True))
             return 0
         if args.remote_command == "cache-stats":
             print(json.dumps(client.cache_stats(), indent=2, sort_keys=True))
+            return 0
+        if args.remote_command == "metrics":
+            # Prometheus text is already line-oriented and human-readable;
+            # print it verbatim so the output doubles as a scrape sample.
+            print(client.metrics_text(), end="")
             return 0
         if args.remote_command == "status":
             print(client.status(args.job_id))

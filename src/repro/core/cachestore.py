@@ -418,6 +418,21 @@ class MatrixCache:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """In-memory counters only — safe on a hot path (no disk walk).
+
+        The per-scrape mirror :mod:`repro.obs` metrics collectors use;
+        :meth:`stats` adds the on-disk state at directory-walk cost.
+        """
+        return {
+            "hits": self._counts.hits,
+            "prefix_hits": self._counts.prefix_hits,
+            "misses": self._counts.misses,
+            "stores": self._counts.stores,
+            "evictions": self._counts.evictions,
+            "invalid": self._counts.invalid,
+        }
+
     def stats(self) -> Dict[str, Any]:
         """Counters plus on-disk state (entry count, payload bytes)."""
         entries = self._entries()
@@ -431,12 +446,7 @@ class MatrixCache:
             "payload_bytes": payload_bytes,
             "max_entries": self.max_entries,
             "ttl": self.ttl,
-            "hits": self._counts.hits,
-            "prefix_hits": self._counts.prefix_hits,
-            "misses": self._counts.misses,
-            "stores": self._counts.stores,
-            "evictions": self._counts.evictions,
-            "invalid": self._counts.invalid,
+            **self.counters(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience

@@ -1,0 +1,52 @@
+"""Observability primitives: metrics, tracing, and structured logging.
+
+The package is deliberately dependency-free (stdlib only) so every layer of
+the stack — engine, caches, service, workers, benchmarks — can instrument
+itself without pulling in a metrics client.  The three modules are:
+
+``repro.obs.metrics``
+    A process-local, thread-safe :class:`MetricsRegistry` with counters,
+    gauges, and fixed-bucket histograms, a Prometheus text-exposition
+    renderer, and JSON-able snapshots that can be merged across processes
+    (the server aggregates worker snapshots under an ``origin`` label).
+
+``repro.obs.tracing``
+    ``trace_id``/``span_id`` generation and a ``contextvars``-based
+    ambient trace context that survives thread-pool hops within a task.
+
+``repro.obs.logging``
+    A structured JSON log formatter that stamps the ambient trace context
+    onto every record, plus :func:`configure_logging` honouring the
+    ``REPRO_LOG_JSON`` / ``REPRO_LOG_LEVEL`` environment toggles.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    render_fleet,
+)
+from repro.obs.tracing import (
+    TRACE_ID_PATTERN,
+    current_span_id,
+    current_trace_id,
+    new_span_id,
+    new_trace_id,
+    trace_context,
+    valid_trace_id,
+)
+from repro.obs.logging import JSONLogFormatter, configure_logging
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "JSONLogFormatter",
+    "MetricsRegistry",
+    "TRACE_ID_PATTERN",
+    "configure_logging",
+    "current_span_id",
+    "current_trace_id",
+    "new_span_id",
+    "new_trace_id",
+    "render_fleet",
+    "trace_context",
+    "valid_trace_id",
+]

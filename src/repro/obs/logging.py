@@ -1,0 +1,105 @@
+"""Structured JSON logging with ambient trace propagation.
+
+:class:`JSONLogFormatter` renders every record as one JSON object per line
+carrying the timestamp, level, logger, message, and — when present — the
+``trace_id``/``span_id`` from either the record itself (``extra=``) or the
+ambient :mod:`repro.obs.tracing` context.  One distributed job can then be
+reconstructed by grepping its trace id across the server's and every
+worker's log stream.
+
+:func:`configure_logging` is the single entry point used by the ``serve``
+and ``worker`` CLI commands.  It honours two environment toggles:
+
+- ``REPRO_LOG_JSON`` — truthy values (``1``/``true``/``yes``/``on``) switch
+  the handler to JSON lines; anything else keeps the human format.
+- ``REPRO_LOG_LEVEL`` — standard level name, default ``INFO``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+from repro.obs.tracing import current_span_id, current_trace_id
+
+__all__ = ["JSONLogFormatter", "configure_logging"]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+# Extra record attributes worth forwarding into the JSON document when a
+# call site supplies them via ``extra=``.
+_FORWARDED_ATTRS = ("job_id", "worker_id", "method", "kind", "event", "model")
+
+
+class JSONLogFormatter(logging.Formatter):
+    """One JSON object per log line, trace-aware."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict = {
+            "ts": round(record.created, 6),
+            "time": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", None) or current_trace_id()
+        span_id = getattr(record, "span_id", None) or current_span_id()
+        if trace_id:
+            entry["trace_id"] = trace_id
+        if span_id:
+            entry["span_id"] = span_id
+        for attr in _FORWARDED_ATTRS:
+            value = getattr(record, attr, None)
+            if value is not None:
+                entry[attr] = value
+        if record.exc_info:
+            entry["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True, default=str)
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in _TRUTHY
+
+
+def configure_logging(
+    *,
+    json_lines: Optional[bool] = None,
+    level: Optional[Any] = None,
+    stream: Optional[TextIO] = None,
+) -> logging.Handler:
+    """Install (or replace) the repro log handler on the root logger.
+
+    Defaults come from the environment: ``REPRO_LOG_JSON`` selects the JSON
+    formatter, ``REPRO_LOG_LEVEL`` the threshold.  Re-invocation replaces
+    the previously installed handler instead of stacking duplicates, so the
+    function is safe to call from tests and long-lived CLIs alike.
+    """
+    if json_lines is None:
+        json_lines = _env_truthy("REPRO_LOG_JSON")
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "INFO").upper()
+
+    root = logging.getLogger()
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    if json_lines:
+        handler.setFormatter(JSONLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+        )
+    root.addHandler(handler)
+    try:
+        root.setLevel(level)
+    except (ValueError, TypeError):
+        root.setLevel(logging.INFO)
+    return handler

@@ -1,0 +1,431 @@
+"""A process-local, thread-safe metrics registry with Prometheus output.
+
+Three metric kinds are supported, mirroring the Prometheus data model:
+
+- **counter** — monotonically increasing float (``.inc()``); rendered with
+  the conventional ``_total`` suffix expected in the metric name itself.
+- **gauge** — a value that can go up and down (``.set()`` / ``.inc()``).
+- **histogram** — fixed cumulative buckets plus ``_sum``/``_count``
+  (``.observe()``); bucket boundaries are frozen at first registration.
+
+Handles are cheap: ``registry.counter("repro_requests_total", method="x")``
+returns a bound child for that label set, and repeated calls with the same
+labels return the same underlying cell.  All mutation happens under a
+single registry lock — the hot-path cost is one lock acquire plus a dict
+update, which is far below the cost of the kernel evaluations being timed.
+
+Cross-process aggregation works through JSON snapshots: a worker persists
+``registry.snapshot()`` into the shared state dir and the server renders
+its own registry plus every worker snapshot through :func:`render_fleet`,
+labelling each sample with its ``origin`` process.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["DEFAULT_BUCKETS", "MetricsRegistry", "render_fleet"]
+
+# Latency buckets (seconds) spanning sub-millisecond cache hits up to
+# multi-minute distributed Gram jobs.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name: {name!r}")
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(items: Iterable[Tuple[str, str]]) -> str:
+    rendered = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in items)
+    return f"{{{rendered}}}" if rendered else ""
+
+
+class _Counter:
+    """A bound counter child for one label set."""
+
+    __slots__ = ("_family", "_key")
+
+    def __init__(self, family: "_Family", key: LabelKey) -> None:
+        self._family = family
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self._family.add(self._key, amount)
+
+    def set_total(self, value: float) -> None:
+        """Overwrite the running total (mirroring an external counter)."""
+        self._family.set(self._key, float(value))
+
+    @property
+    def value(self) -> float:
+        return self._family.get(self._key)
+
+
+class _Gauge:
+    """A bound gauge child for one label set."""
+
+    __slots__ = ("_family", "_key")
+
+    def __init__(self, family: "_Family", key: LabelKey) -> None:
+        self._family = family
+        self._key = key
+
+    def set(self, value: float) -> None:
+        self._family.set(self._key, float(value))
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._family.add(self._key, amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._family.add(self._key, -amount)
+
+    @property
+    def value(self) -> float:
+        return self._family.get(self._key)
+
+
+class _HistogramState:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class _Histogram:
+    """A bound histogram child for one label set."""
+
+    __slots__ = ("_family", "_key")
+
+    def __init__(self, family: "_Family", key: LabelKey) -> None:
+        self._family = family
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        self._family.observe(self._key, float(value))
+
+    def time(self) -> "_Timer":
+        return _Timer(self)
+
+    @property
+    def sum(self) -> float:
+        state = self._family.histogram_state(self._key)
+        return state.total
+
+    @property
+    def count(self) -> int:
+        state = self._family.histogram_state(self._key)
+        return state.count
+
+
+class _Timer:
+    """Context manager observing elapsed wall-clock into a histogram."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: _Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._histogram.observe(time.perf_counter() - self._started)
+
+
+class _Family:
+    """One metric family: name, type, help, and per-label-set samples."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        lock: threading.RLock,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self._lock = lock
+        self.buckets: Optional[Tuple[float, ...]] = None
+        if kind == "histogram":
+            bounds = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+            if list(bounds) != sorted(set(bounds)):
+                raise ValueError(f"histogram buckets must be strictly increasing: {bounds}")
+            self.buckets = bounds
+        self._samples: Dict[LabelKey, Any] = {}
+
+    def _cell(self, key: LabelKey) -> Any:
+        sample = self._samples.get(key)
+        if sample is None:
+            if self.kind == "histogram":
+                sample = _HistogramState(len(self.buckets or ()))
+            else:
+                sample = 0.0
+            self._samples[key] = sample
+        return sample
+
+    def add(self, key: LabelKey, amount: float) -> None:
+        with self._lock:
+            self._samples[key] = self._cell(key) + amount
+
+    def set(self, key: LabelKey, value: float) -> None:
+        with self._lock:
+            self._cell(key)
+            self._samples[key] = value
+
+    def get(self, key: LabelKey) -> float:
+        with self._lock:
+            return float(self._samples.get(key, 0.0))
+
+    def observe(self, key: LabelKey, value: float) -> None:
+        with self._lock:
+            state = self._cell(key)
+            assert self.buckets is not None
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state.counts[index] += 1
+                    break
+            state.total += value
+            state.count += 1
+
+    def histogram_state(self, key: LabelKey) -> _HistogramState:
+        with self._lock:
+            return self._cell(key)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            family: Dict[str, Any] = {
+                "name": self.name,
+                "type": self.kind,
+                "help": self.help,
+            }
+            samples: List[Dict[str, Any]] = []
+            if self.kind == "histogram":
+                family["buckets"] = list(self.buckets or ())
+                for key, state in self._samples.items():
+                    cumulative: List[int] = []
+                    running = 0
+                    for count in state.counts:
+                        running += count
+                        cumulative.append(running)
+                    samples.append(
+                        {
+                            "labels": dict(key),
+                            "bucket_counts": cumulative,
+                            "sum": state.total,
+                            "count": state.count,
+                        }
+                    )
+            else:
+                for key, value in self._samples.items():
+                    samples.append({"labels": dict(key), "value": float(value)})
+            family["samples"] = samples
+            return family
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, self._lock, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, not {kind}"
+                )
+            return family
+
+    def counter(self, name: str, help_text: str = "", **labels: str) -> _Counter:
+        family = self._family(name, "counter", help_text)
+        return _Counter(family, _label_key(labels))
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> _Gauge:
+        family = self._family(name, "gauge", help_text)
+        return _Gauge(family, _label_key(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> _Histogram:
+        family = self._family(name, "histogram", help_text, buckets)
+        return _Histogram(family, _label_key(labels))
+
+    def add_collector(self, collector: Callable[["MetricsRegistry"], None]) -> None:
+        """Register a callback run before every snapshot/render.
+
+        Collectors pull point-in-time values (queue depth, cache counters)
+        into gauges/counters so the registry reflects live state without
+        instrumenting every read path.
+        """
+        with self._lock:
+            self._collectors.append(collector)
+
+    def _run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            try:
+                collector(self)
+            except Exception:  # noqa: BLE001 - scrapes must never take the service down
+                pass
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """JSON-able list of metric families (collectors included)."""
+        self._run_collectors()
+        with self._lock:
+            families = list(self._families.values())
+        return [family.snapshot() for family in sorted(families, key=lambda f: f.name)]
+
+    def render(self) -> str:
+        """This process's metrics in Prometheus text exposition format."""
+        return render_fleet([{"origin": None, "families": self.snapshot()}])
+
+
+def _merge_family(target: Dict[str, Any], family: Dict[str, Any], origin: Optional[str]) -> None:
+    for sample in family.get("samples", ()):
+        labels = dict(sample.get("labels", {}))
+        if origin is not None:
+            labels["origin"] = origin
+        entry = dict(sample)
+        entry["labels"] = labels
+        target.setdefault("samples", []).append(entry)
+
+
+def render_fleet(sources: Sequence[Dict[str, Any]]) -> str:
+    """Render snapshots from several processes as one Prometheus page.
+
+    Each *source* is ``{"origin": str | None, "families": snapshot()}``.
+    When ``origin`` is set, every sample from that source gains an
+    ``origin`` label so fleet-wide sums stay per-process attributable.
+    Families with the same name are merged; the first source's type/help
+    metadata wins (all processes run the same code, so they agree).
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for source in sources:
+        origin = source.get("origin")
+        for family in source.get("families", ()):
+            # Worker snapshots arrive from disk; ignore anything malformed
+            # rather than letting one damaged file break the whole scrape.
+            if not isinstance(family, dict):
+                continue
+            name = family.get("name")
+            if not isinstance(name, str) or not _NAME_RE.match(name):
+                continue
+            target = merged.get(name)
+            if target is None:
+                target = {
+                    "name": name,
+                    "type": family.get("type", "gauge"),
+                    "help": family.get("help", ""),
+                    "buckets": family.get("buckets"),
+                    "samples": [],
+                }
+                merged[name] = target
+            _merge_family(target, family, origin)
+
+    lines: List[str] = []
+    for name in sorted(merged):
+        family = merged[name]
+        kind = family["type"]
+        help_text = family["help"]
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample["labels"]
+            if kind == "histogram":
+                buckets = family.get("buckets") or []
+                counts = sample.get("bucket_counts", [])
+                below = 0
+                for bound, cumulative in zip(buckets, counts):
+                    below = cumulative
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(float(bound))
+                    lines.append(
+                        f"{name}_bucket{_render_labels(sorted(bucket_labels.items()))}"
+                        f" {cumulative}"
+                    )
+                inf_labels = dict(labels)
+                inf_labels["le"] = "+Inf"
+                count = int(sample.get("count", below))
+                lines.append(
+                    f"{name}_bucket{_render_labels(sorted(inf_labels.items()))} {count}"
+                )
+                lines.append(
+                    f"{name}_sum{_render_labels(sorted(labels.items()))}"
+                    f" {_format_value(float(sample.get('sum', 0.0)))}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(sorted(labels.items()))} {count}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(sorted(labels.items()))}"
+                    f" {_format_value(float(sample.get('value', 0.0)))}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""

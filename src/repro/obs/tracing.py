@@ -1,0 +1,81 @@
+"""Trace/span identifiers and the ambient trace context.
+
+A *trace* follows one logical request (e.g. a distributed matrix job) across
+every process that touches it: the client mints a ``trace_id`` (or the server
+does on its behalf), the server stamps it into the job record and every
+derived block record, and workers restore it around task execution.  Each
+unit of work gets its own ``span_id`` under the shared trace, so JSON log
+lines from server and N workers can be joined back into one request story.
+
+The context is a ``contextvars.ContextVar`` so it is safe under both the
+session thread pool and the ``ThreadingHTTPServer`` request threads.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import re
+import uuid
+from typing import Iterator, Optional, Tuple
+
+__all__ = [
+    "TRACE_ID_PATTERN",
+    "current_span_id",
+    "current_trace_id",
+    "new_span_id",
+    "new_trace_id",
+    "trace_context",
+    "valid_trace_id",
+]
+
+# Conservative charset: ids appear in log lines, JSON, and Prometheus label
+# values, so reject anything that could smuggle structure into those sinks.
+TRACE_ID_PATTERN = r"^[A-Za-z0-9._-]{1,64}$"
+_TRACE_ID_RE = re.compile(TRACE_ID_PATTERN)
+
+_context: contextvars.ContextVar[Optional[Tuple[str, Optional[str]]]] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace identifier."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span identifier."""
+    return uuid.uuid4().hex[:16]
+
+
+def valid_trace_id(value: str) -> bool:
+    """True when *value* is safe to carry as a trace or span id."""
+    return isinstance(value, str) and bool(_TRACE_ID_RE.match(value))
+
+
+def current_trace_id() -> Optional[str]:
+    state = _context.get()
+    return state[0] if state else None
+
+
+def current_span_id() -> Optional[str]:
+    state = _context.get()
+    return state[1] if state else None
+
+
+@contextlib.contextmanager
+def trace_context(trace_id: Optional[str], span_id: Optional[str] = None) -> Iterator[None]:
+    """Bind the ambient trace for the duration of the block.
+
+    A ``None`` *trace_id* leaves the surrounding context untouched, so call
+    sites can wrap unconditionally and pre-tracing records stay unaffected.
+    """
+    if trace_id is None:
+        yield
+        return
+    token = _context.set((trace_id, span_id))
+    try:
+        yield
+    finally:
+        _context.reset(token)

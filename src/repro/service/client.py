@@ -43,6 +43,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, TextIO, Union
 from repro.api.session import JobTimeout
 from repro.api.spec import KernelSpec, coerce_spec
 from repro.core.matrix import KernelMatrix
+from repro.obs.tracing import new_trace_id
 from repro.service.protocol import (
     CacheStatsRequest,
     CancelRequest,
@@ -112,6 +113,18 @@ class HTTPTransport:
             return json.loads(text)
         except json.JSONDecodeError as exc:
             raise ServiceError(f"server returned non-JSON response: {text[:200]}") from exc
+
+    def fetch_text(self, path: str) -> str:
+        """GET a plain-text endpoint of the server (e.g. ``/metrics``)."""
+        try:
+            with urllib.request.urlopen(
+                f"{self.base_url}/{path.lstrip('/')}", timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(f"HTTP {exc.code} from {self.base_url}{path}") from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach analysis server at {self.base_url}: {exc.reason}") from exc
 
     def close(self) -> None:
         """HTTP requests are one-shot; nothing to release."""
@@ -284,6 +297,21 @@ class ServiceClient:
         response = self._call(CacheStatsRequest())
         return {key: value for key, value in response.items() if key not in ("v", "ok", "type")}
 
+    def metrics_text(self) -> str:
+        """The server's ``GET /metrics`` Prometheus page (HTTP transport only).
+
+        Fleet-aggregated: the server merges its own registry with every
+        worker snapshot in the shared state dir, one ``origin`` label per
+        process.  Raises a :class:`ServiceError` over transports without a
+        GET side channel (stdio).
+        """
+        fetch = getattr(self.transport, "fetch_text", None)
+        if fetch is None:
+            raise ServiceError(
+                "metrics are only available over the HTTP transport (GET /metrics)"
+            )
+        return fetch("/metrics")
+
     # ------------------------------------------------------------------
     # Job handles
     # ------------------------------------------------------------------
@@ -296,6 +324,7 @@ class ServiceClient:
         shards: Optional[int] = None,
         distributed: bool = False,
         use_cache: bool = True,
+        trace_id: Optional[str] = None,
     ) -> str:
         """Queue a matrix job; returns its id.
 
@@ -306,7 +335,8 @@ class ServiceClient:
         ``use_cache=False`` makes the server bypass its persistent result
         cache and re-evaluate every kernel pair.  An identical submission
         already in flight is *coalesced*: the returned id names the job
-        the equal submissions share.
+        the equal submissions share.  *trace_id* (client-minted by default)
+        follows the job through server, block records, and worker logs.
         """
         response = self._call(
             SubmitMatrixRequest(
@@ -317,6 +347,7 @@ class ServiceClient:
                 shards=shards,
                 distributed=distributed,
                 use_cache=use_cache,
+                trace_id=trace_id or new_trace_id(),
             )
         )
         return str(response["job_id"])
@@ -328,6 +359,7 @@ class ServiceClient:
         n_clusters: int = 3,
         n_components: int = 2,
         linkage: str = "single",
+        trace_id: Optional[str] = None,
     ) -> str:
         """Queue a full pipeline run; returns its job id."""
         response = self._call(
@@ -337,6 +369,7 @@ class ServiceClient:
                 n_clusters=n_clusters,
                 n_components=n_components,
                 linkage=linkage,
+                trace_id=trace_id or new_trace_id(),
             )
         )
         return str(response["job_id"])
@@ -352,6 +385,7 @@ class ServiceClient:
         n_components: int = 2,
         n_clusters: Optional[int] = None,
         use_cache: bool = True,
+        trace_id: Optional[str] = None,
     ) -> str:
         """Queue a streaming landmark-model fit; returns its job id."""
         response = self._call(
@@ -365,6 +399,7 @@ class ServiceClient:
                 n_components=n_components,
                 n_clusters=n_clusters,
                 use_cache=use_cache,
+                trace_id=trace_id or new_trace_id(),
             )
         )
         return str(response["job_id"])
@@ -430,6 +465,7 @@ class ServiceClient:
         distributed: bool = False,
         use_cache: bool = True,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> KernelMatrix:
         """Compute a labelled kernel matrix remotely (submit + wait + decode).
 
@@ -440,6 +476,7 @@ class ServiceClient:
             self.matrix_job(
                 spec, strings, normalized=normalized, repair=repair, shards=shards,
                 distributed=distributed, use_cache=use_cache, timeout=timeout,
+                trace_id=trace_id,
             )["payload"]
         )
 
@@ -453,11 +490,13 @@ class ServiceClient:
         distributed: bool = False,
         use_cache: bool = True,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Like :meth:`matrix` but returning the stamped wire payload."""
         return self.matrix_job(
             spec, strings, normalized=normalized, repair=repair, shards=shards,
             distributed=distributed, use_cache=use_cache, timeout=timeout,
+            trace_id=trace_id,
         )["payload"]
 
     def matrix_job(
@@ -470,23 +509,26 @@ class ServiceClient:
         distributed: bool = False,
         use_cache: bool = True,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Submit + wait, returning ``{"job_id", "payload", "cache"}``.
+        """Submit + wait, returning ``{"job_id", "payload", "cache", "trace_id"}``.
 
         ``cache`` is the server's result-cache outcome for the job —
         ``"hit"``, ``"extended"``, ``"miss"`` or ``"bypass"`` (``None``
-        when talking to a server predating the cache).  The payload is
-        bit-identical across all outcomes.
+        when talking to a server predating the cache).  ``trace_id`` is the
+        id the job ran under (the caller's, or a freshly minted one).  The
+        payload is bit-identical across all outcomes.
         """
         job_id = self.submit(
             spec, strings, normalized=normalized, repair=repair, shards=shards,
-            distributed=distributed, use_cache=use_cache,
+            distributed=distributed, use_cache=use_cache, trace_id=trace_id,
         )
         response = self._result_response(job_id, timeout=timeout, forget=True)
         return {
             "job_id": job_id,
             "payload": response["payload"],
             "cache": response.get("cache"),
+            "trace_id": response.get("trace_id"),
         }
 
     def analyze(
@@ -497,11 +539,12 @@ class ServiceClient:
         n_components: int = 2,
         linkage: str = "single",
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Run the full pipeline remotely; returns the metrics/assignments report."""
         return self.analyze_job(
             spec, strings, n_clusters=n_clusters, n_components=n_components,
-            linkage=linkage, timeout=timeout,
+            linkage=linkage, timeout=timeout, trace_id=trace_id,
         )["payload"]
 
     def analyze_job(
@@ -512,8 +555,9 @@ class ServiceClient:
         n_components: int = 2,
         linkage: str = "single",
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Submit + wait a pipeline run: ``{"job_id", "payload", "cache"}``.
+        """Submit + wait a pipeline run: ``{"job_id", "payload", "cache", "trace_id"}``.
 
         ``cache`` is the matrix-stage result-cache outcome (``"hit"`` /
         ``"extended"`` / ``"miss"`` / ``"bypass"``, ``None`` from a server
@@ -521,13 +565,15 @@ class ServiceClient:
         reports, so remote analyses are auditable the same way.
         """
         job_id = self.submit_analyze(
-            spec, strings, n_clusters=n_clusters, n_components=n_components, linkage=linkage
+            spec, strings, n_clusters=n_clusters, n_components=n_components,
+            linkage=linkage, trace_id=trace_id,
         )
         response = self._result_response(job_id, timeout=timeout, forget=True)
         return {
             "job_id": job_id,
             "payload": response["payload"],
             "cache": response.get("cache"),
+            "trace_id": response.get("trace_id"),
         }
 
     # ------------------------------------------------------------------
@@ -545,22 +591,25 @@ class ServiceClient:
         n_clusters: Optional[int] = None,
         use_cache: bool = True,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Fit and persist a landmark model server-side (submit + wait).
 
-        Returns ``{"job_id", "payload", "cache"}`` where the payload is
-        the stored model's summary and ``cache`` the fitting Gram's
-        result-cache outcome.
+        Returns ``{"job_id", "payload", "cache", "trace_id"}`` where the
+        payload is the stored model's summary and ``cache`` the fitting
+        Gram's result-cache outcome.
         """
         job_id = self.submit_fit_model(
             spec, strings, name=name, landmarks=landmarks, strategy=strategy,
-            seed=seed, n_components=n_components, n_clusters=n_clusters, use_cache=use_cache,
+            seed=seed, n_components=n_components, n_clusters=n_clusters,
+            use_cache=use_cache, trace_id=trace_id,
         )
         response = self._result_response(job_id, timeout=timeout, forget=True)
         return {
             "job_id": job_id,
             "payload": response["payload"],
             "cache": response.get("cache"),
+            "trace_id": response.get("trace_id"),
         }
 
     def classify(
@@ -568,6 +617,7 @@ class ServiceClient:
         name: str,
         strings: Sequence[WeightedString],
         embed: bool = False,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Classify traces against stored model *name* (synchronous).
 
@@ -577,7 +627,12 @@ class ServiceClient:
         ``kernel_evals``/``warm_traces`` and its server-side latency.
         """
         response = self._call(
-            ClassifyRequest(name=name, strings=tuple(encode_corpus(strings)), embed=embed)
+            ClassifyRequest(
+                name=name,
+                strings=tuple(encode_corpus(strings)),
+                embed=embed,
+                trace_id=trace_id or new_trace_id(),
+            )
         )
         return {key: value for key, value in response.items() if key not in ("v", "ok", "type")}
 

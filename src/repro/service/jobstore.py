@@ -72,6 +72,7 @@ import contextlib
 import hashlib
 import json
 import os
+import threading
 import time
 import uuid
 from dataclasses import dataclass, field, replace
@@ -277,8 +278,36 @@ class JobStore:
         self.quarantine_dir = os.path.join(self.root, "quarantine")
         for directory in (self.jobs_dir, self.payloads_dir, self.locks_dir, self.quarantine_dir):
             os.makedirs(directory, exist_ok=True)
+        # Process-local lifecycle counters (created/claims/releases/...);
+        # see :meth:`counters`.  Initialised before recovery so the recovery
+        # pass's own mutations count too.
+        self._counts_lock = threading.Lock()
+        self._counts: Dict[str, int] = {
+            "created": 0,
+            "claims": 0,
+            "releases": 0,
+            "lease_requeues": 0,
+            "results": 0,
+            "errors": 0,
+            "forgotten": 0,
+            "swept": 0,
+        }
         #: Report of the recovery pass run over pre-existing state.
         self.recovery = self.recover() if recover else RecoveryReport()
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._counts_lock:
+            self._counts[key] = self._counts.get(key, 0) + amount
+
+    def counters(self) -> Dict[str, int]:
+        """This process's lifecycle counters (cheap — no disk access).
+
+        Counts cover only operations performed *through this store object*;
+        sibling processes sharing the state dir keep their own counts and
+        the metrics layer merges them per origin.
+        """
+        with self._counts_lock:
+            return dict(self._counts)
 
     # ------------------------------------------------------------------
     # Paths and locking
@@ -387,6 +416,7 @@ class JobStore:
             if os.path.exists(self._record_path(record.job_id)):
                 raise JobStoreError(f"job {record.job_id!r} already exists")
             self._write_record(record)
+        self._count("created")
         return record
 
     def _write_record(self, record: JobRecord) -> None:
@@ -437,9 +467,11 @@ class JobStore:
         return self.update(job_id, status="running")
 
     def mark_error(self, job_id: str, error: str) -> JobRecord:
-        return self.update(
+        record = self.update(
             job_id, status="error", error=str(error), worker_id=None, lease_expires_at=None
         )
+        self._count("errors")
+        return record
 
     def mark_cancelled(self, job_id: str) -> JobRecord:
         return self.update(job_id, status="cancelled", worker_id=None, lease_expires_at=None)
@@ -473,6 +505,7 @@ class JobStore:
                     pass
         with contextlib.suppress(OSError):
             os.remove(self._lock_path(job_id))
+        self._count("forgotten")
         return True
 
     # ------------------------------------------------------------------
@@ -508,6 +541,7 @@ class JobStore:
                 updated_at=now,
             )
             self._write_record(record)
+        self._count("claims")
         return record
 
     def claim(
@@ -577,9 +611,11 @@ class JobStore:
             return {"status": "queued", "worker_id": None, "lease_expires_at": None}
 
         try:
-            return self.mutate(job_id, requeue)
+            record = self.mutate(job_id, requeue)
         except KeyError:
             raise LeaseError(f"job {job_id!r} vanished while leased to {worker_id!r}") from None
+        self._count("releases")
+        return record
 
     def requeue_expired(self, now: Optional[float] = None) -> List[str]:
         """Requeue every ``running`` job whose lease has expired.
@@ -606,6 +642,8 @@ class JobStore:
                 continue
             if fresh.status == "queued" and fresh.worker_id is None:
                 requeued.append(record.job_id)
+        if requeued:
+            self._count("lease_requeues", len(requeued))
         return requeued
 
     # ------------------------------------------------------------------
@@ -654,7 +692,9 @@ class JobStore:
                 "lease_expires_at": None,
             }
 
-        return self.mutate(job_id, finish)
+        record = self.mutate(job_id, finish)
+        self._count("results")
+        return record
 
     def load_result(self, job_id: str) -> Dict[str, Any]:
         """Load (and checksum-verify) the stored result of a ``done`` job."""
@@ -860,6 +900,8 @@ class JobStore:
             with contextlib.suppress(OSError):
                 os.remove(self._lock_path(record.job_id))
             swept.append(record.job_id)
+        if swept and not dry_run:
+            self._count("swept", len(swept))
         return swept
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience

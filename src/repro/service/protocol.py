@@ -42,6 +42,7 @@ import re
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
+from repro.obs.tracing import TRACE_ID_PATTERN, valid_trace_id
 from repro.strings.tokens import WeightedString
 
 __all__ = [
@@ -274,6 +275,19 @@ def _require_str(value: Any, what: str) -> str:
     return value
 
 
+def _optional_trace_id(value: Any) -> Optional[str]:
+    """Validate a client-supplied trace id (``None`` means server-minted).
+
+    Ids travel into log lines, job records, and metric labels, so the
+    charset is restricted to ``TRACE_ID_PATTERN``.
+    """
+    if value is None:
+        return None
+    if not valid_trace_id(value):
+        raise BadRequest(f"'trace_id' must match {TRACE_ID_PATTERN}, got {value!r}")
+    return value
+
+
 @dataclass(frozen=True)
 class SubmitMatrixRequest(Request):
     """Queue a Gram-matrix job over an inline corpus.
@@ -309,9 +323,11 @@ class SubmitMatrixRequest(Request):
     shards: Optional[int] = None
     distributed: bool = False
     use_cache: bool = True
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "strings", tuple(self.strings))
+        object.__setattr__(self, "trace_id", _optional_trace_id(self.trace_id))
         if not isinstance(self.normalized, bool) or not isinstance(self.repair, bool):
             raise BadRequest("'normalized' and 'repair' must be booleans")
         if not isinstance(self.distributed, bool):
@@ -335,9 +351,11 @@ class SubmitAnalyzeRequest(Request):
     n_clusters: int = 3
     n_components: int = 2
     linkage: str = "single"
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "strings", tuple(self.strings))
+        object.__setattr__(self, "trace_id", _optional_trace_id(self.trace_id))
         for name, value in (("n_clusters", self.n_clusters), ("n_components", self.n_components)):
             if not isinstance(value, int) or isinstance(value, bool) or value < 1:
                 raise BadRequest(f"{name!r} must be a positive integer, got {value!r}")
@@ -384,10 +402,12 @@ class FitModelRequest(Request):
     n_components: int = 2
     n_clusters: Optional[int] = None
     use_cache: bool = True
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "strings", tuple(self.strings))
         object.__setattr__(self, "name", _require_model_name(self.name))
+        object.__setattr__(self, "trace_id", _optional_trace_id(self.trace_id))
         for field_name, value in (
             ("landmarks", self.landmarks),
             ("seed", self.seed),
@@ -423,10 +443,12 @@ class ClassifyRequest(Request):
     name: str = ""
     strings: Tuple[Mapping[str, Any], ...] = ()
     embed: bool = False
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "name", _require_model_name(self.name))
         object.__setattr__(self, "strings", tuple(self.strings))
+        object.__setattr__(self, "trace_id", _optional_trace_id(self.trace_id))
         if not self.strings:
             raise BadRequest("classify requires at least one string")
         if not isinstance(self.embed, bool):

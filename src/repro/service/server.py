@@ -95,6 +95,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, TextIO, Tuple
 from repro.api.session import AnalysisSession, JobError, JobTimeout
 from repro.api.spec import KernelSpec, KernelSpecError, coerce_spec, registered_kinds, registry_entry
 from repro.core.cachestore import MatrixCache
+from repro.obs.metrics import MetricsRegistry, render_fleet
+from repro.obs.tracing import new_span_id, new_trace_id, trace_context
 from repro.core.engine import decode_pair_values, plan_index_blocks, string_fingerprint
 from repro.core.pairstore import PairStore
 from repro.core.matrix import KernelMatrix
@@ -265,6 +267,12 @@ class AnalysisServer:
         self.gc_interval = float(gc_interval)
         #: Identity stamped into records this server claims.
         self.worker_id = f"server-{uuid.uuid4().hex[:8]}"
+        #: Process-local metrics; ``GET /metrics`` renders this registry
+        #: merged with every worker snapshot found under
+        #: ``<state-dir>/metrics/`` (fleet-wide view, per-process origins).
+        self.metrics = MetricsRegistry()
+        self.metrics_dir = os.path.join(self.store.root, "metrics")
+        self.metrics.add_collector(self._collect_metrics)
         self._session_jobs: Dict[str, str] = {}
         #: In-flight coalescing: submission identity → job id of the one
         #: job equal submissions share (validated lazily against the store).
@@ -293,16 +301,38 @@ class AnalysisServer:
     # Dispatch
     # ------------------------------------------------------------------
     def handle(self, payload: Any) -> Dict[str, Any]:
-        """Answer one wire request; every failure becomes a typed error envelope."""
+        """Answer one wire request; every failure becomes a typed error envelope.
+
+        Every request — including malformed ones — lands in the
+        ``repro_requests_total{method,status}`` counter and the
+        ``repro_request_seconds{method}`` latency histogram.
+        """
+        started = time.perf_counter()
+        method = "invalid"
+        status = "error"
         try:
             request = parse_request(payload)
+            method = request.TYPE
             handler = self._handlers()[type(request)]
-            return handler(request)
+            response = handler(request)
+            status = "ok"
+            return response
         except ServiceError as exc:
+            status = exc.code
             return error_response(exc)
         except Exception as exc:  # noqa: BLE001 - the wire must always get an envelope
+            status = "internal"
             logger.exception("unhandled error serving request")
             return error_response(ServiceError(f"internal error: {type(exc).__name__}: {exc}"))
+        finally:
+            self.metrics.counter(
+                "repro_requests_total", "Protocol requests by method and outcome.",
+                method=method, status=status,
+            ).inc()
+            self.metrics.histogram(
+                "repro_request_seconds", "Protocol request latency by method.",
+                method=method,
+            ).observe(time.perf_counter() - started)
 
     def _handlers(self) -> Dict[type, Callable[[Any], Dict[str, Any]]]:
         return {
@@ -368,6 +398,10 @@ class AnalysisServer:
             distributed=request.distributed,
             use_cache=request.use_cache,
         )
+        # The trace follows the *request*; coalesced duplicates are answered
+        # with the trace of the job actually doing the work, so their logs
+        # still join up.  The submission key deliberately excludes the trace.
+        trace_id = request.trace_id or new_trace_id()
         options = {
             "normalized": request.normalized,
             "repair": request.repair,
@@ -377,6 +411,8 @@ class AnalysisServer:
             "examples": len(strings),
             "blocks": plan_index_blocks(len(strings), shards),
             "submission_key": submission_key,
+            "trace_id": trace_id,
+            "span_id": new_span_id(),
         }
         # Coalesce identical in-flight submissions onto the job already
         # queued for them: the whole check-and-create runs under the lock,
@@ -395,6 +431,7 @@ class AnalysisServer:
                         status=existing.status,
                         kind="matrix",
                         coalesced=True,
+                        trace_id=existing.options.get("trace_id"),
                     )
                 # The finished job's _result_waiters entry (if any) stays:
                 # its uncollected waiters still hold the old job id.
@@ -415,7 +452,9 @@ class AnalysisServer:
             )
             self._inflight[submission_key] = record.job_id
         self._start_record(record)
-        return ok_response("job", job_id=record.job_id, status="queued", kind="matrix")
+        return ok_response(
+            "job", job_id=record.job_id, status="queued", kind="matrix", trace_id=trace_id
+        )
 
     def _unfinished_record(self, job_id: str) -> Optional[JobRecord]:
         """The live (non-terminal) record for *job_id*, else ``None``."""
@@ -447,11 +486,14 @@ class AnalysisServer:
         # Fail fast on specs the pipeline cannot drive (typed bad-request
         # at submit time instead of a failed job later).
         self._analyze_config(spec, request.n_clusters, request.n_components, request.linkage)
+        trace_id = request.trace_id or new_trace_id()
         options = {
             "n_clusters": request.n_clusters,
             "n_components": request.n_components,
             "linkage": request.linkage,
             "examples": len(strings),
+            "trace_id": trace_id,
+            "span_id": new_span_id(),
         }
         record = self.store.create(
             "analyze",
@@ -466,7 +508,9 @@ class AnalysisServer:
             },
         )
         self._start_record(record)
-        return ok_response("job", job_id=record.job_id, status="queued", kind="analyze")
+        return ok_response(
+            "job", job_id=record.job_id, status="queued", kind="analyze", trace_id=trace_id
+        )
 
     def _analyze_config(self, spec: KernelSpec, n_clusters: int, n_components: int, linkage: str) -> Any:
         from repro.pipeline.config import ExperimentConfig, config_from_spec
@@ -486,11 +530,14 @@ class AnalysisServer:
         strings = decode_corpus(request.strings)
         if not strings:
             raise BadRequest("fit-model requires a non-empty corpus")
+        trace_id = request.trace_id or new_trace_id()
         options = {
             "model": request.name,
             "landmarks": request.landmarks,
             "strategy": request.strategy,
             "examples": len(strings),
+            "trace_id": trace_id,
+            "span_id": new_span_id(),
         }
         record = self.store.create(
             "fit-model",
@@ -509,7 +556,9 @@ class AnalysisServer:
             },
         )
         self._start_record(record)
-        return ok_response("job", job_id=record.job_id, status="queued", kind="fit-model")
+        return ok_response(
+            "job", job_id=record.job_id, status="queued", kind="fit-model", trace_id=trace_id
+        )
 
     def _start_record(self, record: JobRecord) -> str:
         """Queue execution of a stored record on the session's job pool.
@@ -530,27 +579,59 @@ class AnalysisServer:
             # double-computed by a sibling server) while still executing.
             keeper = _LeaseKeeper(self.store, job_id, self.worker_id, self.lease_seconds)
             keeper.start()
+            trace_id = claimed.options.get("trace_id")
+            span_id = claimed.options.get("span_id")
+            started = time.perf_counter()
+            evals_before = self.session.engine_counters()
+            outcome = "done"
             try:
-                payload = self._payload_for_record(claimed)
-                self.store.store_result(job_id, payload, worker_id=self.worker_id)
+                with trace_context(trace_id, span_id):
+                    logger.info(
+                        "job %s (%s) started trace=%s", job_id, claimed.kind, trace_id,
+                        extra={"job_id": job_id, "kind": claimed.kind, "event": "job-started"},
+                    )
+                    payload = self._payload_for_record(claimed)
+                    self.store.store_result(job_id, payload, worker_id=self.worker_id)
             except _ServerClosing:
                 # Shutdown mid-coordination: hand the job back so the next
                 # server (or this one, restarted) resumes it.
+                outcome = "released"
                 with contextlib.suppress(JobStoreError, KeyError):
                     self.store.release(job_id, self.worker_id)
                 return
             except LeaseError:
                 # The claim was reclaimed while we computed; the current
                 # owner's result wins — do not clobber its record.
+                outcome = "lease-lost"
                 logger.warning("job %s lost its lease mid-run; dropping this result", job_id)
                 return
             except Exception as exc:
+                outcome = "error"
                 with contextlib.suppress(JobStoreError, KeyError):
                     self.store.mark_error(job_id, f"{type(exc).__name__}: {exc}")
                 raise
             finally:
                 keeper.stop()
                 keeper.join(timeout=1.0)
+                elapsed = time.perf_counter() - started
+                deltas = {
+                    key: value - evals_before.get(key, 0)
+                    for key, value in self.session.engine_counters().items()
+                }
+                self.metrics.counter(
+                    "repro_jobs_executed_total", "Jobs this process executed, by kind and outcome.",
+                    kind=claimed.kind, outcome=outcome,
+                ).inc()
+                self.metrics.histogram(
+                    "repro_job_seconds", "Job execution wall-clock by kind.", kind=claimed.kind
+                ).observe(elapsed)
+                with trace_context(trace_id, span_id):
+                    logger.info(
+                        "job %s (%s) %s in %.3fs trace=%s kernel_evals=%d store_hits=%d",
+                        job_id, claimed.kind, outcome, elapsed, trace_id,
+                        deltas.get("kernel_evals", 0), deltas.get("store_hits", 0),
+                        extra={"job_id": job_id, "kind": claimed.kind, "event": "job-finished"},
+                    )
             # Deliberately return nothing: results are always answered from
             # the store, and a returned payload would be pinned in session
             # memory for jobs no client ever polls.
@@ -768,6 +849,13 @@ class AnalysisServer:
         covered = len(base) if base is not None else 0
         blocks = plan_index_blocks(len(strings), shards)
         spec_dict = spec.to_dict()
+        # Children inherit the parent's trace id (each with a span of its
+        # own), so a worker claiming a block logs under the same trace the
+        # client submitted.
+        try:
+            trace_id = self.store.get(job_id).options.get("trace_id")
+        except (KeyError, JobStoreError):
+            trace_id = None
         existing: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], JobRecord] = {}
         for child in self.store.records(kind="block"):
             if child.options.get("parent") == job_id:
@@ -781,11 +869,13 @@ class AnalysisServer:
                 key = (tuple(first), tuple(second))
                 child = existing.get(key)
                 if child is None:
-                    child = self.store.create(
-                        "block",
-                        spec=spec_dict,
-                        options={"parent": job_id, "first": list(first), "second": list(second)},
-                    )
+                    child_options: Dict[str, Any] = {
+                        "parent": job_id, "first": list(first), "second": list(second),
+                    }
+                    if trace_id is not None:
+                        child_options["trace_id"] = trace_id
+                        child_options["span_id"] = new_span_id()
+                    child = self.store.create("block", spec=spec_dict, options=child_options)
                 child_ids.append(child.job_id)
         corpus_cache = {job_id: strings}
         done_ids: set = set()
@@ -990,7 +1080,18 @@ class AnalysisServer:
             request.name, traces=len(strings), warm=warm_traces,
             evals=evals_total, seconds=elapsed,
         )
-        return ok_response(
+        self.metrics.histogram(
+            "repro_model_serve_seconds", "Classify request latency by model.",
+            model=request.name,
+        ).observe(elapsed)
+        with trace_context(request.trace_id):
+            logger.debug(
+                "classify model=%s traces=%d warm=%d kernel_evals=%d elapsed=%.4fs trace=%s",
+                request.name, len(strings), warm_traces, evals_total, elapsed,
+                request.trace_id,
+                extra={"model": request.name, "event": "classify"},
+            )
+        response = ok_response(
             "classify",
             model=request.name,
             model_id=scorer.model.model_id,
@@ -999,6 +1100,9 @@ class AnalysisServer:
             warm_traces=warm_traces,
             elapsed_seconds=elapsed,
         )
+        if request.trace_id is not None:
+            response["trace_id"] = request.trace_id
+        return response
 
     def _note_model_request(
         self, name: str, traces: int, warm: int, evals: int, seconds: float
@@ -1160,6 +1264,8 @@ class AnalysisServer:
         )
         if "cache" in record.options:
             response["cache"] = record.options["cache"]
+        if "trace_id" in record.options:
+            response["trace_id"] = record.options["trace_id"]
         return response
 
     def _wait_for_record(self, job_id: str, wait: float) -> JobRecord:
@@ -1208,6 +1314,8 @@ class AnalysisServer:
                 # Envelope-level stamp: the payload itself stays bit-identical
                 # whether it was computed cold or served from the cache.
                 response["cache"] = record.options["cache"]
+            if "trace_id" in record.options:
+                response["trace_id"] = record.options["trace_id"]
             self._reap_session_job(record.job_id)
             if request.forget and self._release_result_waiter(record.job_id):
                 self.store.forget(record.job_id)
@@ -1334,6 +1442,8 @@ class AnalysisServer:
             status="ok",
             protocol=PROTOCOL_VERSION,
             uptime_seconds=time.time() - self._started,
+            started_at=self._started,
+            pid=os.getpid(),
             state_dir=self.store.root,
             jobs=counts,
             queue_depth=counts.get("queued", 0),
@@ -1371,6 +1481,104 @@ class AnalysisServer:
             models=models_section,
             **self.matrix_cache.stats(),
         )
+
+    # ------------------------------------------------------------------
+    # Metrics (/metrics)
+    # ------------------------------------------------------------------
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Pull point-in-time state into the registry before every render.
+
+        Instrumenting every read path of the engine and the stores would
+        scatter registry handles through the hot loops; instead the layers
+        keep their own cheap counters and this collector mirrors them into
+        Prometheus families at scrape time.
+        """
+        registry.gauge("repro_uptime_seconds", "Seconds since this process started.").set(
+            time.time() - self._started
+        )
+        registry.gauge(
+            "repro_process_start_time_seconds", "Unix time this process started."
+        ).set(self._started)
+        counts: Dict[str, int] = {}
+        for record in self.store.records():
+            counts[record.status] = counts.get(record.status, 0) + 1
+        registry.gauge("repro_queue_depth", "Queued job records in the store.").set(
+            counts.get("queued", 0)
+        )
+        for status, count in counts.items():
+            registry.gauge("repro_jobs", "Job records in the store by status.", status=status).set(count)
+        for key, value in self.session.engine_counters().items():
+            registry.counter(
+                f"repro_engine_{key}_total", "Warm-engine counters summed across specs."
+            ).set_total(value)
+        if self.matrix_cache is not None:
+            for key, value in self.matrix_cache.counters().items():
+                registry.counter(
+                    f"repro_matrix_cache_{key}_total", "Persistent matrix result-cache counters."
+                ).set_total(value)
+        if self.pair_store is not None:
+            for key, value in self.pair_store.counters().items():
+                registry.counter(
+                    f"repro_pair_store_{key}_total", "Persistent pair-value store counters."
+                ).set_total(value)
+        for key, value in self.store.counters().items():
+            registry.counter(
+                f"repro_jobstore_{key}_total", "Job-store lifecycle counters (this process)."
+            ).set_total(value)
+        with self._lock:
+            model_metrics = {name: dict(values) for name, values in self._model_metrics.items()}
+        for name, values in model_metrics.items():
+            registry.counter(
+                "repro_model_requests_total", "Classify requests served, by model.", model=name
+            ).set_total(values.get("requests", 0))
+            registry.counter(
+                "repro_model_traces_total", "Traces classified, by model.", model=name
+            ).set_total(values.get("traces", 0))
+            registry.counter(
+                "repro_model_warm_traces_total",
+                "Traces classified with zero kernel evaluations, by model.", model=name,
+            ).set_total(values.get("warm_traces", 0))
+            registry.counter(
+                "repro_model_kernel_evals_total", "Kernel evaluations spent serving, by model.",
+                model=name,
+            ).set_total(values.get("kernel_evals", 0))
+
+    def _read_worker_snapshots(self) -> List[Dict[str, Any]]:
+        """Metric snapshots workers persisted under ``<state-dir>/metrics/``.
+
+        Unreadable or foreign files are skipped — a half-written snapshot
+        must never break a scrape (writes are atomic, but be defensive).
+        """
+        sources: List[Dict[str, Any]] = []
+        try:
+            names = sorted(os.listdir(self.metrics_dir))
+        except OSError:
+            return sources
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.metrics_dir, name), "r", encoding="utf-8") as handle:
+                    snapshot = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if not isinstance(snapshot, Mapping):
+                continue
+            origin = snapshot.get("origin")
+            families = snapshot.get("families")
+            if isinstance(origin, str) and isinstance(families, list):
+                sources.append({"origin": origin, "families": families})
+        return sources
+
+    def metrics_text(self) -> str:
+        """The fleet-wide Prometheus page behind ``GET /metrics``.
+
+        This server's registry plus every worker snapshot in the shared
+        state dir, each sample labelled with its ``origin`` process.
+        """
+        sources = [{"origin": self.worker_id, "families": self.metrics.snapshot()}]
+        sources.extend(self._read_worker_snapshots())
+        return render_fleet(sources)
 
     # ------------------------------------------------------------------
     # HTTP front end
@@ -1485,10 +1693,25 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         if self.path.rstrip("/") in ("/healthz", "/v1/health"):
             self._respond(self.analysis_server.handle(HealthRequest().to_payload()))
             return
+        if self.path.rstrip("/") == "/metrics":
+            body = self.analysis_server.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
         self._respond(error_response(BadRequest(f"unknown endpoint {self.path!r}; POST /v1")))
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         logger.debug("http %s - %s", self.address_string(), format % args)
+
+    def log_error(self, format: str, *args: Any) -> None:  # noqa: A002
+        # BaseHTTPRequestHandler funnels errors through log_message, which
+        # the override above demotes to DEBUG — route them to WARNING so
+        # misbehaving clients (bad request lines, oversized headers,
+        # mid-body disconnects) stay diagnosable at default log levels.
+        logger.warning("http %s - %s", self.address_string(), format % args)
 
 
 def _build_http_server(analysis_server: AnalysisServer, host: str, port: int) -> ThreadingHTTPServer:

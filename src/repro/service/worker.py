@@ -35,6 +35,7 @@ blocks, writing the frozen models into the shared
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 import threading
@@ -45,6 +46,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.api.session import AnalysisSession
 from repro.api.spec import coerce_spec
 from repro.core.engine import block_index_pairs, encode_pair_values
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import trace_context
 from repro.service.jobstore import JobRecord, JobStore, JobStoreError, LeaseError
 from repro.service.protocol import decode_corpus
 from repro.strings.tokens import WeightedString
@@ -262,6 +265,60 @@ class Worker:
         #: Tasks completed / failed by this worker (observability).
         self.completed = 0
         self.failed = 0
+        #: Process-local metrics, persisted as a JSON snapshot into
+        #: ``<state-dir>/metrics/<worker_id>.json`` after every task so the
+        #: server's ``/metrics`` can aggregate the fleet.
+        self.metrics = MetricsRegistry()
+        self.metrics_path = os.path.join(self.store.root, "metrics", f"{self.worker_id}.json")
+        self._started = time.time()
+        self.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        registry.gauge("repro_uptime_seconds", "Seconds since this process started.").set(
+            time.time() - self._started
+        )
+        registry.gauge(
+            "repro_process_start_time_seconds", "Unix time this process started."
+        ).set(self._started)
+        for key, value in self.session.engine_counters().items():
+            registry.counter(
+                f"repro_engine_{key}_total", "Warm-engine counters summed across specs."
+            ).set_total(value)
+        if self.session.pair_store is not None:
+            for key, value in self.session.pair_store.counters().items():
+                registry.counter(
+                    f"repro_pair_store_{key}_total", "Persistent pair-value store counters."
+                ).set_total(value)
+        for key, value in self.store.counters().items():
+            registry.counter(
+                f"repro_jobstore_{key}_total", "Job-store lifecycle counters (this process)."
+            ).set_total(value)
+        registry.counter(
+            "repro_worker_tasks_completed_total", "Tasks this worker finished successfully."
+        ).set_total(self.completed)
+        registry.counter(
+            "repro_worker_tasks_failed_total", "Tasks this worker failed or lost the lease on."
+        ).set_total(self.failed)
+
+    def persist_metrics(self) -> None:
+        """Atomically write this worker's metrics snapshot into the state dir.
+
+        Best effort — a full disk or permission problem must never take
+        the work loop down with it.
+        """
+        try:
+            os.makedirs(os.path.dirname(self.metrics_path), exist_ok=True)
+            snapshot = {
+                "origin": self.worker_id,
+                "written_at": time.time(),
+                "families": self.metrics.snapshot(),
+            }
+            temp_path = f"{self.metrics_path}.tmp.{os.getpid()}"
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle)
+            os.replace(temp_path, self.metrics_path)
+        except OSError:
+            logger.debug("worker %s could not persist its metrics snapshot", self.worker_id)
 
     # ------------------------------------------------------------------
     # Execution
@@ -277,27 +334,54 @@ class Worker:
         record = self.store.claim(self.worker_id, self.lease_seconds, kinds=self.kinds)
         if record is None:
             return None
-        logger.info("worker %s claimed %s (attempt %d)", self.worker_id, record.job_id, record.attempts)
-        # The keeper starts before any throttle sleep: a live-but-slow
-        # worker keeps renewing, so only a *dead* worker's lease expires.
-        keeper = _LeaseKeeper(self.store, record.job_id, self.worker_id, self.lease_seconds)
-        keeper.start()
-        try:
-            if self.throttle > 0:
-                time.sleep(self.throttle)
-            self._execute(record)
-        except LeaseError:
-            # The lease was reclaimed under us; the new owner's result wins.
-            logger.warning("worker %s lost the lease on %s", self.worker_id, record.job_id)
-            self.failed += 1
-        except Exception as exc:  # noqa: BLE001 - the queue must keep moving
-            self.failed += 1
-            self._handle_failure(record, exc)
-        else:
-            self.completed += 1
-        finally:
-            keeper.stop()
-            keeper.join(timeout=1.0)
+        # The trace the server stamped on the record (block children
+        # inherit their parent's) binds this worker's log lines to the
+        # originating client request.
+        trace_id = record.options.get("trace_id")
+        span_id = record.options.get("span_id")
+        started = time.perf_counter()
+        with trace_context(trace_id, span_id):
+            logger.info(
+                "worker %s claimed %s (kind %s, attempt %d, trace %s)",
+                self.worker_id, record.job_id, record.kind, record.attempts, trace_id,
+                extra={"job_id": record.job_id, "worker_id": self.worker_id,
+                       "kind": record.kind, "event": "task-claimed"},
+            )
+            # The keeper starts before any throttle sleep: a live-but-slow
+            # worker keeps renewing, so only a *dead* worker's lease expires.
+            keeper = _LeaseKeeper(self.store, record.job_id, self.worker_id, self.lease_seconds)
+            keeper.start()
+            outcome = "completed"
+            try:
+                if self.throttle > 0:
+                    time.sleep(self.throttle)
+                self._execute(record)
+            except LeaseError:
+                # The lease was reclaimed under us; the new owner's result wins.
+                outcome = "lease-lost"
+                logger.warning("worker %s lost the lease on %s", self.worker_id, record.job_id)
+                self.failed += 1
+            except Exception as exc:  # noqa: BLE001 - the queue must keep moving
+                outcome = "failed"
+                self.failed += 1
+                self._handle_failure(record, exc)
+            else:
+                self.completed += 1
+            finally:
+                keeper.stop()
+                keeper.join(timeout=1.0)
+                elapsed = time.perf_counter() - started
+                self.metrics.histogram(
+                    "repro_worker_task_seconds", "Task execution wall-clock by kind.",
+                    kind=record.kind,
+                ).observe(elapsed)
+                logger.info(
+                    "worker %s %s %s in %.3fs (trace %s)",
+                    self.worker_id, outcome, record.job_id, elapsed, trace_id,
+                    extra={"job_id": record.job_id, "worker_id": self.worker_id,
+                           "kind": record.kind, "event": "task-finished"},
+                )
+        self.persist_metrics()
         return record.job_id
 
     def _execute(self, record: JobRecord) -> None:
@@ -360,6 +444,7 @@ class Worker:
     # ------------------------------------------------------------------
     def close(self) -> None:
         self.stop()
+        self.persist_metrics()
         if self._owns_session:
             self.session.shutdown()
 
