@@ -1,0 +1,114 @@
+"""Multi-tenant serving: bearer tokens, isolated namespaces, quotas.
+
+This example walks the tenancy layer of :mod:`repro.service` end to end,
+entirely in-process (one ephemeral localhost port):
+
+1. start an :class:`~repro.service.AnalysisServer` with two configured
+   tenants (``alpha`` and ``beta``), each named by its own bearer token;
+2. show that a client without a token gets a typed ``unauthorized`` error
+   while ``/healthz`` stays open for load balancers;
+3. submit the *identical* corpus as both tenants and check the answers
+   are bit-identical while the tenants share nothing — separate job
+   stores, separate matrix caches under ``<state-dir>/tenants/<id>/``;
+4. exhaust a tenant's request budget and show the typed ``rate-limited``
+   answer carrying ``retry_after`` — and the client's backoff riding it.
+
+Run with::
+
+    python examples/multi_tenant.py [--small]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from repro.api import AnalysisSession, make_spec
+from repro.service import (
+    AnalysisServer,
+    Authenticator,
+    RateLimited,
+    ServiceClient,
+    TenantQuotas,
+    Unauthorized,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true", help="use the reduced 16-example corpus")
+    args = parser.parse_args()
+
+    spec = make_spec("kast", cut_weight=2)
+    with AnalysisSession() as session:
+        strings = session.corpus(small=True, seed=7) if args.small else session.corpus(seed=2017)
+        strings = strings[:8]
+    print(f"corpus: {len(strings)} examples; spec: {spec.canonical()}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-tenants-example-") as state_dir:
+        tenants_path = os.path.join(state_dir, "tenants.json")
+        with open(tenants_path, "w", encoding="utf-8") as handle:
+            json.dump({
+                "tenants": {
+                    "alpha": {"token": "alpha-secret"},
+                    "beta": {"token": "beta-secret",
+                             "quotas": {"requests_per_second": 2, "burst": 2}},
+                }
+            }, handle)
+
+        server = AnalysisServer(
+            state_dir=os.path.join(state_dir, "state"),
+            authenticator=Authenticator.from_file(tenants_path),
+            default_quotas=TenantQuotas(max_corpus_strings=10_000),
+        )
+        host, port = server.start_http()
+        base_url = f"http://{host}:{port}"
+        print(f"server: {base_url} with tenants {server.auth.tenant_ids}")
+
+        # --- no token: typed unauthorized, but health stays open ----------
+        with ServiceClient(base_url, retries=0) as anonymous:
+            print(f"health without a token           : {anonymous.health()['status']}")
+            try:
+                anonymous.specs()
+            except Unauthorized as exc:
+                print(f"specs without a token            : unauthorized ({exc})")
+
+        # --- two tenants, identical corpus, zero sharing -------------------
+        with ServiceClient(base_url, token="alpha-secret") as alpha, \
+                ServiceClient(base_url, token="beta-secret") as beta:
+            matrix_alpha = alpha.matrix(spec, strings, timeout=600)
+            matrix_beta = beta.matrix(spec, strings, timeout=600)
+            print(
+                f"alpha and beta payloads identical: "
+                f"{np.array_equal(matrix_alpha.values, matrix_beta.values)}"
+            )
+            for tenant, client in (("alpha", alpha), ("beta", beta)):
+                stats = client.cache_stats()
+                namespace = os.path.join(server.store.root, "tenants", tenant)
+                print(
+                    f"tenant {tenant}: cache entries={stats['entries']} "
+                    f"hits={stats['hits']} namespace={os.path.isdir(namespace)}"
+                )
+
+            # --- beta's rate budget: typed, hinted, and client-honoured ---
+            try:
+                for _ in range(8):
+                    beta_no_retry = ServiceClient(base_url, token="beta-secret", retries=0)
+                    beta_no_retry.specs()
+            except RateLimited as exc:
+                print(f"beta rate-limited                : retry_after={exc.retry_after}s")
+            # The default client retries with backoff, sleeping at least
+            # the server's hint — so the same burst succeeds, just slower.
+            assert "kinds" in beta.specs()
+            print("beta with retries                : specs served after backoff")
+
+        server.close()
+        print("server stopped")
+
+
+if __name__ == "__main__":
+    main()

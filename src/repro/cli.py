@@ -208,6 +208,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="evict pair-store segments idle longer than this (default: LRU eviction only)",
     )
+    serve.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help="require this bearer token on every request (single-tenant auth)",
+    )
+    serve.add_argument(
+        "--tenants",
+        default=None,
+        metavar="PATH",
+        help="tenants.json mapping tenant ids to tokens and quota overrides (multi-tenant auth)",
+    )
+    serve.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="refuse request bodies larger than this (default: 64 MiB)",
+    )
+    serve.add_argument(
+        "--tenant-rps",
+        type=float,
+        default=None,
+        metavar="N",
+        help="default per-tenant request rate limit in requests/second (default: unlimited)",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --tenant-rps: token-bucket burst capacity (default: twice the rate)",
+    )
+    serve.add_argument(
+        "--max-queued-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default per-tenant bound on live (queued + running) jobs (default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-corpus-strings",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default per-tenant bound on submitted corpus size (default: unlimited)",
+    )
 
     worker = subparsers.add_parser(
         "worker", help="run a pull-loop worker over a server's state directory"
@@ -298,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
     remote = subparsers.add_parser("remote", help="talk to a running analysis service")
     remote.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8123")
     remote.add_argument("--timeout", type=float, default=600.0, help="seconds to wait for results (default: 600)")
+    remote.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help="bearer token for an auth-enabled server (default: $REPRO_SERVICE_TOKEN)",
+    )
     remote_actions = remote.add_subparsers(dest="remote_command", required=True)
 
     remote_actions.add_parser("health", help="print the server health snapshot")
@@ -372,6 +425,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     model.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8123")
     model.add_argument("--timeout", type=float, default=600.0, help="seconds to wait for fits (default: 600)")
+    model.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help="bearer token for an auth-enabled server (default: $REPRO_SERVICE_TOKEN)",
+    )
     model_actions = model.add_subparsers(dest="model_command", required=True)
 
     model_fit = model_actions.add_parser(
@@ -572,11 +631,27 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.obs.logging import configure_logging
-    from repro.service import AnalysisServer, serve_stdio
+    from repro.service import AnalysisServer, Authenticator, TenantQuotas, serve_stdio
+    from repro.service.server import DEFAULT_MAX_REQUEST_BYTES
 
     # Long-running process: honour REPRO_LOG_JSON / REPRO_LOG_LEVEL so the
     # structured trace-carrying log lines are one env var away.
     configure_logging()
+    if args.token and args.tenants:
+        print("use --token (single tenant) or --tenants (file), not both", file=sys.stderr)
+        return 2
+    if args.tenants:
+        authenticator = Authenticator.from_file(args.tenants)
+    elif args.token:
+        authenticator = Authenticator.single(args.token)
+    else:
+        authenticator = None
+    default_quotas = TenantQuotas(
+        requests_per_second=args.tenant_rps,
+        burst=args.tenant_burst,
+        max_queued_jobs=args.max_queued_jobs,
+        max_corpus_strings=args.max_corpus_strings,
+    )
     server = AnalysisServer(
         state_dir=args.state_dir,
         n_jobs=args.n_jobs,
@@ -593,7 +668,16 @@ def _command_serve(args: argparse.Namespace) -> int:
         pair_store=not args.no_pair_store,
         max_pair_bytes=args.max_pair_bytes,
         pair_ttl=args.pair_ttl,
+        authenticator=authenticator,
+        default_quotas=None if default_quotas.unlimited else default_quotas,
+        max_request_bytes=(
+            args.max_request_bytes if args.max_request_bytes is not None
+            else DEFAULT_MAX_REQUEST_BYTES
+        ),
     )
+    if server.auth.enabled:
+        tenants = ", ".join(server.auth.tenant_ids)
+        print(f"auth enabled for tenant(s): {tenants}", file=sys.stderr)
     try:
         if args.stdio:
             # Protocol traffic owns stdout; operator chatter goes to stderr.
@@ -687,10 +771,11 @@ def _gc_layer_summary(state_dir: str) -> None:
     )
 
 
-def _command_gc(args: argparse.Namespace) -> int:
+def _gc_namespace(state_dir: str, args: argparse.Namespace) -> None:
+    """Sweep one state namespace (the root dir, or one tenant's)."""
     from repro.service import JobStore
 
-    store = JobStore(args.state_dir, recover=False)
+    store = JobStore(state_dir, recover=False)
     swept = store.sweep(args.ttl, dry_run=args.dry_run)
     verb = "would sweep" if args.dry_run else "swept"
     print(f"{verb} {len(swept)} job(s) from {store.root}")
@@ -729,13 +814,29 @@ def _command_gc(args: argparse.Namespace) -> int:
             )
             print(f"evicted {len(dropped)} pair-store segment(s) from {pair_store.root}")
     _gc_layer_summary(store.root)
+
+
+def _command_gc(args: argparse.Namespace) -> int:
+    from repro.service.tenancy import TENANTS_DIRNAME, valid_tenant_id
+
+    _gc_namespace(args.state_dir, args)
+    # Tenant namespaces are their own stores and caches; sweep each one
+    # under the same knobs, with a banner so operators can tell whose
+    # layer summary they are reading.
+    tenants_base = os.path.join(args.state_dir, TENANTS_DIRNAME)
+    if os.path.isdir(tenants_base):
+        for name in sorted(os.listdir(tenants_base)):
+            namespace = os.path.join(tenants_base, name)
+            if valid_tenant_id(name) and os.path.isdir(namespace):
+                print(f"tenant {name}:")
+                _gc_namespace(namespace, args)
     return 0
 
 
 def _command_remote(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient
 
-    with ServiceClient(args.url) as client:
+    with ServiceClient(args.url, token=args.token) as client:
         if args.remote_command == "health":
             health = client.health()
             print(json.dumps(health, indent=2, sort_keys=True))
@@ -747,6 +848,21 @@ def _command_remote(args: argparse.Namespace) -> int:
                     f" (started_at {health.get('started_at')}, pid {health.get('pid')})",
                     file=sys.stderr,
                 )
+            # With tenancy active the server reports one namespace summary
+            # per tenant; give operators the roll-up at a glance.
+            tenants = health.get("tenants")
+            if isinstance(tenants, dict):
+                for tenant_id in sorted(tenants):
+                    summary = tenants[tenant_id]
+                    jobs = summary.get("jobs")
+                    job_count = sum(jobs.values()) if isinstance(jobs, dict) else jobs
+                    print(
+                        f"# tenant {tenant_id}: {job_count} job(s), "
+                        f"queue depth {summary.get('queue_depth')}, "
+                        f"{summary.get('matrix_cache_entries')} cached matrix(es), "
+                        f"{summary.get('models')} model(s)",
+                        file=sys.stderr,
+                    )
             return 0
         if args.remote_command == "specs":
             print(json.dumps(client.specs(), indent=2, sort_keys=True))
@@ -844,7 +960,7 @@ def _command_remote(args: argparse.Namespace) -> int:
 def _command_model(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient
 
-    with ServiceClient(args.url) as client:
+    with ServiceClient(args.url, token=args.token) as client:
         if args.model_command == "list":
             print(json.dumps(client.models(), indent=2, sort_keys=True))
             return 0

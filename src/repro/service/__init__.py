@@ -31,14 +31,31 @@ share one warm session, and jobs survive the server process.
   SIGKILLed worker's blocks are reclaimed when the lease expires.
 * :mod:`repro.service.client` — :class:`ServiceClient`, mirroring the
   ``AnalysisSession`` surface (``matrix()/analyze()/submit()/result()``)
-  over an HTTP or stdio transport.
+  over an HTTP or stdio transport, with bearer-token auth and transient
+  failure retries.
+* :mod:`repro.service.router` / :mod:`repro.service.middleware` — the
+  request pipeline every front end shares: parsing, authentication,
+  tenant resolution, quotas/rate limiting, metrics and tracing around a
+  first-class :class:`Router` dispatch table.
+* :mod:`repro.service.auth` / :mod:`repro.service.tenancy` —
+  :class:`Authenticator` (bearer token → tenant id) and the per-tenant
+  state namespaces (``<state-dir>/tenants/<id>/``) holding each tenant's
+  job store, caches and models with zero cross-tenant sharing.
 
 The CLI wires this up as ``repro-iokast serve``, ``repro-iokast worker``,
 ``repro-iokast remote`` and ``repro-iokast gc``.
 """
 
-from repro.service.client import HTTPTransport, ServiceClient, StdioTransport
+from repro.service.auth import Authenticator
+from repro.service.client import (
+    TOKEN_ENV_VAR,
+    HTTPTransport,
+    ServiceClient,
+    StdioTransport,
+    TransportError,
+)
 from repro.service.jobstore import JobRecord, JobStore, LeaseError, RecoveryReport
+from repro.service.middleware import RequestContext, compose
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     BadRequest,
@@ -46,17 +63,31 @@ from repro.service.protocol import (
     JobPending,
     ModelDamaged,
     ModelNotFound,
+    QuotaExceeded,
+    RateLimited,
+    RequestTooLarge,
     ServiceError,
+    Unauthorized,
     UnknownJob,
     decode_corpus,
     encode_corpus,
 )
+from repro.service.router import Router
 from repro.service.server import AnalysisServer, serve_stdio
+from repro.service.tenancy import (
+    DEFAULT_TENANT,
+    TenantContext,
+    TenantQuotas,
+    TenantRegistry,
+)
 from repro.service.worker import Worker, execute_block_task, execute_fit_model_task
 
 __all__ = [
+    "DEFAULT_TENANT",
     "PROTOCOL_VERSION",
+    "TOKEN_ENV_VAR",
     "AnalysisServer",
+    "Authenticator",
     "BadRequest",
     "HTTPTransport",
     "JobFailed",
@@ -66,12 +97,23 @@ __all__ = [
     "LeaseError",
     "ModelDamaged",
     "ModelNotFound",
+    "QuotaExceeded",
+    "RateLimited",
     "RecoveryReport",
+    "RequestContext",
+    "RequestTooLarge",
+    "Router",
     "ServiceClient",
     "ServiceError",
     "StdioTransport",
+    "TenantContext",
+    "TenantQuotas",
+    "TenantRegistry",
+    "TransportError",
+    "Unauthorized",
     "UnknownJob",
     "Worker",
+    "compose",
     "decode_corpus",
     "encode_corpus",
     "execute_block_task",

@@ -27,18 +27,33 @@ Server-side failures arrive as the same typed
 :class:`~repro.service.protocol.ServiceError` hierarchy the server raised,
 and result polling honours the session's timeout contract by raising
 :class:`~repro.api.session.JobTimeout` with the job id attached.
+
+Resilience: the client distinguishes *transport* failures (connection
+refused/reset, non-protocol 5xx — raised as :class:`TransportError`) from
+typed protocol errors.  Idempotent calls (health, specs, status, result
+polls, models, metrics) retry transport failures and opaque ``internal``
+errors with jittered exponential backoff; ``rate-limited`` /
+``quota-exceeded`` answers carrying a ``retry_after`` hint are honoured
+with a capped backoff on *every* call type, because the server rejected
+them before doing any work.  ``retries=0`` restores fail-fast behaviour.
+
+Authentication: pass ``token=...`` (or set ``REPRO_SERVICE_TOKEN``) and the
+client stamps it into every request envelope — which authenticates
+identically over HTTP and stdio transports.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import random
 import subprocess
 import sys
 import threading
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Mapping, Optional, Sequence, TextIO, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, TextIO, Union
 
 from repro.api.session import JobTimeout
 from repro.api.spec import KernelSpec, coerce_spec
@@ -52,6 +67,8 @@ from repro.service.protocol import (
     HealthRequest,
     JobPending,
     ModelsRequest,
+    QuotaExceeded,
+    RateLimited,
     Request,
     ResultRequest,
     ServiceError,
@@ -66,7 +83,28 @@ from repro.service.protocol import (
 )
 from repro.strings.tokens import WeightedString
 
-__all__ = ["HTTPTransport", "ServiceClient", "StdioTransport", "spawn_stdio_server"]
+__all__ = [
+    "HTTPTransport",
+    "ServiceClient",
+    "StdioTransport",
+    "TransportError",
+    "spawn_stdio_server",
+]
+
+#: Environment variable the client reads a bearer token from when none is
+#: passed explicitly (mirrors the CLI's ``--token`` flags).
+TOKEN_ENV_VAR = "REPRO_SERVICE_TOKEN"
+
+
+class TransportError(ServiceError):
+    """The request never produced a protocol answer (network/stream failure).
+
+    Distinct from the wire's typed errors so retry policy can tell "the
+    server refused" (definitive, do not blindly retry) from "the server
+    never answered" (safe to retry when the call is idempotent).
+    """
+
+    code = "transport"
 
 #: Spec shorthands the client accepts (mirrors the session's SpecLike).
 SpecLike = Union[KernelSpec, Mapping[str, Any], str]
@@ -106,13 +144,15 @@ class HTTPTransport:
             try:
                 return json.loads(text)
             except json.JSONDecodeError:
-                raise ServiceError(f"HTTP {exc.code} from {self.base_url}: {text[:200]}") from exc
+                raise TransportError(f"HTTP {exc.code} from {self.base_url}: {text[:200]}") from exc
         except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach analysis server at {self.base_url}: {exc.reason}") from exc
+            raise TransportError(f"cannot reach analysis server at {self.base_url}: {exc.reason}") from exc
+        except OSError as exc:  # reset/refused surfacing outside URLError
+            raise TransportError(f"connection to {self.base_url} failed: {exc}") from exc
         try:
             return json.loads(text)
         except json.JSONDecodeError as exc:
-            raise ServiceError(f"server returned non-JSON response: {text[:200]}") from exc
+            raise TransportError(f"server returned non-JSON response: {text[:200]}") from exc
 
     def fetch_text(self, path: str) -> str:
         """GET a plain-text endpoint of the server (e.g. ``/metrics``)."""
@@ -122,9 +162,9 @@ class HTTPTransport:
             ) as response:
                 return response.read().decode("utf-8")
         except urllib.error.HTTPError as exc:
-            raise ServiceError(f"HTTP {exc.code} from {self.base_url}{path}") from exc
+            raise TransportError(f"HTTP {exc.code} from {self.base_url}{path}") from exc
         except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach analysis server at {self.base_url}: {exc.reason}") from exc
+            raise TransportError(f"cannot reach analysis server at {self.base_url}: {exc.reason}") from exc
 
     def close(self) -> None:
         """HTTP requests are one-shot; nothing to release."""
@@ -159,7 +199,7 @@ class StdioTransport:
             self._writer.flush()
             line = self._reader.readline()
         if not line:
-            raise ServiceError("stdio server closed the stream without answering")
+            raise TransportError("stdio server closed the stream without answering")
         return load_message(line)
 
     def close(self) -> None:
@@ -226,19 +266,46 @@ class ServiceClient:
         timeout (when it has one), so an unbounded
         ``result_payload(timeout=None)`` keeps politely polling instead of
         surfacing a transport timeout mid-wait.
+    token:
+        Bearer token stamped into every request envelope.  ``None`` falls
+        back to the ``REPRO_SERVICE_TOKEN`` environment variable; empty /
+        unset means unauthenticated (fine against a no-auth server).
+    retries:
+        Extra attempts granted to transient failures: transport errors and
+        opaque ``internal`` answers on *idempotent* calls, and
+        ``rate-limited`` / ``quota-exceeded`` answers carrying a
+        ``retry_after`` hint on every call.  ``0`` fails fast (the
+        pre-retry behaviour).
+    backoff / max_backoff:
+        Base and cap (seconds) of the jittered exponential backoff between
+        attempts; a server ``retry_after`` hint is always honoured in full.
     """
 
     def __init__(
         self,
         transport: Union[str, HTTPTransport, StdioTransport],
         poll_wait: float = _POLL_WAIT_SECONDS,
+        token: Optional[str] = None,
+        retries: int = 3,
+        backoff: float = 0.25,
+        max_backoff: float = 8.0,
     ) -> None:
         if isinstance(transport, str):
             transport = HTTPTransport(transport)
         if poll_wait <= 0:
             raise ValueError(f"poll_wait must be > 0, got {poll_wait}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff <= 0 or max_backoff < backoff:
+            raise ValueError(f"need 0 < backoff <= max_backoff, got {backoff}/{max_backoff}")
         self.transport = transport
         self.poll_wait = float(poll_wait)
+        if token is None:
+            token = os.environ.get(TOKEN_ENV_VAR) or None
+        self.token = token
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
 
     def _clamped_poll_wait(self) -> float:
         """The per-poll server-side wait hint, kept under the socket timeout.
@@ -259,8 +326,54 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def _call(self, request: Request) -> Dict[str, Any]:
-        return check_response(self.transport.request(request.to_payload()))
+    def _send(self, request: Request) -> Dict[str, Any]:
+        payload = request.to_payload()
+        if self.token is not None:
+            payload["token"] = self.token
+        return check_response(self.transport.request(payload))
+
+    def _call(self, request: Request, idempotent: bool = False) -> Dict[str, Any]:
+        return self._with_retries(lambda: self._send(request), idempotent=idempotent)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Jittered exponential delay before retry number *attempt* (0-based)."""
+        base = min(self.max_backoff, self.backoff * (2 ** attempt))
+        return base * (0.5 + random.random() / 2)
+
+    def _with_retries(self, send: Callable[[], Any], idempotent: bool) -> Any:
+        """Run *send*, retrying the failures that retrying can actually fix.
+
+        * ``rate-limited`` / ``quota-exceeded`` answers carrying a
+          ``retry_after`` hint are retried on *every* call — the server
+          itself promised the condition is temporary — sleeping at least
+          the hinted interval.  Without the hint (e.g. an oversized
+          corpus) the error is permanent and re-raises immediately.
+        * Transport failures and opaque ``internal`` errors are retried
+          only on idempotent calls: a submission that died mid-flight may
+          still have been queued, and resending it is not the client's
+          decision to make.
+        """
+        attempt = 0
+        while True:
+            try:
+                return send()
+            except (RateLimited, QuotaExceeded) as exc:
+                retry_after = exc.retry_after
+                if retry_after is None or attempt >= self.retries:
+                    raise
+                delay = max(retry_after, self._backoff_delay(attempt))
+            except TransportError:
+                if not idempotent or attempt >= self.retries:
+                    raise
+                delay = self._backoff_delay(attempt)
+            except ServiceError as exc:
+                # Only the opaque catch-all ("internal") is plausibly
+                # transient; typed subclasses are deliberate answers.
+                if type(exc) is not ServiceError or not idempotent or attempt >= self.retries:
+                    raise
+                delay = self._backoff_delay(attempt)
+            attempt += 1
+            time.sleep(delay)
 
     @staticmethod
     def _spec_payload(spec: SpecLike) -> Dict[str, Any]:
@@ -276,11 +389,11 @@ class ServiceClient:
         ``matrix_cache`` / ``pair_store`` hit-rate summaries (``None``
         for a disabled layer).
         """
-        return self._call(HealthRequest())
+        return self._call(HealthRequest(), idempotent=True)
 
     def specs(self) -> Dict[str, Any]:
         """Registered kernel kinds and the server session's warm specs."""
-        return self._call(SpecsRequest())
+        return self._call(SpecsRequest(), idempotent=True)
 
     def cache_stats(self) -> Dict[str, Any]:
         """The server's persistent cache state and counters.
@@ -294,7 +407,7 @@ class ServiceClient:
         ``enabled`` flag plus :meth:`PairStore.stats
         <repro.core.pairstore.PairStore.stats>`).
         """
-        response = self._call(CacheStatsRequest())
+        response = self._call(CacheStatsRequest(), idempotent=True)
         return {key: value for key, value in response.items() if key not in ("v", "ok", "type")}
 
     def metrics_text(self) -> str:
@@ -310,7 +423,7 @@ class ServiceClient:
             raise ServiceError(
                 "metrics are only available over the HTTP transport (GET /metrics)"
             )
-        return fetch("/metrics")
+        return self._with_retries(lambda: fetch("/metrics"), idempotent=True)
 
     # ------------------------------------------------------------------
     # Job handles
@@ -406,7 +519,7 @@ class ServiceClient:
 
     def status(self, job_id: str) -> str:
         """The job's store status (``queued``/``running``/``done``/...)."""
-        return str(self._call(StatusRequest(job_id=job_id))["status"])
+        return str(self._call(StatusRequest(job_id=job_id), idempotent=True)["status"])
 
     def _result_response(
         self, job_id: str, timeout: Optional[float] = None, forget: bool = False
@@ -420,7 +533,10 @@ class ServiceClient:
                 raise JobTimeout(job_id, timeout)
             wait = poll_wait if remaining is None else max(0.0, min(poll_wait, remaining))
             try:
-                response = self._call(ResultRequest(job_id=job_id, wait=wait, forget=forget))
+                response = self._call(
+                    ResultRequest(job_id=job_id, wait=wait, forget=forget),
+                    idempotent=not forget,
+                )
             except JobPending:
                 continue
             payload = response.get("payload")
@@ -638,7 +754,7 @@ class ServiceClient:
 
     def models(self) -> Dict[str, Any]:
         """The server's stored landmark models with their serve counters."""
-        response = self._call(ModelsRequest())
+        response = self._call(ModelsRequest(), idempotent=True)
         return {key: value for key, value in response.items() if key not in ("v", "ok", "type")}
 
     # ------------------------------------------------------------------

@@ -1,0 +1,274 @@
+"""The request pipeline: composable middleware shared by every front end.
+
+One request — whether it arrived over HTTP, over stdio, or from an
+in-process :meth:`AnalysisServer.handle` call — flows through the same
+chain of middleware before reaching its routed handler::
+
+    metrics/error boundary        (outermost: every request is counted,
+        -> parsing/validation      every failure becomes a typed envelope)
+        -> authentication          (bearer token -> tenant id; health exempt)
+        -> tenant resolution       (tenant id -> TenantContext namespace)
+        -> quotas / rate limit     (token bucket, queued jobs, corpus size)
+        -> tracing                 (request-scoped log line under the trace id)
+        -> Router.dispatch         (typed request -> handler)
+
+A middleware is a function ``(next_handler) -> handler`` over
+``(RequestContext) -> response``; :func:`compose` folds a chain of them
+around a terminal handler.  The :class:`RequestContext` is the single
+mutable carrier: earlier stages fill in fields (``request``,
+``tenant_id``, ``tenant``) that later stages and the handlers consume, so
+handlers never re-parse or re-authenticate anything.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import trace_context
+from repro.service.auth import Authenticator
+from repro.service.protocol import (
+    HealthRequest,
+    QuotaExceeded,
+    RateLimited,
+    Request,
+    ServiceError,
+    error_response,
+    parse_request,
+    payload_token,
+)
+from repro.service.tenancy import DEFAULT_TENANT, TenantContext
+
+__all__ = [
+    "RequestContext",
+    "Handler",
+    "Middleware",
+    "compose",
+    "metrics_middleware",
+    "parsing_middleware",
+    "auth_middleware",
+    "tenant_middleware",
+    "quota_middleware",
+    "tracing_middleware",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Request types that admit new work (the queued-jobs / corpus quotas apply).
+_SUBMIT_TYPES = ("submit-matrix", "submit-analyze", "fit-model")
+
+
+@dataclass
+class RequestContext:
+    """Everything one request accumulates on its way through the pipeline."""
+
+    #: The raw wire object as the transport delivered it.
+    payload: Any
+    #: Bearer token from the transport (HTTP ``Authorization`` header);
+    #: the parsing middleware may fill this from the envelope ``token``.
+    token: Optional[str] = None
+    #: Which front end delivered the request (``http``/``stdio``/``inproc``).
+    transport: str = "inproc"
+    #: Set by the parsing middleware.
+    request: Optional[Request] = None
+    #: Set by the auth middleware.
+    tenant_id: Optional[str] = None
+    #: Set by the tenant-resolution middleware.
+    tenant: Optional[TenantContext] = None
+
+    @property
+    def method(self) -> str:
+        """The request's wire type for labels (``invalid`` before parsing)."""
+        return self.request.TYPE if self.request is not None else "invalid"
+
+
+Handler = Callable[[RequestContext], Dict[str, Any]]
+Middleware = Callable[[Handler], Handler]
+
+
+def compose(middlewares: Sequence[Middleware], terminal: Handler) -> Handler:
+    """Fold *middlewares* around *terminal* (first listed = outermost)."""
+    handler = terminal
+    for middleware in reversed(list(middlewares)):
+        handler = middleware(handler)
+    return handler
+
+
+def metrics_middleware(registry: MetricsRegistry) -> Middleware:
+    """Outermost stage: count/time every request and seal in the envelope.
+
+    Sits outside parsing and auth so malformed, unauthorized and
+    rate-limited requests are all observable, each under its error code —
+    and so no exception of any kind escapes to a transport (the wire
+    always gets a typed error envelope).
+    """
+
+    def middleware(next_handler: Handler) -> Handler:
+        def handle(ctx: RequestContext) -> Dict[str, Any]:
+            started = time.perf_counter()
+            status = "error"
+            try:
+                response = next_handler(ctx)
+                status = "ok"
+                return response
+            except ServiceError as exc:
+                status = exc.code
+                return error_response(exc)
+            except Exception as exc:  # noqa: BLE001 - the wire must always get an envelope
+                status = "internal"
+                logger.exception("unhandled error serving request")
+                return error_response(ServiceError(f"internal error: {type(exc).__name__}: {exc}"))
+            finally:
+                tenant = ctx.tenant_id or "unauthenticated"
+                registry.counter(
+                    "repro_requests_total", "Protocol requests by method, outcome and tenant.",
+                    method=ctx.method, status=status, tenant=tenant,
+                ).inc()
+                registry.histogram(
+                    "repro_request_seconds", "Protocol request latency by method.",
+                    method=ctx.method,
+                ).observe(time.perf_counter() - started)
+
+        return handle
+
+    return middleware
+
+
+def parsing_middleware() -> Middleware:
+    """Validate the wire object into a typed request (and lift its token).
+
+    An envelope-level ``token`` field outranks nothing: it is only used
+    when the transport supplied no token of its own (the HTTP header
+    wins), so a proxy injecting headers cannot be confused by body fields.
+    """
+
+    def middleware(next_handler: Handler) -> Handler:
+        def handle(ctx: RequestContext) -> Dict[str, Any]:
+            envelope_token = payload_token(ctx.payload)
+            if ctx.token is None:
+                ctx.token = envelope_token
+            ctx.request = parse_request(ctx.payload)
+            return next_handler(ctx)
+
+        return handle
+
+    return middleware
+
+
+def auth_middleware(authenticator: Authenticator) -> Middleware:
+    """Resolve the bearer token to a tenant id (health probes exempt).
+
+    Health stays unauthenticated by design — load balancers and uptime
+    probes must be able to ask without holding a secret — and resolves to
+    the default tenant.
+    """
+
+    def middleware(next_handler: Handler) -> Handler:
+        def handle(ctx: RequestContext) -> Dict[str, Any]:
+            if isinstance(ctx.request, HealthRequest) and ctx.token is None:
+                ctx.tenant_id = DEFAULT_TENANT
+            else:
+                ctx.tenant_id = authenticator.authenticate(ctx.token)
+            return next_handler(ctx)
+
+        return handle
+
+    return middleware
+
+
+def tenant_middleware(resolver: Callable[[str], TenantContext]) -> Middleware:
+    """Attach the tenant's namespace context (stores, session, caches)."""
+
+    def middleware(next_handler: Handler) -> Handler:
+        def handle(ctx: RequestContext) -> Dict[str, Any]:
+            assert ctx.tenant_id is not None, "auth middleware must run before tenant resolution"
+            ctx.tenant = resolver(ctx.tenant_id)
+            return next_handler(ctx)
+
+        return handle
+
+    return middleware
+
+
+def quota_middleware() -> Middleware:
+    """Enforce the tenant's budgets: request rate, queued jobs, corpus size.
+
+    * Token bucket → typed ``rate-limited`` with ``retry_after``.
+    * ``max_queued_jobs`` (submissions only) → ``quota-exceeded`` with a
+      ``retry_after`` hint, because the queue drains.
+    * ``max_corpus_strings`` (submissions only) → ``quota-exceeded``
+      *without* ``retry_after``: resubmitting the same oversized corpus
+      can never succeed, so clients must not burn retries on it.
+
+    Health probes are never limited (same reasoning as auth exemption).
+    """
+
+    def middleware(next_handler: Handler) -> Handler:
+        def handle(ctx: RequestContext) -> Dict[str, Any]:
+            tenant = ctx.tenant
+            assert tenant is not None, "tenant middleware must run before quotas"
+            if isinstance(ctx.request, HealthRequest):
+                return next_handler(ctx)
+            if tenant.bucket is not None:
+                retry_after = tenant.bucket.acquire()
+                if retry_after is not None:
+                    raise RateLimited(
+                        f"tenant {tenant.tenant_id!r} exceeded its request rate "
+                        f"({tenant.quotas.requests_per_second:g}/s)",
+                        details={
+                            "retry_after": round(retry_after, 3),
+                            "tenant": tenant.tenant_id,
+                        },
+                    )
+            if ctx.method in _SUBMIT_TYPES:
+                quotas = tenant.quotas
+                if quotas.max_corpus_strings is not None:
+                    strings = getattr(ctx.request, "strings", ()) or ()
+                    if len(strings) > quotas.max_corpus_strings:
+                        raise QuotaExceeded(
+                            f"corpus of {len(strings)} string(s) exceeds tenant "
+                            f"{tenant.tenant_id!r}'s limit of {quotas.max_corpus_strings}",
+                            details={"tenant": tenant.tenant_id,
+                                     "max_corpus_strings": quotas.max_corpus_strings},
+                        )
+                if quotas.max_queued_jobs is not None:
+                    live = tenant.live_job_count()
+                    if live >= quotas.max_queued_jobs:
+                        raise QuotaExceeded(
+                            f"tenant {tenant.tenant_id!r} already has {live} live job(s) "
+                            f"(limit {quotas.max_queued_jobs}); retry once the queue drains",
+                            details={
+                                "retry_after": 1.0,
+                                "tenant": tenant.tenant_id,
+                                "max_queued_jobs": quotas.max_queued_jobs,
+                                "live_jobs": live,
+                            },
+                        )
+            return next_handler(ctx)
+
+        return handle
+
+    return middleware
+
+
+def tracing_middleware() -> Middleware:
+    """Log one request-scoped line under the request's trace id (if any)."""
+
+    def middleware(next_handler: Handler) -> Handler:
+        def handle(ctx: RequestContext) -> Dict[str, Any]:
+            trace_id = getattr(ctx.request, "trace_id", None)
+            with trace_context(trace_id):
+                logger.debug(
+                    "request %s tenant=%s transport=%s trace=%s",
+                    ctx.method, ctx.tenant_id, ctx.transport, trace_id,
+                    extra={"event": "request", "method": ctx.method,
+                           "tenant": ctx.tenant_id, "transport": ctx.transport},
+                )
+                return next_handler(ctx)
+
+        return handle
+
+    return middleware

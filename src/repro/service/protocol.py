@@ -56,6 +56,11 @@ __all__ = [
     "CannotCancel",
     "ModelNotFound",
     "ModelDamaged",
+    "Unauthorized",
+    "RateLimited",
+    "QuotaExceeded",
+    "RequestTooLarge",
+    "payload_token",
     "Request",
     "SubmitMatrixRequest",
     "SubmitAnalyzeRequest",
@@ -185,11 +190,61 @@ class ModelDamaged(ServiceError):
     http_status = 500
 
 
+class Unauthorized(ServiceError):
+    """The request carried no token, or a token no tenant is configured for."""
+
+    code = "unauthorized"
+    http_status = 401
+
+
+class RateLimited(ServiceError):
+    """The tenant exhausted its request budget; retry after a delay.
+
+    ``details["retry_after"]`` carries the seconds a client should wait
+    before retrying — :class:`~repro.service.client.ServiceClient` honours
+    it with capped exponential backoff.
+    """
+
+    code = "rate-limited"
+    http_status = 429
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        value = self.details.get("retry_after")
+        return float(value) if isinstance(value, (int, float)) and not isinstance(value, bool) else None
+
+
+class QuotaExceeded(ServiceError):
+    """A tenant quota (queued jobs, corpus size) refused the request.
+
+    Carries ``retry_after`` like :class:`RateLimited` when the condition is
+    transient (e.g. the job queue will drain); a ``retry_after`` of ``None``
+    means retrying the same request can never succeed (e.g. the corpus is
+    simply larger than the tenant's limit).
+    """
+
+    code = "quota-exceeded"
+    http_status = 429
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        value = self.details.get("retry_after")
+        return float(value) if isinstance(value, (int, float)) and not isinstance(value, bool) else None
+
+
+class RequestTooLarge(ServiceError):
+    """The request body exceeds the server's configured byte bound."""
+
+    code = "request-too-large"
+    http_status = 413
+
+
 _ERROR_CODES: Dict[str, Type[ServiceError]] = {
     error_class.code: error_class
     for error_class in (
         ServiceError, BadRequest, UnsupportedVersion, UnknownJob, JobFailed,
         JobPending, CannotCancel, ModelNotFound, ModelDamaged,
+        Unauthorized, RateLimited, QuotaExceeded, RequestTooLarge,
     )
 }
 
@@ -578,8 +633,25 @@ def parse_request(payload: Any) -> Request:
         raise BadRequest(
             f"unknown request type {type_name!r}; known types: {', '.join(sorted(_REQUEST_TYPES))}"
         )
-    fields = {key: value for key, value in payload.items() if key not in ("v", "type")}
+    # "token" is an envelope-level field (bearer auth for transports with
+    # no header side channel, e.g. stdio) — never a request dataclass field.
+    fields = {key: value for key, value in payload.items() if key not in ("v", "type", "token")}
     return _REQUEST_TYPES[type_name]._from_fields(fields)
+
+
+def payload_token(payload: Any) -> Optional[str]:
+    """The envelope-level bearer token of a wire object, if it carries one.
+
+    Raises :class:`BadRequest` when a ``token`` field is present but not a
+    string — a silently ignored malformed token would authenticate as the
+    anonymous caller, which is the one thing auth must never do.
+    """
+    if not isinstance(payload, Mapping) or "token" not in payload:
+        return None
+    token = payload["token"]
+    if not isinstance(token, str) or not token:
+        raise BadRequest("'token' must be a non-empty string when present")
+    return token
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,64 @@
+"""The router: typed protocol requests mapped to handler functions.
+
+The tail of the middleware pipeline.  Where :meth:`AnalysisServer.handle`
+used to close over a literal dict of ``request type -> bound method``,
+the :class:`Router` makes the dispatch table a first-class object:
+handlers are *registered* (so extensions — new message kinds, per-route
+wrappers, A/B handlers — compose instead of editing one monolithic
+method), the table is introspectable, and double registration is a loud
+error instead of a silent overwrite.
+
+Handlers have the middleware signature ``(RequestContext) -> response``:
+by the time the router runs, the context carries the parsed request and
+the resolved tenant, so a handler body is purely business logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.service.middleware import Handler, RequestContext
+from repro.service.protocol import BadRequest, Request
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Dispatch table from request dataclass type to handler."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[Type[Request], Handler] = {}
+
+    def register(self, request_type: Type[Request], handler: Handler) -> None:
+        """Route *request_type* to *handler* (double registration is an error)."""
+        if not (isinstance(request_type, type) and issubclass(request_type, Request)):
+            raise TypeError(f"can only route Request subclasses, got {request_type!r}")
+        if request_type in self._routes:
+            raise ValueError(f"{request_type.TYPE!r} is already routed")
+        self._routes[request_type] = handler
+
+    def routes(self) -> Dict[Type[Request], Handler]:
+        """A copy of the dispatch table (introspection, tests)."""
+        return dict(self._routes)
+
+    def dispatch(self, ctx: RequestContext) -> Dict[str, object]:
+        """Invoke the handler routed for the context's parsed request.
+
+        An unrouted type is a ``bad-request``: the protocol knows the
+        message but this server exposes no handler for it (e.g. a
+        restricted deployment) — distinct from the parse-time "unknown
+        type" error only in its message.
+        """
+        if ctx.request is None:
+            raise BadRequest("no parsed request to dispatch (parsing middleware missing?)")
+        handler = self._routes.get(type(ctx.request))
+        if handler is None:
+            raise BadRequest(f"this server exposes no handler for {ctx.request.TYPE!r} requests")
+        return handler(ctx)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        kinds = ", ".join(sorted(route.TYPE for route in self._routes))
+        return f"Router({kinds})"

@@ -76,6 +76,23 @@ shares the session's engines and persistent pair store with the batch
 tier.  Per-model serve counters (requests, warm traces, kernel
 evaluations, latency) surface in ``health``/``/healthz`` and
 ``cache-stats``.
+
+Request pipeline, auth and tenancy
+----------------------------------
+Dispatch is layered, not monolithic: every request — HTTP, stdio, or an
+in-process :meth:`AnalysisServer.handle` call — flows through the same
+:mod:`~repro.service.middleware` chain (metrics/error boundary → parsing
+→ bearer-token auth → tenant resolution → quotas/rate limit → tracing)
+into a :class:`~repro.service.router.Router` that maps typed requests to
+handler methods.  With an :class:`~repro.service.auth.Authenticator`
+configured, tokens resolve to per-tenant namespaces
+(``<state-dir>/tenants/<tenant>/`` — own job store, session, matrix
+cache, pair store and model store; see
+:mod:`~repro.service.tenancy`), so caches and models never leak across
+tenants; quotas answer with typed ``rate-limited`` / ``quota-exceeded``
+errors carrying ``retry_after``.  With auth disabled (the default) every
+request is the *default tenant*, whose namespace is the state dir itself
+— the exact pre-tenancy behaviour.  ``/healthz`` stays unauthenticated.
 """
 
 from __future__ import annotations
@@ -100,7 +117,18 @@ from repro.obs.tracing import new_span_id, new_trace_id, trace_context
 from repro.core.engine import decode_pair_values, plan_index_blocks, string_fingerprint
 from repro.core.pairstore import PairStore
 from repro.core.matrix import KernelMatrix
+from repro.service.auth import Authenticator
 from repro.service.jobstore import JobRecord, JobStore, JobStoreError, LeaseError
+from repro.service.middleware import (
+    RequestContext,
+    auth_middleware,
+    compose,
+    metrics_middleware,
+    parsing_middleware,
+    quota_middleware,
+    tenant_middleware,
+    tracing_middleware,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     BadRequest,
@@ -113,6 +141,7 @@ from repro.service.protocol import (
     JobFailed,
     JobPending,
     ModelsRequest,
+    RequestTooLarge,
     ResultRequest,
     ServiceError,
     SpecsRequest,
@@ -126,7 +155,13 @@ from repro.service.protocol import (
     http_status_for_response,
     load_message,
     ok_response,
-    parse_request,
+)
+from repro.service.router import Router
+from repro.service.tenancy import (
+    DEFAULT_TENANT,
+    TenantContext,
+    TenantQuotas,
+    TenantRegistry,
 )
 from repro.service.worker import _LeaseKeeper, execute_block_task
 from repro.streaming.scorer import StreamingScorer
@@ -139,6 +174,9 @@ logger = logging.getLogger(__name__)
 
 #: Sleep between coordinator polls while waiting on externally-leased blocks.
 _BLOCK_POLL_SECONDS = 0.1
+
+#: Default bound on one request body (HTTP ``POST /v1`` or one stdio line).
+DEFAULT_MAX_REQUEST_BYTES = 64 * 1024 * 1024
 
 
 class _ServerClosing(Exception):
@@ -200,6 +238,17 @@ class AnalysisServer:
     max_pair_bytes / pair_ttl:
         Size bound and optional idle TTL of the pair store, enforced by
         the maintenance loop.
+    authenticator:
+        The bearer-token :class:`~repro.service.auth.Authenticator`.
+        Omitted or :meth:`Authenticator.disabled`, every request is the
+        default tenant and no token is required (the pre-auth behaviour).
+    default_quotas:
+        :class:`~repro.service.tenancy.TenantQuotas` applied to tenants
+        without a per-tenant override from the tenants file.
+    max_request_bytes:
+        Upper bound on one request body; larger HTTP posts (and stdio
+        lines) are refused with a typed ``request-too-large`` error
+        before the body is read into memory.
     """
 
     def __init__(
@@ -220,6 +269,9 @@ class AnalysisServer:
         pair_store: bool = True,
         max_pair_bytes: Optional[int] = None,
         pair_ttl: Optional[float] = None,
+        authenticator: Optional[Authenticator] = None,
+        default_quotas: Optional[TenantQuotas] = None,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
     ) -> None:
         if default_shards < 1:
             raise ValueError(f"default_shards must be >= 1, got {default_shards}")
@@ -229,6 +281,8 @@ class AnalysisServer:
             raise ValueError(f"job_ttl must be >= 0 or None, got {job_ttl}")
         if gc_interval <= 0:
             raise ValueError(f"gc_interval must be > 0, got {gc_interval}")
+        if max_request_bytes < 1024:
+            raise ValueError(f"max_request_bytes must be >= 1024, got {max_request_bytes}")
         self._owns_session = session is None
         self.session = session if session is not None else AnalysisSession(
             n_jobs=n_jobs, executor=executor, max_job_workers=max_job_workers, job_ttl=job_ttl
@@ -254,17 +308,24 @@ class AnalysisServer:
         #: Persistent landmark models (the streaming serving tier), shared
         #: through the state dir with workers executing ``fit-model`` jobs.
         self.model_store = ModelStore(os.path.join(self.store.root, "models"))
-        #: Warm scorers keyed by model name, invalidated when the model
-        #: file changes on disk (refit by this server, a sibling, or a worker).
-        self._scorers: Dict[str, Tuple[float, StreamingScorer]] = {}
-        #: Per-model serve counters (requests, traces, warm traces, kernel
-        #: evaluations, cumulative seconds) behind :meth:`_note_model_request`.
-        self._model_metrics: Dict[str, Dict[str, float]] = {}
         self.default_shards = default_shards
         self.inline_blocks = inline_blocks
         self.lease_seconds = float(lease_seconds)
         self.job_ttl = job_ttl
         self.gc_interval = float(gc_interval)
+        self.max_request_bytes = int(max_request_bytes)
+        #: The auth decision point of the middleware chain.
+        self.auth = authenticator if authenticator is not None else Authenticator.disabled()
+        # Remembered construction knobs so lazily-built tenant namespaces
+        # mirror the server's own session/cache configuration.
+        self._session_config: Dict[str, Any] = {
+            "n_jobs": n_jobs, "executor": executor, "max_job_workers": max_job_workers,
+        }
+        self._cache_config: Dict[str, Any] = {
+            "result_cache": result_cache, "max_cache_entries": max_cache_entries,
+            "cache_ttl": cache_ttl, "pair_store": pair_store,
+            "max_pair_bytes": max_pair_bytes, "pair_ttl": pair_ttl,
+        }
         #: Identity stamped into records this server claims.
         self.worker_id = f"server-{uuid.uuid4().hex[:8]}"
         #: Process-local metrics; ``GET /metrics`` renders this registry
@@ -273,81 +334,131 @@ class AnalysisServer:
         self.metrics = MetricsRegistry()
         self.metrics_dir = os.path.join(self.store.root, "metrics")
         self.metrics.add_collector(self._collect_metrics)
-        self._session_jobs: Dict[str, str] = {}
-        #: In-flight coalescing: submission identity → job id of the one
-        #: job equal submissions share (validated lazily against the store).
-        self._inflight: Dict[str, str] = {}
-        #: How many submissions were answered with each job id (1 for the
-        #: creator, +1 per coalesced duplicate).  A ``forget=True`` result
-        #: fetch only drops the record once the *last* waiter collected it,
-        #: so coalesced clients cannot forget it out from under each other.
-        self._result_waiters: Dict[str, int] = {}
-        self._lock = threading.Lock()
         self._started = time.time()
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
+        # The default tenant wraps the server's own store/session/model
+        # store (its namespace *is* the state dir); every other tenant is
+        # built lazily under <state-dir>/tenants/<id>/ by _build_tenant.
+        quota_overrides = self.auth.quota_overrides
+        effective_defaults = default_quotas if default_quotas is not None else TenantQuotas()
+        default_context = TenantContext(
+            DEFAULT_TENANT,
+            self.store.root,
+            self.store,
+            self.session,
+            self.model_store,
+            quotas=quota_overrides.get(DEFAULT_TENANT, effective_defaults),
+            owns_session=False,  # close() handles the default session directly
+        )
+        self._tenants = TenantRegistry(
+            self.store.root,
+            default_context,
+            self._build_tenant,
+            default_quotas=effective_defaults,
+            quota_overrides=quota_overrides,
+        )
+        #: The request pipeline every front end funnels through: one
+        #: middleware chain (outermost first) ending in the router.
+        self.router = Router()
+        self._register_routes()
+        self._pipeline = compose(
+            [
+                metrics_middleware(self.metrics),
+                parsing_middleware(),
+                auth_middleware(self.auth),
+                tenant_middleware(self._tenants.context),
+                quota_middleware(),
+                tracing_middleware(),
+            ],
+            self.router.dispatch,
+        )
         if self.store.recovery.quarantined or self.store.recovery.interrupted or self.store.recovery.requeued:
             logger.warning("%s", self.store.recovery.describe())
-        # Resume whatever recovery put back on the queue, then keep the
-        # store healthy in the background.
-        self._adopt_queued_jobs()
+        # Wake every namespace already on disk, resume whatever recovery
+        # put back on the queues, then keep the stores healthy in the
+        # background.
+        for tenant_id in self._tenants.discover():
+            self._tenants.context(tenant_id)
+        for context in self._tenants.contexts():
+            self._adopt_queued_jobs(context)
         self._maintenance_stop = threading.Event()
         self._maintenance_thread = threading.Thread(
             target=self._maintenance_loop, name="repro-service-maintenance", daemon=True
         )
         self._maintenance_thread.start()
 
+    def _build_tenant(
+        self, tenant_id: str, root: str, quotas: Optional[TenantQuotas]
+    ) -> TenantContext:
+        """Construct one non-default tenant's namespace (registry factory).
+
+        The layout under *root* mirrors the state dir exactly — job store
+        at the root, ``matrix-cache``/``pair-store``/``models`` beside it —
+        so every tool that understands a state dir (workers, ``gc``,
+        sweeps) works on a tenant namespace unchanged.
+        """
+        store = JobStore(root)
+        config = self._session_config
+        session = AnalysisSession(
+            n_jobs=config["n_jobs"],
+            executor=config["executor"],
+            max_job_workers=config["max_job_workers"],
+            job_ttl=self.job_ttl,
+        )
+        caches = self._cache_config
+        if caches["result_cache"]:
+            session.matrix_cache = MatrixCache(
+                os.path.join(root, "matrix-cache"),
+                max_entries=caches["max_cache_entries"],
+                ttl=caches["cache_ttl"],
+            )
+        if caches["pair_store"]:
+            store_options: Dict[str, Any] = {"ttl": caches["pair_ttl"]}
+            if caches["max_pair_bytes"] is not None:
+                store_options["max_bytes"] = caches["max_pair_bytes"]
+            session.set_pair_store(PairStore(os.path.join(root, "pair-store"), **store_options))
+        model_store = ModelStore(os.path.join(root, "models"))
+        if store.recovery.quarantined or store.recovery.interrupted or store.recovery.requeued:
+            logger.warning("tenant %s: %s", tenant_id, store.recovery.describe())
+        logger.info("tenant %r namespace ready at %s", tenant_id, root)
+        return TenantContext(
+            tenant_id, root, store, session, model_store, quotas=quotas, owns_session=True
+        )
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def handle(self, payload: Any) -> Dict[str, Any]:
+    def handle(
+        self, payload: Any, token: Optional[str] = None, transport: str = "inproc"
+    ) -> Dict[str, Any]:
         """Answer one wire request; every failure becomes a typed error envelope.
 
-        Every request — including malformed ones — lands in the
-        ``repro_requests_total{method,status}`` counter and the
-        ``repro_request_seconds{method}`` latency histogram.
+        The request runs the full middleware pipeline — metrics, parsing,
+        auth, tenant resolution, quotas, tracing, then the router — so
+        in-process callers are authenticated and rate-limited exactly like
+        HTTP and stdio clients.  *token* is the transport-level bearer
+        token (the HTTP front end passes the ``Authorization`` header's);
+        an envelope-level ``token`` field is honoured when the transport
+        supplied none.
         """
-        started = time.perf_counter()
-        method = "invalid"
-        status = "error"
-        try:
-            request = parse_request(payload)
-            method = request.TYPE
-            handler = self._handlers()[type(request)]
-            response = handler(request)
-            status = "ok"
-            return response
-        except ServiceError as exc:
-            status = exc.code
-            return error_response(exc)
-        except Exception as exc:  # noqa: BLE001 - the wire must always get an envelope
-            status = "internal"
-            logger.exception("unhandled error serving request")
-            return error_response(ServiceError(f"internal error: {type(exc).__name__}: {exc}"))
-        finally:
-            self.metrics.counter(
-                "repro_requests_total", "Protocol requests by method and outcome.",
-                method=method, status=status,
-            ).inc()
-            self.metrics.histogram(
-                "repro_request_seconds", "Protocol request latency by method.",
-                method=method,
-            ).observe(time.perf_counter() - started)
+        return self._pipeline(RequestContext(payload=payload, token=token, transport=transport))
 
-    def _handlers(self) -> Dict[type, Callable[[Any], Dict[str, Any]]]:
-        return {
-            SubmitMatrixRequest: self._handle_submit_matrix,
-            SubmitAnalyzeRequest: self._handle_submit_analyze,
-            FitModelRequest: self._handle_fit_model,
-            ClassifyRequest: self._handle_classify,
-            ModelsRequest: self._handle_models,
-            StatusRequest: self._handle_status,
-            ResultRequest: self._handle_result,
-            CancelRequest: self._handle_cancel,
-            SpecsRequest: self._handle_specs,
-            HealthRequest: self._handle_health,
-            CacheStatsRequest: self._handle_cache_stats,
-        }
+    def _register_routes(self) -> None:
+        for request_type, handler in (
+            (SubmitMatrixRequest, self._handle_submit_matrix),
+            (SubmitAnalyzeRequest, self._handle_submit_analyze),
+            (FitModelRequest, self._handle_fit_model),
+            (ClassifyRequest, self._handle_classify),
+            (ModelsRequest, self._handle_models),
+            (StatusRequest, self._handle_status),
+            (ResultRequest, self._handle_result),
+            (CancelRequest, self._handle_cancel),
+            (SpecsRequest, self._handle_specs),
+            (HealthRequest, self._handle_health),
+            (CacheStatsRequest, self._handle_cache_stats),
+        ):
+            self.router.register(request_type, handler)
 
     @property
     def matrix_cache(self) -> Optional[MatrixCache]:
@@ -359,6 +470,11 @@ class AnalysisServer:
         """The persistent pair-value store the session's engines consult."""
         return self.session.pair_store
 
+    @property
+    def tenants(self) -> TenantRegistry:
+        """The tenant-namespace registry (the default tenant is always live)."""
+        return self._tenants
+
     # ------------------------------------------------------------------
     # Job submission
     # ------------------------------------------------------------------
@@ -369,11 +485,12 @@ class AnalysisServer:
             raise BadRequest(f"invalid kernel spec: {exc}") from exc
 
     def _submission_key(
-        self, spec: KernelSpec, strings: List[WeightedString], **options: Any
+        self, tenant: TenantContext, spec: KernelSpec,
+        strings: List[WeightedString], **options: Any
     ) -> str:
         """Content identity of one matrix submission (spec values + corpus + options)."""
         identity = {
-            "signature": self.session.engine(spec).kernel_signature(),
+            "signature": tenant.session.engine(spec).kernel_signature(),
             "fingerprints": [string_fingerprint(string) for string in strings],
             "names": [string.name for string in strings],
             "labels": [string.label for string in strings],
@@ -383,13 +500,17 @@ class AnalysisServer:
             json.dumps(identity, sort_keys=True, separators=(",", ":")).encode("utf-8")
         ).hexdigest()
 
-    def _handle_submit_matrix(self, request: SubmitMatrixRequest) -> Dict[str, Any]:
+    def _handle_submit_matrix(self, ctx: RequestContext) -> Dict[str, Any]:
+        request = ctx.request
+        assert isinstance(request, SubmitMatrixRequest)
+        tenant = self._require_tenant(ctx)
         spec = self._coerce_spec(request.spec)
         strings = decode_corpus(request.strings)
         if not strings:
             raise BadRequest("submit-matrix requires a non-empty corpus")
         shards = request.shards if request.shards is not None else self.default_shards
         submission_key = self._submission_key(
+            tenant,
             spec,
             strings,
             normalized=request.normalized,
@@ -411,19 +532,23 @@ class AnalysisServer:
             "examples": len(strings),
             "blocks": plan_index_blocks(len(strings), shards),
             "submission_key": submission_key,
+            "tenant": tenant.tenant_id,
             "trace_id": trace_id,
             "span_id": new_span_id(),
         }
         # Coalesce identical in-flight submissions onto the job already
-        # queued for them: the whole check-and-create runs under the lock,
-        # so two racing equal submissions get one record and one engine run.
-        with self._lock:
-            existing_id = self._inflight.get(submission_key)
+        # queued for them: the whole check-and-create runs under the
+        # tenant's lock, so two racing equal submissions get one record and
+        # one engine run.  Coalescing is per-tenant by construction — the
+        # inflight map lives on the tenant — so equal submissions from two
+        # tenants run twice, once in each namespace.
+        with tenant.lock:
+            existing_id = tenant.inflight.get(submission_key)
             if existing_id is not None:
-                existing = self._unfinished_record(existing_id)
+                existing = self._unfinished_record(tenant, existing_id)
                 if existing is not None:
-                    self._result_waiters[existing.job_id] = (
-                        self._result_waiters.get(existing.job_id, 1) + 1
+                    tenant.result_waiters[existing.job_id] = (
+                        tenant.result_waiters.get(existing.job_id, 1) + 1
                     )
                     return ok_response(
                         "job",
@@ -433,10 +558,10 @@ class AnalysisServer:
                         coalesced=True,
                         trace_id=existing.options.get("trace_id"),
                     )
-                # The finished job's _result_waiters entry (if any) stays:
+                # The finished job's result_waiters entry (if any) stays:
                 # its uncollected waiters still hold the old job id.
-                del self._inflight[submission_key]
-            record = self.store.create(
+                del tenant.inflight[submission_key]
+            record = tenant.store.create(
                 "matrix",
                 spec=spec.to_dict(),
                 options=options,
@@ -450,35 +575,44 @@ class AnalysisServer:
                     "use_cache": request.use_cache,
                 },
             )
-            self._inflight[submission_key] = record.job_id
-        self._start_record(record)
+            tenant.inflight[submission_key] = record.job_id
+        self._start_record(tenant, record)
         return ok_response(
             "job", job_id=record.job_id, status="queued", kind="matrix", trace_id=trace_id
         )
 
-    def _unfinished_record(self, job_id: str) -> Optional[JobRecord]:
+    @staticmethod
+    def _require_tenant(ctx: RequestContext) -> TenantContext:
+        if ctx.tenant is None:
+            raise ServiceError("request reached a handler without a resolved tenant")
+        return ctx.tenant
+
+    def _unfinished_record(self, tenant: TenantContext, job_id: str) -> Optional[JobRecord]:
         """The live (non-terminal) record for *job_id*, else ``None``."""
         try:
-            record = self.store.get(job_id)
+            record = tenant.store.get(job_id)
         except (KeyError, JobStoreError):
             return None
         return None if record.finished else record
 
-    def _release_result_waiter(self, job_id: str) -> bool:
+    def _release_result_waiter(self, tenant: TenantContext, job_id: str) -> bool:
         """One waiter collected the result; whether the record may be dropped.
 
         Jobs with no waiter entry (analyze jobs, records adopted after a
         restart) behave as single-waiter: forget applies immediately.
         """
-        with self._lock:
-            remaining = self._result_waiters.get(job_id, 1) - 1
+        with tenant.lock:
+            remaining = tenant.result_waiters.get(job_id, 1) - 1
             if remaining > 0:
-                self._result_waiters[job_id] = remaining
+                tenant.result_waiters[job_id] = remaining
                 return False
-            self._result_waiters.pop(job_id, None)
+            tenant.result_waiters.pop(job_id, None)
             return True
 
-    def _handle_submit_analyze(self, request: SubmitAnalyzeRequest) -> Dict[str, Any]:
+    def _handle_submit_analyze(self, ctx: RequestContext) -> Dict[str, Any]:
+        request = ctx.request
+        assert isinstance(request, SubmitAnalyzeRequest)
+        tenant = self._require_tenant(ctx)
         spec = self._coerce_spec(request.spec)
         strings = decode_corpus(request.strings)
         if not strings:
@@ -492,10 +626,11 @@ class AnalysisServer:
             "n_components": request.n_components,
             "linkage": request.linkage,
             "examples": len(strings),
+            "tenant": tenant.tenant_id,
             "trace_id": trace_id,
             "span_id": new_span_id(),
         }
-        record = self.store.create(
+        record = tenant.store.create(
             "analyze",
             spec=spec.to_dict(),
             options=options,
@@ -507,7 +642,7 @@ class AnalysisServer:
                 "linkage": request.linkage,
             },
         )
-        self._start_record(record)
+        self._start_record(tenant, record)
         return ok_response(
             "job", job_id=record.job_id, status="queued", kind="analyze", trace_id=trace_id
         )
@@ -525,7 +660,10 @@ class AnalysisServer:
         except ValueError as exc:
             raise BadRequest(f"spec cannot drive the analysis pipeline: {exc}") from exc
 
-    def _handle_fit_model(self, request: FitModelRequest) -> Dict[str, Any]:
+    def _handle_fit_model(self, ctx: RequestContext) -> Dict[str, Any]:
+        request = ctx.request
+        assert isinstance(request, FitModelRequest)
+        tenant = self._require_tenant(ctx)
         spec = self._coerce_spec(request.spec)
         strings = decode_corpus(request.strings)
         if not strings:
@@ -536,10 +674,11 @@ class AnalysisServer:
             "landmarks": request.landmarks,
             "strategy": request.strategy,
             "examples": len(strings),
+            "tenant": tenant.tenant_id,
             "trace_id": trace_id,
             "span_id": new_span_id(),
         }
-        record = self.store.create(
+        record = tenant.store.create(
             "fit-model",
             spec=spec.to_dict(),
             options=options,
@@ -555,13 +694,13 @@ class AnalysisServer:
                 "use_cache": request.use_cache,
             },
         )
-        self._start_record(record)
+        self._start_record(tenant, record)
         return ok_response(
             "job", job_id=record.job_id, status="queued", kind="fit-model", trace_id=trace_id
         )
 
-    def _start_record(self, record: JobRecord) -> str:
-        """Queue execution of a stored record on the session's job pool.
+    def _start_record(self, tenant: TenantContext, record: JobRecord) -> str:
+        """Queue execution of a stored record on the tenant session's job pool.
 
         The queued callable *claims* the record before computing, so a
         record adopted by several servers sharing one state dir (or
@@ -571,18 +710,18 @@ class AnalysisServer:
         job_id = record.job_id
 
         def run() -> None:
-            claimed = self.store.claim_job(job_id, self.worker_id, self.lease_seconds)
+            claimed = tenant.store.claim_job(job_id, self.worker_id, self.lease_seconds)
             if claimed is None:
                 return  # finished, cancelled, or legitimately owned elsewhere
             # Renew the lease for as long as the computation runs — without
             # this a job slower than lease_seconds would be requeued (and
             # double-computed by a sibling server) while still executing.
-            keeper = _LeaseKeeper(self.store, job_id, self.worker_id, self.lease_seconds)
+            keeper = _LeaseKeeper(tenant.store, job_id, self.worker_id, self.lease_seconds)
             keeper.start()
             trace_id = claimed.options.get("trace_id")
             span_id = claimed.options.get("span_id")
             started = time.perf_counter()
-            evals_before = self.session.engine_counters()
+            evals_before = tenant.session.engine_counters()
             outcome = "done"
             try:
                 with trace_context(trace_id, span_id):
@@ -590,14 +729,14 @@ class AnalysisServer:
                         "job %s (%s) started trace=%s", job_id, claimed.kind, trace_id,
                         extra={"job_id": job_id, "kind": claimed.kind, "event": "job-started"},
                     )
-                    payload = self._payload_for_record(claimed)
-                    self.store.store_result(job_id, payload, worker_id=self.worker_id)
+                    payload = self._payload_for_record(tenant, claimed)
+                    tenant.store.store_result(job_id, payload, worker_id=self.worker_id)
             except _ServerClosing:
                 # Shutdown mid-coordination: hand the job back so the next
                 # server (or this one, restarted) resumes it.
                 outcome = "released"
                 with contextlib.suppress(JobStoreError, KeyError):
-                    self.store.release(job_id, self.worker_id)
+                    tenant.store.release(job_id, self.worker_id)
                 return
             except LeaseError:
                 # The claim was reclaimed while we computed; the current
@@ -608,7 +747,7 @@ class AnalysisServer:
             except Exception as exc:
                 outcome = "error"
                 with contextlib.suppress(JobStoreError, KeyError):
-                    self.store.mark_error(job_id, f"{type(exc).__name__}: {exc}")
+                    tenant.store.mark_error(job_id, f"{type(exc).__name__}: {exc}")
                 raise
             finally:
                 keeper.stop()
@@ -616,7 +755,7 @@ class AnalysisServer:
                 elapsed = time.perf_counter() - started
                 deltas = {
                     key: value - evals_before.get(key, 0)
-                    for key, value in self.session.engine_counters().items()
+                    for key, value in tenant.session.engine_counters().items()
                 }
                 self.metrics.counter(
                     "repro_jobs_executed_total", "Jobs this process executed, by kind and outcome.",
@@ -636,15 +775,15 @@ class AnalysisServer:
             # the store, and a returned payload would be pinned in session
             # memory for jobs no client ever polls.
 
-        session_job = self.session.submit_work(f"service-{record.kind}", run)
-        with self._lock:
-            self._session_jobs[job_id] = session_job
+        session_job = tenant.session.submit_work(f"service-{record.kind}", run)
+        with tenant.lock:
+            tenant.session_jobs[job_id] = session_job
         return session_job
 
     # ------------------------------------------------------------------
     # Job computation
     # ------------------------------------------------------------------
-    def _payload_for_record(self, record: JobRecord) -> Dict[str, Any]:
+    def _payload_for_record(self, tenant: TenantContext, record: JobRecord) -> Dict[str, Any]:
         """Compute the stamped payload a claimed record describes.
 
         Everything needed comes from the record's persisted ``input``, so
@@ -658,6 +797,7 @@ class AnalysisServer:
         if record.kind == "matrix":
             if bool(record.input.get("distributed")):
                 return self._distributed_matrix_payload(
+                    tenant,
                     record.job_id,
                     spec,
                     strings,
@@ -667,6 +807,7 @@ class AnalysisServer:
                     use_cache=bool(record.input.get("use_cache", True)),
                 )
             return self._matrix_payload(
+                tenant,
                 record.job_id,
                 spec,
                 strings,
@@ -682,13 +823,14 @@ class AnalysisServer:
                 int(record.input.get("n_components", 2)),
                 str(record.input.get("linkage", "single")),
             )
-            return self._analyze_payload(record.job_id, config, strings)
+            return self._analyze_payload(tenant, record.job_id, config, strings)
         if record.kind == "fit-model":
-            return self._fit_model_payload(record, spec, strings)
+            return self._fit_model_payload(tenant, record, spec, strings)
         raise JobStoreError(f"job {record.job_id!r} has unexecutable kind {record.kind!r}")
 
     def _matrix_payload(
         self,
+        tenant: TenantContext,
         job_id: str,
         spec: KernelSpec,
         strings: List[WeightedString],
@@ -709,21 +851,22 @@ class AnalysisServer:
         :meth:`AnalysisSession.matrix` because every raw pair value comes
         from the same kernel code and caches.
         """
-        engine = self.session.engine(spec)
+        engine = tenant.session.engine(spec)
         if shards <= 1:
-            matrix, status = self.session.matrix_cached(
+            matrix, status = tenant.session.matrix_cached(
                 spec, strings, normalized=normalized, repair=repair, use_cache=use_cache
             )
         else:
             matrix, status = self._sharded_matrix(
-                spec, strings, normalized, repair, shards, use_cache,
+                tenant, spec, strings, normalized, repair, shards, use_cache,
                 evaluate=lambda pairs: engine.evaluate_pairs(strings, pairs),
             )
-        self._stamp_cache_status(job_id, status)
+        self._stamp_cache_status(tenant, job_id, status)
         return engine.matrix_payload(matrix, strings)
 
     def _cache_base(
-        self, spec: KernelSpec, strings: List[WeightedString], normalized: bool, use_cache: bool
+        self, tenant: TenantContext, spec: KernelSpec,
+        strings: List[WeightedString], normalized: bool, use_cache: bool
     ) -> Tuple[str, Optional[KernelMatrix]]:
         """Result-cache probe: ``(status, base)`` for a sharded evaluation.
 
@@ -731,9 +874,9 @@ class AnalysisServer:
         prefix matrix)`` when a cached prefix can seed the assembly,
         ``("miss"|"bypass", None)`` otherwise.
         """
-        if not use_cache or self.matrix_cache is None:
+        if not use_cache or tenant.session.matrix_cache is None:
             return "bypass", None
-        found = self.session.matrix_cache_lookup(spec, strings, normalized=normalized)
+        found = tenant.session.matrix_cache_lookup(spec, strings, normalized=normalized)
         if found.status == "hit":
             return "hit", KernelMatrix.from_dict(found.payload)
         if found.status == "prefix":
@@ -742,6 +885,7 @@ class AnalysisServer:
 
     def _sharded_matrix(
         self,
+        tenant: TenantContext,
         spec: KernelSpec,
         strings: List[WeightedString],
         normalized: bool,
@@ -759,7 +903,7 @@ class AnalysisServer:
         """
         from repro.core.engine import block_index_pairs
 
-        status, base = self._cache_base(spec, strings, normalized, use_cache)
+        status, base = self._cache_base(tenant, spec, strings, normalized, use_cache)
         if status == "hit":
             assert base is not None
             return self._repaired(base, repair), status
@@ -773,9 +917,9 @@ class AnalysisServer:
                 pairs = block_index_pairs(first, second)
                 if pairs:
                     raw_by_pair.update(evaluate(pairs))
-        matrix = self._assembled_matrix(spec, strings, raw_by_pair, normalized, base=base)
+        matrix = self._assembled_matrix(tenant, spec, strings, raw_by_pair, normalized, base=base)
         if status != "bypass":
-            self.session.matrix_cache_store(spec, strings, matrix)
+            tenant.session.matrix_cache_store(spec, strings, matrix)
         return self._repaired(matrix, repair), status
 
     @staticmethod
@@ -786,6 +930,7 @@ class AnalysisServer:
 
     def _assembled_matrix(
         self,
+        tenant: TenantContext,
         spec: KernelSpec,
         strings: List[WeightedString],
         raw_by_pair: Dict[Tuple[int, int], float],
@@ -793,7 +938,7 @@ class AnalysisServer:
         base: Optional[KernelMatrix] = None,
     ) -> KernelMatrix:
         """The *pre-repair* matrix assembled from raw block results."""
-        engine = self.session.engine(spec)
+        engine = tenant.session.engine(spec)
         values = engine.assemble_gram(strings, raw_by_pair, normalized=normalized, base=base)
         return KernelMatrix(
             values=values,
@@ -803,16 +948,17 @@ class AnalysisServer:
             normalized=normalized,
         )
 
-    def _stamp_cache_status(self, job_id: str, status: str) -> None:
+    def _stamp_cache_status(self, tenant: TenantContext, job_id: str, status: str) -> None:
         """Record the cache outcome in the job's options (best effort)."""
         with contextlib.suppress(JobStoreError, KeyError):
-            self.store.mutate(
+            tenant.store.mutate(
                 job_id,
                 lambda current: {"options": {**current.options, "cache": status}},
             )
 
     def _distributed_matrix_payload(
         self,
+        tenant: TenantContext,
         job_id: str,
         spec: KernelSpec,
         strings: List[WeightedString],
@@ -840,11 +986,11 @@ class AnalysisServer:
         record, and a cached prefix drops every block pair both of whose
         blocks lie inside it — workers only ever see the appended work.
         """
-        engine = self.session.engine(spec)
-        status, base = self._cache_base(spec, strings, normalized, use_cache)
+        engine = tenant.session.engine(spec)
+        status, base = self._cache_base(tenant, spec, strings, normalized, use_cache)
         if status == "hit":
             assert base is not None
-            self._stamp_cache_status(job_id, status)
+            self._stamp_cache_status(tenant, job_id, status)
             return engine.matrix_payload(self._repaired(base, repair), strings)
         covered = len(base) if base is not None else 0
         blocks = plan_index_blocks(len(strings), shards)
@@ -853,11 +999,11 @@ class AnalysisServer:
         # own), so a worker claiming a block logs under the same trace the
         # client submitted.
         try:
-            trace_id = self.store.get(job_id).options.get("trace_id")
+            trace_id = tenant.store.get(job_id).options.get("trace_id")
         except (KeyError, JobStoreError):
             trace_id = None
         existing: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], JobRecord] = {}
-        for child in self.store.records(kind="block"):
+        for child in tenant.store.records(kind="block"):
             if child.options.get("parent") == job_id:
                 key = (tuple(child.options["first"]), tuple(child.options["second"]))
                 existing[key] = child
@@ -871,11 +1017,12 @@ class AnalysisServer:
                 if child is None:
                     child_options: Dict[str, Any] = {
                         "parent": job_id, "first": list(first), "second": list(second),
+                        "tenant": tenant.tenant_id,
                     }
                     if trace_id is not None:
                         child_options["trace_id"] = trace_id
                         child_options["span_id"] = new_span_id()
-                    child = self.store.create("block", spec=spec_dict, options=child_options)
+                    child = tenant.store.create("block", spec=spec_dict, options=child_options)
                 child_ids.append(child.job_id)
         corpus_cache = {job_id: strings}
         done_ids: set = set()
@@ -888,7 +1035,7 @@ class AnalysisServer:
                 # Only unfinished children are re-read — done is terminal,
                 # so finished blocks never need another disk round trip.
                 pending = [
-                    self.store.get(child_id) for child_id in child_ids if child_id not in done_ids
+                    tenant.store.get(child_id) for child_id in child_ids if child_id not in done_ids
                 ]
                 failed = [
                     child for child in pending if child.status in ("error", "cancelled", "interrupted")
@@ -908,9 +1055,9 @@ class AnalysisServer:
                     now = time.time()
                     candidate = next((child for child in pending if child.claimable(now)), None)
                     if candidate is not None:
-                        task = self.store.claim_job(candidate.job_id, self.worker_id, self.lease_seconds)
+                        task = tenant.store.claim_job(candidate.job_id, self.worker_id, self.lease_seconds)
                         if task is not None:
-                            execute_block_task(self.store, task, self.session, corpus_cache=corpus_cache)
+                            execute_block_task(tenant.store, task, tenant.session, corpus_cache=corpus_cache)
                             progressed = True
                 if not progressed:
                     # Every remaining block is leased to a live worker (or
@@ -923,41 +1070,42 @@ class AnalysisServer:
         except Exception:
             # The job cannot finish: stop workers from burning time on the
             # surviving blocks and keep the state dir free of orphans.
-            self._abandon_blocks(child_ids)
+            self._abandon_blocks(tenant, child_ids)
             raise
         raw_by_pair: Dict[Tuple[int, int], float] = {}
         block_workers = set()
         for child_id in child_ids:
-            child = self.store.get(child_id)
+            child = tenant.store.get(child_id)
             if child.worker_id:
                 block_workers.add(child.worker_id)
-            raw_by_pair.update(decode_pair_values(self.store.load_result(child_id)["pairs"]))
-        matrix = self._assembled_matrix(spec, strings, raw_by_pair, normalized, base=base)
+            raw_by_pair.update(decode_pair_values(tenant.store.load_result(child_id)["pairs"]))
+        matrix = self._assembled_matrix(tenant, spec, strings, raw_by_pair, normalized, base=base)
         if status != "bypass":
-            self.session.matrix_cache_store(spec, strings, matrix)
-        self._stamp_cache_status(job_id, status)
+            tenant.session.matrix_cache_store(spec, strings, matrix)
+        self._stamp_cache_status(tenant, job_id, status)
         payload = engine.matrix_payload(self._repaired(matrix, repair), strings)
         # Record who computed the blocks (observability), then drop the
         # finished children — their values live on inside the payload.
         with contextlib.suppress(JobStoreError, KeyError):
-            self.store.mutate(
+            tenant.store.mutate(
                 job_id,
                 lambda current: {"options": {**current.options, "workers": sorted(block_workers)}},
             )
         for child_id in child_ids:
-            self.store.forget(child_id)
+            tenant.store.forget(child_id)
         return payload
 
-    def _abandon_blocks(self, child_ids: List[str]) -> None:
+    def _abandon_blocks(self, tenant: TenantContext, child_ids: List[str]) -> None:
         """Best-effort cancel + drop of a failed job's surviving block tasks."""
         for child_id in child_ids:
             with contextlib.suppress(JobStoreError, KeyError):
-                self.store.mark_cancelled(child_id)
+                tenant.store.mark_cancelled(child_id)
             with contextlib.suppress(JobStoreError, KeyError):
-                self.store.forget(child_id)
+                tenant.store.forget(child_id)
 
     def _fit_model_payload(
-        self, record: JobRecord, spec: KernelSpec, strings: List[WeightedString]
+        self, tenant: TenantContext, record: JobRecord,
+        spec: KernelSpec, strings: List[WeightedString]
     ) -> Dict[str, Any]:
         """Fit, persist and summarise one landmark model (the ``fit-model`` body).
 
@@ -968,7 +1116,7 @@ class AnalysisServer:
         fit.  The job payload is the small model summary — clients load
         the model itself through the store (or just classify against it).
         """
-        model, status = self.session.fit_landmark_model(
+        model, status = tenant.session.fit_landmark_model(
             spec,
             strings,
             name=str(record.input["name"]),
@@ -979,17 +1127,17 @@ class AnalysisServer:
             n_clusters=record.input.get("n_clusters"),
             use_cache=bool(record.input.get("use_cache", True)),
         )
-        path = self.model_store.save(model)
-        self._stamp_cache_status(record.job_id, status)
-        with self._lock:
-            self._scorers.pop(model.name, None)
+        path = tenant.model_store.save(model)
+        self._stamp_cache_status(tenant, record.job_id, status)
+        with tenant.lock:
+            tenant.scorers.pop(model.name, None)
         summary = model.summary()
         summary["path"] = path
         summary["cache"] = status
         return summary
 
     def _analyze_payload(
-        self, job_id: str, config: Any, strings: List[WeightedString]
+        self, tenant: TenantContext, job_id: str, config: Any, strings: List[WeightedString]
     ) -> Dict[str, Any]:
         from repro.pipeline.report import summarise_result
 
@@ -997,15 +1145,15 @@ class AnalysisServer:
         # result cache; probe it up front so the analyze record (and its
         # result envelope) reports the same hit/extended/miss outcome the
         # matrix path does.
-        if self.matrix_cache is None:
+        if tenant.session.matrix_cache is None:
             status = "bypass"
         else:
-            found = self.session.matrix_cache_lookup(
+            found = tenant.session.matrix_cache_lookup(
                 config.kernel_spec(), strings, normalized=True
             )
             status = {"hit": "hit", "prefix": "extended"}.get(found.status, "miss")
-        self._stamp_cache_status(job_id, status)
-        result = self.session.analyze(config, strings=strings)
+        self._stamp_cache_status(tenant, job_id, status)
+        result = tenant.session.analyze(config, strings=strings)
         return {
             "config": config.describe(),
             "metrics": {name: float(value) for name, value in result.metrics.items()},
@@ -1018,35 +1166,38 @@ class AnalysisServer:
     # ------------------------------------------------------------------
     # Streaming serving (landmark models)
     # ------------------------------------------------------------------
-    def _scorer(self, name: str) -> StreamingScorer:
-        """The warm scorer for *name*, reloaded when its file changed on disk.
+    def _scorer(self, tenant: TenantContext, name: str) -> StreamingScorer:
+        """The tenant's warm scorer for *name*, reloaded when its file changed.
 
         Raises the store's typed errors (``model-not-found`` when no such
         model exists, ``model-damaged`` after quarantining a broken file);
         a syntactically invalid name is a ``bad-request``.
         """
         try:
-            path = self.model_store.path(name)
+            path = tenant.model_store.path(name)
         except ValueError as exc:
             raise BadRequest(str(exc)) from exc
         try:
             mtime = os.path.getmtime(path)
         except OSError:
             mtime = -1.0  # no file: let load() raise the typed not-found
-        with self._lock:
-            cached = self._scorers.get(name)
+        with tenant.lock:
+            cached = tenant.scorers.get(name)
             if cached is not None and cached[0] == mtime:
                 return cached[1]
-        scorer = StreamingScorer(self.model_store.load(name), self.session)
-        with self._lock:
-            self._scorers[name] = (mtime, scorer)
+        scorer = StreamingScorer(tenant.model_store.load(name), tenant.session)
+        with tenant.lock:
+            tenant.scorers[name] = (mtime, scorer)
         return scorer
 
-    def _handle_classify(self, request: ClassifyRequest) -> Dict[str, Any]:
+    def _handle_classify(self, ctx: RequestContext) -> Dict[str, Any]:
+        request = ctx.request
+        assert isinstance(request, ClassifyRequest)
+        tenant = self._require_tenant(ctx)
         strings = decode_corpus(request.strings)
         if not strings:
             raise BadRequest("classify requires at least one trace")
-        scorer = self._scorer(request.name)
+        scorer = self._scorer(tenant, request.name)
         engine = scorer.engine
         started = time.perf_counter()
         results: List[Dict[str, Any]] = []
@@ -1077,7 +1228,7 @@ class AnalysisServer:
             raise BadRequest(str(exc)) from exc
         elapsed = time.perf_counter() - started
         self._note_model_request(
-            request.name, traces=len(strings), warm=warm_traces,
+            tenant, request.name, traces=len(strings), warm=warm_traces,
             evals=evals_total, seconds=elapsed,
         )
         self.metrics.histogram(
@@ -1105,10 +1256,11 @@ class AnalysisServer:
         return response
 
     def _note_model_request(
-        self, name: str, traces: int, warm: int, evals: int, seconds: float
+        self, tenant: TenantContext, name: str,
+        traces: int, warm: int, evals: int, seconds: float
     ) -> None:
-        with self._lock:
-            metrics = self._model_metrics.setdefault(
+        with tenant.lock:
+            metrics = tenant.model_metrics.setdefault(
                 name,
                 {"requests": 0, "traces": 0, "warm_traces": 0,
                  "kernel_evals": 0, "total_seconds": 0.0},
@@ -1139,10 +1291,11 @@ class AnalysisServer:
             ),
         }
 
-    def _handle_models(self, request: ModelsRequest) -> Dict[str, Any]:
-        entries = self.model_store.entries()
-        with self._lock:
-            metrics = {name: dict(values) for name, values in self._model_metrics.items()}
+    def _handle_models(self, ctx: RequestContext) -> Dict[str, Any]:
+        tenant = self._require_tenant(ctx)
+        entries = tenant.model_store.entries()
+        with tenant.lock:
+            metrics = {name: dict(values) for name, values in tenant.model_metrics.items()}
         for entry in entries:
             entry["metrics"] = self._served_metrics(metrics.get(entry.get("name")))
         return ok_response("models", models=entries, count=len(entries))
@@ -1150,7 +1303,7 @@ class AnalysisServer:
     # ------------------------------------------------------------------
     # Maintenance: lease requeue, orphan adoption, TTL garbage collection
     # ------------------------------------------------------------------
-    def _adopt_queued_jobs(self) -> List[str]:
+    def _adopt_queued_jobs(self, tenant: TenantContext) -> List[str]:
         """Schedule queued store records this server is not already running.
 
         Covers jobs requeued by recovery and jobs orphaned by another
@@ -1162,66 +1315,78 @@ class AnalysisServer:
         instead of an eternal ``queued``.
         """
         adopted: List[str] = []
-        for record in self.store.records():
+        for record in tenant.store.records():
             if record.status != "queued" or record.kind == "block":
                 continue
-            with self._lock:
-                if record.job_id in self._session_jobs:
+            with tenant.lock:
+                if record.job_id in tenant.session_jobs:
                     continue
             if record.input is None:
                 with contextlib.suppress(JobStoreError, KeyError):
-                    self.store.update(
+                    tenant.store.update(
                         record.job_id,
                         status="interrupted",
                         error="interrupted: queued job carries no stored input to resume from",
                     )
                 continue
-            self._start_record(record)
+            self._start_record(tenant, record)
             adopted.append(record.job_id)
         return adopted
 
     def _maintenance_tick(self) -> None:
-        requeued = self.store.requeue_expired()
+        # Namespaces created on disk by a sibling server since the last
+        # tick get woken here, so their orphaned jobs are adopted too.
+        for tenant_id in self._tenants.discover():
+            if self._tenants.peek(tenant_id) is None:
+                self._tenants.context(tenant_id)
+        for tenant in self._tenants.contexts():
+            self._maintain_tenant(tenant)
+
+    def _maintain_tenant(self, tenant: TenantContext) -> None:
+        requeued = tenant.store.requeue_expired()
         if requeued:
-            logger.info("requeued %d expired-lease job(s): %s", len(requeued), requeued)
-        self._adopt_queued_jobs()
+            logger.info(
+                "tenant %s: requeued %d expired-lease job(s): %s",
+                tenant.tenant_id, len(requeued), requeued,
+            )
+        self._adopt_queued_jobs(tenant)
         if self.job_ttl is not None:
-            swept = self.store.sweep(self.job_ttl)
+            swept = tenant.store.sweep(self.job_ttl)
             if swept:
                 logger.info("swept %d expired job(s) from the state dir", len(swept))
-                with self._lock:
+                with tenant.lock:
                     for job_id in swept:
-                        self._session_jobs.pop(job_id, None)
-                        self._result_waiters.pop(job_id, None)
-        self.session.sweep_jobs()
-        if self.matrix_cache is not None:
-            evicted = self.matrix_cache.sweep()
+                        tenant.session_jobs.pop(job_id, None)
+                        tenant.result_waiters.pop(job_id, None)
+        tenant.session.sweep_jobs()
+        if tenant.session.matrix_cache is not None:
+            evicted = tenant.session.matrix_cache.sweep()
             if evicted:
                 logger.info("evicted %d result-cache entr(ies)", len(evicted))
-        if self.pair_store is not None:
-            dropped = self.pair_store.sweep()
+        if tenant.session.pair_store is not None:
+            dropped = tenant.session.pair_store.sweep()
             if dropped:
                 logger.info("evicted %d pair-store segment(s)", len(dropped))
         # Drop coalescing entries whose job finished or vanished — a later
         # identical submission must get a fresh job (usually a cache hit) —
         # and waiter counts whose record no longer exists at all.
-        with self._lock:
+        with tenant.lock:
             stale = [
-                key for key, job_id in self._inflight.items()
-                if self._unfinished_record(job_id) is None
+                key for key, job_id in tenant.inflight.items()
+                if self._unfinished_record(tenant, job_id) is None
             ]
             for key in stale:
-                del self._inflight[key]
+                del tenant.inflight[key]
             orphaned = []
-            for job_id in self._result_waiters:
+            for job_id in tenant.result_waiters:
                 try:
-                    self.store.get(job_id)
+                    tenant.store.get(job_id)
                 except KeyError:
                     orphaned.append(job_id)
                 except JobStoreError:
                     pass  # unreadable, not gone: keep the count
             for job_id in orphaned:
-                del self._result_waiters[job_id]
+                del tenant.result_waiters[job_id]
 
     def _maintenance_loop(self) -> None:
         while not self._maintenance_stop.wait(self.gc_interval):
@@ -1233,28 +1398,34 @@ class AnalysisServer:
     # ------------------------------------------------------------------
     # Job queries
     # ------------------------------------------------------------------
-    def _record(self, job_id: str) -> JobRecord:
+    def _record(self, tenant: TenantContext, job_id: str) -> JobRecord:
+        """*job_id*'s record in the tenant's own store — a job id from a
+        different tenant is indistinguishable from a nonexistent one, so
+        job ids cannot be used to probe across namespaces."""
         try:
-            return self.store.get(job_id)
+            return tenant.store.get(job_id)
         except KeyError:
             raise UnknownJob(f"no job {job_id!r}", details={"job_id": job_id}) from None
         except JobStoreError as exc:
             raise ServiceError(f"job record {job_id!r} unreadable: {exc}", details={"job_id": job_id}) from exc
 
-    def _reap_session_job(self, job_id: str) -> None:
+    def _reap_session_job(self, tenant: TenantContext, job_id: str) -> None:
         """Drop the finished session-side handle backing a store job."""
-        with self._lock:
-            session_job = self._session_jobs.get(job_id)
+        with tenant.lock:
+            session_job = tenant.session_jobs.get(job_id)
         if session_job is None:
             return
-        if self.session.forget(session_job):
-            with self._lock:
-                self._session_jobs.pop(job_id, None)
+        if tenant.session.forget(session_job):
+            with tenant.lock:
+                tenant.session_jobs.pop(job_id, None)
 
-    def _handle_status(self, request: StatusRequest) -> Dict[str, Any]:
-        record = self._record(request.job_id)
+    def _handle_status(self, ctx: RequestContext) -> Dict[str, Any]:
+        request = ctx.request
+        assert isinstance(request, StatusRequest)
+        tenant = self._require_tenant(ctx)
+        record = self._record(tenant, request.job_id)
         if record.finished:
-            self._reap_session_job(record.job_id)
+            self._reap_session_job(tenant, record.job_id)
         response = ok_response(
             "status",
             job_id=record.job_id,
@@ -1268,7 +1439,7 @@ class AnalysisServer:
             response["trace_id"] = record.options["trace_id"]
         return response
 
-    def _wait_for_record(self, job_id: str, wait: float) -> JobRecord:
+    def _wait_for_record(self, tenant: TenantContext, job_id: str, wait: float) -> JobRecord:
         """Wait (bounded) for a record to finish, session-side or store-side.
 
         Jobs running in this process finish through their session future;
@@ -1276,14 +1447,14 @@ class AnalysisServer:
         same state dir) are polled in the store until the wait elapses.
         """
         deadline = time.monotonic() + max(0.0, wait)
-        record = self._record(job_id)
+        record = self._record(tenant, job_id)
         if record.finished:
             return record
-        with self._lock:
-            session_job = self._session_jobs.get(job_id)
+        with tenant.lock:
+            session_job = tenant.session_jobs.get(job_id)
         if session_job is not None:
             try:
-                self.session.result(session_job, timeout=wait)
+                tenant.session.result(session_job, timeout=wait)
             except JobTimeout:
                 pass
             except (JobError, KeyError):
@@ -1294,17 +1465,20 @@ class AnalysisServer:
         # sibling server is still computing — returning early there would
         # turn the client's bounded wait into a zero-delay busy loop.
         while True:
-            record = self._record(job_id)
+            record = self._record(tenant, job_id)
             remaining = deadline - time.monotonic()
             if record.finished or remaining <= 0:
                 return record
             time.sleep(min(_BLOCK_POLL_SECONDS, max(0.01, remaining)))
 
-    def _handle_result(self, request: ResultRequest) -> Dict[str, Any]:
-        record = self._wait_for_record(request.job_id, request.wait)
+    def _handle_result(self, ctx: RequestContext) -> Dict[str, Any]:
+        request = ctx.request
+        assert isinstance(request, ResultRequest)
+        tenant = self._require_tenant(ctx)
+        record = self._wait_for_record(tenant, request.job_id, request.wait)
         if record.status == "done":
             try:
-                payload = self.store.load_result(record.job_id)
+                payload = tenant.store.load_result(record.job_id)
             except JobStoreError as exc:
                 raise JobFailed(str(exc), details={"job_id": record.job_id}) from exc
             response = ok_response(
@@ -1316,12 +1490,12 @@ class AnalysisServer:
                 response["cache"] = record.options["cache"]
             if "trace_id" in record.options:
                 response["trace_id"] = record.options["trace_id"]
-            self._reap_session_job(record.job_id)
-            if request.forget and self._release_result_waiter(record.job_id):
-                self.store.forget(record.job_id)
+            self._reap_session_job(tenant, record.job_id)
+            if request.forget and self._release_result_waiter(tenant, record.job_id):
+                tenant.store.forget(record.job_id)
             return response
         if record.status in ("error", "interrupted", "cancelled"):
-            self._reap_session_job(record.job_id)
+            self._reap_session_job(tenant, record.job_id)
             raise JobFailed(
                 record.error or f"job {record.job_id!r} ended as {record.status}",
                 details={"job_id": record.job_id, "status": record.status},
@@ -1331,23 +1505,26 @@ class AnalysisServer:
             details={"job_id": record.job_id, "status": record.status},
         )
 
-    def _handle_cancel(self, request: CancelRequest) -> Dict[str, Any]:
-        record = self._record(request.job_id)
+    def _handle_cancel(self, ctx: RequestContext) -> Dict[str, Any]:
+        request = ctx.request
+        assert isinstance(request, CancelRequest)
+        tenant = self._require_tenant(ctx)
+        record = self._record(tenant, request.job_id)
         if record.finished:
             raise CannotCancel(
                 f"job {record.job_id!r} already ended as {record.status}",
                 details={"job_id": record.job_id, "status": record.status},
             )
-        with self._lock:
-            session_job = self._session_jobs.get(record.job_id)
+        with tenant.lock:
+            session_job = tenant.session_jobs.get(record.job_id)
         if session_job is not None:
-            if not self.session.cancel(session_job):
+            if not tenant.session.cancel(session_job):
                 raise CannotCancel(
                     f"job {record.job_id!r} already started and cannot be cancelled",
                     details={"job_id": record.job_id, "status": record.status},
                 )
             try:
-                self.store.mark_cancelled(record.job_id)
+                tenant.store.mark_cancelled(record.job_id)
             except JobStoreError as exc:
                 raise CannotCancel(str(exc), details={"job_id": record.job_id}) from exc
         else:
@@ -1364,16 +1541,17 @@ class AnalysisServer:
                 return {"status": "cancelled", "worker_id": None, "lease_expires_at": None}
 
             try:
-                self.store.mutate(record.job_id, cancel_if_still_queued)
+                tenant.store.mutate(record.job_id, cancel_if_still_queued)
             except (JobStoreError, KeyError) as exc:
                 raise CannotCancel(str(exc), details={"job_id": record.job_id}) from exc
-        self._reap_session_job(record.job_id)
+        self._reap_session_job(tenant, record.job_id)
         return ok_response("cancel", job_id=record.job_id, status="cancelled")
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def _handle_specs(self, request: SpecsRequest) -> Dict[str, Any]:
+    def _handle_specs(self, ctx: RequestContext) -> Dict[str, Any]:
+        tenant = self._require_tenant(ctx)
         kinds = []
         for kind in registered_kinds():
             entry = registry_entry(kind)
@@ -1388,7 +1566,7 @@ class AnalysisServer:
         return ok_response(
             "specs",
             kinds=kinds,
-            warm=[spec.to_dict() for spec in self.session.specs()],
+            warm=[spec.to_dict() for spec in tenant.session.specs()],
         )
 
     @staticmethod
@@ -1396,15 +1574,33 @@ class AnalysisServer:
         total = hits + misses
         return hits / total if total else None
 
-    def _handle_health(self, request: HealthRequest) -> Dict[str, Any]:
+    def _tenant_health_summary(self, tenant: TenantContext) -> Dict[str, Any]:
+        """One tenant's line in the per-namespace health/gc summaries."""
         counts: Dict[str, int] = {}
-        for record in self.store.records():
+        for record in tenant.store.records():
+            counts[record.status] = counts.get(record.status, 0) + 1
+        cache_entries = (
+            tenant.session.matrix_cache.stats()["entries"]
+            if tenant.session.matrix_cache is not None else 0
+        )
+        return {
+            "root": tenant.root,
+            "jobs": counts,
+            "queue_depth": counts.get("queued", 0),
+            "matrix_cache_entries": cache_entries,
+            "models": tenant.model_store.stats()["models"],
+        }
+
+    def _handle_health(self, ctx: RequestContext) -> Dict[str, Any]:
+        tenant = self._require_tenant(ctx)
+        counts: Dict[str, int] = {}
+        for record in tenant.store.records():
             counts[record.status] = counts.get(record.status, 0) + 1
         # Warm-routing signals for load balancers: how deep the queue is
         # and how warm each persistent cache layer runs on this replica.
         matrix_health: Optional[Dict[str, Any]] = None
-        if self.matrix_cache is not None:
-            stats = self.matrix_cache.stats()
+        if tenant.session.matrix_cache is not None:
+            stats = tenant.session.matrix_cache.stats()
             matrix_health = {
                 "hits": stats["hits"],
                 "prefix_hits": stats["prefix_hits"],
@@ -1413,8 +1609,8 @@ class AnalysisServer:
                 "hit_rate": self._hit_rate(stats["hits"] + stats["prefix_hits"], stats["misses"]),
             }
         pair_health: Optional[Dict[str, Any]] = None
-        if self.pair_store is not None:
-            counters = self.pair_store.counters()
+        if tenant.session.pair_store is not None:
+            counters = tenant.session.pair_store.counters()
             pair_health = {
                 "hits": counters["hits"],
                 "misses": counters["misses"],
@@ -1423,13 +1619,13 @@ class AnalysisServer:
         # Streaming tier: stored models plus aggregate serve counters —
         # warm_rate is the share of classified traces that cost zero
         # kernel evaluations.
-        model_stats = self.model_store.stats()
-        with self._lock:
+        model_stats = tenant.model_store.stats()
+        with tenant.lock:
             totals: Dict[str, float] = {
                 "requests": 0, "traces": 0, "warm_traces": 0,
                 "kernel_evals": 0, "total_seconds": 0.0,
             }
-            for metrics in self._model_metrics.values():
+            for metrics in tenant.model_metrics.values():
                 for key in totals:
                     totals[key] += metrics.get(key, 0)
         models_health = {
@@ -1437,7 +1633,7 @@ class AnalysisServer:
             "quarantined": model_stats["quarantined"],
             **self._served_metrics(totals),
         }
-        return ok_response(
+        response = ok_response(
             "health",
             status="ok",
             protocol=PROTOCOL_VERSION,
@@ -1445,11 +1641,13 @@ class AnalysisServer:
             started_at=self._started,
             pid=os.getpid(),
             state_dir=self.store.root,
+            tenant=tenant.tenant_id,
+            auth=self.auth.enabled,
             jobs=counts,
             queue_depth=counts.get("queued", 0),
-            warm_specs=len(self.session.specs()),
+            warm_specs=len(tenant.session.specs()),
             worker_id=self.worker_id,
-            result_cache=self.matrix_cache is not None,
+            result_cache=tenant.session.matrix_cache is not None,
             matrix_cache=matrix_health,
             pair_store=pair_health,
             models=models_health,
@@ -1457,29 +1655,40 @@ class AnalysisServer:
             recovered_interrupted=len(self.store.recovery.interrupted),
             recovered_requeued=len(self.store.recovery.requeued),
         )
+        # When tenancy is live, surface a per-namespace roll-up (counts
+        # only, never payloads) so operators see the whole fleet at once.
+        if self._tenants.multi_tenant or self.auth.enabled:
+            response["tenants"] = {
+                context.tenant_id: self._tenant_health_summary(context)
+                for context in self._tenants.contexts()
+            }
+        return response
 
-    def _handle_cache_stats(self, request: CacheStatsRequest) -> Dict[str, Any]:
+    def _handle_cache_stats(self, ctx: RequestContext) -> Dict[str, Any]:
+        tenant = self._require_tenant(ctx)
         pair_section = (
-            {"enabled": True, **self.pair_store.stats()}
-            if self.pair_store is not None
+            {"enabled": True, **tenant.session.pair_store.stats()}
+            if tenant.session.pair_store is not None
             else {"enabled": False}
         )
-        with self._lock:
+        with tenant.lock:
             served = {
                 name: self._served_metrics(metrics)
-                for name, metrics in self._model_metrics.items()
+                for name, metrics in tenant.model_metrics.items()
             }
-        models_section = {"enabled": True, **self.model_store.stats(), "served": served}
-        if self.matrix_cache is None:
+        models_section = {"enabled": True, **tenant.model_store.stats(), "served": served}
+        if tenant.session.matrix_cache is None:
             return ok_response(
-                "cache-stats", enabled=False, pair_store=pair_section, models=models_section
+                "cache-stats", enabled=False, tenant=tenant.tenant_id,
+                pair_store=pair_section, models=models_section,
             )
         return ok_response(
             "cache-stats",
             enabled=True,
+            tenant=tenant.tenant_id,
             pair_store=pair_section,
             models=models_section,
-            **self.matrix_cache.stats(),
+            **tenant.session.matrix_cache.stats(),
         )
 
     # ------------------------------------------------------------------
@@ -1499,49 +1708,70 @@ class AnalysisServer:
         registry.gauge(
             "repro_process_start_time_seconds", "Unix time this process started."
         ).set(self._started)
-        counts: Dict[str, int] = {}
-        for record in self.store.records():
-            counts[record.status] = counts.get(record.status, 0) + 1
-        registry.gauge("repro_queue_depth", "Queued job records in the store.").set(
-            counts.get("queued", 0)
+        contexts = self._tenants.contexts()
+        registry.gauge("repro_tenants", "Live tenant namespaces in this process.").set(
+            len(contexts)
         )
-        for status, count in counts.items():
-            registry.gauge("repro_jobs", "Job records in the store by status.", status=status).set(count)
-        for key, value in self.session.engine_counters().items():
-            registry.counter(
-                f"repro_engine_{key}_total", "Warm-engine counters summed across specs."
-            ).set_total(value)
-        if self.matrix_cache is not None:
-            for key, value in self.matrix_cache.counters().items():
+        total_queued = 0
+        for tenant in contexts:
+            tenant_id = tenant.tenant_id
+            counts: Dict[str, int] = {}
+            for record in tenant.store.records():
+                counts[record.status] = counts.get(record.status, 0) + 1
+            total_queued += counts.get("queued", 0)
+            for status, count in counts.items():
+                registry.gauge(
+                    "repro_jobs", "Job records in the store by status and tenant.",
+                    status=status, tenant=tenant_id,
+                ).set(count)
+            for key, value in tenant.session.engine_counters().items():
                 registry.counter(
-                    f"repro_matrix_cache_{key}_total", "Persistent matrix result-cache counters."
+                    f"repro_engine_{key}_total", "Warm-engine counters summed across specs.",
+                    tenant=tenant_id,
                 ).set_total(value)
-        if self.pair_store is not None:
-            for key, value in self.pair_store.counters().items():
+            if tenant.session.matrix_cache is not None:
+                for key, value in tenant.session.matrix_cache.counters().items():
+                    registry.counter(
+                        f"repro_matrix_cache_{key}_total", "Persistent matrix result-cache counters.",
+                        tenant=tenant_id,
+                    ).set_total(value)
+            if tenant.session.pair_store is not None:
+                for key, value in tenant.session.pair_store.counters().items():
+                    registry.counter(
+                        f"repro_pair_store_{key}_total", "Persistent pair-value store counters.",
+                        tenant=tenant_id,
+                    ).set_total(value)
+            for key, value in tenant.store.counters().items():
                 registry.counter(
-                    f"repro_pair_store_{key}_total", "Persistent pair-value store counters."
+                    f"repro_jobstore_{key}_total", "Job-store lifecycle counters (this process).",
+                    tenant=tenant_id,
                 ).set_total(value)
-        for key, value in self.store.counters().items():
-            registry.counter(
-                f"repro_jobstore_{key}_total", "Job-store lifecycle counters (this process)."
-            ).set_total(value)
-        with self._lock:
-            model_metrics = {name: dict(values) for name, values in self._model_metrics.items()}
-        for name, values in model_metrics.items():
-            registry.counter(
-                "repro_model_requests_total", "Classify requests served, by model.", model=name
-            ).set_total(values.get("requests", 0))
-            registry.counter(
-                "repro_model_traces_total", "Traces classified, by model.", model=name
-            ).set_total(values.get("traces", 0))
-            registry.counter(
-                "repro_model_warm_traces_total",
-                "Traces classified with zero kernel evaluations, by model.", model=name,
-            ).set_total(values.get("warm_traces", 0))
-            registry.counter(
-                "repro_model_kernel_evals_total", "Kernel evaluations spent serving, by model.",
-                model=name,
-            ).set_total(values.get("kernel_evals", 0))
+            with tenant.lock:
+                model_metrics = {
+                    name: dict(values) for name, values in tenant.model_metrics.items()
+                }
+            for name, values in model_metrics.items():
+                registry.counter(
+                    "repro_model_requests_total", "Classify requests served, by model.",
+                    model=name, tenant=tenant_id,
+                ).set_total(values.get("requests", 0))
+                registry.counter(
+                    "repro_model_traces_total", "Traces classified, by model.",
+                    model=name, tenant=tenant_id,
+                ).set_total(values.get("traces", 0))
+                registry.counter(
+                    "repro_model_warm_traces_total",
+                    "Traces classified with zero kernel evaluations, by model.",
+                    model=name, tenant=tenant_id,
+                ).set_total(values.get("warm_traces", 0))
+                registry.counter(
+                    "repro_model_kernel_evals_total",
+                    "Kernel evaluations spent serving, by model.",
+                    model=name, tenant=tenant_id,
+                ).set_total(values.get("kernel_evals", 0))
+        registry.gauge("repro_queue_depth", "Queued job records across all tenants.").set(
+            total_queued
+        )
 
     def _read_worker_snapshots(self) -> List[Dict[str, Any]]:
         """Metric snapshots workers persisted under ``<state-dir>/metrics/``.
@@ -1627,7 +1857,8 @@ class AnalysisServer:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the front ends, the maintenance thread and (when owned) the session."""
+        """Stop the front ends, the maintenance thread, every tenant session
+        this server built, and (when owned) the default session."""
         self._maintenance_stop.set()
         if self._httpd is not None:
             self._httpd.shutdown()
@@ -1637,6 +1868,7 @@ class AnalysisServer:
             self._http_thread.join(timeout=5)
             self._http_thread = None
         self._maintenance_thread.join(timeout=5)
+        self._tenants.close()
         if self._owns_session:
             self.session.shutdown()
         if self._tempdir is not None:
@@ -1673,12 +1905,36 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _bearer_token(self) -> Optional[str]:
+        """The ``Authorization: Bearer <token>`` header's token, if any."""
+        header = self.headers.get("Authorization")
+        if header is None:
+            return None
+        scheme, _, credentials = header.partition(" ")
+        if scheme.lower() != "bearer":
+            return None
+        return credentials.strip() or None
+
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         if self.path.rstrip("/") not in ("", "/v1"):
             self._respond(error_response(BadRequest(f"unknown endpoint {self.path!r}; POST /v1")))
             return
         try:
             length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._respond(error_response(BadRequest("Content-Length header is not an integer")))
+            return
+        # Refuse oversized bodies before reading a single byte of them:
+        # an unbounded read would let one client balloon server memory.
+        limit = self.analysis_server.max_request_bytes
+        if length > limit:
+            self.close_connection = True  # the unread body poisons the connection
+            self._respond(error_response(RequestTooLarge(
+                f"request body of {length} bytes exceeds the server's limit of {limit}",
+                details={"max_request_bytes": limit, "content_length": length},
+            )))
+            return
+        try:
             body = self.rfile.read(length).decode("utf-8")
             payload = load_message(body)
         except (ValueError, UnicodeDecodeError) as exc:
@@ -1687,11 +1943,17 @@ class _ServiceHTTPHandler(BaseHTTPRequestHandler):
         except BadRequest as exc:
             self._respond(error_response(exc))
             return
-        self._respond(self.analysis_server.handle(payload))
+        self._respond(
+            self.analysis_server.handle(payload, token=self._bearer_token(), transport="http")
+        )
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         if self.path.rstrip("/") in ("/healthz", "/v1/health"):
-            self._respond(self.analysis_server.handle(HealthRequest().to_payload()))
+            self._respond(
+                self.analysis_server.handle(
+                    HealthRequest().to_payload(), token=self._bearer_token(), transport="http"
+                )
+            )
             return
         if self.path.rstrip("/") == "/metrics":
             body = self.analysis_server.metrics_text().encode("utf-8")
@@ -1737,12 +1999,19 @@ def serve_stdio(server: AnalysisServer, input_stream: TextIO, output_stream: Tex
         line = line.strip()
         if not line:
             continue
-        try:
-            payload = load_message(line)
-        except BadRequest as exc:
-            response: Dict[str, Any] = error_response(exc)
+        if len(line) > server.max_request_bytes:
+            response: Dict[str, Any] = error_response(RequestTooLarge(
+                f"request line of {len(line)} bytes exceeds the server's limit "
+                f"of {server.max_request_bytes}",
+                details={"max_request_bytes": server.max_request_bytes},
+            ))
         else:
-            response = server.handle(payload)
+            try:
+                payload = load_message(line)
+            except BadRequest as exc:
+                response = error_response(exc)
+            else:
+                response = server.handle(payload, transport="stdio")
         output_stream.write(dump_message(response) + "\n")
         output_stream.flush()
         served += 1

@@ -31,6 +31,15 @@ process's job) and claim ``block`` and ``fit-model`` records by default —
 a fleet of workers drains streaming model fits exactly like matrix
 blocks, writing the frozen models into the shared
 ``state_dir/models`` store the server serves ``classify`` from.
+
+With tenancy enabled on the server, each tenant's namespace under
+``<state-dir>/tenants/<id>/`` is its own job store.  One worker drains
+them all from a single pull loop: every scan claims from the root store
+first, then from each tenant namespace (discovered lazily, so tenants
+created after the worker started are picked up).  Execution stays
+isolated per namespace — results, pair-store values and fitted models
+land in the owning tenant's directories, through a per-tenant session,
+never in another tenant's.
 """
 
 from __future__ import annotations
@@ -50,6 +59,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import trace_context
 from repro.service.jobstore import JobRecord, JobStore, JobStoreError, LeaseError
 from repro.service.protocol import decode_corpus
+from repro.service.tenancy import TENANTS_DIRNAME, valid_tenant_id
 from repro.strings.tokens import WeightedString
 
 __all__ = [
@@ -260,6 +270,14 @@ class Worker:
         )
         if pair_store and self.session.pair_store is None:
             self.session.set_pair_store(os.path.join(self.store.root, "pair-store"))
+        # Tenant namespaces (``<state-dir>/tenants/<id>/``) get their own
+        # lazily opened store and session, so claimed work reads from and
+        # writes into the owning tenant's directories only.
+        self._n_jobs = n_jobs
+        self._executor = executor
+        self._use_pair_store = bool(pair_store)
+        self._tenant_stores: Dict[str, JobStore] = {}
+        self._tenant_sessions: Dict[str, AnalysisSession] = {}
         self._corpus_cache: Dict[str, List[WeightedString]] = {}
         self._stop = threading.Event()
         #: Tasks completed / failed by this worker (observability).
@@ -321,6 +339,59 @@ class Worker:
             logger.debug("worker %s could not persist its metrics snapshot", self.worker_id)
 
     # ------------------------------------------------------------------
+    # Tenant namespaces
+    # ------------------------------------------------------------------
+    def _discover_tenants(self) -> List[str]:
+        """Tenant ids with a namespace directory under the state dir."""
+        base = os.path.join(self.store.root, TENANTS_DIRNAME)
+        try:
+            entries = sorted(os.listdir(base))
+        except OSError:
+            return []
+        return [
+            name for name in entries
+            if valid_tenant_id(name) and os.path.isdir(os.path.join(base, name))
+        ]
+
+    def _tenant_store(self, tenant_id: str) -> JobStore:
+        store = self._tenant_stores.get(tenant_id)
+        if store is None:
+            root = os.path.join(self.store.root, TENANTS_DIRNAME, tenant_id)
+            store = JobStore(root, recover=False)
+            self._tenant_stores[tenant_id] = store
+        return store
+
+    def _tenant_session(self, tenant_id: str) -> AnalysisSession:
+        """The tenant's own evaluation session (own caches, own pair store)."""
+        session = self._tenant_sessions.get(tenant_id)
+        if session is None:
+            session = AnalysisSession(n_jobs=self._n_jobs, executor=self._executor)
+            if self._use_pair_store:
+                session.set_pair_store(
+                    os.path.join(self._tenant_store(tenant_id).root, "pair-store")
+                )
+            self._tenant_sessions[tenant_id] = session
+        return session
+
+    def _claim_any(self) -> Optional[tuple]:
+        """One claimable record plus its owning store and session.
+
+        The root (default-tenant) store is scanned first, then each tenant
+        namespace in sorted order — a deterministic sweep, re-listing the
+        tenants directory every time so namespaces created while the
+        worker runs join the rotation without a restart.
+        """
+        record = self.store.claim(self.worker_id, self.lease_seconds, kinds=self.kinds)
+        if record is not None:
+            return record, self.store, self.session
+        for tenant_id in self._discover_tenants():
+            store = self._tenant_store(tenant_id)
+            record = store.claim(self.worker_id, self.lease_seconds, kinds=self.kinds)
+            if record is not None:
+                return record, store, self._tenant_session(tenant_id)
+        return None
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run_once(self) -> Optional[str]:
@@ -331,9 +402,10 @@ class Worker:
         possibly on another worker) and marked ``error`` after that
         (deterministic failures must not ping-pong forever).
         """
-        record = self.store.claim(self.worker_id, self.lease_seconds, kinds=self.kinds)
-        if record is None:
+        claimed = self._claim_any()
+        if claimed is None:
             return None
+        record, store, session = claimed
         # The trace the server stamped on the record (block children
         # inherit their parent's) binds this worker's log lines to the
         # originating client request.
@@ -349,13 +421,13 @@ class Worker:
             )
             # The keeper starts before any throttle sleep: a live-but-slow
             # worker keeps renewing, so only a *dead* worker's lease expires.
-            keeper = _LeaseKeeper(self.store, record.job_id, self.worker_id, self.lease_seconds)
+            keeper = _LeaseKeeper(store, record.job_id, self.worker_id, self.lease_seconds)
             keeper.start()
             outcome = "completed"
             try:
                 if self.throttle > 0:
                     time.sleep(self.throttle)
-                self._execute(record)
+                self._execute(store, record, session)
             except LeaseError:
                 # The lease was reclaimed under us; the new owner's result wins.
                 outcome = "lease-lost"
@@ -364,7 +436,7 @@ class Worker:
             except Exception as exc:  # noqa: BLE001 - the queue must keep moving
                 outcome = "failed"
                 self.failed += 1
-                self._handle_failure(record, exc)
+                self._handle_failure(store, record, exc)
             else:
                 self.completed += 1
             finally:
@@ -384,22 +456,22 @@ class Worker:
         self.persist_metrics()
         return record.job_id
 
-    def _execute(self, record: JobRecord) -> None:
+    def _execute(self, store: JobStore, record: JobRecord, session: AnalysisSession) -> None:
         if record.kind == "block":
-            execute_block_task(self.store, record, self.session, corpus_cache=self._corpus_cache)
+            execute_block_task(store, record, session, corpus_cache=self._corpus_cache)
         elif record.kind == "fit-model":
-            execute_fit_model_task(self.store, record, self.session)
+            execute_fit_model_task(store, record, session)
         else:
             raise JobStoreError(f"worker cannot execute {record.kind!r} tasks")
 
-    def _handle_failure(self, record: JobRecord, exc: Exception) -> None:
+    def _handle_failure(self, store: JobStore, record: JobRecord, exc: Exception) -> None:
         message = f"{type(exc).__name__}: {exc}"
         logger.warning("worker %s failed %s: %s", self.worker_id, record.job_id, message)
         try:
             if record.attempts < self.max_attempts:
-                self.store.release(record.job_id, self.worker_id)
+                store.release(record.job_id, self.worker_id)
             else:
-                self.store.mark_error(
+                store.mark_error(
                     record.job_id, f"failed after {record.attempts} attempts: {message}"
                 )
         except (LeaseError, JobStoreError, KeyError):
@@ -445,6 +517,9 @@ class Worker:
     def close(self) -> None:
         self.stop()
         self.persist_metrics()
+        for session in self._tenant_sessions.values():
+            session.shutdown()
+        self._tenant_sessions.clear()
         if self._owns_session:
             self.session.shutdown()
 

@@ -20,6 +20,7 @@ EXAMPLES = {
     "compare_kernels.py": ["--small"],
     "classify_custom_workload.py": [],
     "cut_weight_study.py": ["--small", "--cut-weights", "2", "8"],
+    "multi_tenant.py": ["--small"],
     "service_roundtrip.py": ["--small"],
     "streaming_classify.py": ["--small"],
 }
