@@ -36,6 +36,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.api import AnalysisSession, KernelSpec, kernel_choices
+from repro.core.atomicio import write_text_atomic
 from repro.core.kast import KAST_BACKENDS
 from repro.pipeline.config import ExperimentConfig, config_from_spec
 from repro.pipeline.experiments import (
@@ -342,6 +343,53 @@ def build_parser() -> argparse.ArgumentParser:
         "usable with or without --pair-ttl",
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST-based invariant checkers (atomic writes, lock discipline, "
+        "determinism, protocol completeness, typed errors, metric naming)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files and/or directories to scan (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="JSON baseline of grandfathered findings; matched findings do not fail the run",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline from this run: keep matched entries, add current "
+        "findings (with TODO justifications), drop stale entries",
+    )
+    lint.add_argument(
+        "--select",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    lint.add_argument(
+        "--ignore",
+        default="",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules with their summaries and exit",
+    )
+
     remote = subparsers.add_parser("remote", help="talk to a running analysis service")
     remote.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8123")
     remote.add_argument("--timeout", type=float, default=600.0, help="seconds to wait for results (default: 600)")
@@ -562,8 +610,9 @@ def _emit_payload(payload: dict, output: Optional[str], summary: str) -> None:
     if output:
         directory = os.path.dirname(os.path.abspath(output))
         os.makedirs(directory, exist_ok=True)
-        with open(output, "w", encoding="utf-8") as handle:
-            handle.write(text + "\n")
+        # Atomic so a Ctrl-C mid-dump never leaves a truncated payload a
+        # later `repro compare`/ingest step would trip over.
+        write_text_atomic(output, text + "\n")
         print(summary)
     else:
         print(text)
@@ -689,8 +738,9 @@ def _command_serve(args: argparse.Namespace) -> int:
             if args.port_file:
                 directory = os.path.dirname(os.path.abspath(args.port_file))
                 os.makedirs(directory, exist_ok=True)
-                with open(args.port_file, "w", encoding="utf-8") as handle:
-                    handle.write(f"{port}\n")
+                # Atomic: smoke scripts poll this path and must never read
+                # an empty just-created file before the port lands in it.
+                write_text_atomic(args.port_file, f"{port}\n")
             print(f"serving on http://{host}:{port} (state dir {server.store.root})")
 
         try:
@@ -831,6 +881,12 @@ def _command_gc(args: argparse.Namespace) -> int:
                 print(f"tenant {name}:")
                 _gc_namespace(namespace, args)
     return 0
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint.cli import run_lint
+
+    return run_lint(args)
 
 
 def _command_remote(args: argparse.Namespace) -> int:
@@ -1032,6 +1088,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _command_serve,
         "worker": _command_worker,
         "gc": _command_gc,
+        "lint": _command_lint,
         "remote": _command_remote,
         "model": _command_model,
     }

@@ -1,0 +1,70 @@
+"""The one blessed atomic text-file write shared by every persistent layer.
+
+Every store in this codebase — job records and payloads
+(:mod:`repro.service.jobstore`), matrix-cache entries
+(:mod:`repro.core.cachestore`), pair-value segments
+(:mod:`repro.core.pairstore`), landmark-model envelopes
+(:mod:`repro.streaming.store`), worker metric snapshots
+(:mod:`repro.service.worker`) and the CLI's operator-facing output files —
+persists JSON text under the same contract:
+
+* **atomic**: the bytes land in a temporary file that is ``os.replace``d
+  over the destination, so a crash at any instant leaves either the old
+  file or the new file, never a torn one;
+* **unique-temp**: the temporary name embeds the pid *and* a fresh
+  ``uuid4`` component, so two writers of the same destination — whether
+  they are two processes sharing a state dir or two threads of one
+  process — never open the same temporary file.  A pid-only suffix is not
+  enough: two service jobs finishing the same matrix concurrently would
+  share one temp file and the second ``os.replace`` would find it already
+  consumed (the PR 5 temp-file collision bug);
+* **durable**: the data is flushed and fsynced before the rename, so the
+  rename never publishes a name whose bytes are still in flight.
+
+Four independent copies of this function drifted apart once already (the
+job store kept a pid-only temp name long after the caches grew the uuid
+component).  Keeping the single implementation here — imported by every
+layer, with the ``repro lint`` REP001 checker enforcing that no bare
+write sneaks back in — is what makes the discipline auditable.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+
+__all__ = ["temp_name_for", "write_text_atomic"]
+
+
+def temp_name_for(path: str) -> str:
+    """A collision-free temporary sibling name for an atomic write to *path*.
+
+    Unique per *call*, not per process: the pid isolates concurrent
+    processes, the ``uuid4`` component isolates concurrent threads (and
+    re-entrant writes) within one.  The ``.tmp.`` infix is part of the
+    contract — recovery and sweep passes recognise orphaned temporaries
+    (a crashed writer's leavings) by it and clean them up.
+    """
+    return f"{path}.tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}"
+
+
+def write_text_atomic(path: str, text: str) -> None:
+    """Atomically replace *path* with *text* (UTF-8, fsynced, unique temp).
+
+    On failure the temporary file is best-effort removed so a full disk
+    or permission error does not litter the directory with orphans the
+    next sweep has to age out.
+    """
+    temporary = temp_name_for(path)
+    try:
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+    except BaseException:
+        try:
+            os.remove(temporary)
+        except OSError:
+            pass
+        raise

@@ -50,9 +50,10 @@ import hashlib
 import json
 import os
 import time
-import uuid
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.atomicio import write_text_atomic
 
 __all__ = ["CacheLookup", "MatrixCache", "MatrixCacheError", "payload_identity"]
 
@@ -69,19 +70,6 @@ class MatrixCacheError(RuntimeError):
 
 def _digest(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-def _write_text_atomic(path: str, text: str) -> None:
-    # The temp name must be unique per *write*, not per process: two
-    # threads storing the same entry concurrently (e.g. two service jobs
-    # finishing the same matrix) would otherwise share one temp file and
-    # the second os.replace would find it already consumed.
-    temporary = f"{path}.tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}"
-    with open(temporary, "w", encoding="utf-8") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temporary, path)
 
 
 def payload_identity(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -320,9 +308,10 @@ class MatrixCache:
         bucket = self._bucket_dir(identity["kernel_signature"])
         os.makedirs(bucket, exist_ok=True)
         text = json.dumps(payload, sort_keys=True)
-        _write_text_atomic(self._payload_path(bucket, key), text)
+        write_text_atomic(self._payload_path(bucket, key), text)
+        # repro: lint-ok[REP003] created_at is sidecar meta for TTL sweeps; the hashed payload above is clock-free
         meta = {"v": _ENTRY_VERSION, "payload_sha256": _digest(text), "created_at": time.time(), **identity}
-        _write_text_atomic(self._meta_path(bucket, key), json.dumps(meta, sort_keys=True))
+        write_text_atomic(self._meta_path(bucket, key), json.dumps(meta, sort_keys=True))
         self._counts.stores += 1
         self.sweep()
         return key
@@ -373,7 +362,7 @@ class MatrixCache:
         """
         ttl = self.ttl if ttl is None else ttl
         max_entries = self.max_entries if max_entries is None else max_entries
-        moment = time.time() if now is None else now
+        moment = time.time() if now is None else now  # repro: lint-ok[REP003] TTL eviction clock, not cached content
         entries = self._entries()
         evicted: List[str] = []
         if ttl is not None:

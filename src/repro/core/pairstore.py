@@ -63,6 +63,8 @@ import uuid
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.core.atomicio import write_text_atomic
+
 __all__ = ["PairStore", "PairStoreError"]
 
 #: Segment format version (bump on incompatible layout changes).
@@ -84,17 +86,6 @@ class PairStoreError(RuntimeError):
 
 def _digest(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-def _write_text_atomic(path: str, text: str) -> None:
-    # Unique per *write* (not per process): concurrent writers to one
-    # bucket must never share a temp file (same idiom as MatrixCache).
-    temporary = f"{path}.tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}"
-    with open(temporary, "w", encoding="utf-8") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temporary, path)
 
 
 def _canonical_pair(pair: Tuple[str, str]) -> PairFingerprints:
@@ -241,7 +232,7 @@ class PairStore:
             "sha256": _digest(_rows_text(rows)),
         }
         path = os.path.join(bucket_dir, f"seg-{uuid.uuid4().hex}.json")
-        _write_text_atomic(path, json.dumps(payload, separators=(",", ":")))
+        write_text_atomic(path, json.dumps(payload, separators=(",", ":")))
         return path
 
     def _bucket_values(self, signature: str, bucket: str) -> Tuple[Dict[PairFingerprints, float], List[str]]:
@@ -411,7 +402,7 @@ class PairStore:
         """
         ttl = self.ttl if ttl is None else ttl
         max_bytes = self.max_bytes if max_bytes is None else max_bytes
-        moment = time.time() if now is None else now
+        moment = time.time() if now is None else now  # repro: lint-ok[REP003] TTL eviction clock, not stored content
         self.compact()
         segments = self._segments()
         removed: List[str] = []

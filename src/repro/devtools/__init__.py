@@ -1,0 +1,9 @@
+"""Developer tooling that ships with the repository (not the service).
+
+Currently one subsystem: :mod:`repro.devtools.lint`, the AST-based
+invariant checker behind ``repro lint``.  Nothing under ``devtools`` is
+imported by the library, service, or workers — it exists so the
+conventions the runtime depends on (atomic writes, lock discipline,
+bit-identical determinism, protocol completeness) are machine-checked
+instead of re-discovered in review.
+"""

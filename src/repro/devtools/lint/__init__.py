@@ -1,0 +1,52 @@
+"""``repro lint`` — AST-based checkers for the repo's correctness contracts.
+
+The reproduction's guarantees (bit-identical cached values, atomic
+state-dir writes, lock-guarded mutations, a fully-wired protocol, typed
+wire errors, one schema per metric family) live in *conventions*, and
+each has already produced at least one latent bug caught late.  This
+package machine-checks them:
+
+* :mod:`~repro.devtools.lint.engine` — the run pipeline
+  (:func:`~repro.devtools.lint.engine.lint_paths`);
+* :mod:`~repro.devtools.lint.registry` — the pluggable checker registry
+  (same idiom as the kernel-spec factory registry);
+* :mod:`~repro.devtools.lint.checkers` — the built-in rules
+  REP000–REP006;
+* :mod:`~repro.devtools.lint.baseline` — grandfathered findings;
+* :mod:`~repro.devtools.lint.source` — parsed files and the
+  ``# repro: lint-ok[RULE] reason`` suppression syntax.
+
+Run it with ``repro-iokast lint src/`` (or ``python -m repro lint``);
+CI runs it self-hosted on every push.
+"""
+
+from repro.devtools.lint.baseline import Baseline, BaselineEntry, BaselineError
+from repro.devtools.lint.engine import LintReport, lint_paths, lint_project
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import (
+    Checker,
+    LintRegistryError,
+    make_checkers,
+    register_checker,
+    registered_rules,
+    rule_summaries,
+)
+from repro.devtools.lint.source import Project, SourceFile
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "Checker",
+    "Finding",
+    "LintRegistryError",
+    "LintReport",
+    "Project",
+    "SourceFile",
+    "lint_paths",
+    "lint_project",
+    "make_checkers",
+    "register_checker",
+    "registered_rules",
+    "rule_summaries",
+]

@@ -1,0 +1,132 @@
+"""Grandfathered findings: the baseline file and its matching rules.
+
+A baseline entry pins one *known, justified* finding so CI can fail on
+anything new without forcing a big-bang cleanup.  Entries are matched by
+``(rule, path, content)`` where ``content`` is a hash of the offending
+source line (see :func:`~repro.devtools.lint.findings.content_hash`) —
+stable under unrelated edits that move the line, invalidated the moment
+the line itself changes, which is exactly when the grandfathering should
+be re-examined.
+
+Every entry carries a human ``justification``; ``repro lint
+--update-baseline`` refuses nothing but stamps a placeholder that REP000
+in a later pass would shame, so the expectation is that justifications
+are edited in by hand.  Entries that match no current finding are
+*stale* — reported so the file shrinks as debt is paid, and dropped
+automatically on ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.atomicio import write_text_atomic
+from repro.devtools.lint.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "BaselineError"]
+
+_BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or wrong-shape baseline files."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    content: str
+    justification: str
+    #: Advisory only — kept so humans can find the line, never matched on.
+    line: int = 0
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.content)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "content": self.content,
+            "justification": self.justification,
+            "line": self.line,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BaselineEntry":
+        try:
+            return cls(
+                rule=str(payload["rule"]),
+                path=str(payload["path"]),
+                content=str(payload["content"]),
+                justification=str(payload.get("justification", "")),
+                line=int(payload.get("line", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(f"malformed baseline entry {payload!r}: {exc}") from exc
+
+    @classmethod
+    def from_finding(cls, finding: Finding, justification: str) -> "BaselineEntry":
+        return cls(
+            rule=finding.rule,
+            path=finding.path,
+            content=finding.content,
+            justification=justification,
+            line=finding.line,
+        )
+
+
+class Baseline:
+    """The set of grandfathered findings, with use tracking for staleness."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        self._index: Set[Tuple[str, str, str]] = {entry.key() for entry in self.entries}
+        self._used: Set[Tuple[str, str, str]] = set()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether *finding* is grandfathered (and mark its entry used)."""
+        key = (finding.rule, finding.path, finding.content)
+        if key in self._index:
+            self._used.add(key)
+            return True
+        return False
+
+    def stale_entries(self) -> List[BaselineEntry]:
+        """Entries that matched nothing in the run(s) since loading."""
+        return [entry for entry in self.entries if entry.key() not in self._used]
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """The baseline stored at *path*; a missing file is an empty one."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return cls()
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"baseline {path!r} is unreadable: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _BASELINE_VERSION:
+            raise BaselineError(f"baseline {path!r} has unsupported shape/version")
+        entries = payload.get("entries", [])
+        if not isinstance(entries, list):
+            raise BaselineError(f"baseline {path!r}: 'entries' must be a list")
+        return cls(BaselineEntry.from_dict(entry) for entry in entries)
+
+    @staticmethod
+    def save(path: str, entries: Sequence[BaselineEntry]) -> None:
+        """Atomically write *entries* to *path*, sorted for stable diffs."""
+        ordered = sorted(entries, key=lambda entry: (entry.path, entry.rule, entry.line, entry.content))
+        payload = {
+            "version": _BASELINE_VERSION,
+            "entries": [entry.to_dict() for entry in ordered],
+        }
+        write_text_atomic(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,27 @@
+"""The built-in rule set.
+
+Importing this package registers every checker (each module ends in a
+``@register_checker`` class) — the registry idiom shared with the
+kernel factories in :mod:`repro.api.spec`.  Adding a rule is one new
+module here plus an import line below.
+"""
+
+from repro.devtools.lint.checkers import (  # noqa: F401  (imported for registration)
+    rep000_hygiene,
+    rep001_atomic_writes,
+    rep002_lock_discipline,
+    rep003_determinism,
+    rep004_protocol,
+    rep005_typed_errors,
+    rep006_metrics,
+)
+
+__all__ = [
+    "rep000_hygiene",
+    "rep001_atomic_writes",
+    "rep002_lock_discipline",
+    "rep003_determinism",
+    "rep004_protocol",
+    "rep005_typed_errors",
+    "rep006_metrics",
+]

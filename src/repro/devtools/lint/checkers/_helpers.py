@@ -1,0 +1,41 @@
+"""Small AST utilities shared by the built-in checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+__all__ = ["call_name", "dotted_name", "iter_functions", "string_constant"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The dotted name a call invokes, else ``None`` for computed callees."""
+    return dotted_name(call.func)
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Every (possibly nested) function definition under *tree*."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def string_constant(node: ast.AST) -> Optional[str]:
+    """The value of a string-literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

@@ -1,0 +1,30 @@
+"""REP000 — lint hygiene: the linter's own inputs must be sound.
+
+Two failure modes would silently rot the whole tool: a file that does
+not parse is a file no rule sees, and a mistyped or reason-less
+``lint-ok`` comment suppresses nothing (or the wrong thing) while its
+author believes the finding is handled.  Both are surfaced as findings
+in their own right.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Checker, register_checker
+from repro.devtools.lint.source import Project, SourceFile
+
+
+@register_checker
+class LintHygieneChecker(Checker):
+    rule = "REP000"
+    summary = "files must parse; lint-ok suppressions must be well-formed and justified"
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        for line, message in source.malformed:
+            yield self.finding(source.path, line, 0, message)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for failure in project.failures:
+            yield self.finding(failure.path, failure.line, 0, failure.message)

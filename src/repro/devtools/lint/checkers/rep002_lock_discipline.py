@@ -1,0 +1,193 @@
+"""REP002 — lock discipline: a lightweight per-class race heuristic.
+
+The codebase's thread-safety convention is *attribute ownership by
+lock*: once a class protects an attribute with ``with self._lock:``
+anywhere, **every** mutation of that attribute outside ``__init__`` must
+happen under a lock-guarded ``with``.  PR 4's cross-process lost-update
+was precisely a read-modify-write that skipped the guard, so this rule
+automates the review question "is every assignment to that field inside
+a ``with self._lock``?".
+
+Per class definition:
+
+1. find the lock attributes — ``self.X = threading.Lock()`` (or
+   ``RLock``/``Condition``) in any method;
+2. find the guarded attributes — every ``self.Y`` target of an
+   assignment / augmented assignment / subscript store inside a
+   ``with self.X:`` block;
+3. flag mutations of a guarded attribute *outside* any such block in
+   methods other than ``__init__`` (construction happens-before any
+   other thread can hold a reference).
+
+Separately, :class:`~repro.service.jobstore.JobStore` record writes have
+exactly two blessed read-modify-write doors — ``mutate()`` and
+``claim_job()`` — so touching its ``_write_record``/``_record_lock``
+internals from any *other* module is flagged unconditionally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.devtools.lint.checkers._helpers import call_name
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Checker, register_checker
+from repro.devtools.lint.source import Project, SourceFile
+
+#: Constructors whose result is a mutual-exclusion guard.
+_LOCK_FACTORIES = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "Lock",
+    "RLock",
+    "Condition",
+}
+
+#: JobStore internals no other module may reach into.
+_JOBSTORE_INTERNALS = ("_write_record", "_record_lock")
+_JOBSTORE_PATH = "repro/service/jobstore.py"
+
+
+def _self_attr(node: ast.AST) -> str:
+    """``Y`` when *node* is ``self.Y`` (possibly subscripted), else ``''``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+def _mutation_targets(statement: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """``self.Y`` attributes a single statement mutates."""
+    targets: List[Tuple[str, ast.AST]] = []
+    if isinstance(statement, ast.Assign):
+        nodes = statement.targets
+    elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+        nodes = [statement.target]
+    else:
+        return targets
+    for node in nodes:
+        if isinstance(node, ast.Tuple):
+            elements: List[ast.AST] = list(node.elts)
+        else:
+            elements = [node]
+        for element in elements:
+            attr = _self_attr(element)
+            if attr:
+                targets.append((attr, element))
+    return targets
+
+
+class _ClassAnalysis(ast.NodeVisitor):
+    """One pass over a class body, tracking lock-held context."""
+
+    def __init__(self, lock_attrs: Set[str]) -> None:
+        self.lock_attrs = lock_attrs
+        self.guarded: Set[str] = set()
+        self.unguarded: List[Tuple[str, ast.AST]] = []
+        self._depth = 0
+        self._method = ""
+
+    def _is_lock_with(self, node: ast.With) -> bool:
+        for item in node.items:
+            expression = item.context_expr
+            # `with self._lock:` and `with self._lock, other:` both count;
+            # so does `with tenant.lock:` — any attribute chain ending in
+            # a known lock name or literally called "lock".
+            if isinstance(expression, ast.Attribute) and (
+                expression.attr in self.lock_attrs or expression.attr == "lock"
+            ):
+                return True
+        return False
+
+    def visit_With(self, node: ast.With) -> None:
+        held = self._is_lock_with(node)
+        if held:
+            self._depth += 1
+        self.generic_visit(node)
+        if held:
+            self._depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        previous = self._method
+        self._method = node.name
+        self.generic_visit(node)
+        self._method = previous
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for attr, element in _mutation_targets(node):
+            if attr in self.lock_attrs:
+                continue
+            if self._depth > 0:
+                self.guarded.add(attr)
+            elif self._method and self._method != "__init__":
+                self.unguarded.append((attr, element))
+        super().generic_visit(node)
+
+
+@register_checker
+class LockDisciplineChecker(Checker):
+    rule = "REP002"
+    summary = (
+        "attributes mutated under a threading.Lock-guarded `with` must never be "
+        "mutated outside one; JobStore records only change via mutate()/claim_job()"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        yield from self._check_classes(source)
+        yield from self._check_jobstore_reach(source)
+
+    def _check_classes(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            lock_attrs = self._lock_attrs(node)
+            if not lock_attrs:
+                continue
+            analysis = _ClassAnalysis(lock_attrs)
+            analysis.visit(node)
+            for attr, element in analysis.unguarded:
+                if attr not in analysis.guarded:
+                    continue
+                yield self.finding(
+                    source.path,
+                    element.lineno,
+                    element.col_offset,
+                    f"self.{attr} is mutated under a lock elsewhere in "
+                    f"{node.name} but written here without one (possible race)",
+                )
+
+    @staticmethod
+    def _lock_attrs(class_node: ast.ClassDef) -> Set[str]:
+        locks: Set[str] = set()
+        for node in ast.walk(class_node):
+            if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+                continue
+            if call_name(node.value) not in _LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr:
+                    locks.add(attr)
+        return locks
+
+    def _check_jobstore_reach(self, source: SourceFile) -> Iterator[Finding]:
+        if source.matches(_JOBSTORE_PATH):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Attribute) and node.attr in _JOBSTORE_INTERNALS:
+                yield self.finding(
+                    source.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"JobStore.{node.attr} is internal: record mutations must go "
+                    "through JobStore.mutate() or claim_job()",
+                )

@@ -1,0 +1,166 @@
+"""REP003 — determinism in content-hashed and kernel-value paths.
+
+The matrix cache, pair store and streaming models are content-addressed:
+two runs over the same corpus must produce byte-identical payloads or
+every cache layer silently degrades to a miss (and worse, mixed payloads
+stop comparing equal).  Inside the value-producing packages this rule
+bans the classic nondeterminism sources:
+
+* unseeded randomness — module-level ``random.random()``/``choice``/...
+  and zero-argument ``random.Random()`` (seeded ``random.Random(seed)``
+  instances are the blessed form, as in the workload generators);
+  ``numpy.random`` in any form;
+* wall-clock reads — ``time.time()``/``time.time_ns()`` and
+  ``datetime.now()``/``utcnow()``/``today()`` — timestamps belong in
+  *metadata*, never in hashed content (suppress with a reason where the
+  use really is TTL/mtime bookkeeping);
+* precision-losing float handling on values — ``round()`` and fixed
+  precision float formatting (``f"{v:.6f}"``, ``"%.6f" %``,
+  ``format(v, ".6f")``), which destroy the bit-identity the JSON
+  round-trip guarantees.
+
+``time.monotonic()``/``perf_counter()`` are deliberately allowed: they
+measure durations, which are observability, not content.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.devtools.lint.checkers._helpers import call_name
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Checker, register_checker
+from repro.devtools.lint.source import Project, SourceFile
+
+#: The packages whose outputs are content-hashed or cached by value.
+SCOPE = (
+    "repro/core/*",
+    "repro/kernels/*",
+    "repro/strings/*",
+    "repro/learn/*",
+    "repro/streaming/*",
+)
+
+_CLOCK_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+}
+
+#: Fixed-precision float conversions in % / str.format / format() specs.
+_PRECISION_SPEC = re.compile(r"%[-+ #0-9.]*\d*\.\d+[efgEFG]|^\.?\d*\.\d+[efgEFG]$")
+
+
+def _fstring_precision(spec: Optional[ast.AST]) -> Optional[str]:
+    """The precision-losing format spec inside an f-string, if any."""
+    if not isinstance(spec, ast.JoinedStr):
+        return None
+    literal = "".join(
+        str(value.value) for value in spec.values if isinstance(value, ast.Constant)
+    )
+    if re.search(r"\.\d+[efgEFG]$", literal):
+        return literal
+    return None
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    rule = "REP003"
+    summary = (
+        "no unseeded randomness, wall-clock reads, round(), or precision-losing "
+        "float formatting in content-hashed / kernel-value packages"
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        if not source.matches(*SCOPE):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node)
+            elif isinstance(node, ast.FormattedValue):
+                spec = _fstring_precision(node.format_spec)
+                if spec is not None:
+                    yield self.finding(
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"fixed-precision format {spec!r} loses float bits: emit "
+                        "full-precision values (repr round-trip) in value paths",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+                if (
+                    isinstance(node.left, ast.Constant)
+                    and isinstance(node.left.value, str)
+                    and _PRECISION_SPEC.search(node.left.value)
+                ):
+                    yield self.finding(
+                        source.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"fixed-precision %-format {node.left.value!r} loses float "
+                        "bits in a value path",
+                    )
+
+    def _check_call(self, source: SourceFile, node: ast.Call) -> Iterator[Finding]:
+        name = call_name(node)
+        if name is None:
+            return
+        if name.startswith("random.") and name != "random.Random":
+            yield self.finding(
+                source.path,
+                node.lineno,
+                node.col_offset,
+                f"{name}() uses the shared unseeded generator: pass a seeded "
+                "random.Random(seed) through instead",
+            )
+        elif name == "random.Random" and not node.args and not node.keywords:
+            yield self.finding(
+                source.path,
+                node.lineno,
+                node.col_offset,
+                "random.Random() without a seed is nondeterministic: require a seed",
+            )
+        elif ".random." in f".{name}." and name.split(".", 1)[0] in ("np", "numpy"):
+            yield self.finding(
+                source.path,
+                node.lineno,
+                node.col_offset,
+                f"{name}() (numpy.random) is nondeterministic: derive values from "
+                "seeded generators only",
+            )
+        elif name in _CLOCK_CALLS:
+            yield self.finding(
+                source.path,
+                node.lineno,
+                node.col_offset,
+                f"{name}() is a {_CLOCK_CALLS[name]}: timestamps must stay out of "
+                "content-hashed payloads (suppress with a reason if this is "
+                "TTL/mtime bookkeeping)",
+            )
+        elif name == "round":
+            yield self.finding(
+                source.path,
+                node.lineno,
+                node.col_offset,
+                "round() on kernel values breaks bit-identity: keep full precision",
+            )
+        elif name == "format" and len(node.args) == 2:
+            spec = node.args[1]
+            if (
+                isinstance(spec, ast.Constant)
+                and isinstance(spec.value, str)
+                and re.search(r"\.\d+[efgEFG]$", spec.value)
+            ):
+                yield self.finding(
+                    source.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"format(..., {spec.value!r}) loses float bits in a value path",
+                )

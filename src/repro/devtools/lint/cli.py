@@ -1,0 +1,110 @@
+"""The ``repro lint`` command implementation.
+
+Kept out of :mod:`repro.cli` so the top-level CLI only pays an import
+for the linter when the subcommand actually runs (same lazy-import
+pattern as ``worker``/``serve``).  Exit codes follow the convention
+every CI system understands: 0 clean (or fully baselined/suppressed),
+1 new findings, 2 usage or configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.devtools.lint.baseline import Baseline, BaselineEntry, BaselineError
+from repro.devtools.lint.engine import LintReport, lint_paths
+from repro.devtools.lint.registry import LintRegistryError, rule_summaries
+
+__all__ = ["run_lint"]
+
+#: Stamp for entries added by --update-baseline; meant to be edited by
+#: hand into a real justification before the baseline is committed.
+_PLACEHOLDER_JUSTIFICATION = "TODO: justify this grandfathered finding"
+
+
+def _split_rules(raw: str) -> List[str]:
+    return [rule.strip() for rule in raw.split(",") if rule.strip()]
+
+
+def _print_text(report: LintReport, stream) -> None:
+    for finding in report.new:
+        print(f"{finding.location()}: {finding.rule} {finding.message}", file=stream)
+    for entry in report.stale:
+        print(
+            f"{entry.path}: stale baseline entry for {entry.rule} "
+            f"(line {entry.line}): the finding is gone — remove the entry "
+            "or run --update-baseline",
+            file=stream,
+        )
+    summary = (
+        f"{len(report.new)} finding(s) "
+        f"({len(report.baselined)} baselined, {len(report.suppressed)} suppressed, "
+        f"{len(report.stale)} stale baseline entries) across {report.files} file(s)"
+    )
+    print(summary, file=stream)
+
+
+def _print_json(report: LintReport, stream) -> None:
+    payload = {
+        "ok": report.ok,
+        "files": report.files,
+        "new": [finding.to_dict() for finding in report.new],
+        "baselined": [finding.to_dict() for finding in report.baselined],
+        "suppressed": [finding.to_dict() for finding in report.suppressed],
+        "stale": [entry.to_dict() for entry in report.stale],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True), file=stream)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule, summary in rule_summaries().items():
+            print(f"{rule}  {summary}")
+        return 0
+
+    try:
+        baseline = Baseline.load(args.baseline) if args.baseline else None
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        report = lint_paths(
+            args.paths,
+            select=_split_rules(args.select),
+            ignore=_split_rules(args.ignore),
+            baseline=baseline,
+        )
+    except LintRegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("error: --update-baseline requires --baseline PATH", file=sys.stderr)
+            return 2
+        kept = [
+            entry
+            for entry in (baseline.entries if baseline is not None else [])
+            if entry not in set(report.stale)
+        ]
+        added = [
+            BaselineEntry.from_finding(finding, _PLACEHOLDER_JUSTIFICATION)
+            for finding in report.new
+        ]
+        Baseline.save(args.baseline, [*kept, *added])
+        print(
+            f"baseline {args.baseline}: {len(kept)} kept, {len(added)} added, "
+            f"{len(report.stale)} stale removed"
+            + (" — edit the TODO justifications before committing" if added else "")
+        )
+        return 0
+
+    if args.format == "json":
+        _print_json(report, sys.stdout)
+    else:
+        _print_text(report, sys.stdout)
+    return 0 if report.ok else 1

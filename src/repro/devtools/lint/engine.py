@@ -1,0 +1,86 @@
+"""The lint run: checkers x files, then suppressions, then the baseline.
+
+The pipeline is deliberately linear — collect, suppress, baseline,
+sort — so every consumer (CLI text, CLI JSON, the self-hosted CI test)
+sees the same :class:`LintReport` and the same ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.devtools.lint.baseline import Baseline, BaselineEntry
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import make_checkers
+from repro.devtools.lint.source import Project
+
+__all__ = ["LintReport", "lint_project", "lint_paths"]
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, already partitioned."""
+
+    #: Findings not suppressed and not in the baseline — these fail CI.
+    new: List[Finding] = field(default_factory=list)
+    #: Findings matched by a baseline entry (grandfathered).
+    baselined: List[Finding] = field(default_factory=list)
+    #: Findings silenced by an in-source ``lint-ok`` comment.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing (debt that has been paid).
+    stale: List[BaselineEntry] = field(default_factory=list)
+    #: Number of files scanned (parse failures included).
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def all_findings(self) -> List[Finding]:
+        return sorted((*self.new, *self.baselined), key=Finding.sort_key)
+
+
+def lint_project(
+    project: Project,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Run the (filtered) registered checkers over *project*."""
+    checkers = make_checkers(select=select, ignore=ignore)
+    report = LintReport(files=len(project.files) + len(project.failures))
+
+    collected: List[Finding] = []
+    for checker in checkers:
+        for source in project.files:
+            collected.extend(checker.check_file(source, project))
+        collected.extend(checker.check_project(project))
+
+    sources = {source.path: source for source in project.files}
+    for finding in sorted(collected, key=Finding.sort_key):
+        source = sources.get(finding.path)
+        line_text = source.line_text(finding.line) if source is not None else ""
+        finding = finding.with_content(line_text or finding.message)
+        if source is not None and source.is_suppressed(finding.rule, finding.line):
+            report.suppressed.append(finding)
+        elif baseline is not None and baseline.matches(finding):
+            report.baselined.append(finding)
+        else:
+            report.new.append(finding)
+
+    if baseline is not None:
+        report.stale = baseline.stale_entries()
+    return report
+
+
+def lint_paths(
+    paths: Iterable[str],
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint files/directories on disk (the CLI and CI entry point)."""
+    return lint_project(
+        Project.from_paths(list(paths)), select=select, ignore=ignore, baseline=baseline
+    )

@@ -1,0 +1,64 @@
+"""The finding record every checker emits and every consumer reads.
+
+A :class:`Finding` is deliberately flat — rule id, location, message —
+so the text formatter, the JSON formatter, the baseline matcher and the
+tests all consume the same object without adapters.  The engine fills in
+``content`` (a short hash of the offending source line) after the
+checkers run; checkers never compute it themselves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Any, Dict
+
+__all__ = ["Finding", "content_hash"]
+
+
+def content_hash(text: str) -> str:
+    """The baseline identity of a finding's source line.
+
+    Hashing the *stripped line text* (not the line number) keeps baseline
+    entries stable while unrelated edits move code up and down the file —
+    the same property content-addressed pair values rely on.  Truncated:
+    16 hex chars is plenty for a per-(rule, path) namespace.
+    """
+    return hashlib.sha256(text.strip().encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``line``/``col`` are 1-based / 0-based respectively, matching
+    ``ast`` node coordinates and the ``path:line:col`` convention every
+    editor understands.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Baseline identity (see :func:`content_hash`); stamped by the engine.
+    content: str = ""
+
+    def with_content(self, line_text: str) -> "Finding":
+        return replace(self, content=content_hash(line_text))
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "content": self.content,
+        }
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule, self.message)

@@ -1,0 +1,117 @@
+"""The pluggable checker registry (same idiom as the kernel registry).
+
+Checkers are classes registered under their rule id exactly like kernel
+factories are registered under their ``kind`` in
+:mod:`repro.api.spec`: a module-level dict, a decorator that refuses
+duplicates loudly, and lookup helpers the engine and the CLI share.
+Adding a rule is therefore one new module under ``checkers/`` plus an
+import in ``checkers/__init__.py`` — no engine changes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Iterator, List, Type
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.source import Project, SourceFile
+
+__all__ = [
+    "Checker",
+    "LintRegistryError",
+    "make_checkers",
+    "register_checker",
+    "registered_rules",
+    "rule_summaries",
+]
+
+#: Rule ids look like ``REP001`` — three letters, three digits.
+_RULE_ID = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+class LintRegistryError(ValueError):
+    """Raised for invalid checker registrations or unknown rule ids."""
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Subclasses set ``rule`` and ``summary`` and override one or both
+    hooks.  ``check_file`` runs once per scanned file; ``check_project``
+    runs once per lint run and is for rules that reason across files
+    (protocol completeness, metric label consistency).  Both yield
+    :class:`~repro.devtools.lint.findings.Finding` objects; the engine
+    owns suppression, baselining and ordering.
+    """
+
+    rule: str = ""
+    summary: str = ""
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, path: str, line: int, col: int, message: str) -> Finding:
+        return Finding(rule=self.rule, path=path, line=line, col=col, message=message)
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding *cls* to the registry under its rule id.
+
+    Like :func:`repro.api.spec.register_kernel`, double registration is
+    an error rather than a silent overwrite — two checkers claiming one
+    rule id means findings, suppressions and baselines stop agreeing on
+    what the id means.
+    """
+    rule = getattr(cls, "rule", "")
+    if not _RULE_ID.match(rule):
+        raise LintRegistryError(f"checker {cls.__name__} has invalid rule id {rule!r}")
+    if not getattr(cls, "summary", ""):
+        raise LintRegistryError(f"checker {cls.__name__} ({rule}) is missing a summary")
+    if rule in _REGISTRY:
+        raise LintRegistryError(f"rule {rule!r} is already registered to {_REGISTRY[rule].__name__}")
+    _REGISTRY[rule] = cls
+    return cls
+
+
+def registered_rules() -> List[str]:
+    """Every registered rule id, sorted."""
+    _load_builtin_checkers()
+    return sorted(_REGISTRY)
+
+
+def rule_summaries() -> Dict[str, str]:
+    """Rule id -> one-line summary, for ``repro lint --list-rules``."""
+    _load_builtin_checkers()
+    return {rule: _REGISTRY[rule].summary for rule in sorted(_REGISTRY)}
+
+
+def make_checkers(select: Iterable[str] = (), ignore: Iterable[str] = ()) -> List[Checker]:
+    """Instantiate the checkers a run should execute.
+
+    *select* keeps only the named rules (empty means all); *ignore*
+    drops rules from whatever *select* kept.  Unknown ids in either are
+    a loud :class:`LintRegistryError` — a typo'd ``--ignore REP03`` that
+    silently ignored nothing would defeat the tool's purpose.
+    """
+    _load_builtin_checkers()
+    chosen = set(select) or set(_REGISTRY)
+    for rule in (*select, *ignore):
+        if rule not in _REGISTRY:
+            raise LintRegistryError(
+                f"unknown rule id {rule!r} (known: {', '.join(sorted(_REGISTRY))})"
+            )
+    chosen -= set(ignore)
+    return [_REGISTRY[rule]() for rule in sorted(chosen)]
+
+
+def _load_builtin_checkers() -> None:
+    # Importing the package registers every built-in checker as a side
+    # effect (each module ends in a @register_checker class).  Lazy so
+    # `import repro` never pays for the linter.
+    import repro.devtools.lint.checkers  # noqa: F401

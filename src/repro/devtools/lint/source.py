@@ -1,0 +1,203 @@
+"""Parsed source files, the project view, and suppression comments.
+
+Suppression syntax
+------------------
+A finding is silenced in place with::
+
+    risky_line()  # repro: lint-ok[REP003] ttl bookkeeping, not content
+
+or, for lines too long to carry a trailing comment, on a comment-only
+line directly above the offending one::
+
+    # repro: lint-ok[REP002] callers hold the registry lock
+    self._samples[key] = cell
+
+The rule list may name several rules (``lint-ok[REP001,REP003]``) and
+the free-text reason is **mandatory** — a suppression that does not say
+*why* the rule does not apply is itself a finding (REP000), because an
+unjustified suppression is exactly the silent convention-erosion the
+linter exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ParseFailure", "Project", "SourceFile", "Suppression", "path_matches"]
+
+#: Strict form: rule list in brackets, non-empty reason after.
+_SUPPRESSION = re.compile(
+    r"#\s*repro:\s*lint-ok\[(?P<rules>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]\s*(?P<reason>\S.*)?$"
+)
+
+#: Loose form: anything that *looks like* an attempted suppression, so a
+#: typo'd rule id or a missing reason is reported instead of silently
+#: suppressing nothing (or worse, something).
+_SUPPRESSION_ATTEMPT = re.compile(r"#\s*repro:\s*lint-ok")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``lint-ok`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    #: True when the comment shares its line with code (applies to that
+    #: line); False for a comment-only line (applies to the next line).
+    inline: bool
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """A file the engine could not parse (surfaced as a REP000 finding)."""
+
+    path: str
+    line: int
+    message: str
+
+
+def path_matches(path: str, *patterns: str) -> bool:
+    """Whether *path* falls under any tail *pattern*.
+
+    Patterns are posix path tails relative to the package root, e.g.
+    ``repro/core/cachestore.py`` or ``repro/learn/*`` — matching by tail
+    keeps checkers working identically on the real tree
+    (``src/repro/...``), on test fixtures in temp dirs, and on virtual
+    paths handed straight to :class:`SourceFile`.
+    """
+    norm = path.replace(os.sep, "/").lstrip("./")
+    for pattern in patterns:
+        if fnmatch.fnmatch(norm, pattern) or fnmatch.fnmatch(norm, "*/" + pattern):
+            return True
+    return False
+
+
+class SourceFile:
+    """One parsed python file plus its suppression comments."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path.replace(os.sep, "/")
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: ast.Module = ast.parse(text, filename=path)
+        self.suppressions: List[Suppression] = []
+        self.malformed: List[Tuple[int, str]] = []
+        self._scan_comments()
+        self._suppressed: Dict[int, set] = {}
+        for suppression in self.suppressions:
+            target = suppression.line if suppression.inline else suppression.line + 1
+            self._suppressed.setdefault(target, set()).update(suppression.rules)
+
+    def _scan_comments(self) -> None:
+        # tokenize (not a regex over raw lines) so suppression markers
+        # inside string literals are never mistaken for real ones.
+        try:
+            tokens = list(tokenize.generate_tokens(StringIO(self.text).readline))
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse caught it
+            return
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            comment = token.string
+            if not _SUPPRESSION_ATTEMPT.search(comment):
+                continue
+            line = token.start[0]
+            match = _SUPPRESSION.search(comment)
+            if not match:
+                self.malformed.append(
+                    (line, "malformed lint-ok comment (expected `# repro: lint-ok[RULE] reason`)")
+                )
+                continue
+            if not match.group("reason"):
+                self.malformed.append((line, "lint-ok suppression is missing its reason"))
+                continue
+            rules = tuple(rule.strip() for rule in match.group("rules").split(","))
+            inline = bool(self.lines[line - 1][: token.start[1]].strip())
+            self.suppressions.append(
+                Suppression(line=line, rules=rules, reason=match.group("reason").strip(), inline=inline)
+            )
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        return rule in self._suppressed.get(line, ())
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def matches(self, *patterns: str) -> bool:
+        return path_matches(self.path, *patterns)
+
+
+@dataclass
+class Project:
+    """Every file in one lint run, for checkers that reason cross-file."""
+
+    files: List[SourceFile] = field(default_factory=list)
+    failures: List[ParseFailure] = field(default_factory=list)
+
+    def find(self, *patterns: str) -> List[SourceFile]:
+        return [source for source in self.files if source.matches(*patterns)]
+
+    def first(self, *patterns: str) -> Optional[SourceFile]:
+        found = self.find(*patterns)
+        return found[0] if found else None
+
+    @classmethod
+    def from_texts(cls, texts: Dict[str, str]) -> "Project":
+        """A project from in-memory sources (the unit-test entry point)."""
+        project = cls()
+        for path, text in texts.items():
+            try:
+                project.files.append(SourceFile(path, text))
+            except SyntaxError as exc:
+                project.failures.append(
+                    ParseFailure(path=path, line=exc.lineno or 1, message=f"syntax error: {exc.msg}")
+                )
+        return project
+
+    @classmethod
+    def from_paths(cls, paths: Sequence[str]) -> "Project":
+        """A project from files and directories on disk.
+
+        Directories are walked recursively for ``*.py``; hidden
+        directories and ``__pycache__`` are skipped.  Files are read as
+        UTF-8 (the repository's encoding).
+        """
+        filenames: List[str] = []
+        for path in paths:
+            if os.path.isdir(path):
+                for root, dirnames, names in os.walk(path):
+                    dirnames[:] = sorted(
+                        d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+                    )
+                    filenames.extend(
+                        os.path.join(root, name) for name in sorted(names) if name.endswith(".py")
+                    )
+            else:
+                filenames.append(path)
+        project = cls()
+        for filename in filenames:
+            try:
+                with open(filename, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError as exc:
+                project.failures.append(ParseFailure(path=filename, line=1, message=str(exc)))
+                continue
+            try:
+                project.files.append(SourceFile(filename, text))
+            except SyntaxError as exc:
+                project.failures.append(
+                    ParseFailure(
+                        path=filename, line=exc.lineno or 1, message=f"syntax error: {exc.msg}"
+                    )
+                )
+        return project

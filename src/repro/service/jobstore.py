@@ -78,6 +78,8 @@ import uuid
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.atomicio import write_text_atomic
+
 try:  # pragma: no cover - fcntl exists everywhere the tests run
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback
@@ -115,15 +117,6 @@ class LeaseError(JobStoreError):
 
 def _payload_checksum(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-def _write_text_atomic(path: str, text: str) -> None:
-    temporary = f"{path}.tmp.{os.getpid()}"
-    with open(temporary, "w", encoding="utf-8") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temporary, path)
 
 
 @dataclass(frozen=True)
@@ -420,7 +413,7 @@ class JobStore:
         return record
 
     def _write_record(self, record: JobRecord) -> None:
-        _write_text_atomic(
+        write_text_atomic(
             self._record_path(record.job_id),
             json.dumps(record.to_dict(), indent=2, sort_keys=True),
         )
@@ -681,7 +674,7 @@ class JobStore:
 
         verify_owner(self.get(job_id))  # refuse before writing the payload file
         text = json.dumps(dict(payload), sort_keys=True)
-        _write_text_atomic(self._payload_path(job_id), text)
+        write_text_atomic(self._payload_path(job_id), text)
 
         def finish(record: JobRecord) -> Dict[str, Any]:
             verify_owner(record)

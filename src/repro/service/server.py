@@ -1820,6 +1820,7 @@ class AnalysisServer:
         one, which tests and the CLI's ``--port-file`` rely on.
         """
         if self._httpd is not None:
+            # repro: lint-ok[REP005] operator lifecycle misuse in-process; never reaches the wire encoder
             raise RuntimeError("HTTP front end already started")
         self._httpd = _build_http_server(self, host, port)
         self._http_thread = threading.Thread(
@@ -1831,6 +1832,7 @@ class AnalysisServer:
     def http_address(self) -> Tuple[str, int]:
         """The bound (host, port) of the HTTP front end."""
         if self._httpd is None:
+            # repro: lint-ok[REP005] operator lifecycle misuse in-process; never reaches the wire encoder
             raise RuntimeError("HTTP front end is not running")
         address = self._httpd.server_address
         return str(address[0]), int(address[1])

@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.api.session import AnalysisSession
 from repro.api.spec import coerce_spec
+from repro.core.atomicio import write_text_atomic
 from repro.core.engine import block_index_pairs, encode_pair_values
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import trace_context
@@ -331,10 +332,7 @@ class Worker:
                 "written_at": time.time(),
                 "families": self.metrics.snapshot(),
             }
-            temp_path = f"{self.metrics_path}.tmp.{os.getpid()}"
-            with open(temp_path, "w", encoding="utf-8") as handle:
-                json.dump(snapshot, handle)
-            os.replace(temp_path, self.metrics_path)
+            write_text_atomic(self.metrics_path, json.dumps(snapshot))
         except OSError:
             logger.debug("worker %s could not persist its metrics snapshot", self.worker_id)
 

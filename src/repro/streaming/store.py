@@ -25,6 +25,7 @@ import re
 import uuid
 from typing import Any, Dict, List, Optional
 
+from repro.core.atomicio import write_text_atomic
 from repro.streaming.model import LandmarkModel
 
 __all__ = ["ModelStore", "MODEL_NAME_PATTERN", "valid_model_name"]
@@ -42,17 +43,6 @@ def valid_model_name(name: Any) -> bool:
 
 def _digest(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-def _write_text_atomic(path: str, text: str) -> None:
-    # Unique per *write* (not per process): two servers saving the same
-    # model concurrently must not share a temp file.
-    temporary = f"{path}.tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}"
-    with open(temporary, "w", encoding="utf-8") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temporary, path)
 
 
 def _model_errors():
@@ -124,7 +114,7 @@ class ModelStore:
             "checksum": _digest(body),
             "model": json.loads(body),
         }
-        _write_text_atomic(path, json.dumps(envelope, sort_keys=True) + "\n")
+        write_text_atomic(path, json.dumps(envelope, sort_keys=True) + "\n")
         return path
 
     def load(self, name: str) -> LandmarkModel:
